@@ -1,0 +1,65 @@
+// bench/ablation_dvfs.cpp
+//
+// The DVFS trade-off experiment motivated by the paper's Section II-B:
+// lowering the frequency saves energy (~s^2 per unit work) but raises the
+// silent-error rate exponentially (equation (1)), so the expected makespan
+// can *increase* faster than the pure slowdown. Sweeps the speed range and
+// reports expected makespan (first order), the pure time-dilation
+// baseline, and relative energy — exposing the resilience-aware sweet
+// spot.
+
+#include <iostream>
+
+#include "core/dvfs.hpp"
+#include "gen/cholesky.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace expmk;
+  util::Cli cli("ablation_dvfs",
+                "Energy vs expected-makespan trade-off under equation (1)");
+  cli.add_int("k", 8, "Cholesky tile count");
+  cli.add_double("lambda0", 0.005, "error rate at full speed");
+  cli.add_double("sensitivity", 3.0, "equation (1) exponent d");
+  cli.add_flag("csv", "emit CSV");
+  cli.parse(argc, argv);
+
+  const auto g = gen::cholesky_dag(static_cast<int>(cli.get_int("k")));
+  core::DvfsModel model;
+  model.lambda0 = cli.get_double("lambda0");
+  model.sensitivity = cli.get_double("sensitivity");
+
+  std::vector<double> speeds;
+  const int steps = 10;
+  for (int i = 0; i <= steps; ++i) {
+    speeds.push_back(model.smin +
+                     (model.smax - model.smin) * i / static_cast<double>(steps));
+  }
+  const auto sweep = core::dvfs_sweep(g, model, speeds);
+  const double best = core::best_speed_for_makespan(g, model, speeds);
+
+  util::Table table({"speed", "lambda", "d(G)/s", "E[makespan]",
+                     "error_overhead", "relative_energy"});
+  for (const auto& p : sweep) {
+    table.begin_row();
+    table.add_double(p.speed);
+    table.add_double(p.lambda);
+    table.add_double(p.failure_free_makespan);
+    table.add_double(p.expected_makespan);
+    table.add_signed_sci(p.expected_makespan / p.failure_free_makespan -
+                         1.0);
+    table.add_double(p.relative_energy);
+  }
+
+  std::cout << "# DVFS ablation on Cholesky k=" << cli.get_int("k")
+            << ": lambda0=" << model.lambda0 << ", d=" << model.sensitivity
+            << "\n";
+  if (cli.get_flag("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print_aligned(std::cout);
+  }
+  std::cout << "# makespan-optimal speed: " << best << "\n\n";
+  return 0;
+}

@@ -1,0 +1,110 @@
+// bench/fig_sweep.hpp
+//
+// The common driver behind fig_cholesky / fig_lu / fig_qr: sweep graph
+// size k in {4,6,8,10,12} x pfail in {1e-2,1e-3,1e-4} and print one row
+// per (figure, k, method) — the series the paper plots in Figures 4-12.
+
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace expmk::bench {
+
+/// Runs the full sweep for one DAG class.
+/// `first_figure` is the paper's figure number at pfail = 0.01 (figures
+/// for 1e-3 / 1e-4 follow consecutively, matching the paper's layout).
+inline int run_fig_sweep(int argc, const char* const* argv,
+                         const std::string& class_name, int first_figure,
+                         const std::function<graph::Dag(int)>& make_dag) {
+  util::Cli cli("fig_" + class_name,
+                "Reproduces the paper's " + class_name +
+                    " accuracy figures (relative error vs Monte-Carlo)");
+  cli.add_int("trials", 300'000, "Monte-Carlo trials per cell");
+  cli.add_int("seed", 2016, "Monte-Carlo master seed");
+  cli.add_int("dodin-atoms", 256, "atom budget for Dodin distributions");
+  cli.add_string("sizes", "4,6,8,10,12", "comma-separated k values");
+  cli.add_flag("csv", "emit CSV instead of aligned tables");
+  cli.add_flag("extended", "also run second-order / CorLCA / Clark-full");
+  cli.parse(argc, argv);
+
+  std::vector<int> sizes;
+  {
+    const std::string& s = cli.get_string("sizes");
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+      const std::size_t comma = s.find(',', pos);
+      sizes.push_back(std::stoi(s.substr(pos, comma - pos)));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+
+  const std::vector<double> pfails = {0.01, 0.001, 0.0001};
+  const bool extended = cli.get_flag("extended");
+
+  std::vector<std::string> header = {
+      "figure", "class",      "k",       "tasks",   "pfail",
+      "mc_mean", "mc_ci95",   "d(G)",    "FirstOrder", "Dodin",
+      "Normal"};
+  if (extended) {
+    header.insert(header.end(), {"SecondOrder", "CorLCA", "ClarkFull"});
+  }
+  header.insert(header.end(), {"t_FO", "t_Dodin", "t_Normal", "t_MC"});
+  util::Table table(header);
+
+  const util::Timer total;
+  for (std::size_t pi = 0; pi < pfails.size(); ++pi) {
+    for (const int k : sizes) {
+      const auto g = make_dag(k);
+      CellOptions opt;
+      opt.mc_trials = static_cast<std::uint64_t>(cli.get_int("trials"));
+      opt.mc_seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+      opt.dodin_atoms = static_cast<std::size_t>(cli.get_int("dodin-atoms"));
+      opt.run_second_order = opt.run_corlca = opt.run_clark_full = extended;
+      const CellResult cell = evaluate_cell(g, pfails[pi], opt);
+
+      table.begin_row();
+      table.add("Fig." + std::to_string(first_figure + static_cast<int>(pi)));
+      table.add(class_name);
+      table.add_int(k);
+      table.add_int(static_cast<std::int64_t>(g.task_count()));
+      table.add_double(pfails[pi]);
+      table.add_double(cell.mc_mean);
+      table.add_double(cell.mc_ci95);
+      table.add_double(cell.critical_path);
+      table.add_signed_sci(cell.first_order.normalized_difference);
+      table.add_signed_sci(cell.dodin.normalized_difference);
+      table.add_signed_sci(cell.sculli.normalized_difference);
+      if (extended) {
+        table.add_signed_sci(cell.second_order.normalized_difference);
+        table.add_signed_sci(cell.corlca.normalized_difference);
+        table.add_signed_sci(cell.clark_full.normalized_difference);
+      }
+      table.add(util::format_duration(cell.first_order.seconds));
+      table.add(util::format_duration(cell.dodin.seconds));
+      table.add(util::format_duration(cell.sculli.seconds));
+      table.add(util::format_duration(cell.mc_seconds));
+    }
+  }
+
+  std::cout << "# " << class_name << " accuracy sweep — normalized "
+            << "difference (estimate - MC)/MC, negative = underestimate\n";
+  if (cli.get_flag("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print_aligned(std::cout);
+  }
+  std::cout << "# total wall time: " << util::format_duration(total.seconds())
+            << "\n\n";
+  return 0;
+}
+
+}  // namespace expmk::bench

@@ -1,0 +1,183 @@
+// bench/micro_core.cpp
+//
+// google-benchmark micro suite: per-operation costs of the library's hot
+// paths — longest path, levels, the first/second-order estimators, one MC
+// trial, distribution algebra, Dodin, and the Normal family. These back
+// the complexity claims in DESIGN.md (e.g. first order is O(V + E) and
+// takes well under a millisecond even at k = 20).
+
+#include <benchmark/benchmark.h>
+
+#include "core/bottom_levels.hpp"
+#include "core/failure_model.hpp"
+#include "core/first_order.hpp"
+#include "core/second_order.hpp"
+#include "gen/cholesky.hpp"
+#include "gen/lu.hpp"
+#include "graph/levels.hpp"
+#include "graph/longest_path.hpp"
+#include "graph/reachability.hpp"
+#include "graph/topological.hpp"
+#include "mc/trial.hpp"
+#include "normal/clark_full.hpp"
+#include "normal/corlca.hpp"
+#include "normal/sculli.hpp"
+#include "prob/discrete_distribution.hpp"
+#include "spgraph/dodin.hpp"
+
+namespace {
+
+using namespace expmk;
+
+void BM_TopologicalOrder(benchmark::State& state) {
+  const auto g = gen::lu_dag(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::topological_order(g));
+  }
+  state.SetLabel(std::to_string(g.task_count()) + " tasks");
+}
+BENCHMARK(BM_TopologicalOrder)->Arg(8)->Arg(12)->Arg(20);
+
+void BM_CriticalPath(benchmark::State& state) {
+  const auto g = gen::lu_dag(static_cast<int>(state.range(0)));
+  const auto topo = graph::topological_order(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph::critical_path_length(g, g.weights(), topo));
+  }
+  state.SetLabel(std::to_string(g.task_count()) + " tasks");
+}
+BENCHMARK(BM_CriticalPath)->Arg(8)->Arg(12)->Arg(20);
+
+void BM_FirstOrder(benchmark::State& state) {
+  const auto g = gen::lu_dag(static_cast<int>(state.range(0)));
+  const auto topo = graph::topological_order(g);
+  const auto model = core::calibrate(g, 0.0001);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::first_order(g, model, topo).expected_makespan());
+  }
+  state.SetLabel(std::to_string(g.task_count()) + " tasks");
+}
+BENCHMARK(BM_FirstOrder)->Arg(8)->Arg(12)->Arg(20);
+
+void BM_SecondOrder(benchmark::State& state) {
+  const auto g = gen::cholesky_dag(static_cast<int>(state.range(0)));
+  const auto model = core::calibrate(g, 0.001);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::second_order(g, model).expected_makespan);
+  }
+  state.SetLabel(std::to_string(g.task_count()) + " tasks");
+}
+BENCHMARK(BM_SecondOrder)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_McTrial(benchmark::State& state) {
+  const auto g = gen::lu_dag(static_cast<int>(state.range(0)));
+  const auto model = core::calibrate(g, 0.001);
+  const mc::TrialContext ctx(g, model, core::RetryModel::Geometric);
+  prob::Xoshiro256pp rng(1);
+  std::vector<double> durations(g.task_count());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mc::run_trial(ctx, rng, durations));
+  }
+  state.SetLabel(std::to_string(g.task_count()) + " tasks");
+}
+BENCHMARK(BM_McTrial)->Arg(8)->Arg(12)->Arg(20);
+
+void BM_Sculli(benchmark::State& state) {
+  const auto g = gen::lu_dag(static_cast<int>(state.range(0)));
+  const auto model = core::calibrate(g, 0.001);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(normal::sculli(g, model).expected_makespan());
+  }
+  state.SetLabel(std::to_string(g.task_count()) + " tasks");
+}
+BENCHMARK(BM_Sculli)->Arg(8)->Arg(12)->Arg(20);
+
+void BM_CorLca(benchmark::State& state) {
+  const auto g = gen::lu_dag(static_cast<int>(state.range(0)));
+  const auto model = core::calibrate(g, 0.001);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(normal::corlca(g, model).expected_makespan());
+  }
+  state.SetLabel(std::to_string(g.task_count()) + " tasks");
+}
+BENCHMARK(BM_CorLca)->Arg(8)->Arg(12)->Arg(20);
+
+void BM_ClarkFull(benchmark::State& state) {
+  const auto g = gen::lu_dag(static_cast<int>(state.range(0)));
+  const auto model = core::calibrate(g, 0.001);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        normal::clark_full(g, model).expected_makespan());
+  }
+  state.SetLabel(std::to_string(g.task_count()) + " tasks");
+}
+BENCHMARK(BM_ClarkFull)->Arg(6)->Arg(10);
+
+void BM_Dodin(benchmark::State& state) {
+  const auto g = gen::cholesky_dag(static_cast<int>(state.range(0)));
+  const auto model = core::calibrate(g, 0.001);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sp::dodin_two_state(g, model, {.max_atoms = 64})
+            .expected_makespan());
+  }
+  state.SetLabel(std::to_string(g.task_count()) + " tasks");
+}
+BENCHMARK(BM_Dodin)->Arg(4)->Arg(6);
+
+void BM_FailureAwareBottomLevels(benchmark::State& state) {
+  const auto g = gen::cholesky_dag(static_cast<int>(state.range(0)));
+  const auto model = core::calibrate(g, 0.001);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::failure_aware_bottom_levels(g, model));
+  }
+  state.SetLabel(std::to_string(g.task_count()) + " tasks");
+}
+BENCHMARK(BM_FailureAwareBottomLevels)->Arg(6)->Arg(10);
+
+void BM_Reachability(benchmark::State& state) {
+  const auto g = gen::lu_dag(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const graph::Reachability r(g);
+    benchmark::DoNotOptimize(r.descendant_count(0));
+  }
+  state.SetLabel(std::to_string(g.task_count()) + " tasks");
+}
+BENCHMARK(BM_Reachability)->Arg(8)->Arg(12);
+
+void BM_Convolve(benchmark::State& state) {
+  const auto atoms = static_cast<std::size_t>(state.range(0));
+  auto d = prob::DiscreteDistribution::two_state(1.0, 0.99);
+  for (int i = 0; i < 12; ++i) {
+    d = prob::DiscreteDistribution::convolve(
+        d, prob::DiscreteDistribution::two_state(1.0 + 0.01 * i, 0.99),
+        atoms);
+  }
+  const auto other = prob::DiscreteDistribution::two_state(0.5, 0.99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        prob::DiscreteDistribution::convolve(d, other, atoms));
+  }
+}
+BENCHMARK(BM_Convolve)->Arg(64)->Arg(256);
+
+void BM_MaxOf(benchmark::State& state) {
+  const auto atoms = static_cast<std::size_t>(state.range(0));
+  auto d = prob::DiscreteDistribution::two_state(1.0, 0.99);
+  for (int i = 0; i < 12; ++i) {
+    d = prob::DiscreteDistribution::convolve(
+        d, prob::DiscreteDistribution::two_state(1.0 + 0.01 * i, 0.99),
+        atoms);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prob::DiscreteDistribution::max_of(d, d, atoms));
+  }
+}
+BENCHMARK(BM_MaxOf)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,247 @@
+// examples/expmk_cli.cpp
+//
+// A self-contained command-line front end to the library, for users who
+// want estimates without writing C++:
+//
+//   expmk_cli generate --class cholesky --k 6 --out chol6.tg
+//   expmk_cli estimate --graph chol6.tg --pfail 0.001
+//   expmk_cli estimate --graph chol6.tg --pfail 0.001 --method mc --trials 100000
+//   expmk_cli dot --graph chol6.tg --out chol6.dot
+//   expmk_cli schedule --graph chol6.tg --p 4 --pfail 0.01
+//
+// Graphs travel in the expmk-taskgraph text format (graph/serialize.hpp).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/criticality.hpp"
+#include "core/failure_model.hpp"
+#include "core/first_order.hpp"
+#include "core/second_order.hpp"
+#include "gen/cholesky.hpp"
+#include "gen/lu.hpp"
+#include "gen/qr.hpp"
+#include "gen/random_dags.hpp"
+#include "graph/dot.hpp"
+#include "graph/longest_path.hpp"
+#include "graph/serialize.hpp"
+#include "graph/validate.hpp"
+#include "mc/engine.hpp"
+#include "normal/corlca.hpp"
+#include "normal/sculli.hpp"
+#include "sched/fault_sim.hpp"
+#include "spgraph/dodin.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace expmk;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: expmk_cli <command> [options]\n"
+               "commands:\n"
+               "  generate  --class cholesky|lu|qr|layered|erdos --k N "
+               "[--seed S] --out FILE\n"
+               "  estimate  --graph FILE --pfail P [--method all|fo|so|"
+               "dodin|sculli|corlca|mc] [--trials N]\n"
+               "  dot       --graph FILE --out FILE\n"
+               "  schedule  --graph FILE --p N --pfail P [--runs N]\n"
+               "  validate  --graph FILE\n"
+               "  critical  --graph FILE --pfail P [--trials N]\n");
+  return 2;
+}
+
+int cmd_generate(int argc, const char* const* argv) {
+  util::Cli cli("expmk_cli generate", "Generate a task graph file");
+  cli.add_string("class", "cholesky", "cholesky|lu|qr|layered|erdos");
+  cli.add_int("k", 6, "tile count (factorizations) / size parameter");
+  cli.add_int("seed", 1, "seed for random families");
+  cli.add_string("out", "graph.tg", "output path");
+  cli.parse(argc, argv);
+
+  const std::string cls = cli.get_string("class");
+  const int k = static_cast<int>(cli.get_int("k"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  graph::Dag g;
+  if (cls == "cholesky") {
+    g = gen::cholesky_dag(k);
+  } else if (cls == "lu") {
+    g = gen::lu_dag(k);
+  } else if (cls == "qr") {
+    g = gen::qr_dag(k);
+  } else if (cls == "layered") {
+    g = gen::layered_random(k, k, 0.3, seed);
+  } else if (cls == "erdos") {
+    g = gen::erdos_dag(k * k, 0.15, seed);
+  } else {
+    std::fprintf(stderr, "unknown class '%s'\n", cls.c_str());
+    return 2;
+  }
+  graph::save_taskgraph(cli.get_string("out"), g);
+  std::printf("wrote %s: %zu tasks, %zu edges\n",
+              cli.get_string("out").c_str(), g.task_count(), g.edge_count());
+  return 0;
+}
+
+int cmd_estimate(int argc, const char* const* argv) {
+  util::Cli cli("expmk_cli estimate", "Expected-makespan estimates");
+  cli.add_string("graph", "graph.tg", "input task graph");
+  cli.add_double("pfail", 0.001, "per-average-task failure probability");
+  cli.add_string("method", "all", "all|fo|so|dodin|sculli|corlca|mc");
+  cli.add_int("trials", 100'000, "Monte-Carlo trials (method mc/all)");
+  cli.add_int("dodin-atoms", 128, "Dodin atom budget");
+  cli.parse(argc, argv);
+
+  const auto g = graph::load_taskgraph(cli.get_string("graph"));
+  const auto model = core::calibrate(g, cli.get_double("pfail"));
+  const std::string method = cli.get_string("method");
+
+  std::printf("graph: %zu tasks, %zu edges, d(G)=%.6f, lambda=%.6g\n",
+              g.task_count(), g.edge_count(),
+              graph::critical_path_length(g), model.lambda);
+  const bool all = method == "all";
+  if (all || method == "fo") {
+    std::printf("first-order : %.6f\n",
+                core::first_order(g, model).expected_makespan());
+  }
+  if (all || method == "so") {
+    std::printf("second-order: %.6f\n",
+                core::second_order(g, model, core::RetryModel::Geometric)
+                    .expected_makespan);
+  }
+  if (all || method == "dodin") {
+    const auto r = sp::dodin_two_state(
+        g, model,
+        {.max_atoms = static_cast<std::size_t>(cli.get_int("dodin-atoms"))});
+    std::printf("dodin       : %.6f (%zu duplications)\n",
+                r.expected_makespan(), r.duplications);
+  }
+  if (all || method == "sculli") {
+    std::printf("sculli      : %.6f\n",
+                normal::sculli(g, model).expected_makespan());
+  }
+  if (all || method == "corlca") {
+    std::printf("corlca      : %.6f\n",
+                normal::corlca(g, model).expected_makespan());
+  }
+  if (all || method == "mc") {
+    mc::McConfig cfg;
+    cfg.trials = static_cast<std::uint64_t>(cli.get_int("trials"));
+    const auto r = mc::run_monte_carlo(g, model, cfg);
+    std::printf("monte-carlo : %.6f +/- %.6f (95%%, %llu trials)\n", r.mean,
+                r.ci95_half_width,
+                static_cast<unsigned long long>(r.trials));
+  }
+  return 0;
+}
+
+int cmd_dot(int argc, const char* const* argv) {
+  util::Cli cli("expmk_cli dot", "Export a task graph to Graphviz");
+  cli.add_string("graph", "graph.tg", "input task graph");
+  cli.add_string("out", "graph.dot", "output .dot path");
+  cli.add_flag("weights", "show weights in labels");
+  cli.parse(argc, argv);
+  const auto g = graph::load_taskgraph(cli.get_string("graph"));
+  std::ofstream os(cli.get_string("out"));
+  graph::DotOptions opts;
+  opts.show_weights = cli.get_flag("weights");
+  graph::write_dot(os, g, opts);
+  std::printf("wrote %s\n", cli.get_string("out").c_str());
+  return 0;
+}
+
+int cmd_schedule(int argc, const char* const* argv) {
+  util::Cli cli("expmk_cli schedule", "Fault-aware CP scheduling report");
+  cli.add_string("graph", "graph.tg", "input task graph");
+  cli.add_int("p", 4, "processors");
+  cli.add_double("pfail", 0.01, "per-average-task failure probability");
+  cli.add_int("runs", 1000, "fault-injection runs");
+  cli.parse(argc, argv);
+
+  const auto g = graph::load_taskgraph(cli.get_string("graph"));
+  const auto model = core::calibrate(g, cli.get_double("pfail"));
+  const sched::Machine machine(static_cast<std::size_t>(cli.get_int("p")));
+  sched::FaultSimConfig cfg;
+  cfg.runs = static_cast<std::uint64_t>(cli.get_int("runs"));
+
+  for (const auto kind : {sched::PriorityKind::BottomLevel,
+                          sched::PriorityKind::FailureAwareBottomLevel}) {
+    const auto prio = sched::priorities(g, kind, model);
+    const auto r = sched::simulate_with_faults(g, prio, machine, model, cfg);
+    std::printf("%-24s failure-free %.5f, under faults mean %.5f (max "
+                "%.5f)\n",
+                kind == sched::PriorityKind::BottomLevel
+                    ? "bottom-level"
+                    : "failure-aware",
+                r.failure_free_makespan, r.makespan.mean(),
+                r.makespan.max());
+  }
+  return 0;
+}
+
+int cmd_validate(int argc, const char* const* argv) {
+  util::Cli cli("expmk_cli validate", "Structural checks on a task graph");
+  cli.add_string("graph", "graph.tg", "input task graph");
+  cli.parse(argc, argv);
+  const auto g = graph::load_taskgraph(cli.get_string("graph"));
+  const auto report = graph::validate(g);
+  std::printf("tasks=%zu edges=%zu entries=%zu exits=%zu components=%zu\n",
+              g.task_count(), g.edge_count(), report.entry_count,
+              report.exit_count, report.component_count);
+  for (const auto& p : report.problems) std::printf("problem: %s\n", p.c_str());
+  std::printf("%s\n", report.ok() ? "OK" : "INVALID");
+  return report.ok() ? 0 : 1;
+}
+
+int cmd_critical(int argc, const char* const* argv) {
+  util::Cli cli("expmk_cli critical", "Criticality analysis");
+  cli.add_string("graph", "graph.tg", "input task graph");
+  cli.add_double("pfail", 0.01, "per-average-task failure probability");
+  cli.add_int("trials", 10'000, "Monte-Carlo trials");
+  cli.add_int("top", 10, "how many tasks to list");
+  cli.parse(argc, argv);
+
+  const auto g = graph::load_taskgraph(cli.get_string("graph"));
+  const auto model = core::calibrate(g, cli.get_double("pfail"));
+  core::CriticalityConfig cfg;
+  cfg.trials = static_cast<std::uint64_t>(cli.get_int("trials"));
+  const auto prob = core::criticality_probabilities(g, model, cfg);
+  const auto slack = core::slacks(g);
+
+  std::vector<graph::TaskId> order(g.task_count());
+  for (graph::TaskId i = 0; i < g.task_count(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](graph::TaskId a, graph::TaskId b) {
+    return prob[a] > prob[b];
+  });
+  const auto limit = std::min<std::size_t>(
+      order.size(), static_cast<std::size_t>(cli.get_int("top")));
+  std::printf("%-20s %-12s %-10s\n", "task", "P(critical)", "slack");
+  for (std::size_t i = 0; i < limit; ++i) {
+    const auto t = order[i];
+    std::printf("%-20s %-12.4f %-10.5f\n",
+                std::string(g.name(t)).c_str(), prob[t], slack[t]);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  // Shift argv so each sub-Cli sees its own option list.
+  const int sub_argc = argc - 1;
+  const char* const* sub_argv = argv + 1;
+  if (command == "generate") return cmd_generate(sub_argc, sub_argv);
+  if (command == "estimate") return cmd_estimate(sub_argc, sub_argv);
+  if (command == "dot") return cmd_dot(sub_argc, sub_argv);
+  if (command == "schedule") return cmd_schedule(sub_argc, sub_argv);
+  if (command == "validate") return cmd_validate(sub_argc, sub_argv);
+  if (command == "critical") return cmd_critical(sub_argc, sub_argv);
+  return usage();
+}

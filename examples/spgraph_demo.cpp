@@ -1,0 +1,86 @@
+// examples/spgraph_demo.cpp
+//
+// Inside Dodin's machine: converts task DAGs to activity-on-arc networks,
+// shows which ones reduce by series/parallel rewriting alone (i.e. are
+// series-parallel) and which need node duplication, and compares the
+// resulting makespan law to the exact one on a small non-SP graph.
+//
+//   $ ./spgraph_demo
+
+#include <cstdio>
+
+#include "core/exact.hpp"
+#include "core/failure_model.hpp"
+#include "gen/cholesky.hpp"
+#include "gen/random_dags.hpp"
+#include "spgraph/dodin.hpp"
+#include "spgraph/sp_reduce.hpp"
+
+namespace {
+
+using namespace expmk;
+
+std::vector<prob::DiscreteDistribution> two_state(const graph::Dag& g,
+                                                  const core::FailureModel& m) {
+  std::vector<prob::DiscreteDistribution> out;
+  for (graph::TaskId i = 0; i < g.task_count(); ++i) {
+    const double a = g.weight(i);
+    out.push_back(a > 0.0
+                      ? prob::DiscreteDistribution::two_state(a, m.p_success(a))
+                      : prob::DiscreteDistribution::point(0.0));
+  }
+  return out;
+}
+
+void inspect(const char* name, const graph::Dag& g,
+             const core::FailureModel& m) {
+  auto eval = sp::evaluate_sp(sp::ArcNetwork::from_dag(g, two_state(g, m)));
+  std::printf("%-28s %4zu tasks: %s (%zu series, %zu parallel merges)\n",
+              name, g.task_count(),
+              eval.is_series_parallel ? "series-parallel" : "NOT SP",
+              eval.stats.series, eval.stats.parallel);
+  const auto dodin = sp::dodin_two_state(g, m, {.max_atoms = 128});
+  std::printf("%-28s dodin: E=%.6f, %zu duplications, final support %zu "
+              "atoms\n",
+              "", dodin.expected_makespan(), dodin.duplications,
+              dodin.makespan.size());
+  if (g.task_count() <= 16) {
+    std::printf("%-28s exact: E=%.6f  (dodin bias %+.3e)\n", "",
+                core::exact_two_state(g, m),
+                dodin.expected_makespan() - core::exact_two_state(g, m));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const core::FailureModel m{0.25};  // harsh rate so biases are visible
+
+  inspect("chain(6)", gen::uniform_chain(6, 0.4), m);
+  inspect("fork-join(5)", gen::uniform_fork_join(5, 0.4, 0.1), m);
+  inspect("random SP (20 tasks)", gen::random_series_parallel(20, 3), m);
+  inspect("N-graph (minimal non-SP)",
+          [] {
+            graph::Dag g;
+            const auto a = g.add_task("A", 0.4);
+            const auto b = g.add_task("B", 0.5);
+            const auto c = g.add_task("C", 0.45);
+            const auto d = g.add_task("D", 0.55);
+            g.add_edge(a, c);
+            g.add_edge(a, d);
+            g.add_edge(b, d);
+            return g;
+          }(),
+          m);
+  inspect("wheatstone bridge", gen::wheatstone_bridge(), m);
+  inspect("cholesky k=4", gen::cholesky_dag(4), m);
+  inspect("cholesky k=6", gen::cholesky_dag(6), m);
+
+  std::printf(
+      "Every duplication treats the cloned task's copies as independent —\n"
+      "that independence is Dodin's approximation, and on DAGs as far from\n"
+      "SP as the factorization graphs it is why the paper finds Dodin's\n"
+      "error the largest of the three estimators.\n");
+  return 0;
+}

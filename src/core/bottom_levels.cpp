@@ -1,0 +1,55 @@
+#include "core/bottom_levels.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/levels.hpp"
+#include "graph/longest_path.hpp"
+#include "graph/topological.hpp"
+
+namespace expmk::core {
+
+namespace {
+
+double level_for(const graph::Dag& g, const FailureModel& model,
+                 graph::TaskId task, std::span<const graph::TaskId> topo,
+                 const std::vector<double>& bottom) {
+  const auto& w = g.weights();
+  const auto lp = graph::longest_from(g, task, w, topo);
+  const double base = bottom[task];
+  double correction = 0.0;
+  for (graph::TaskId j = 0; j < g.task_count(); ++j) {
+    if (lp[j] == -std::numeric_limits<double>::infinity()) continue;
+    correction += w[j] * std::max(0.0, lp[j] + bottom[j] - base);
+  }
+  return base + model.lambda * correction;
+}
+
+}  // namespace
+
+std::vector<double> failure_aware_bottom_levels(
+    const graph::Dag& g, const FailureModel& model,
+    std::span<const graph::TaskId> topo) {
+  const auto bottom = graph::bottom_levels(g, g.weights(), topo);
+  std::vector<double> out(g.task_count());
+  for (graph::TaskId i = 0; i < g.task_count(); ++i) {
+    out[i] = level_for(g, model, i, topo, bottom);
+  }
+  return out;
+}
+
+std::vector<double> failure_aware_bottom_levels(const graph::Dag& g,
+                                                const FailureModel& model) {
+  const auto topo = graph::topological_order(g);
+  return failure_aware_bottom_levels(g, model, topo);
+}
+
+double failure_aware_bottom_level(const graph::Dag& g,
+                                  const FailureModel& model,
+                                  graph::TaskId task,
+                                  std::span<const graph::TaskId> topo) {
+  const auto bottom = graph::bottom_levels(g, g.weights(), topo);
+  return level_for(g, model, task, topo, bottom);
+}
+
+}  // namespace expmk::core

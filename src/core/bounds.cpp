@@ -1,0 +1,43 @@
+#include "core/bounds.hpp"
+
+#include <vector>
+
+#include "graph/longest_path.hpp"
+#include "graph/metrics.hpp"
+#include "graph/topological.hpp"
+#include "prob/discrete_distribution.hpp"
+
+namespace expmk::core {
+
+MakespanBounds makespan_bounds(const graph::Dag& g,
+                               const FailureModel& model) {
+  MakespanBounds out;
+  const auto topo = graph::topological_order(g);
+  out.failure_free = graph::critical_path_length(g, g.weights(), topo);
+
+  // Jensen: longest path on expected durations.
+  std::vector<double> expected(g.task_count());
+  for (graph::TaskId i = 0; i < g.task_count(); ++i) {
+    expected[i] = model.expected_duration(g.weight(i), RetryModel::TwoState);
+  }
+  out.jensen_lower = graph::critical_path_length(g, expected, topo);
+
+  // Level decomposition: E[ sum_l max_{i in L_l} X_i ].
+  const auto levels = graph::level_partition(g);
+  double upper = 0.0;
+  for (const auto& level : levels) {
+    prob::DiscreteDistribution level_max = prob::DiscreteDistribution::point(0.0);
+    for (const graph::TaskId i : level) {
+      const double a = g.weight(i);
+      if (a <= 0.0) continue;
+      level_max = prob::DiscreteDistribution::max_of(
+          level_max, prob::DiscreteDistribution::two_state(
+                         a, model.p_success(a)));
+    }
+    upper += level_max.mean();
+  }
+  out.level_upper = upper;
+  return out;
+}
+
+}  // namespace expmk::core

@@ -1,0 +1,39 @@
+// core/bounds.hpp
+//
+// Analytic bounds on the expected makespan of the probabilistic 2-state
+// DAG — cheap certificates that sandwich every estimator:
+//
+//  * Jensen lower bound: E[max ...] >= max(E ...) applied path-wise gives
+//    E[M] >= d(G with expected durations). Always >= d(G) itself.
+//  * Failure-free lower bound: d(G) (the paper's own remark).
+//  * Level-decomposition upper bound: partition tasks into precedence
+//    levels L_0 < L_1 < ...; every path visits at most one task per level
+//    in order, so M <= sum_l max_{i in L_l} X_i and the right side's
+//    expectation is exactly computable: tasks are independent, so each
+//    level's max of 2-state laws is a small distribution product. (A
+//    chain/series bound in the Kleindorfer tradition.)
+//
+// Tests verify lower <= exact <= upper on every enumerable graph family,
+// and that the first-order estimate respects the envelope at small
+// lambda.
+
+#pragma once
+
+#include "core/failure_model.hpp"
+#include "graph/dag.hpp"
+
+namespace expmk::core {
+
+/// The bound pair (plus the baseline d(G)).
+struct MakespanBounds {
+  double failure_free = 0.0;   ///< d(G): lower bound
+  double jensen_lower = 0.0;   ///< d(G, expected durations): tighter lower
+  double level_upper = 0.0;    ///< sum of per-level expected maxima
+};
+
+/// Computes all bounds under the 2-state model. O(V + E) plus the
+/// per-level max distributions (atom count bounded by level width + 1).
+[[nodiscard]] MakespanBounds makespan_bounds(const graph::Dag& g,
+                                             const FailureModel& model);
+
+}  // namespace expmk::core

@@ -1,0 +1,61 @@
+#include "core/criticality.hpp"
+
+#include <cmath>
+
+#include "graph/levels.hpp"
+#include "graph/topological.hpp"
+#include "mc/trial.hpp"
+#include "prob/rng.hpp"
+
+namespace expmk::core {
+
+std::vector<double> slacks(const graph::Dag& g) {
+  const auto topo = graph::topological_order(g);
+  const auto levels = graph::compute_levels(g, g.weights(), topo);
+  std::vector<double> out(g.task_count());
+  for (graph::TaskId i = 0; i < g.task_count(); ++i) {
+    out[i] = levels.critical_path - (levels.top[i] + levels.bottom[i]);
+  }
+  return out;
+}
+
+std::vector<graph::TaskId> critical_tasks(const graph::Dag& g,
+                                          double tolerance) {
+  const auto s = slacks(g);
+  std::vector<graph::TaskId> out;
+  for (graph::TaskId i = 0; i < g.task_count(); ++i) {
+    if (s[i] <= tolerance) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<double> criticality_probabilities(
+    const graph::Dag& g, const FailureModel& model,
+    const CriticalityConfig& config) {
+  const mc::TrialContext ctx(g, model, config.retry);
+  const std::size_t n = g.task_count();
+  std::vector<std::uint64_t> hits(n, 0);
+  std::vector<double> durations(n);
+  std::vector<double> top(n), bottom(n);
+
+  for (std::uint64_t t = 0; t < config.trials; ++t) {
+    prob::Xoshiro256pp rng(config.seed, t);
+    // Sample durations (ignore the returned makespan; we recompute levels
+    // to identify all tasks with zero slack this trial).
+    (void)mc::run_trial(ctx, rng, durations);
+    const auto levels = graph::compute_levels(g, durations, ctx.topo);
+    for (graph::TaskId i = 0; i < n; ++i) {
+      const double through = levels.top[i] + levels.bottom[i];
+      if (through >= levels.critical_path * (1.0 - 1e-12)) ++hits[i];
+    }
+  }
+
+  std::vector<double> out(n);
+  const double total = static_cast<double>(config.trials);
+  for (graph::TaskId i = 0; i < n; ++i) {
+    out[i] = static_cast<double>(hits[i]) / total;
+  }
+  return out;
+}
+
+}  // namespace expmk::core

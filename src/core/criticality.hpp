@@ -1,0 +1,46 @@
+// core/criticality.hpp
+//
+// Criticality analysis under silent errors. In the deterministic setting a
+// task is critical iff top(i) + bottom(i) = d(G); with probabilistic
+// durations the right notion is the *criticality probability*: the chance
+// the task lies on a longest path. List schedulers use it to decide which
+// tasks deserve protection (stronger verification, replication).
+//
+// Two views are provided:
+//  * deterministic slack/criticality from the levels (exact, O(V + E));
+//  * Monte-Carlo criticality probabilities under the failure model
+//    (samples 2-state/geometric durations, marks all tasks on *some*
+//    longest path per trial).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/failure_model.hpp"
+#include "graph/dag.hpp"
+
+namespace expmk::core {
+
+/// Deterministic slack of every task: d(G) - (top(i) + bottom(i)) >= 0;
+/// zero slack = on a critical path.
+[[nodiscard]] std::vector<double> slacks(const graph::Dag& g);
+
+/// Tasks with zero slack (the paper's CP-scheduling priority set).
+[[nodiscard]] std::vector<graph::TaskId> critical_tasks(const graph::Dag& g,
+                                                        double tolerance = 1e-12);
+
+/// Monte-Carlo criticality estimation config.
+struct CriticalityConfig {
+  std::uint64_t trials = 10'000;
+  std::uint64_t seed = 0xCA11;
+  RetryModel retry = RetryModel::Geometric;
+};
+
+/// out[i] = estimated probability that task i lies on a longest path when
+/// durations are sampled from the silent-error model. O(trials * (V+E)).
+[[nodiscard]] std::vector<double> criticality_probabilities(
+    const graph::Dag& g, const FailureModel& model,
+    const CriticalityConfig& config = {});
+
+}  // namespace expmk::core

@@ -1,0 +1,129 @@
+#include "core/exact.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/longest_path.hpp"
+#include "graph/topological.hpp"
+
+namespace expmk::core {
+
+namespace {
+
+void check_size(const graph::Dag& g, std::size_t limit) {
+  if (g.task_count() > limit) {
+    throw std::invalid_argument(
+        "exact oracle: graph too large for enumeration (" +
+        std::to_string(g.task_count()) + " > " + std::to_string(limit) + ")");
+  }
+  if (g.task_count() == 0) {
+    throw std::invalid_argument("exact oracle: empty graph");
+  }
+}
+
+}  // namespace
+
+double exact_two_state(const graph::Dag& g, const FailureModel& model) {
+  check_size(g, kMaxExactTasks);
+  const std::size_t n = g.task_count();
+  const auto topo = graph::topological_order(g);
+  const auto p = success_probabilities(g, model);
+
+  std::vector<double> weights = g.weights();
+  double expectation = 0.0;
+  for (std::uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+    double prob = 1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool failed = (mask >> i) & 1ULL;
+      prob *= failed ? (1.0 - p[i]) : p[i];
+      weights[i] = failed ? 2.0 * g.weight(i) : g.weight(i);
+    }
+    if (prob == 0.0) continue;
+    expectation += prob * graph::critical_path_length(g, weights, topo);
+  }
+  return expectation;
+}
+
+prob::DiscreteDistribution exact_two_state_distribution(
+    const graph::Dag& g, const FailureModel& model) {
+  check_size(g, kMaxExactTasks);
+  const std::size_t n = g.task_count();
+  const auto topo = graph::topological_order(g);
+  const auto p = success_probabilities(g, model);
+
+  std::vector<double> weights = g.weights();
+  std::vector<prob::Atom> atoms;
+  atoms.reserve(std::size_t{1} << n);
+  for (std::uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+    double prob = 1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool failed = (mask >> i) & 1ULL;
+      prob *= failed ? (1.0 - p[i]) : p[i];
+      weights[i] = failed ? 2.0 * g.weight(i) : g.weight(i);
+    }
+    if (prob == 0.0) continue;
+    atoms.push_back({graph::critical_path_length(g, weights, topo), prob});
+  }
+  return prob::DiscreteDistribution::from_atoms(std::move(atoms));
+}
+
+double exact_geometric(const graph::Dag& g, const FailureModel& model,
+                       int max_executions) {
+  if (max_executions < 1) {
+    throw std::invalid_argument("exact_geometric: max_executions >= 1");
+  }
+  const std::size_t n = g.task_count();
+  // states^n enumerations: keep the total under ~2^24.
+  double combos = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    combos *= max_executions;
+    if (combos > 2e7) {
+      throw std::invalid_argument(
+          "exact_geometric: state space too large for enumeration");
+    }
+  }
+  check_size(g, 64);
+
+  const auto topo = graph::topological_order(g);
+  const auto p = success_probabilities(g, model);
+
+  // Per-task state probabilities: P(executions = e) = p (1-p)^{e-1} for
+  // e < max, remaining tail mass on e = max (truncated geometric).
+  std::vector<std::vector<double>> state_prob(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    state_prob[i].resize(static_cast<std::size_t>(max_executions));
+    double tail = 1.0;
+    for (int e = 1; e < max_executions; ++e) {
+      const double pe = tail * p[i];
+      state_prob[i][static_cast<std::size_t>(e - 1)] = pe;
+      tail -= pe;
+    }
+    state_prob[i][static_cast<std::size_t>(max_executions - 1)] = tail;
+  }
+
+  std::vector<int> state(n, 0);  // executions - 1 per task
+  std::vector<double> weights(n);
+  double expectation = 0.0;
+  for (;;) {
+    double prob = 1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      prob *= state_prob[i][static_cast<std::size_t>(state[i])];
+      weights[i] = g.weight(i) * static_cast<double>(state[i] + 1);
+    }
+    if (prob > 0.0) {
+      expectation += prob * graph::critical_path_length(g, weights, topo);
+    }
+    // Odometer increment.
+    std::size_t pos = 0;
+    while (pos < n) {
+      if (++state[pos] < max_executions) break;
+      state[pos] = 0;
+      ++pos;
+    }
+    if (pos == n) break;
+  }
+  return expectation;
+}
+
+}  // namespace expmk::core

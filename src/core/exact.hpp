@@ -1,0 +1,41 @@
+// core/exact.hpp
+//
+// Exact expected-makespan oracles by explicit enumeration. The problem is
+// #P-complete, so these are exponential-time and intentionally restricted
+// to small graphs; they exist as ground truth for the approximation error
+// tests (|FO - exact| = O(lambda^2), |SO - exact| = O(lambda^3)) and for
+// validating the Monte-Carlo engine and the series-parallel evaluator.
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/failure_model.hpp"
+#include "graph/dag.hpp"
+#include "prob/discrete_distribution.hpp"
+
+namespace expmk::core {
+
+/// Maximum task count accepted by the enumeration oracles (2^V subsets).
+inline constexpr std::size_t kMaxExactTasks = 24;
+
+/// Exact E[makespan] of the probabilistic 2-state DAG: task i takes a_i
+/// w.p. e^{-lambda a_i} and 2 a_i otherwise. O(2^V (V + E)); throws
+/// std::invalid_argument if V > kMaxExactTasks.
+[[nodiscard]] double exact_two_state(const graph::Dag& g,
+                                     const FailureModel& model);
+
+/// Exact full makespan distribution of the 2-state DAG (same complexity).
+[[nodiscard]] prob::DiscreteDistribution exact_two_state_distribution(
+    const graph::Dag& g, const FailureModel& model);
+
+/// Exact E[makespan] under the geometric model truncated at
+/// `max_executions` executions per task (the tail probability mass is
+/// assigned to the largest state, so the result is exact for the truncated
+/// model and a lower bound converging exponentially fast for the true
+/// one). O(max_executions^V (V + E)).
+[[nodiscard]] double exact_geometric(const graph::Dag& g,
+                                     const FailureModel& model,
+                                     int max_executions);
+
+}  // namespace expmk::core

@@ -1,0 +1,50 @@
+#include "core/first_order.hpp"
+
+#include <algorithm>
+
+#include "graph/levels.hpp"
+#include "graph/longest_path.hpp"
+#include "graph/topological.hpp"
+
+namespace expmk::core {
+
+FirstOrderResult first_order(const graph::Dag& g, const FailureModel& model,
+                             std::span<const graph::TaskId> topo) {
+  const auto levels = graph::compute_levels(g, g.weights(), topo);
+  FirstOrderResult out;
+  out.critical_path = levels.critical_path;
+
+  double correction = 0.0;
+  for (graph::TaskId i = 0; i < g.task_count(); ++i) {
+    const double a = g.weight(i);
+    // d(G_i) - d(G) = max(0, through(i) + a_i - d(G)): doubling a_i adds
+    // a_i to every path through i and leaves other paths unchanged.
+    const double through_doubled = levels.top[i] + levels.bottom[i] + a;
+    const double delta = std::max(0.0, through_doubled - levels.critical_path);
+    correction += a * delta;
+  }
+  out.correction = model.lambda * correction;
+  return out;
+}
+
+FirstOrderResult first_order(const graph::Dag& g, const FailureModel& model) {
+  const auto topo = graph::topological_order(g);
+  return first_order(g, model, topo);
+}
+
+double first_order_naive(const graph::Dag& g, const FailureModel& model) {
+  const auto topo = graph::topological_order(g);
+  const double d = graph::critical_path_length(g, g.weights(), topo);
+  std::vector<double> weights = g.weights();
+  double correction = 0.0;
+  for (graph::TaskId i = 0; i < g.task_count(); ++i) {
+    const double a = weights[i];
+    weights[i] = 2.0 * a;
+    const double d_i = graph::critical_path_length(g, weights, topo);
+    weights[i] = a;
+    correction += a * (d_i - d);
+  }
+  return d + model.lambda * correction;
+}
+
+}  // namespace expmk::core

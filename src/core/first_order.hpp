@@ -1,0 +1,56 @@
+// core/first_order.hpp
+//
+// The paper's contribution (Section IV): a first-order (in lambda)
+// approximation of the expected makespan of a DAG whose tasks are subject
+// to silent errors.
+//
+// Derivation recap. Neglecting O(lambda^2) terms, at most one task fails,
+// and
+//     E(G) = d(G) + lambda * sum_i a_i * ( d(G_i) - d(G) ) + O(lambda^2),
+// where d(G) is the failure-free critical-path length and G_i is G with
+// a_i doubled. Because G_i differs from G in a single weight,
+//     d(G_i) = max( d(G), top(i) + a_i + bottom(i) ),
+// where top(i) + bottom(i) is the longest path through i — so the full
+// approximation costs one forward pass + one backward pass: O(|V| + |E|).
+// The paper states the naive O(|V|^2 + |V||E|) bound and notes that lower
+// complexity is achievable; first_order_naive() implements the naive
+// recompute-everything variant and the test suite checks the two agree to
+// machine precision.
+
+#pragma once
+
+#include <span>
+
+#include "core/failure_model.hpp"
+#include "graph/dag.hpp"
+
+namespace expmk::core {
+
+/// Breakdown of the first-order estimate.
+struct FirstOrderResult {
+  /// d(G): failure-free makespan (lower bound on the expectation).
+  double critical_path = 0.0;
+  /// lambda * sum_i a_i * (d(G_i) - d(G)) — the first-order correction.
+  double correction = 0.0;
+  /// critical_path + correction.
+  [[nodiscard]] double expected_makespan() const {
+    return critical_path + correction;
+  }
+};
+
+/// Closed-form first-order approximation, O(|V| + |E|).
+/// `topo` must be a topological order of `g` (see graph::topological_order).
+[[nodiscard]] FirstOrderResult first_order(const graph::Dag& g,
+                                           const FailureModel& model,
+                                           std::span<const graph::TaskId> topo);
+
+/// Convenience overload computing the order internally.
+[[nodiscard]] FirstOrderResult first_order(const graph::Dag& g,
+                                           const FailureModel& model);
+
+/// Reference implementation that recomputes d(G_i) from scratch for every
+/// task: O(|V| (|V| + |E|)). Used as a cross-check oracle in tests.
+[[nodiscard]] double first_order_naive(const graph::Dag& g,
+                                       const FailureModel& model);
+
+}  // namespace expmk::core

@@ -1,0 +1,56 @@
+// core/second_order.hpp
+//
+// Second-order (in lambda) approximation of the expected makespan — the
+// extension sketched in the paper's conclusion ("our general approach ...
+// can be used to obtain a (more complicated but still tractable) second
+// order approximation").
+//
+// Expanding E(G) = sum_S P(S) L(S) to O(lambda^3), with A = sum_i a_i:
+//
+//   2-state model (a task fails at most once):
+//     E2 = d(G) * (1 - lambda A + lambda^2 A^2 / 2)
+//        + sum_i [ lambda a_i + lambda^2 a_i (a_i/2 - A) ] * d(G_i)
+//        + lambda^2 * sum_{i<j} a_i a_j * d(G_ij)
+//
+//   Geometric model (re-executions may fail again): the single-failure
+//   coefficient becomes -a_i (A + a_i/2) and a triple-execution term
+//   + lambda^2 sum_i a_i^2 d(G_i+) is added, where G_i+ has weight 3 a_i.
+//
+// d(G_ij) (both a_i and a_j doubled) is computed exactly without
+// re-running longest-path per pair:
+//   d(G_ij) = max( d(G), thr2(i), thr2(j), cross(i,j) )
+// where thr2(x) = top(x) + 2 a_x + (bottom(x) - a_x) is the best path
+// through x alone, and cross(i,j) = top(i) + lp(i,j) + a_i + a_j +
+// (bottom(j) - a_j) is the best path through both (lp = longest i->j path,
+// inclusive; only defined when j is reachable from i). Streaming one
+// single-source longest-path per task gives O(|V| (|V| + |E|)) time and
+// O(|V|) extra memory.
+
+#pragma once
+
+#include <span>
+
+#include "core/failure_model.hpp"
+#include "graph/dag.hpp"
+
+namespace expmk::core {
+
+/// Breakdown of the second-order estimate.
+struct SecondOrderResult {
+  double critical_path = 0.0;   ///< d(G)
+  double first_order = 0.0;     ///< the O(lambda) estimate, for reference
+  double expected_makespan = 0.0;  ///< the O(lambda^2)-exact estimate
+};
+
+/// Second-order approximation. `model_kind` selects the 2-state or
+/// geometric coefficient set (see file comment). O(|V| (|V| + |E|)).
+[[nodiscard]] SecondOrderResult second_order(
+    const graph::Dag& g, const FailureModel& model,
+    RetryModel model_kind = RetryModel::TwoState);
+
+/// As above with a caller-provided topological order.
+[[nodiscard]] SecondOrderResult second_order(
+    const graph::Dag& g, const FailureModel& model, RetryModel model_kind,
+    std::span<const graph::TaskId> topo);
+
+}  // namespace expmk::core

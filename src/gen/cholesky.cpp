@@ -1,0 +1,72 @@
+#include "gen/cholesky.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace expmk::gen {
+
+namespace {
+std::string nm(const char* base, int a) {
+  return std::string(base) + '_' + std::to_string(a);
+}
+std::string nm(const char* base, int a, int b) {
+  return nm(base, a) + '_' + std::to_string(b);
+}
+std::string nm(const char* base, int a, int b, int c) {
+  return nm(base, a, b) + '_' + std::to_string(c);
+}
+}  // namespace
+
+std::size_t cholesky_task_count(int k) {
+  const std::size_t n = static_cast<std::size_t>(k);
+  return n + n * (n - 1) / 2 * 2 + n * (n - 1) * (n - 2) / 6;
+}
+
+graph::Dag cholesky_dag(int k, const CholeskyTimings& t) {
+  if (k < 1) throw std::invalid_argument("cholesky_dag: k >= 1 required");
+  using graph::TaskId;
+  graph::Dag g;
+
+  // Dense id tables; kNoTask marks "not a task" slots.
+  const auto K = static_cast<std::size_t>(k);
+  std::vector<TaskId> potrf(K, graph::kNoTask);
+  std::vector<std::vector<TaskId>> trsm(K, std::vector<TaskId>(K, graph::kNoTask));
+  std::vector<std::vector<TaskId>> syrk(K, std::vector<TaskId>(K, graph::kNoTask));
+  // gemm[i][j][l], i > j > l
+  std::vector<std::vector<std::vector<TaskId>>> gemm(
+      K, std::vector<std::vector<TaskId>>(K, std::vector<TaskId>(K, graph::kNoTask)));
+
+  for (int j = 0; j < k; ++j) {
+    potrf[j] = g.add_task(nm("POTRF", j), t.potrf);
+    for (int i = j + 1; i < k; ++i) {
+      trsm[i][j] = g.add_task(nm("TRSM", i, j), t.trsm);
+      syrk[i][j] = g.add_task(nm("SYRK", i, j), t.syrk);
+    }
+    for (int jj = j + 1; jj < k; ++jj) {
+      for (int i = jj + 1; i < k; ++i) {
+        gemm[i][jj][j] = g.add_task(nm("GEMM", i, jj, j), t.gemm);
+      }
+    }
+  }
+
+  for (int j = 0; j < k; ++j) {
+    if (j > 0) g.add_edge(syrk[j][j - 1], potrf[j]);
+    for (int i = j + 1; i < k; ++i) {
+      g.add_edge(potrf[j], trsm[i][j]);
+      if (j > 0) g.add_edge(gemm[i][j][j - 1], trsm[i][j]);
+      g.add_edge(trsm[i][j], syrk[i][j]);
+      if (j > 0) g.add_edge(syrk[i][j - 1], syrk[i][j]);
+    }
+    for (int jj = j + 1; jj < k; ++jj) {
+      for (int i = jj + 1; i < k; ++i) {
+        g.add_edge(trsm[i][j], gemm[i][jj][j]);
+        g.add_edge(trsm[jj][j], gemm[i][jj][j]);
+        if (j > 0) g.add_edge(gemm[i][jj][j - 1], gemm[i][jj][j]);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace expmk::gen

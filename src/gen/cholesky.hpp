@@ -1,0 +1,35 @@
+// gen/cholesky.hpp
+//
+// Task graph of the right-looking tiled Cholesky factorization of a k x k
+// tile matrix (the paper's first DAG class; Figure 1 shows k = 5).
+//
+// Tasks and dependencies (0-based tile indices, j = elimination step):
+//   POTRF_j            factor diagonal tile (j,j)
+//   TRSM_i_j   (i > j) triangular solve on tile (i,j)
+//   SYRK_i_j   (i > j) symmetric update of diagonal tile (i,i) by (i,j)
+//   GEMM_i_j_l (i>j>l) update of tile (i,j) by tiles (i,l) and (j,l)
+//
+//   POTRF_j    <- SYRK_j_{j-1}                      (j > 0)
+//   TRSM_i_j   <- POTRF_j, GEMM_i_j_{j-1}           (latter if j > 0)
+//   SYRK_i_j   <- TRSM_i_j, SYRK_i_{j-1}            (latter if j > 0)
+//   GEMM_i_j_l <- TRSM_i_l, TRSM_j_l, GEMM_i_j_{l-1} (latter if l > 0)
+//
+// Task count: k + 2*C(k,2) + C(k,3)  (= 35 for k = 5, matching Figure 1;
+// 364 for k = 12; the paper's "1/3 k^3 + O(k^2)" headline refers to the
+// same cubic growth).
+
+#pragma once
+
+#include "gen/kernels.hpp"
+#include "graph/dag.hpp"
+
+namespace expmk::gen {
+
+/// Builds the Cholesky DAG for a k x k tile matrix. k >= 1.
+[[nodiscard]] graph::Dag cholesky_dag(int k,
+                                      const CholeskyTimings& timings = {});
+
+/// Closed-form task count of cholesky_dag(k).
+[[nodiscard]] std::size_t cholesky_task_count(int k);
+
+}  // namespace expmk::gen

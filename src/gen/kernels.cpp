@@ -1,0 +1,40 @@
+#include "gen/kernels.hpp"
+
+namespace expmk::gen {
+
+KernelFamily kernel_family_of(std::string_view task_name) {
+  const auto pos = task_name.find('_');
+  const std::string_view prefix = task_name.substr(0, pos);
+  if (prefix == "POTRF") return KernelFamily::POTRF;
+  if (prefix == "TRSM") return KernelFamily::TRSM;
+  if (prefix == "SYRK") return KernelFamily::SYRK;
+  if (prefix == "GEMM") return KernelFamily::GEMM;
+  if (prefix == "GETRF") return KernelFamily::GETRF;
+  if (prefix == "TRSML") return KernelFamily::TRSML;
+  if (prefix == "TRSMU") return KernelFamily::TRSMU;
+  if (prefix == "GEQRT") return KernelFamily::GEQRT;
+  if (prefix == "TSQRT") return KernelFamily::TSQRT;
+  if (prefix == "UNMQR") return KernelFamily::UNMQR;
+  if (prefix == "TSMQR") return KernelFamily::TSMQR;
+  return KernelFamily::Unknown;
+}
+
+std::string_view kernel_family_name(KernelFamily family) {
+  switch (family) {
+    case KernelFamily::POTRF: return "POTRF";
+    case KernelFamily::TRSM: return "TRSM";
+    case KernelFamily::SYRK: return "SYRK";
+    case KernelFamily::GEMM: return "GEMM";
+    case KernelFamily::GETRF: return "GETRF";
+    case KernelFamily::TRSML: return "TRSML";
+    case KernelFamily::TRSMU: return "TRSMU";
+    case KernelFamily::GEQRT: return "GEQRT";
+    case KernelFamily::TSQRT: return "TSQRT";
+    case KernelFamily::UNMQR: return "UNMQR";
+    case KernelFamily::TSMQR: return "TSMQR";
+    case KernelFamily::Unknown: return "Unknown";
+  }
+  return "Unknown";
+}
+
+}  // namespace expmk::gen

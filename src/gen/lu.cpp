@@ -1,0 +1,73 @@
+#include "gen/lu.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace expmk::gen {
+
+namespace {
+std::string nm(const char* base, int a, int b) {
+  return std::string(base) + '_' + std::to_string(a) + '_' + std::to_string(b);
+}
+std::string nm(const char* base, int a, int b, int c) {
+  return nm(base, a, b) + '_' + std::to_string(c);
+}
+}  // namespace
+
+std::size_t lu_task_count(int k) {
+  const std::size_t n = static_cast<std::size_t>(k);
+  // k GETRF + 2*C(k,2) TRSM + sum t^2 GEMM.
+  return n + n * (n - 1) + (n - 1) * n * (2 * n - 1) / 6;
+}
+
+graph::Dag lu_dag(int k, const LuTimings& t) {
+  if (k < 1) throw std::invalid_argument("lu_dag: k >= 1 required");
+  using graph::TaskId;
+  graph::Dag g;
+
+  const auto K = static_cast<std::size_t>(k);
+  std::vector<TaskId> getrf(K, graph::kNoTask);
+  std::vector<std::vector<TaskId>> trsml(K, std::vector<TaskId>(K, graph::kNoTask));
+  std::vector<std::vector<TaskId>> trsmu(K, std::vector<TaskId>(K, graph::kNoTask));
+  // gemm[m][n][kk]
+  std::vector<std::vector<std::vector<TaskId>>> gemm(
+      K, std::vector<std::vector<TaskId>>(K, std::vector<TaskId>(K, graph::kNoTask)));
+
+  for (int kk = 0; kk < k; ++kk) {
+    getrf[kk] = g.add_task("GETRF_" + std::to_string(kk), t.getrf);
+    for (int m = kk + 1; m < k; ++m) {
+      trsml[m][kk] = g.add_task(nm("TRSML", m, kk), t.trsm_lower);
+    }
+    for (int n = kk + 1; n < k; ++n) {
+      trsmu[kk][n] = g.add_task(nm("TRSMU", kk, n), t.trsm_upper);
+    }
+    for (int m = kk + 1; m < k; ++m) {
+      for (int n = kk + 1; n < k; ++n) {
+        gemm[m][n][kk] = g.add_task(nm("GEMM", m, n, kk), t.gemm);
+      }
+    }
+  }
+
+  for (int kk = 0; kk < k; ++kk) {
+    if (kk > 0) g.add_edge(gemm[kk][kk][kk - 1], getrf[kk]);
+    for (int m = kk + 1; m < k; ++m) {
+      g.add_edge(getrf[kk], trsml[m][kk]);
+      if (kk > 0) g.add_edge(gemm[m][kk][kk - 1], trsml[m][kk]);
+    }
+    for (int n = kk + 1; n < k; ++n) {
+      g.add_edge(getrf[kk], trsmu[kk][n]);
+      if (kk > 0) g.add_edge(gemm[kk][n][kk - 1], trsmu[kk][n]);
+    }
+    for (int m = kk + 1; m < k; ++m) {
+      for (int n = kk + 1; n < k; ++n) {
+        g.add_edge(trsml[m][kk], gemm[m][n][kk]);
+        g.add_edge(trsmu[kk][n], gemm[m][n][kk]);
+        if (kk > 0) g.add_edge(gemm[m][n][kk - 1], gemm[m][n][kk]);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace expmk::gen

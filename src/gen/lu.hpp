@@ -1,0 +1,33 @@
+// gen/lu.hpp
+//
+// Task graph of the tiled LU factorization (no pivoting) of a k x k tile
+// matrix (the paper's second DAG class; Figure 2 shows k = 5).
+//
+// Tasks and dependencies (kk = elimination step):
+//   GETRF_kk              factor diagonal tile (kk,kk)
+//   TRSML_m_kk  (m > kk)  apply L^{-1}: update column tile (m,kk)
+//   TRSMU_kk_n  (n > kk)  apply U^{-1}: update row tile (kk,n)
+//   GEMM_m_n_kk (m,n>kk)  trailing update of tile (m,n)
+//
+//   GETRF_kk    <- GEMM_kk_kk_{kk-1}                        (kk > 0)
+//   TRSML_m_kk  <- GETRF_kk, GEMM_m_kk_{kk-1}               (latter if kk>0)
+//   TRSMU_kk_n  <- GETRF_kk, GEMM_kk_n_{kk-1}               (latter if kk>0)
+//   GEMM_m_n_kk <- TRSML_m_kk, TRSMU_kk_n, GEMM_m_n_{kk-1}  (latter if kk>0)
+//
+// Task count: k + 2*C(k,2) + sum_{t=1}^{k-1} t^2  (= 55 for k = 5, matching
+// Figure 2; 650 for k = 12; 2870 for k = 20 — the paper's Table I size).
+
+#pragma once
+
+#include "gen/kernels.hpp"
+#include "graph/dag.hpp"
+
+namespace expmk::gen {
+
+/// Builds the LU DAG for a k x k tile matrix. k >= 1.
+[[nodiscard]] graph::Dag lu_dag(int k, const LuTimings& timings = {});
+
+/// Closed-form task count of lu_dag(k).
+[[nodiscard]] std::size_t lu_task_count(int k);
+
+}  // namespace expmk::gen

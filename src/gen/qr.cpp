@@ -1,0 +1,72 @@
+#include "gen/qr.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gen/lu.hpp"
+
+namespace expmk::gen {
+
+namespace {
+std::string nm(const char* base, int a, int b) {
+  return std::string(base) + '_' + std::to_string(a) + '_' + std::to_string(b);
+}
+std::string nm(const char* base, int a, int b, int c) {
+  return nm(base, a, b) + '_' + std::to_string(c);
+}
+}  // namespace
+
+std::size_t qr_task_count(int k) { return lu_task_count(k); }
+
+graph::Dag qr_dag(int k, const QrTimings& t) {
+  if (k < 1) throw std::invalid_argument("qr_dag: k >= 1 required");
+  using graph::TaskId;
+  graph::Dag g;
+
+  const auto K = static_cast<std::size_t>(k);
+  std::vector<TaskId> geqrt(K, graph::kNoTask);
+  std::vector<std::vector<TaskId>> tsqrt(K, std::vector<TaskId>(K, graph::kNoTask));
+  std::vector<std::vector<TaskId>> unmqr(K, std::vector<TaskId>(K, graph::kNoTask));
+  // tsmqr[m][n][kk]
+  std::vector<std::vector<std::vector<TaskId>>> tsmqr(
+      K, std::vector<std::vector<TaskId>>(K, std::vector<TaskId>(K, graph::kNoTask)));
+
+  for (int kk = 0; kk < k; ++kk) {
+    geqrt[kk] = g.add_task("GEQRT_" + std::to_string(kk), t.geqrt);
+    for (int m = kk + 1; m < k; ++m) {
+      tsqrt[m][kk] = g.add_task(nm("TSQRT", m, kk), t.tsqrt);
+    }
+    for (int n = kk + 1; n < k; ++n) {
+      unmqr[kk][n] = g.add_task(nm("UNMQR", kk, n), t.unmqr);
+    }
+    for (int m = kk + 1; m < k; ++m) {
+      for (int n = kk + 1; n < k; ++n) {
+        tsmqr[m][n][kk] = g.add_task(nm("TSMQR", m, n, kk), t.tsmqr);
+      }
+    }
+  }
+
+  for (int kk = 0; kk < k; ++kk) {
+    if (kk > 0) g.add_edge(tsmqr[kk][kk][kk - 1], geqrt[kk]);
+    for (int m = kk + 1; m < k; ++m) {
+      g.add_edge(m == kk + 1 ? geqrt[kk] : tsqrt[m - 1][kk], tsqrt[m][kk]);
+      if (kk > 0) g.add_edge(tsmqr[m][kk][kk - 1], tsqrt[m][kk]);
+    }
+    for (int n = kk + 1; n < k; ++n) {
+      g.add_edge(geqrt[kk], unmqr[kk][n]);
+      if (kk > 0) g.add_edge(tsmqr[kk][n][kk - 1], unmqr[kk][n]);
+    }
+    for (int m = kk + 1; m < k; ++m) {
+      for (int n = kk + 1; n < k; ++n) {
+        g.add_edge(m == kk + 1 ? unmqr[kk][n] : tsmqr[m - 1][n][kk],
+                   tsmqr[m][n][kk]);
+        g.add_edge(tsqrt[m][kk], tsmqr[m][n][kk]);
+        if (kk > 0) g.add_edge(tsmqr[m][n][kk - 1], tsmqr[m][n][kk]);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace expmk::gen

@@ -1,0 +1,38 @@
+// gen/qr.hpp
+//
+// Task graph of the flat-tree tiled QR factorization of a k x k tile matrix
+// (the paper's third DAG class; Figure 3 shows k = 5).
+//
+// Tasks and dependencies (kk = elimination step):
+//   GEQRT_kk              QR of diagonal tile (kk,kk)
+//   TSQRT_m_kk  (m > kk)  eliminate tile (m,kk) against the panel; tiles of
+//                         a panel are chained (flat tree)
+//   UNMQR_kk_n  (n > kk)  apply the GEQRT reflector to row tile (kk,n)
+//   TSMQR_m_n_kk (m,n>kk) apply the TSQRT reflector to tiles (m,n)/(kk,n);
+//                         chained down each column n within a step
+//
+//   GEQRT_kk     <- TSMQR_kk_kk_{kk-1}                           (kk > 0)
+//   TSQRT_m_kk   <- [m == kk+1 ? GEQRT_kk : TSQRT_{m-1}_kk],
+//                   TSMQR_m_kk_{kk-1}                            (kk > 0)
+//   UNMQR_kk_n   <- GEQRT_kk, TSMQR_kk_n_{kk-1}                  (kk > 0)
+//   TSMQR_m_n_kk <- [m == kk+1 ? UNMQR_kk_n : TSMQR_{m-1}_n_kk],
+//                   TSQRT_m_kk, TSMQR_m_n_{kk-1}                 (kk > 0)
+//
+// Task count equals the LU count (55 for k = 5, 650 for k = 12) but each
+// kernel costs roughly twice its LU counterpart (the paper: "tasks in QR
+// entail, on average, twice as many floating-point operations as in LU").
+
+#pragma once
+
+#include "gen/kernels.hpp"
+#include "graph/dag.hpp"
+
+namespace expmk::gen {
+
+/// Builds the QR DAG for a k x k tile matrix. k >= 1.
+[[nodiscard]] graph::Dag qr_dag(int k, const QrTimings& timings = {});
+
+/// Closed-form task count of qr_dag(k) (same formula as LU).
+[[nodiscard]] std::size_t qr_task_count(int k);
+
+}  // namespace expmk::gen

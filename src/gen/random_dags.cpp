@@ -1,0 +1,216 @@
+#include "gen/random_dags.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "prob/rng.hpp"
+
+namespace expmk::gen {
+
+namespace {
+
+using expmk::prob::Xoshiro256pp;
+using graph::Dag;
+using graph::TaskId;
+
+double draw_weight(Xoshiro256pp& rng, const WeightRange& w) {
+  if (w.lo <= 0.0 || w.hi < w.lo) {
+    throw std::invalid_argument("WeightRange: need 0 < lo <= hi");
+  }
+  return w.lo + (w.hi - w.lo) * rng.uniform();
+}
+
+}  // namespace
+
+Dag layered_random(int layers, int width, double edge_prob,
+                   std::uint64_t seed, WeightRange w) {
+  if (layers < 1 || width < 1) {
+    throw std::invalid_argument("layered_random: layers, width >= 1");
+  }
+  Xoshiro256pp rng(seed);
+  Dag g;
+  std::vector<std::vector<TaskId>> layer(static_cast<std::size_t>(layers));
+  for (int l = 0; l < layers; ++l) {
+    for (int i = 0; i < width; ++i) {
+      layer[l].push_back(g.add_task("L" + std::to_string(l) + "_" +
+                                        std::to_string(i),
+                                    draw_weight(rng, w)));
+    }
+  }
+  for (int l = 1; l < layers; ++l) {
+    for (const TaskId v : layer[l]) {
+      bool any = false;
+      for (const TaskId u : layer[l - 1]) {
+        if (rng.bernoulli(edge_prob)) {
+          g.add_edge(u, v);
+          any = true;
+        }
+      }
+      if (!any) {
+        // Guarantee at least one predecessor so layers really are stages.
+        const auto pick = rng.below(layer[l - 1].size());
+        g.add_edge(layer[l - 1][pick], v);
+      }
+    }
+  }
+  return g;
+}
+
+Dag erdos_dag(int n, double p, std::uint64_t seed, WeightRange w) {
+  if (n < 1) throw std::invalid_argument("erdos_dag: n >= 1");
+  Xoshiro256pp rng(seed);
+  Dag g;
+  for (int i = 0; i < n; ++i) {
+    g.add_task("T" + std::to_string(i), draw_weight(rng, w));
+  }
+  // Random topological order, then forward edges with probability p.
+  std::vector<TaskId> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), TaskId{0});
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    for (std::size_t j = i + 1; j < order.size(); ++j) {
+      if (rng.bernoulli(p)) g.add_edge(order[i], order[j]);
+    }
+  }
+  return g;
+}
+
+namespace {
+
+/// Recursive SP builder: returns (entries, exits) of the composed block.
+struct Block {
+  std::vector<TaskId> entries;
+  std::vector<TaskId> exits;
+};
+
+Block build_sp(Dag& g, int n, Xoshiro256pp& rng, const WeightRange& w,
+               int depth) {
+  if (n <= 1 || depth > 24) {
+    const TaskId t = g.add_task(draw_weight(rng, w));
+    return {{t}, {t}};
+  }
+  const int left_n = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(n - 1)));
+  const int right_n = n - left_n;
+  Block a = build_sp(g, left_n, rng, w, depth + 1);
+  Block b = build_sp(g, right_n, rng, w, depth + 1);
+  if (rng.bernoulli(0.5)) {
+    // Series: every exit of a precedes every entry of b. When both sides
+    // have several boundary tasks the complete-bipartite join is vertex-SP
+    // but not *edge*-SP in the activity-on-arc encoding; a zero-weight
+    // junction task keeps makespan semantics identical while making the
+    // AoA network fully reducible (so Dodin/SP evaluation stay exact).
+    if (a.exits.size() > 1 && b.entries.size() > 1) {
+      const TaskId junction = g.add_task(
+          "JOIN_" + std::to_string(g.task_count()), 0.0);
+      for (const TaskId u : a.exits) g.add_edge_unique(u, junction);
+      for (const TaskId v : b.entries) g.add_edge_unique(junction, v);
+    } else {
+      for (const TaskId u : a.exits) {
+        for (const TaskId v : b.entries) g.add_edge_unique(u, v);
+      }
+    }
+    return {std::move(a.entries), std::move(b.exits)};
+  }
+  // Parallel: disjoint union.
+  Block out;
+  out.entries = std::move(a.entries);
+  out.entries.insert(out.entries.end(), b.entries.begin(), b.entries.end());
+  out.exits = std::move(a.exits);
+  out.exits.insert(out.exits.end(), b.exits.begin(), b.exits.end());
+  return out;
+}
+
+}  // namespace
+
+Dag random_series_parallel(int n, std::uint64_t seed, WeightRange w) {
+  if (n < 1) throw std::invalid_argument("random_series_parallel: n >= 1");
+  Xoshiro256pp rng(seed);
+  Dag g;
+  build_sp(g, n, rng, w, 0);
+  return g;
+}
+
+Dag chain_dag(int n, std::uint64_t seed, WeightRange w) {
+  if (n < 1) throw std::invalid_argument("chain_dag: n >= 1");
+  Xoshiro256pp rng(seed);
+  Dag g;
+  TaskId prev = graph::kNoTask;
+  for (int i = 0; i < n; ++i) {
+    const TaskId t = g.add_task("C" + std::to_string(i), draw_weight(rng, w));
+    if (prev != graph::kNoTask) g.add_edge(prev, t);
+    prev = t;
+  }
+  return g;
+}
+
+Dag uniform_chain(int n, double weight) {
+  if (n < 1) throw std::invalid_argument("uniform_chain: n >= 1");
+  Dag g;
+  TaskId prev = graph::kNoTask;
+  for (int i = 0; i < n; ++i) {
+    const TaskId t = g.add_task("C" + std::to_string(i), weight);
+    if (prev != graph::kNoTask) g.add_edge(prev, t);
+    prev = t;
+  }
+  return g;
+}
+
+Dag fork_join_dag(int width, std::uint64_t seed, WeightRange w) {
+  if (width < 1) throw std::invalid_argument("fork_join_dag: width >= 1");
+  Xoshiro256pp rng(seed);
+  Dag g;
+  const TaskId src = g.add_task("FORK", draw_weight(rng, w));
+  const TaskId dst = g.add_task("JOIN", draw_weight(rng, w));
+  for (int i = 0; i < width; ++i) {
+    const TaskId t = g.add_task("B" + std::to_string(i), draw_weight(rng, w));
+    g.add_edge(src, t);
+    g.add_edge(t, dst);
+  }
+  return g;
+}
+
+Dag uniform_fork_join(int width, double branch_weight,
+                      double terminal_weight) {
+  if (width < 1) throw std::invalid_argument("uniform_fork_join: width >= 1");
+  Dag g;
+  const TaskId src = g.add_task("FORK", terminal_weight);
+  const TaskId dst = g.add_task("JOIN", terminal_weight);
+  for (int i = 0; i < width; ++i) {
+    const TaskId t = g.add_task("B" + std::to_string(i), branch_weight);
+    g.add_edge(src, t);
+    g.add_edge(t, dst);
+  }
+  return g;
+}
+
+Dag independent_tasks(int n, std::uint64_t seed, WeightRange w) {
+  if (n < 1) throw std::invalid_argument("independent_tasks: n >= 1");
+  Xoshiro256pp rng(seed);
+  Dag g;
+  for (int i = 0; i < n; ++i) {
+    g.add_task("I" + std::to_string(i), draw_weight(rng, w));
+  }
+  return g;
+}
+
+Dag wheatstone_bridge(WeightRange w, std::uint64_t seed) {
+  Xoshiro256pp rng(seed);
+  Dag g;
+  const TaskId a = g.add_task("A", draw_weight(rng, w));
+  const TaskId b = g.add_task("B", draw_weight(rng, w));
+  const TaskId c = g.add_task("C", draw_weight(rng, w));
+  const TaskId d = g.add_task("D", draw_weight(rng, w));
+  const TaskId e = g.add_task("E", draw_weight(rng, w));
+  g.add_edge(a, c);
+  g.add_edge(a, d);
+  g.add_edge(b, d);
+  g.add_edge(a, e);
+  g.add_edge(b, e);
+  return g;
+}
+
+}  // namespace expmk::gen

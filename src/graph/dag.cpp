@@ -1,0 +1,86 @@
+#include "graph/dag.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace expmk::graph {
+
+Dag Dag::with_tasks(std::size_t n, double w) {
+  Dag g;
+  g.weights_.assign(n, w);
+  g.names_.assign(n, std::string());
+  g.succ_.assign(n, {});
+  g.pred_.assign(n, {});
+  if (w < 0.0) throw std::invalid_argument("Dag: negative weight");
+  return g;
+}
+
+TaskId Dag::add_task(std::string name, double weight) {
+  if (weight < 0.0) throw std::invalid_argument("Dag: negative weight");
+  const TaskId id = static_cast<TaskId>(weights_.size());
+  weights_.push_back(weight);
+  names_.push_back(std::move(name));
+  succ_.emplace_back();
+  pred_.emplace_back();
+  return id;
+}
+
+void Dag::add_edge(TaskId from, TaskId to) {
+  if (from >= task_count() || to >= task_count()) {
+    throw std::out_of_range("Dag::add_edge: invalid task id");
+  }
+  if (from == to) throw std::invalid_argument("Dag::add_edge: self loop");
+  succ_[from].push_back(to);
+  pred_[to].push_back(from);
+  ++edges_;
+}
+
+void Dag::add_edge_unique(TaskId from, TaskId to) {
+  if (from >= task_count() || to >= task_count()) {
+    throw std::out_of_range("Dag::add_edge_unique: invalid task id");
+  }
+  const auto& s = succ_[from];
+  if (std::find(s.begin(), s.end(), to) != s.end()) return;
+  add_edge(from, to);
+}
+
+void Dag::set_weight(TaskId id, double weight) {
+  if (weight < 0.0) throw std::invalid_argument("Dag: negative weight");
+  weights_.at(id) = weight;
+}
+
+std::vector<TaskId> Dag::entry_tasks() const {
+  std::vector<TaskId> out;
+  for (TaskId i = 0; i < task_count(); ++i) {
+    if (pred_[i].empty()) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<TaskId> Dag::exit_tasks() const {
+  std::vector<TaskId> out;
+  for (TaskId i = 0; i < task_count(); ++i) {
+    if (succ_[i].empty()) out.push_back(i);
+  }
+  return out;
+}
+
+double Dag::total_weight() const noexcept {
+  double total = 0.0;
+  for (const double w : weights_) total += w;
+  return total;
+}
+
+double Dag::mean_weight() const noexcept {
+  if (weights_.empty()) return 0.0;
+  return total_weight() / static_cast<double>(weights_.size());
+}
+
+TaskId Dag::find_by_name(std::string_view name) const noexcept {
+  for (TaskId i = 0; i < task_count(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  return kNoTask;
+}
+
+}  // namespace expmk::graph

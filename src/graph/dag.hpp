@@ -1,0 +1,105 @@
+// graph/dag.hpp
+//
+// The task-graph substrate: a weighted DAG of tasks with named vertices.
+// Vertices are dense indices (TaskId) so every algorithm in the library is
+// array-based; adjacency is stored both ways (successors and predecessors)
+// because forward passes (top levels, completion times) and backward passes
+// (bottom levels) both occur in hot paths.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace expmk::graph {
+
+/// Dense vertex index. Valid ids are < Dag::task_count().
+using TaskId = std::uint32_t;
+
+/// Sentinel for "no task" (e.g. predecessor of an entry in path traces).
+inline constexpr TaskId kNoTask = static_cast<TaskId>(-1);
+
+/// A directed acyclic task graph with per-task weights (failure-free
+/// execution times, the paper's a_i) and optional human-readable names.
+///
+/// Edges may be inserted in any order; acyclicity is *not* checked on
+/// insertion (generators insert edges in bulk) but is enforced by
+/// topological_order() and graph::validate(). Duplicate edges are ignored
+/// only when `add_edge_unique` is used; generators use plain add_edge and
+/// guarantee uniqueness by construction.
+class Dag {
+ public:
+  Dag() = default;
+
+  /// Creates `n` unnamed tasks of weight `w` upfront.
+  static Dag with_tasks(std::size_t n, double w);
+
+  /// Adds a task; `weight` must be >= 0 (virtual source/sink use 0).
+  TaskId add_task(std::string name, double weight);
+
+  /// Adds a task with an empty name.
+  TaskId add_task(double weight) { return add_task(std::string(), weight); }
+
+  /// Adds edge from -> to. Both ids must exist; self-loops are rejected.
+  void add_edge(TaskId from, TaskId to);
+
+  /// Adds the edge only if not already present (O(out-degree) check).
+  void add_edge_unique(TaskId from, TaskId to);
+
+  /// Replaces the weight of one task.
+  void set_weight(TaskId id, double weight);
+
+  [[nodiscard]] std::size_t task_count() const noexcept {
+    return weights_.size();
+  }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_; }
+
+  [[nodiscard]] double weight(TaskId id) const { return weights_.at(id); }
+  [[nodiscard]] const std::vector<double>& weights() const noexcept {
+    return weights_;
+  }
+  [[nodiscard]] std::string_view name(TaskId id) const {
+    return names_.at(id);
+  }
+
+  [[nodiscard]] std::span<const TaskId> successors(TaskId id) const {
+    return succ_.at(id);
+  }
+  [[nodiscard]] std::span<const TaskId> predecessors(TaskId id) const {
+    return pred_.at(id);
+  }
+  [[nodiscard]] std::size_t out_degree(TaskId id) const {
+    return succ_.at(id).size();
+  }
+  [[nodiscard]] std::size_t in_degree(TaskId id) const {
+    return pred_.at(id).size();
+  }
+
+  /// Tasks with no predecessor / no successor.
+  [[nodiscard]] std::vector<TaskId> entry_tasks() const;
+  [[nodiscard]] std::vector<TaskId> exit_tasks() const;
+
+  /// Sum of all task weights (the paper's A = sum a_i).
+  [[nodiscard]] double total_weight() const noexcept;
+
+  /// Mean task weight a-bar, used by the pfail -> lambda calibration of
+  /// section V-C. Zero-weight tasks (virtual nodes) are *included*, like
+  /// the paper's straightforward average; generators do not create virtual
+  /// nodes so in practice this is the mean over real tasks.
+  [[nodiscard]] double mean_weight() const noexcept;
+
+  /// Looks up a task id by exact name; returns kNoTask if absent.
+  [[nodiscard]] TaskId find_by_name(std::string_view name) const noexcept;
+
+ private:
+  std::vector<double> weights_;
+  std::vector<std::string> names_;
+  std::vector<std::vector<TaskId>> succ_;
+  std::vector<std::vector<TaskId>> pred_;
+  std::size_t edges_ = 0;
+};
+
+}  // namespace expmk::graph

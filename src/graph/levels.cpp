@@ -1,0 +1,60 @@
+#include "graph/levels.hpp"
+
+#include <stdexcept>
+
+namespace expmk::graph {
+
+namespace {
+void check_sizes(const Dag& g, std::span<const double> weights,
+                 std::span<const TaskId> topo) {
+  if (weights.size() != g.task_count() || topo.size() != g.task_count()) {
+    throw std::invalid_argument(
+        "levels: weights/topo size mismatch with task count");
+  }
+}
+}  // namespace
+
+std::vector<double> top_levels(const Dag& g, std::span<const double> weights,
+                               std::span<const TaskId> topo) {
+  check_sizes(g, weights, topo);
+  std::vector<double> top(g.task_count(), 0.0);
+  for (const TaskId v : topo) {
+    double t = 0.0;
+    for (const TaskId u : g.predecessors(v)) {
+      const double cand = top[u] + weights[u];
+      if (cand > t) t = cand;
+    }
+    top[v] = t;
+  }
+  return top;
+}
+
+std::vector<double> bottom_levels(const Dag& g,
+                                  std::span<const double> weights,
+                                  std::span<const TaskId> topo) {
+  check_sizes(g, weights, topo);
+  std::vector<double> bottom(g.task_count(), 0.0);
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const TaskId v = *it;
+    double below = 0.0;
+    for (const TaskId w : g.successors(v)) {
+      if (bottom[w] > below) below = bottom[w];
+    }
+    bottom[v] = below + weights[v];
+  }
+  return bottom;
+}
+
+Levels compute_levels(const Dag& g, std::span<const double> weights,
+                      std::span<const TaskId> topo) {
+  Levels out;
+  out.top = top_levels(g, weights, topo);
+  out.bottom = bottom_levels(g, weights, topo);
+  for (TaskId v = 0; v < g.task_count(); ++v) {
+    const double through = out.top[v] + out.bottom[v];
+    if (through > out.critical_path) out.critical_path = through;
+  }
+  return out;
+}
+
+}  // namespace expmk::graph

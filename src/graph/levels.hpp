@@ -1,0 +1,48 @@
+// graph/levels.hpp
+//
+// Top and bottom levels — the quantities the paper's closed-form first
+// order approximation is built from, and the priorities classical
+// CP-scheduling uses.
+//
+// Conventions (standard scheduling-theory ones; the paper's Section III
+// definitions contain well-known typos which we normalize):
+//   top(i)    = length of the longest path ending just *before* i
+//               (sum of the weights of i's ancestors along that path);
+//               0 for entry tasks.
+//   bottom(i) = length of the longest path starting *at* i, inclusive of
+//               a_i; a_i for exit tasks.
+// Then top(i) + bottom(i) is the longest source-sink path through i, and
+// d(G) = max_i bottom(i) over entries = max_i (top(i) + bottom(i)).
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/dag.hpp"
+
+namespace expmk::graph {
+
+/// top(i) for every task. O(V + E).
+[[nodiscard]] std::vector<double> top_levels(const Dag& g,
+                                             std::span<const double> weights,
+                                             std::span<const TaskId> topo);
+
+/// bottom(i) for every task (inclusive of the task's own weight). O(V + E).
+[[nodiscard]] std::vector<double> bottom_levels(
+    const Dag& g, std::span<const double> weights,
+    std::span<const TaskId> topo);
+
+/// Bundled levels plus the derived critical-path length; computed in one
+/// call because the first-order estimator needs all three.
+struct Levels {
+  std::vector<double> top;
+  std::vector<double> bottom;
+  double critical_path = 0.0;  ///< d(G) = max_i top[i] + bottom[i]
+};
+
+[[nodiscard]] Levels compute_levels(const Dag& g,
+                                    std::span<const double> weights,
+                                    std::span<const TaskId> topo);
+
+}  // namespace expmk::graph

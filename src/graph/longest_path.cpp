@@ -1,0 +1,100 @@
+#include "graph/longest_path.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "graph/topological.hpp"
+
+namespace expmk::graph {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+void check_sizes(const Dag& g, std::span<const double> weights,
+                 std::span<const TaskId> topo) {
+  if (weights.size() != g.task_count() || topo.size() != g.task_count()) {
+    throw std::invalid_argument(
+        "longest_path: weights/topo size mismatch with task count");
+  }
+}
+}  // namespace
+
+double critical_path_length(const Dag& g, std::span<const double> weights,
+                            std::span<const TaskId> topo) {
+  check_sizes(g, weights, topo);
+  if (g.task_count() == 0) return 0.0;
+  // finish[v] = longest path ending at v (inclusive of v's weight).
+  std::vector<double> finish(g.task_count(), 0.0);
+  double best = 0.0;
+  for (const TaskId v : topo) {
+    double start = 0.0;
+    for (const TaskId u : g.predecessors(v)) {
+      if (finish[u] > start) start = finish[u];
+    }
+    finish[v] = start + weights[v];
+    if (finish[v] > best) best = finish[v];
+  }
+  return best;
+}
+
+double critical_path_length(const Dag& g) {
+  const auto topo = topological_order(g);
+  return critical_path_length(g, g.weights(), topo);
+}
+
+CriticalPath critical_path(const Dag& g, std::span<const double> weights,
+                           std::span<const TaskId> topo) {
+  check_sizes(g, weights, topo);
+  CriticalPath out;
+  if (g.task_count() == 0) return out;
+
+  std::vector<double> finish(g.task_count(), 0.0);
+  std::vector<TaskId> from(g.task_count(), kNoTask);
+  TaskId best_task = topo.front();
+  for (const TaskId v : topo) {
+    double start = 0.0;
+    TaskId arg = kNoTask;
+    for (const TaskId u : g.predecessors(v)) {
+      if (finish[u] > start || (finish[u] == start && arg != kNoTask && u < arg)) {
+        start = finish[u];
+        arg = u;
+      }
+    }
+    finish[v] = start + weights[v];
+    from[v] = arg;
+    if (finish[v] > finish[best_task] ||
+        (finish[v] == finish[best_task] && v < best_task)) {
+      best_task = v;
+    }
+  }
+  out.length = finish[best_task];
+  for (TaskId v = best_task; v != kNoTask; v = from[v]) out.tasks.push_back(v);
+  std::reverse(out.tasks.begin(), out.tasks.end());
+  return out;
+}
+
+std::vector<double> longest_from(const Dag& g, TaskId source,
+                                 std::span<const double> weights,
+                                 std::span<const TaskId> topo) {
+  check_sizes(g, weights, topo);
+  if (source >= g.task_count()) {
+    throw std::out_of_range("longest_from: invalid source");
+  }
+  std::vector<double> dist(g.task_count(), kNegInf);
+  dist[source] = weights[source];
+  // One pass over the topological suffix starting at source is enough; we
+  // simply skip vertices that are still unreachable.
+  bool seen_source = false;
+  for (const TaskId v : topo) {
+    if (v == source) seen_source = true;
+    if (!seen_source || dist[v] == kNegInf) continue;
+    for (const TaskId w : g.successors(v)) {
+      const double cand = dist[v] + weights[w];
+      if (cand > dist[w]) dist[w] = cand;
+    }
+  }
+  return dist;
+}
+
+}  // namespace expmk::graph

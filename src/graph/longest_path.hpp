@@ -1,0 +1,46 @@
+// graph/longest_path.hpp
+//
+// Longest (critical) path computations on weighted DAGs — the paper's d(G).
+// All functions take the weight vector explicitly so callers can evaluate
+// perturbed weights (doubled tasks, Monte-Carlo samples) without copying
+// the graph structure; pass g.weights() for the failure-free makespan.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/dag.hpp"
+
+namespace expmk::graph {
+
+/// d(G): length of the longest source-to-sink path, where the length of a
+/// path is the sum of its tasks' weights. O(V + E) given a topological
+/// order.
+[[nodiscard]] double critical_path_length(const Dag& g,
+                                          std::span<const double> weights,
+                                          std::span<const TaskId> topo);
+
+/// Convenience overload using the DAG's own weights and a fresh order.
+[[nodiscard]] double critical_path_length(const Dag& g);
+
+/// A critical path as a task sequence (entry to exit) plus its length.
+struct CriticalPath {
+  std::vector<TaskId> tasks;
+  double length = 0.0;
+};
+
+/// Extracts one longest path (ties broken by smallest task id).
+[[nodiscard]] CriticalPath critical_path(const Dag& g,
+                                         std::span<const double> weights,
+                                         std::span<const TaskId> topo);
+
+/// Single-source longest paths: out[j] = longest path from `source` to j,
+/// summing the weights of all tasks on the path *including both endpoints*;
+/// -infinity where j is unreachable; out[source] = weights[source].
+/// Used by the second-order estimator's cross terms. O(V + E).
+[[nodiscard]] std::vector<double> longest_from(const Dag& g, TaskId source,
+                                               std::span<const double> weights,
+                                               std::span<const TaskId> topo);
+
+}  // namespace expmk::graph

@@ -1,0 +1,73 @@
+#include "graph/metrics.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "graph/longest_path.hpp"
+#include "graph/topological.hpp"
+
+namespace expmk::graph {
+
+std::vector<std::vector<TaskId>> level_partition(const Dag& g) {
+  const auto topo = topological_order(g);
+  std::vector<std::size_t> level(g.task_count(), 0);
+  std::size_t max_level = 0;
+  for (const TaskId v : topo) {
+    for (const TaskId u : g.predecessors(v)) {
+      level[v] = std::max(level[v], level[u] + 1);
+    }
+    max_level = std::max(max_level, level[v]);
+  }
+  std::vector<std::vector<TaskId>> out(g.task_count() ? max_level + 1 : 0);
+  for (TaskId v = 0; v < g.task_count(); ++v) out[level[v]].push_back(v);
+  return out;
+}
+
+DagMetrics compute_metrics(const Dag& g) {
+  DagMetrics m;
+  m.tasks = g.task_count();
+  m.edges = g.edge_count();
+  if (m.tasks == 0) return m;
+
+  m.entries = g.entry_tasks().size();
+  m.exits = g.exit_tasks().size();
+  m.total_work = g.total_weight();
+  m.critical_path = critical_path_length(g);
+  m.average_parallelism =
+      m.critical_path > 0.0 ? m.total_work / m.critical_path : 0.0;
+
+  const auto levels = level_partition(g);
+  m.depth = levels.size();
+  for (const auto& l : levels) {
+    m.max_level_width = std::max(m.max_level_width, l.size());
+  }
+
+  std::size_t total_out = 0;
+  for (TaskId v = 0; v < g.task_count(); ++v) {
+    total_out += g.out_degree(v);
+    m.max_out_degree = std::max(m.max_out_degree, g.out_degree(v));
+    m.max_in_degree = std::max(m.max_in_degree, g.in_degree(v));
+  }
+  m.mean_out_degree =
+      static_cast<double>(total_out) / static_cast<double>(m.tasks);
+  if (m.tasks >= 2) {
+    m.density = static_cast<double>(m.edges) /
+                (static_cast<double>(m.tasks) *
+                 static_cast<double>(m.tasks - 1) / 2.0);
+  }
+  return m;
+}
+
+std::ostream& operator<<(std::ostream& os, const DagMetrics& m) {
+  os << "tasks=" << m.tasks << " edges=" << m.edges
+     << " entries=" << m.entries << " exits=" << m.exits
+     << " depth=" << m.depth << " max_width=" << m.max_level_width << '\n'
+     << "work=" << m.total_work << " critical_path=" << m.critical_path
+     << " avg_parallelism=" << m.average_parallelism << '\n'
+     << "mean_out_degree=" << m.mean_out_degree
+     << " max_out=" << m.max_out_degree << " max_in=" << m.max_in_degree
+     << " density=" << m.density << '\n';
+  return os;
+}
+
+}  // namespace expmk::graph

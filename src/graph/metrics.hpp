@@ -1,0 +1,50 @@
+// graph/metrics.hpp
+//
+// Structural statistics of task DAGs: depth, level widths, degree
+// profiles, density, and the parallelism-oriented summary numbers
+// (average parallelism = total work / critical path) that workload
+// characterization sections of scheduling papers report.
+
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "graph/dag.hpp"
+
+namespace expmk::graph {
+
+/// Summary statistics of a DAG.
+struct DagMetrics {
+  std::size_t tasks = 0;
+  std::size_t edges = 0;
+  std::size_t entries = 0;
+  std::size_t exits = 0;
+  /// Number of precedence levels (longest path in hop count).
+  std::size_t depth = 0;
+  /// Max number of tasks sharing a precedence level (a cheap width proxy;
+  /// the true max antichain is NP-hard-adjacent via Dilworth+matching and
+  /// not needed here).
+  std::size_t max_level_width = 0;
+  double total_work = 0.0;       ///< sum of weights
+  double critical_path = 0.0;    ///< d(G)
+  double average_parallelism = 0.0;  ///< total_work / critical_path
+  double mean_out_degree = 0.0;
+  std::size_t max_out_degree = 0;
+  std::size_t max_in_degree = 0;
+  /// Edge density relative to a total order: edges / C(tasks, 2).
+  double density = 0.0;
+};
+
+/// Computes all metrics in O(V + E).
+[[nodiscard]] DagMetrics compute_metrics(const Dag& g);
+
+/// Tasks per precedence level (level = longest hop distance from an
+/// entry). levels()[0] holds all entries.
+[[nodiscard]] std::vector<std::vector<TaskId>> level_partition(const Dag& g);
+
+/// Human-readable one-per-line dump (examples/CLI reporting).
+std::ostream& operator<<(std::ostream& os, const DagMetrics& m);
+
+}  // namespace expmk::graph

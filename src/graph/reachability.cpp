@@ -1,0 +1,61 @@
+#include "graph/reachability.hpp"
+
+#include <bit>
+
+#include "graph/topological.hpp"
+
+namespace expmk::graph {
+
+Reachability::Reachability(const Dag& g)
+    : n_(g.task_count()), stride_((n_ + 63) / 64), rows_(n_ * stride_, 0) {
+  // Process vertices in reverse topological order: row(u) = union over
+  // successors s of (row(s) | bit(s)).
+  const auto topo = topological_order(g);
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const TaskId u = *it;
+    std::uint64_t* row = &rows_[u * stride_];
+    for (const TaskId s : g.successors(u)) {
+      const std::uint64_t* srow = &rows_[s * stride_];
+      for (std::size_t w = 0; w < stride_; ++w) row[w] |= srow[w];
+      row[s >> 6] |= 1ULL << (s & 63);
+    }
+  }
+}
+
+std::size_t Reachability::descendant_count(TaskId u) const {
+  std::size_t count = 0;
+  const std::uint64_t* row = &rows_[u * stride_];
+  for (std::size_t w = 0; w < stride_; ++w) {
+    count += static_cast<std::size_t>(std::popcount(row[w]));
+  }
+  return count;
+}
+
+Dag transitive_reduction(const Dag& g) {
+  const Reachability reach(g);
+  Dag out;
+  for (TaskId v = 0; v < g.task_count(); ++v) {
+    out.add_task(std::string(g.name(v)), g.weight(v));
+  }
+  for (TaskId u = 0; u < g.task_count(); ++u) {
+    for (const TaskId v : g.successors(u)) {
+      // (u,v) is redundant iff some *other* successor s of u reaches v.
+      bool redundant = false;
+      for (const TaskId s : g.successors(u)) {
+        if (s != v && (s == v || reach.reaches(s, v))) {
+          redundant = true;
+          break;
+        }
+      }
+      if (!redundant) out.add_edge_unique(u, v);
+    }
+  }
+  return out;
+}
+
+std::size_t redundant_edge_count(const Dag& g) {
+  const Dag reduced = transitive_reduction(g);
+  return g.edge_count() - reduced.edge_count();
+}
+
+}  // namespace expmk::graph

@@ -1,0 +1,51 @@
+// graph/reachability.hpp
+//
+// Reachability queries and transitive closure/reduction. The closure backs
+// the exact second-order oracle tests; the reduction is used by the DOT
+// exporter (the paper's Figures 1-3 draw transitively reduced DAGs) and by
+// generator tests.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dag.hpp"
+
+namespace expmk::graph {
+
+/// Bit-packed V x V reachability matrix built in O(V * E / 64).
+/// reaches(u, v) is true iff there is a directed path u -> v (u != v;
+/// reaches(u, u) is false by convention).
+class Reachability {
+ public:
+  explicit Reachability(const Dag& g);
+
+  [[nodiscard]] bool reaches(TaskId u, TaskId v) const {
+    return (rows_[u * stride_ + (v >> 6)] >> (v & 63)) & 1ULL;
+  }
+
+  /// Number of vertices reachable from u (descendants).
+  [[nodiscard]] std::size_t descendant_count(TaskId u) const;
+
+  /// True iff u and v lie on a common path (u reaches v or v reaches u).
+  [[nodiscard]] bool comparable(TaskId u, TaskId v) const {
+    return reaches(u, v) || reaches(v, u);
+  }
+
+ private:
+  std::size_t n_;
+  std::size_t stride_;  // 64-bit words per row
+  std::vector<std::uint64_t> rows_;
+};
+
+/// Returns a copy of `g` with every transitive (redundant) edge removed.
+/// An edge (u,v) is redundant if some other path u -> v exists. O(V*E/64 +
+/// E * V/64) using the bitset closure.
+[[nodiscard]] Dag transitive_reduction(const Dag& g);
+
+/// Counts edges that a transitive reduction would remove (cheap metric
+/// used in validation reports).
+[[nodiscard]] std::size_t redundant_edge_count(const Dag& g);
+
+}  // namespace expmk::graph

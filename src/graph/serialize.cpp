@@ -1,0 +1,128 @@
+#include "graph/serialize.hpp"
+
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace expmk::graph {
+
+namespace {
+
+[[noreturn]] void parse_error(std::size_t line, const std::string& message) {
+  throw std::invalid_argument("taskgraph parse error at line " +
+                              std::to_string(line) + ": " + message);
+}
+
+std::string auto_name(TaskId id) { return "t" + std::to_string(id); }
+
+}  // namespace
+
+void write_taskgraph(std::ostream& os, const Dag& g) {
+  // max_digits10 so that weight round-trips are bit-exact.
+  const auto old_precision =
+      os.precision(std::numeric_limits<double>::max_digits10);
+  os << "expmk-taskgraph 1\n";
+  for (TaskId v = 0; v < g.task_count(); ++v) {
+    const std::string_view name = g.name(v);
+    os << "task " << (name.empty() ? auto_name(v) : std::string(name)) << ' '
+       << g.weight(v) << '\n';
+  }
+  for (TaskId u = 0; u < g.task_count(); ++u) {
+    const std::string_view uname = g.name(u);
+    for (const TaskId v : g.successors(u)) {
+      const std::string_view vname = g.name(v);
+      os << "edge " << (uname.empty() ? auto_name(u) : std::string(uname))
+         << ' ' << (vname.empty() ? auto_name(v) : std::string(vname))
+         << '\n';
+    }
+  }
+  os.precision(old_precision);
+}
+
+std::string to_taskgraph(const Dag& g) {
+  std::ostringstream os;
+  write_taskgraph(os, g);
+  return os.str();
+}
+
+Dag read_taskgraph(std::istream& is) {
+  Dag g;
+  std::map<std::string, TaskId> ids;
+  std::string line;
+  std::size_t line_no = 0;
+  bool header_seen = false;
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Strip comments and surrounding whitespace.
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word)) continue;  // blank line
+
+    if (!header_seen) {
+      int version = 0;
+      if (word != "expmk-taskgraph" || !(ls >> version)) {
+        parse_error(line_no, "expected header 'expmk-taskgraph 1'");
+      }
+      if (version != 1) {
+        parse_error(line_no,
+                    "unsupported version " + std::to_string(version));
+      }
+      header_seen = true;
+      continue;
+    }
+
+    if (word == "task") {
+      std::string name;
+      double weight = 0.0;
+      if (!(ls >> name >> weight)) {
+        parse_error(line_no, "expected 'task <name> <weight>'");
+      }
+      if (ids.count(name)) parse_error(line_no, "duplicate task '" + name + "'");
+      if (weight < 0.0) parse_error(line_no, "negative weight");
+      ids[name] = g.add_task(name, weight);
+    } else if (word == "edge") {
+      std::string from, to;
+      if (!(ls >> from >> to)) {
+        parse_error(line_no, "expected 'edge <from> <to>'");
+      }
+      const auto fi = ids.find(from);
+      const auto ti = ids.find(to);
+      if (fi == ids.end()) parse_error(line_no, "unknown task '" + from + "'");
+      if (ti == ids.end()) parse_error(line_no, "unknown task '" + to + "'");
+      if (fi->second == ti->second) parse_error(line_no, "self loop");
+      g.add_edge(fi->second, ti->second);
+    } else {
+      parse_error(line_no, "unknown directive '" + word + "'");
+    }
+  }
+  if (!header_seen) {
+    throw std::invalid_argument("taskgraph parse error: empty input");
+  }
+  return g;
+}
+
+Dag taskgraph_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_taskgraph(is);
+}
+
+void save_taskgraph(const std::string& path, const Dag& g) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  write_taskgraph(os, g);
+  if (!os) throw std::runtime_error("write failed: " + path);
+}
+
+Dag load_taskgraph(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open for reading: " + path);
+  return read_taskgraph(is);
+}
+
+}  // namespace expmk::graph

@@ -1,0 +1,41 @@
+// graph/serialize.hpp
+//
+// A minimal text format for task graphs so DAGs can be saved, diffed and
+// fed to the CLI tool. Format (line oriented, '#' comments):
+//
+//   expmk-taskgraph 1
+//   task <name> <weight>
+//   edge <from-name> <to-name>
+//
+// Names must be unique and whitespace-free; tasks must be declared before
+// edges referencing them. The writer emits tasks in id order, so
+// write->read round-trips preserve TaskIds.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/dag.hpp"
+
+namespace expmk::graph {
+
+/// Writes `g` in the expmk-taskgraph format.
+void write_taskgraph(std::ostream& os, const Dag& g);
+
+/// Serializes to a string.
+[[nodiscard]] std::string to_taskgraph(const Dag& g);
+
+/// Parses the format; throws std::invalid_argument with a line number on
+/// malformed input (bad header, unknown directive, duplicate name,
+/// unknown endpoint, non-numeric weight).
+[[nodiscard]] Dag read_taskgraph(std::istream& is);
+
+/// Parses from a string.
+[[nodiscard]] Dag taskgraph_from_string(const std::string& text);
+
+/// Convenience file helpers; throw std::runtime_error on I/O failure.
+void save_taskgraph(const std::string& path, const Dag& g);
+[[nodiscard]] Dag load_taskgraph(const std::string& path);
+
+}  // namespace expmk::graph

@@ -1,0 +1,58 @@
+#include "graph/topological.hpp"
+
+#include <stdexcept>
+
+namespace expmk::graph {
+
+std::optional<std::vector<TaskId>> try_topological_order(const Dag& g) {
+  const std::size_t n = g.task_count();
+  std::vector<std::uint32_t> indeg(n);
+  std::vector<TaskId> order;
+  order.reserve(n);
+  for (TaskId v = 0; v < n; ++v) {
+    indeg[v] = static_cast<std::uint32_t>(g.in_degree(v));
+    if (indeg[v] == 0) order.push_back(v);
+  }
+  // `order` doubles as the Kahn work queue: items before `head` are final.
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    const TaskId u = order[head];
+    for (const TaskId v : g.successors(u)) {
+      if (--indeg[v] == 0) order.push_back(v);
+    }
+  }
+  if (order.size() != n) return std::nullopt;  // cycle
+  return order;
+}
+
+std::vector<TaskId> topological_order(const Dag& g) {
+  auto order = try_topological_order(g);
+  if (!order) {
+    throw std::invalid_argument("topological_order: graph has a cycle");
+  }
+  return std::move(*order);
+}
+
+std::vector<std::uint32_t> ranks_of(const std::vector<TaskId>& order) {
+  std::vector<std::uint32_t> rank(order.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) rank[order[i]] = i;
+  return rank;
+}
+
+bool is_topological_order(const Dag& g, const std::vector<TaskId>& order) {
+  if (order.size() != g.task_count()) return false;
+  std::vector<std::uint32_t> rank(order.size(), 0);
+  std::vector<bool> seen(order.size(), false);
+  for (std::uint32_t i = 0; i < order.size(); ++i) {
+    if (order[i] >= g.task_count() || seen[order[i]]) return false;
+    seen[order[i]] = true;
+    rank[order[i]] = i;
+  }
+  for (TaskId u = 0; u < g.task_count(); ++u) {
+    for (const TaskId v : g.successors(u)) {
+      if (rank[u] >= rank[v]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace expmk::graph

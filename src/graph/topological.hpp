@@ -1,0 +1,34 @@
+// graph/topological.hpp
+//
+// Topological ordering (Kahn's algorithm). Almost every algorithm in the
+// library consumes a precomputed order, so callers typically compute it
+// once per DAG and pass it around; the MC engine reuses one order across
+// hundreds of thousands of trials.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/dag.hpp"
+
+namespace expmk::graph {
+
+/// Returns a topological order (every edge goes forward in the order), or
+/// std::nullopt if the graph contains a cycle.
+[[nodiscard]] std::optional<std::vector<TaskId>> try_topological_order(
+    const Dag& g);
+
+/// Returns a topological order; throws std::invalid_argument on a cycle.
+[[nodiscard]] std::vector<TaskId> topological_order(const Dag& g);
+
+/// rank[v] = position of v in `order`. Useful for "is u before v" checks.
+[[nodiscard]] std::vector<std::uint32_t> ranks_of(
+    const std::vector<TaskId>& order);
+
+/// True iff `order` is a permutation of all tasks that respects every edge
+/// of `g` (test helper; O(V + E)).
+[[nodiscard]] bool is_topological_order(const Dag& g,
+                                        const std::vector<TaskId>& order);
+
+}  // namespace expmk::graph

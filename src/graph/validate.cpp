@@ -1,0 +1,85 @@
+#include "graph/validate.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/topological.hpp"
+
+namespace expmk::graph {
+
+namespace {
+
+/// Union-find for the weak-connectivity count.
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), TaskId{0});
+  }
+  TaskId find(TaskId x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(TaskId a, TaskId b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<TaskId> parent_;
+};
+
+}  // namespace
+
+ValidationReport validate(const Dag& g) {
+  ValidationReport report;
+  const std::size_t n = g.task_count();
+
+  if (n == 0) {
+    report.problems.emplace_back("graph has no tasks");
+    return report;
+  }
+
+  report.acyclic = try_topological_order(g).has_value();
+  if (!report.acyclic) report.problems.emplace_back("graph contains a cycle");
+
+  for (TaskId v = 0; v < n; ++v) {
+    if (g.weight(v) < 0.0) {
+      report.weights_nonnegative = false;
+      report.problems.push_back("task " + std::to_string(v) +
+                                " has negative weight");
+    }
+  }
+
+  for (TaskId u = 0; u < n; ++u) {
+    auto succ = g.successors(u);
+    std::vector<TaskId> sorted(succ.begin(), succ.end());
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      report.has_duplicate_edges = true;
+      report.problems.push_back("duplicate edge out of task " +
+                                std::to_string(u));
+    }
+  }
+
+  report.entry_count = g.entry_tasks().size();
+  report.exit_count = g.exit_tasks().size();
+  if (report.entry_count == 0) {
+    report.problems.emplace_back("graph has no entry task");
+  }
+
+  DisjointSets sets(n);
+  for (TaskId u = 0; u < n; ++u) {
+    for (const TaskId v : g.successors(u)) sets.unite(u, v);
+  }
+  std::vector<bool> seen(n, false);
+  for (TaskId v = 0; v < n; ++v) {
+    const TaskId root = sets.find(v);
+    if (!seen[root]) {
+      seen[root] = true;
+      ++report.component_count;
+    }
+  }
+  return report;
+}
+
+}  // namespace expmk::graph

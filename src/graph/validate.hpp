@@ -1,0 +1,37 @@
+// graph/validate.hpp
+//
+// Structural validation of task graphs: a cheap sanity pass every generator
+// output and every test fixture goes through. Returns a report instead of
+// throwing so tests can assert on individual findings.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/dag.hpp"
+
+namespace expmk::graph {
+
+/// Findings of a validation pass.
+struct ValidationReport {
+  bool acyclic = true;
+  bool weights_nonnegative = true;
+  bool has_duplicate_edges = false;
+  std::size_t entry_count = 0;
+  std::size_t exit_count = 0;
+  std::size_t component_count = 0;  ///< weakly connected components
+  std::vector<std::string> problems;
+
+  /// True iff the graph is a usable task graph: acyclic, nonnegative
+  /// weights, no duplicate edges, at least one task.
+  [[nodiscard]] bool ok() const {
+    return acyclic && weights_nonnegative && !has_duplicate_edges &&
+           entry_count > 0;
+  }
+};
+
+/// Runs all checks; O(V + E) plus an O(E log E)-ish duplicate scan.
+[[nodiscard]] ValidationReport validate(const Dag& g);
+
+}  // namespace expmk::graph

@@ -1,0 +1,111 @@
+#include "mc/conditional.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "graph/longest_path.hpp"
+#include "graph/topological.hpp"
+#include "prob/rng.hpp"
+#include "prob/statistics.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace expmk::mc {
+
+namespace {
+
+struct Accum {
+  prob::RunningStats stats;
+  std::uint64_t rejections = 0;
+};
+
+}  // namespace
+
+ConditionalMcResult run_conditional_monte_carlo(
+    const graph::Dag& g, const core::FailureModel& model,
+    const ConditionalMcConfig& config) {
+  const util::Timer timer;
+  const auto topo = graph::topological_order(g);
+  const auto p = core::success_probabilities(g, model);
+  const std::size_t n = g.task_count();
+
+  ConditionalMcResult result;
+  result.critical_path = graph::critical_path_length(g, g.weights(), topo);
+
+  double p0 = 1.0;
+  for (const double pi : p) p0 *= pi;
+  result.p_zero_failures = p0;
+
+  if (p0 >= 1.0) {
+    // No task can ever fail: the makespan is deterministic.
+    result.mean = result.critical_path;
+    result.conditional_mean = result.critical_path;
+    result.trials = 0;
+    result.seconds = timer.seconds();
+    return result;
+  }
+
+  std::size_t threads = config.threads;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  const std::uint64_t trials = std::max<std::uint64_t>(1, config.trials);
+  const std::size_t chunks = std::min<std::uint64_t>(threads * 4, trials);
+
+  std::vector<Accum> accums(chunks);
+  util::ThreadPool pool(threads);
+  pool.parallel_for_chunks(chunks, [&](std::size_t c) {
+    Accum& acc = accums[c];
+    const std::uint64_t begin = trials * c / chunks;
+    const std::uint64_t end = trials * (c + 1) / chunks;
+    std::vector<double> durations(n);
+    for (std::uint64_t t = begin; t < end; ++t) {
+      prob::Xoshiro256pp rng(config.seed, t);
+      // Rejection: redraw the failure pattern until at least one failure.
+      bool any = false;
+      std::uint64_t attempts = 0;
+      while (!any) {
+        if (++attempts > config.max_rejections_per_trial) {
+          // Extremely unlikely unless 1 - p0 is microscopic; fall back to
+          // "one forced failure on the most failure-prone task" would
+          // bias the estimate, so instead surface the degenerate case as
+          // the failure-free makespan sample (its weight (1-p0) is
+          // negligible by construction).
+          for (std::size_t i = 0; i < n; ++i) durations[i] = g.weights()[i];
+          any = true;
+          break;
+        }
+        any = false;
+        for (std::size_t i = 0; i < n; ++i) {
+          const bool failed = !rng.bernoulli(p[i]);
+          durations[i] = failed ? 2.0 * g.weights()[i] : g.weights()[i];
+          any = any || failed;
+        }
+      }
+      acc.rejections += attempts - 1;
+      acc.stats.push(graph::critical_path_length(g, durations, topo));
+    }
+  });
+
+  prob::RunningStats stats;
+  std::uint64_t rejections = 0;
+  for (const Accum& acc : accums) {
+    stats.merge(acc.stats);
+    rejections += acc.rejections;
+  }
+
+  result.conditional_mean = stats.mean();
+  result.mean = p0 * result.critical_path + (1.0 - p0) * stats.mean();
+  result.std_error = (1.0 - p0) * stats.standard_error();
+  result.ci95_half_width =
+      prob::inverse_normal_cdf(0.975) * result.std_error;
+  result.trials = stats.count();
+  result.avg_rejections =
+      static_cast<double>(rejections) / static_cast<double>(stats.count());
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace expmk::mc

@@ -1,0 +1,66 @@
+// mc/engine.hpp
+//
+// Parallel Monte-Carlo estimation of the expected makespan — the paper's
+// ground truth (300,000 trials in Section V; configurable here).
+//
+// Reproducibility: every trial seeds its own xoshiro256++ stream from
+// (seed, trial_index), so the estimate is bit-identical for any thread
+// count and any batch partitioning. Results merge through Welford
+// accumulators (exact pairwise merge).
+//
+// Variance reduction: an optional control variate
+//   Z = sum_i a_i * (executions_i - 1)       (E[Z] known in closed form)
+// is strongly positively correlated with the makespan inflation and
+// typically shrinks the estimator variance substantially at low pfail;
+// bench/ablation_mc quantifies the effect.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/failure_model.hpp"
+#include "graph/dag.hpp"
+#include "mc/trial.hpp"
+
+namespace expmk::mc {
+
+/// Engine configuration.
+struct McConfig {
+  std::uint64_t trials = 300'000;  ///< the paper's trial count
+  std::uint64_t seed = 0xC0FFEE;
+  /// Worker threads; 0 = hardware concurrency.
+  std::size_t threads = 0;
+  core::RetryModel retry = core::RetryModel::Geometric;
+  /// Use the control-variate estimator (see file comment).
+  bool control_variate = false;
+  /// Keep all sampled makespans (histogram/quantile post-processing).
+  bool capture_samples = false;
+};
+
+/// Estimation result.
+struct McResult {
+  double mean = 0.0;            ///< plain (or CV-adjusted) estimate
+  double variance = 0.0;        ///< sample variance of the estimator basis
+  double std_error = 0.0;       ///< standard error of `mean`
+  double ci95_half_width = 0.0;
+  double ci99_half_width = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::uint64_t trials = 0;
+  double seconds = 0.0;         ///< wall-clock time spent sampling
+
+  // Control-variate diagnostics (zero when disabled).
+  double plain_mean = 0.0;           ///< estimate without the CV adjustment
+  double variance_reduction = 1.0;   ///< var(plain) / var(cv)
+
+  /// Captured samples when McConfig::capture_samples was set.
+  std::vector<double> samples;
+};
+
+/// Runs the Monte-Carlo estimation.
+[[nodiscard]] McResult run_monte_carlo(const graph::Dag& g,
+                                       const core::FailureModel& model,
+                                       const McConfig& config = {});
+
+}  // namespace expmk::mc

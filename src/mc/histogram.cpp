@@ -1,0 +1,89 @@
+#include "mc/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+#include <stdexcept>
+
+namespace expmk::mc {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins >= 1");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must exceed lo");
+}
+
+Histogram Histogram::from_samples(const std::vector<double>& samples,
+                                  std::size_t bins) {
+  if (samples.empty()) {
+    throw std::invalid_argument("Histogram::from_samples: no samples");
+  }
+  const auto [mn, mx] = std::minmax_element(samples.begin(), samples.end());
+  const double lo = *mn;
+  double hi = *mx;
+  if (hi <= lo) hi = lo + 1e-12 + std::fabs(lo) * 1e-12;
+  Histogram h(lo, hi, bins);
+  for (const double x : samples) h.add(x);
+  return h;
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::ptrdiff_t>(t * static_cast<double>(bins()));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(bins()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(bins());
+  return lo_ + (static_cast<double>(bin) + 0.5) * width;
+}
+
+double Histogram::density(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(bin)) / static_cast<double>(total_);
+}
+
+void Histogram::print_ascii(std::ostream& os, std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (const auto c : counts_) peak = std::max(peak, c);
+  for (std::size_t b = 0; b < bins(); ++b) {
+    const auto bar =
+        static_cast<std::size_t>(static_cast<double>(counts_[b]) /
+                                 static_cast<double>(peak) *
+                                 static_cast<double>(width));
+    os << bin_center(b) << "\t|" << std::string(bar, '#') << "  "
+       << counts_[b] << '\n';
+  }
+}
+
+double empirical_quantile(std::vector<double> samples, double p) {
+  if (samples.empty()) {
+    throw std::invalid_argument("empirical_quantile: no samples");
+  }
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("empirical_quantile: p in [0,1]");
+  }
+  std::sort(samples.begin(), samples.end());
+  const double idx = p * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(idx));
+  const auto hi = static_cast<std::size_t>(std::ceil(idx));
+  const double frac = idx - std::floor(idx);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+double empirical_cdf(const std::vector<double>& samples, double x) {
+  if (samples.empty()) {
+    throw std::invalid_argument("empirical_cdf: no samples");
+  }
+  std::size_t count = 0;
+  for (const double s : samples) {
+    if (s <= x) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(samples.size());
+}
+
+}  // namespace expmk::mc

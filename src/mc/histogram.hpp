@@ -1,0 +1,58 @@
+// mc/histogram.hpp
+//
+// Post-processing of captured Monte-Carlo samples: fixed-width histograms,
+// empirical quantiles and CDF evaluation. Used by examples/mc_convergence
+// and by tests validating the sampler against exact distributions.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace expmk::mc {
+
+/// Fixed-width histogram over [lo, hi] with `bins` buckets; samples
+/// outside the range clamp to the boundary buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Builds from samples with automatic [min, max] range.
+  static Histogram from_samples(const std::vector<double>& samples,
+                                std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const {
+    return counts_.at(bin);
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  /// Center value of a bucket.
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+  /// Fraction of samples in a bucket.
+  [[nodiscard]] double density(std::size_t bin) const;
+
+  /// Renders an ASCII bar chart (for examples).
+  void print_ascii(std::ostream& os, std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Empirical p-quantile (linear interpolation of order statistics).
+/// Sorts a copy; p in [0, 1].
+[[nodiscard]] double empirical_quantile(std::vector<double> samples,
+                                        double p);
+
+/// Empirical CDF at x: fraction of samples <= x.
+[[nodiscard]] double empirical_cdf(const std::vector<double>& samples,
+                                   double x);
+
+}  // namespace expmk::mc

@@ -1,0 +1,66 @@
+#include "mc/planning.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace expmk::mc {
+
+namespace {
+
+void check_targets(double epsilon, double confidence) {
+  if (epsilon <= 0.0) {
+    throw std::invalid_argument("trial planning: epsilon must be > 0");
+  }
+  if (confidence <= 0.0 || confidence >= 1.0) {
+    throw std::invalid_argument(
+        "trial planning: confidence must be in (0,1)");
+  }
+}
+
+std::uint64_t ceil_to_u64(double x) {
+  if (x < 1.0) return 1;
+  if (x > 9e18) {
+    throw std::overflow_error("trial planning: required trials overflow");
+  }
+  return static_cast<std::uint64_t>(std::ceil(x));
+}
+
+}  // namespace
+
+std::uint64_t hoeffding_trials(double lo, double hi, double epsilon,
+                               double confidence) {
+  check_targets(epsilon, confidence);
+  if (!(hi > lo)) {
+    throw std::invalid_argument("hoeffding_trials: need lo < hi");
+  }
+  const double alpha = 1.0 - confidence;
+  const double range = hi - lo;
+  return ceil_to_u64(std::log(2.0 / alpha) * range * range /
+                     (2.0 * epsilon * epsilon));
+}
+
+std::uint64_t clt_trials(double sample_stddev, double epsilon,
+                         double confidence) {
+  check_targets(epsilon, confidence);
+  if (sample_stddev < 0.0) {
+    throw std::invalid_argument("clt_trials: negative stddev");
+  }
+  if (sample_stddev == 0.0) return 1;
+  const double z = prob::inverse_normal_cdf(0.5 + confidence / 2.0);
+  const double n = z * sample_stddev / epsilon;
+  return ceil_to_u64(n * n);
+}
+
+std::uint64_t plan_trials(const prob::RunningStats& pilot,
+                          double relative_error, double confidence) {
+  if (pilot.count() < 2) {
+    throw std::invalid_argument("plan_trials: pilot needs >= 2 samples");
+  }
+  if (pilot.mean() <= 0.0) {
+    throw std::invalid_argument("plan_trials: non-positive pilot mean");
+  }
+  return clt_trials(pilot.stddev(), relative_error * pilot.mean(),
+                    confidence);
+}
+
+}  // namespace expmk::mc

@@ -1,0 +1,96 @@
+#include "mc/trial.hpp"
+
+#include <cmath>
+
+#include "graph/longest_path.hpp"
+#include "graph/topological.hpp"
+
+namespace expmk::mc {
+
+TrialContext::TrialContext(const graph::Dag& g,
+                           const core::FailureModel& model,
+                           core::RetryModel retry_model)
+    : dag(&g),
+      topo(graph::topological_order(g)),
+      p_success(core::success_probabilities(g, model)),
+      retry(retry_model) {}
+
+namespace {
+
+/// Samples the number of executions of one task (>= 1).
+inline int sample_executions(const TrialContext& ctx, std::size_t i,
+                             prob::Xoshiro256pp& rng) {
+  const double p = ctx.p_success[i];
+  if (p >= 1.0) return 1;
+  if (ctx.retry == core::RetryModel::TwoState) {
+    return rng.bernoulli(p) ? 1 : 2;
+  }
+  // Geometric: failures F with P(F >= k) = (1-p)^k, sampled by inversion:
+  // F = floor( ln U / ln(1-p) ), capped. Clamp BEFORE the int cast: at
+  // extreme lambda the inversion yields doubles far beyond int range and
+  // the cast would be undefined behaviour.
+  const double u = rng.uniform_positive();
+  const double f = std::floor(std::log(u) / std::log1p(-p));
+  if (!(f < static_cast<double>(ctx.max_executions))) {
+    return ctx.max_executions;
+  }
+  const int failures = f < 0.0 ? 0 : static_cast<int>(f);
+  const int executions = failures + 1;
+  return executions < ctx.max_executions ? executions : ctx.max_executions;
+}
+
+}  // namespace
+
+double run_trial(const TrialContext& ctx, prob::Xoshiro256pp& rng,
+                 std::vector<double>& durations) {
+  const graph::Dag& g = *ctx.dag;
+  durations.resize(g.task_count());
+  for (std::size_t i = 0; i < g.task_count(); ++i) {
+    durations[i] =
+        g.weights()[i] * static_cast<double>(sample_executions(ctx, i, rng));
+  }
+  return graph::critical_path_length(g, durations, ctx.topo);
+}
+
+TrialObservation run_trial_with_control(const TrialContext& ctx,
+                                        prob::Xoshiro256pp& rng,
+                                        std::vector<double>& durations) {
+  const graph::Dag& g = *ctx.dag;
+  durations.resize(g.task_count());
+  double control = 0.0;
+  for (std::size_t i = 0; i < g.task_count(); ++i) {
+    const int executions = sample_executions(ctx, i, rng);
+    const double a = g.weights()[i];
+    durations[i] = a * static_cast<double>(executions);
+    control += a * static_cast<double>(executions - 1);
+  }
+  return {graph::critical_path_length(g, durations, ctx.topo), control};
+}
+
+double control_variate_mean(const TrialContext& ctx) {
+  const graph::Dag& g = *ctx.dag;
+  double mean = 0.0;
+  for (std::size_t i = 0; i < g.task_count(); ++i) {
+    const double a = g.weights()[i];
+    const double p = ctx.p_success[i];
+    if (p >= 1.0) continue;
+    if (ctx.retry == core::RetryModel::TwoState) {
+      mean += a * (1.0 - p);
+    } else {
+      // E[executions - 1] for the capped geometric: the cap's truncation
+      // error is (1-p)^{cap}, negligible, but we account for it exactly:
+      // E[min(F, cap)] = sum_{k=1..cap} P(F >= k) = sum (1-p)^k.
+      const double q = 1.0 - p;
+      double qk = q;
+      double e = 0.0;
+      for (int k = 1; k < ctx.max_executions; ++k) {
+        e += qk;
+        qk *= q;
+      }
+      mean += a * e;
+    }
+  }
+  return mean;
+}
+
+}  // namespace expmk::mc

@@ -1,0 +1,57 @@
+// mc/trial.hpp
+//
+// Single Monte-Carlo trial: sample each task's duration under the silent-
+// error model, then evaluate the DAG's longest path. The paper's ground
+// truth (Section V-C) samples a time-to-next-failure ~ Exp(lambda) per
+// attempt; an attempt fails iff that time is shorter than the task length,
+// which is exactly a Bernoulli(1 - e^{-lambda a_i}) draw — so sampling the
+// failure indicator directly is equivalent and faster.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/failure_model.hpp"
+#include "graph/dag.hpp"
+#include "prob/rng.hpp"
+
+namespace expmk::mc {
+
+/// Precomputed per-task sampling constants, shared across trials.
+struct TrialContext {
+  const graph::Dag* dag = nullptr;
+  std::vector<graph::TaskId> topo;
+  std::vector<double> p_success;  ///< e^{-lambda a_i}
+  core::RetryModel retry = core::RetryModel::Geometric;
+  /// Executions cap in Geometric mode (guards pathological lambda; the
+  /// truncation probability is (1-p)^{cap}, i.e. astronomically small for
+  /// any sane configuration).
+  int max_executions = 64;
+
+  TrialContext(const graph::Dag& g, const core::FailureModel& model,
+               core::RetryModel retry_model);
+};
+
+/// Samples every task's duration into `durations` (resized to V) and
+/// returns the resulting makespan. Deterministic given `rng` state.
+double run_trial(const TrialContext& ctx, prob::Xoshiro256pp& rng,
+                 std::vector<double>& durations);
+
+/// Per-trial observation: the makespan and the control-variate statistic
+/// Z = sum_i a_i * (executions_i - 1), whose exact mean is known (see
+/// mc/engine.cpp). Used for variance-reduced estimation.
+struct TrialObservation {
+  double makespan = 0.0;
+  double control = 0.0;
+};
+
+/// As run_trial, additionally accumulating the control variate.
+TrialObservation run_trial_with_control(const TrialContext& ctx,
+                                        prob::Xoshiro256pp& rng,
+                                        std::vector<double>& durations);
+
+/// Exact E[Z] of the control variate under the context's retry model.
+[[nodiscard]] double control_variate_mean(const TrialContext& ctx);
+
+}  // namespace expmk::mc

@@ -1,0 +1,100 @@
+#include "normal/clark_full.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/topological.hpp"
+
+namespace expmk::normal {
+
+namespace {
+
+double safe_rho(double cov, double var_x, double var_y) {
+  const double denom = std::sqrt(var_x) * std::sqrt(var_y);
+  if (denom <= 0.0) return 0.0;
+  return cov / denom;
+}
+
+}  // namespace
+
+NormalEstimate clark_full(const graph::Dag& g, const core::FailureModel& model,
+                          core::RetryModel kind,
+                          std::span<const graph::TaskId> topo) {
+  const std::size_t n = g.task_count();
+  if (n == 0) throw std::invalid_argument("clark_full: empty graph");
+  if (n > kClarkFullMaxTasks) {
+    throw std::invalid_argument(
+        "clark_full: task count exceeds the dense covariance limit");
+  }
+
+  std::vector<prob::NormalMoments> completion(n);
+  // Dense symmetric covariance of completion times, row-major.
+  std::vector<double> cov(n * n, 0.0);
+  const auto cov_at = [&](graph::TaskId a, graph::TaskId b) -> double& {
+    return cov[static_cast<std::size_t>(a) * n + b];
+  };
+
+  std::vector<double> row(n);  // Cov(M, C_z) for the running max M
+  for (const graph::TaskId v : topo) {
+    prob::NormalMoments m{0.0, 0.0};
+    std::fill(row.begin(), row.end(), 0.0);
+    bool first = true;
+    for (const graph::TaskId u : g.predecessors(v)) {
+      if (first) {
+        m = completion[u];
+        for (std::size_t z = 0; z < n; ++z) {
+          row[z] = cov[static_cast<std::size_t>(u) * n + z];
+        }
+        first = false;
+        continue;
+      }
+      const double rho = safe_rho(row[u], m.var, completion[u].var);
+      const auto fold = prob::clark_max(m, completion[u], rho);
+      for (std::size_t z = 0; z < n; ++z) {
+        row[z] = prob::clark_linkage(
+            row[z], cov[static_cast<std::size_t>(u) * n + z], fold);
+      }
+      m = fold.moments;
+    }
+    // C_v = M + X_v with X_v independent of everything before it.
+    completion[v] =
+        prob::sum_independent(m, duration_moments(g.weight(v), model, kind));
+    for (std::size_t z = 0; z < n; ++z) {
+      cov_at(v, static_cast<graph::TaskId>(z)) = row[z];
+      cov_at(static_cast<graph::TaskId>(z), v) = row[z];
+    }
+    cov_at(v, v) = completion[v].var;
+  }
+
+  // Fold the exits into the makespan, reusing the same linkage machinery.
+  prob::NormalMoments makespan{0.0, 0.0};
+  std::fill(row.begin(), row.end(), 0.0);
+  bool first = true;
+  for (const graph::TaskId v : g.exit_tasks()) {
+    if (first) {
+      makespan = completion[v];
+      for (std::size_t z = 0; z < n; ++z) {
+        row[z] = cov[static_cast<std::size_t>(v) * n + z];
+      }
+      first = false;
+      continue;
+    }
+    const double rho = safe_rho(row[v], makespan.var, completion[v].var);
+    const auto fold = prob::clark_max(makespan, completion[v], rho);
+    for (std::size_t z = 0; z < n; ++z) {
+      row[z] = prob::clark_linkage(
+          row[z], cov[static_cast<std::size_t>(v) * n + z], fold);
+    }
+    makespan = fold.moments;
+  }
+  return NormalEstimate{makespan};
+}
+
+NormalEstimate clark_full(const graph::Dag& g, const core::FailureModel& model,
+                          core::RetryModel kind) {
+  const auto topo = graph::topological_order(g);
+  return clark_full(g, model, kind, topo);
+}
+
+}  // namespace expmk::normal

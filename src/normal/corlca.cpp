@@ -1,0 +1,109 @@
+#include "normal/corlca.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/topological.hpp"
+
+namespace expmk::normal {
+
+namespace {
+
+constexpr graph::TaskId kRootless = graph::kNoTask;
+
+/// Correlation-tree state: parent pointers, depths, and the variance of
+/// each node's completion time.
+struct CorrelationTree {
+  std::vector<graph::TaskId> parent;
+  std::vector<std::uint32_t> depth;
+  std::vector<double> variance;
+
+  explicit CorrelationTree(std::size_t n)
+      : parent(n, kRootless), depth(n, 0), variance(n, 0.0) {}
+
+  /// Lowest common ancestor by depth-aligned walk; kRootless when the two
+  /// lineages never meet (independent subtrees).
+  [[nodiscard]] graph::TaskId lca(graph::TaskId a, graph::TaskId b) const {
+    if (a == kRootless || b == kRootless) return kRootless;
+    while (a != b) {
+      if (a == kRootless || b == kRootless) return kRootless;
+      if (depth[a] >= depth[b]) {
+        a = parent[a];
+      } else {
+        b = parent[b];
+      }
+      if (a == kRootless || b == kRootless) return kRootless;
+    }
+    return a;
+  }
+};
+
+}  // namespace
+
+NormalEstimate corlca(const graph::Dag& g, const core::FailureModel& model,
+                      core::RetryModel kind,
+                      std::span<const graph::TaskId> topo) {
+  const std::size_t n = g.task_count();
+  if (n == 0) throw std::invalid_argument("corlca: empty graph");
+
+  std::vector<prob::NormalMoments> completion(n);
+  CorrelationTree tree(n);
+
+  for (const graph::TaskId v : topo) {
+    prob::NormalMoments ready{0.0, 0.0};
+    graph::TaskId dominant = kRootless;
+    bool first = true;
+    for (const graph::TaskId u : g.predecessors(v)) {
+      if (first) {
+        ready = completion[u];
+        dominant = u;
+        first = false;
+        continue;
+      }
+      // Correlation through the LCA of the current dominant lineage and u.
+      const graph::TaskId anc = tree.lca(dominant, u);
+      const double cov = anc == kRootless ? 0.0 : tree.variance[anc];
+      const double denom =
+          std::sqrt(ready.var) * std::sqrt(completion[u].var);
+      const double rho = denom > 0.0 ? cov / denom : 0.0;
+      const auto fold = prob::clark_max(ready, completion[u], rho);
+      // The operand with the larger mean dominates the lineage.
+      if (completion[u].mean > ready.mean) dominant = u;
+      ready = fold.moments;
+    }
+    completion[v] = prob::sum_independent(
+        ready, duration_moments(g.weight(v), model, kind));
+    tree.parent[v] = dominant;
+    tree.depth[v] = dominant == kRootless ? 0 : tree.depth[dominant] + 1;
+    tree.variance[v] = completion[v].var;
+  }
+
+  prob::NormalMoments makespan{0.0, 0.0};
+  graph::TaskId dominant = kRootless;
+  bool first = true;
+  for (const graph::TaskId v : g.exit_tasks()) {
+    if (first) {
+      makespan = completion[v];
+      dominant = v;
+      first = false;
+      continue;
+    }
+    const graph::TaskId anc = tree.lca(dominant, v);
+    const double cov = anc == kRootless ? 0.0 : tree.variance[anc];
+    const double denom = std::sqrt(makespan.var) * std::sqrt(completion[v].var);
+    const double rho = denom > 0.0 ? cov / denom : 0.0;
+    const auto fold = prob::clark_max(makespan, completion[v], rho);
+    if (completion[v].mean > makespan.mean) dominant = v;
+    makespan = fold.moments;
+  }
+  return NormalEstimate{makespan};
+}
+
+NormalEstimate corlca(const graph::Dag& g, const core::FailureModel& model,
+                      core::RetryModel kind) {
+  const auto topo = graph::topological_order(g);
+  return corlca(g, model, kind, topo);
+}
+
+}  // namespace expmk::normal

@@ -1,0 +1,66 @@
+#include "normal/sculli.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "graph/topological.hpp"
+
+namespace expmk::normal {
+
+prob::NormalMoments duration_moments(double a,
+                                     const core::FailureModel& model,
+                                     core::RetryModel kind) {
+  if (a < 0.0) throw std::invalid_argument("duration_moments: a >= 0");
+  if (a == 0.0) return {0.0, 0.0};
+  const double p = model.p_success(a);
+  switch (kind) {
+    case core::RetryModel::TwoState:
+      return {a * (2.0 - p), a * a * p * (1.0 - p)};
+    case core::RetryModel::Geometric:
+      return {a / p, a * a * (1.0 - p) / (p * p)};
+  }
+  return {a, 0.0};
+}
+
+NormalEstimate sculli(const graph::Dag& g, const core::FailureModel& model,
+                      core::RetryModel kind,
+                      std::span<const graph::TaskId> topo) {
+  if (g.task_count() == 0) {
+    throw std::invalid_argument("sculli: empty graph");
+  }
+  std::vector<prob::NormalMoments> completion(g.task_count());
+  for (const graph::TaskId v : topo) {
+    prob::NormalMoments ready{0.0, 0.0};
+    bool first = true;
+    for (const graph::TaskId u : g.predecessors(v)) {
+      if (first) {
+        ready = completion[u];
+        first = false;
+      } else {
+        ready = prob::clark_max(ready, completion[u], 0.0).moments;
+      }
+    }
+    completion[v] = prob::sum_independent(
+        ready, duration_moments(g.weight(v), model, kind));
+  }
+
+  prob::NormalMoments makespan{0.0, 0.0};
+  bool first = true;
+  for (const graph::TaskId v : g.exit_tasks()) {
+    if (first) {
+      makespan = completion[v];
+      first = false;
+    } else {
+      makespan = prob::clark_max(makespan, completion[v], 0.0).moments;
+    }
+  }
+  return NormalEstimate{makespan};
+}
+
+NormalEstimate sculli(const graph::Dag& g, const core::FailureModel& model,
+                      core::RetryModel kind) {
+  const auto topo = graph::topological_order(g);
+  return sculli(g, model, kind, topo);
+}
+
+}  // namespace expmk::normal

@@ -1,0 +1,49 @@
+// normal/sculli.hpp
+//
+// Sculli's method (D. Sculli, "The completion time of PERT networks",
+// J. Opl. Res. Soc. 34(2), 1983) — the paper's "Normal" competitor.
+//
+// Every task duration is replaced by a normal variable with the same mean
+// and variance as its 2-state law; completion times are propagated through
+// the DAG assuming every intermediate quantity is normal:
+//   C_i = max_{j in Pred(i)} C_j  +  X_i,
+// where the max of two normals is collapsed back to a normal with Clark's
+// moments (independence assumed: rho = 0 — Sculli's simplification), and
+// the final makespan is the Clark fold of all exit completion times.
+// One pass: O(|V| + |E|) folds.
+
+#pragma once
+
+#include <span>
+
+#include "core/failure_model.hpp"
+#include "graph/dag.hpp"
+#include "prob/normal.hpp"
+
+namespace expmk::normal {
+
+/// Mean/variance of a single task's duration under the failure model.
+///   TwoState:  mean a(2-p), var a^2 p(1-p)
+///   Geometric: mean a/p,    var a^2 (1-p)/p^2
+[[nodiscard]] prob::NormalMoments duration_moments(
+    double a, const core::FailureModel& model,
+    core::RetryModel kind = core::RetryModel::TwoState);
+
+/// Result of a normal-approximation traversal.
+struct NormalEstimate {
+  prob::NormalMoments makespan;  ///< approximated makespan moments
+  [[nodiscard]] double expected_makespan() const { return makespan.mean; }
+};
+
+/// Sculli's method (correlations ignored).
+[[nodiscard]] NormalEstimate sculli(
+    const graph::Dag& g, const core::FailureModel& model,
+    core::RetryModel kind = core::RetryModel::TwoState);
+
+/// As above with a caller-provided topological order.
+[[nodiscard]] NormalEstimate sculli(const graph::Dag& g,
+                                    const core::FailureModel& model,
+                                    core::RetryModel kind,
+                                    std::span<const graph::TaskId> topo);
+
+}  // namespace expmk::normal

@@ -1,0 +1,260 @@
+#include "prob/discrete_distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+namespace expmk::prob {
+
+namespace {
+constexpr double kValueMergeEps = 1e-12;  // relative gap treated as equal
+}
+
+DiscreteDistribution::DiscreteDistribution() : atoms_{{0.0, 1.0}} {}
+
+DiscreteDistribution::DiscreteDistribution(std::vector<Atom> sorted_atoms)
+    : atoms_(std::move(sorted_atoms)) {}
+
+DiscreteDistribution DiscreteDistribution::point(double value) {
+  return DiscreteDistribution({{value, 1.0}});
+}
+
+DiscreteDistribution DiscreteDistribution::two_state(double a,
+                                                     double p_success) {
+  if (a <= 0.0) throw std::invalid_argument("two_state: weight must be > 0");
+  if (p_success < 0.0 || p_success > 1.0) {
+    throw std::invalid_argument("two_state: p_success must be in [0,1]");
+  }
+  if (p_success >= 1.0) return point(a);
+  if (p_success <= 0.0) return point(2.0 * a);
+  return DiscreteDistribution({{a, p_success}, {2.0 * a, 1.0 - p_success}});
+}
+
+DiscreteDistribution DiscreteDistribution::geometric_reexec(double a,
+                                                            double p_success,
+                                                            int max_attempts) {
+  if (a <= 0.0) {
+    throw std::invalid_argument("geometric_reexec: weight must be > 0");
+  }
+  if (p_success <= 0.0 || p_success > 1.0) {
+    throw std::invalid_argument("geometric_reexec: p in (0,1] required");
+  }
+  if (max_attempts < 1) {
+    throw std::invalid_argument("geometric_reexec: max_attempts >= 1");
+  }
+  std::vector<Atom> atoms;
+  atoms.reserve(static_cast<std::size_t>(max_attempts));
+  double tail = 1.0;  // P(attempts >= k)
+  for (int k = 1; k < max_attempts; ++k) {
+    const double pk = tail * p_success;
+    atoms.push_back({a * k, pk});
+    tail -= pk;
+  }
+  atoms.push_back({a * max_attempts, tail});
+  return from_atoms(std::move(atoms));
+}
+
+void DiscreteDistribution::consolidate(std::vector<Atom>& atoms) {
+  std::erase_if(atoms, [](const Atom& at) { return at.prob <= 0.0; });
+  std::sort(atoms.begin(), atoms.end(),
+            [](const Atom& x, const Atom& y) { return x.value < y.value; });
+  std::vector<Atom> merged;
+  merged.reserve(atoms.size());
+  for (const Atom& at : atoms) {
+    if (!merged.empty()) {
+      const double scale =
+          std::max({std::fabs(merged.back().value), std::fabs(at.value), 1.0});
+      if (at.value - merged.back().value <= kValueMergeEps * scale) {
+        merged.back().prob += at.prob;
+        continue;
+      }
+    }
+    merged.push_back(at);
+  }
+  atoms = std::move(merged);
+}
+
+DiscreteDistribution DiscreteDistribution::from_atoms(std::vector<Atom> atoms) {
+  consolidate(atoms);
+  double total = 0.0;
+  for (const Atom& at : atoms) total += at.prob;
+  if (atoms.empty() || total <= 0.0) {
+    throw std::invalid_argument("from_atoms: no positive probability mass");
+  }
+  for (Atom& at : atoms) at.prob /= total;
+  return DiscreteDistribution(std::move(atoms));
+}
+
+double DiscreteDistribution::mean() const noexcept {
+  double m = 0.0;
+  for (const Atom& at : atoms_) m += at.value * at.prob;
+  return m;
+}
+
+double DiscreteDistribution::variance() const noexcept {
+  const double m = mean();
+  double v = 0.0;
+  for (const Atom& at : atoms_) {
+    const double d = at.value - m;
+    v += d * d * at.prob;
+  }
+  return v;
+}
+
+double DiscreteDistribution::cdf(double x) const noexcept {
+  double acc = 0.0;
+  for (const Atom& at : atoms_) {
+    if (at.value > x) break;
+    acc += at.prob;
+  }
+  return acc;
+}
+
+double DiscreteDistribution::quantile(double q) const {
+  if (q <= 0.0 || q > 1.0) {
+    throw std::invalid_argument("quantile: q must be in (0,1]");
+  }
+  double acc = 0.0;
+  for (const Atom& at : atoms_) {
+    acc += at.prob;
+    if (acc >= q - 1e-15) return at.value;
+  }
+  return atoms_.back().value;
+}
+
+DiscreteDistribution DiscreteDistribution::shifted(double c) const {
+  std::vector<Atom> atoms = atoms_;
+  for (Atom& at : atoms) at.value += c;
+  return DiscreteDistribution(std::move(atoms));
+}
+
+DiscreteDistribution DiscreteDistribution::convolve(
+    const DiscreteDistribution& x, const DiscreteDistribution& y,
+    std::size_t max_atoms) {
+  std::vector<Atom> atoms;
+  atoms.reserve(x.size() * y.size());
+  for (const Atom& ax : x.atoms_) {
+    for (const Atom& ay : y.atoms_) {
+      atoms.push_back({ax.value + ay.value, ax.prob * ay.prob});
+    }
+  }
+  auto result = from_atoms(std::move(atoms));
+  if (max_atoms != 0 && result.size() > max_atoms) {
+    result = result.truncated(max_atoms);
+  }
+  return result;
+}
+
+DiscreteDistribution DiscreteDistribution::max_of(
+    const DiscreteDistribution& x, const DiscreteDistribution& y,
+    std::size_t max_atoms) {
+  // P(max = v) computed by merging supports and differencing the product
+  // CDF: F_max(v) = F_x(v) * F_y(v).
+  std::vector<double> support;
+  support.reserve(x.size() + y.size());
+  for (const Atom& at : x.atoms_) support.push_back(at.value);
+  for (const Atom& at : y.atoms_) support.push_back(at.value);
+  std::sort(support.begin(), support.end());
+  support.erase(std::unique(support.begin(), support.end()), support.end());
+
+  std::vector<Atom> atoms;
+  atoms.reserve(support.size());
+  double prev_cdf = 0.0;
+  std::size_t ix = 0, iy = 0;
+  double fx = 0.0, fy = 0.0;
+  for (const double v : support) {
+    while (ix < x.size() && x.atoms_[ix].value <= v) fx += x.atoms_[ix++].prob;
+    while (iy < y.size() && y.atoms_[iy].value <= v) fy += y.atoms_[iy++].prob;
+    const double f = fx * fy;
+    if (f > prev_cdf) atoms.push_back({v, f - prev_cdf});
+    prev_cdf = f;
+  }
+  auto result = from_atoms(std::move(atoms));
+  if (max_atoms != 0 && result.size() > max_atoms) {
+    result = result.truncated(max_atoms);
+  }
+  return result;
+}
+
+DiscreteDistribution DiscreteDistribution::mixture(
+    const DiscreteDistribution& x, double w, const DiscreteDistribution& y) {
+  if (w < 0.0 || w > 1.0) {
+    throw std::invalid_argument("mixture: weight must be in [0,1]");
+  }
+  std::vector<Atom> atoms;
+  atoms.reserve(x.size() + y.size());
+  for (const Atom& at : x.atoms_) atoms.push_back({at.value, w * at.prob});
+  for (const Atom& at : y.atoms_) {
+    atoms.push_back({at.value, (1.0 - w) * at.prob});
+  }
+  return from_atoms(std::move(atoms));
+}
+
+DiscreteDistribution DiscreteDistribution::truncated(
+    std::size_t max_atoms) const {
+  if (max_atoms == 0 || size() <= max_atoms) return *this;
+  // Greedy pass merging nearest-by-value adjacent atoms. Each round removes
+  // roughly half the overshoot; repeated until within budget. A heap-based
+  // exact nearest-pair scheme would be O(n log n) as well but the simple
+  // pass keeps atoms balanced and is what Dodin-style discretizations do.
+  std::vector<Atom> atoms = atoms_;
+  while (atoms.size() > max_atoms) {
+    const std::size_t excess = atoms.size() - max_atoms;
+    // Collect gaps, pick a threshold so we merge ~excess pairs this pass.
+    std::vector<double> gaps;
+    gaps.reserve(atoms.size() - 1);
+    for (std::size_t i = 0; i + 1 < atoms.size(); ++i) {
+      gaps.push_back(atoms[i + 1].value - atoms[i].value);
+    }
+    std::vector<double> sorted_gaps = gaps;
+    const std::size_t kth = std::min(excess, sorted_gaps.size()) - 1;
+    std::nth_element(sorted_gaps.begin(), sorted_gaps.begin() + kth,
+                     sorted_gaps.end());
+    const double threshold = sorted_gaps[kth];
+
+    std::vector<Atom> next;
+    next.reserve(atoms.size());
+    std::size_t i = 0;
+    std::size_t budget = excess;  // pairs we may merge this pass
+    while (i < atoms.size()) {
+      if (budget > 0 && i + 1 < atoms.size() && gaps[i] <= threshold) {
+        const Atom& a = atoms[i];
+        const Atom& b = atoms[i + 1];
+        const double p = a.prob + b.prob;
+        next.push_back({(a.value * a.prob + b.value * b.prob) / p, p});
+        i += 2;
+        --budget;
+      } else {
+        next.push_back(atoms[i]);
+        ++i;
+      }
+    }
+    if (next.size() == atoms.size()) break;  // no progress (defensive)
+    atoms = std::move(next);
+  }
+  return from_atoms(std::move(atoms));
+}
+
+bool DiscreteDistribution::approx_equals(const DiscreteDistribution& other,
+                                         double tol) const noexcept {
+  if (size() != other.size()) return false;
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (std::fabs(atoms_[i].value - other.atoms_[i].value) > tol) return false;
+    if (std::fabs(atoms_[i].prob - other.atoms_[i].prob) > tol) return false;
+  }
+  return true;
+}
+
+std::ostream& operator<<(std::ostream& os, const DiscreteDistribution& d) {
+  os << '{';
+  bool first = true;
+  for (const Atom& at : d.atoms()) {
+    if (!first) os << ',';
+    os << '(' << at.value << ',' << at.prob << ')';
+    first = false;
+  }
+  return os << '}';
+}
+
+}  // namespace expmk::prob

@@ -1,0 +1,106 @@
+// prob/discrete_distribution.hpp
+//
+// Finite discrete probability distributions over the reals, the arithmetic
+// Dodin's bound is built on: series reductions convolve durations, parallel
+// reductions take the maximum of independent durations.
+//
+// With 2-state task durations the exact support can grow exponentially
+// (the underlying problem is #P-complete), so the type supports a bounded
+// "atom budget": when a result exceeds `max_atoms`, adjacent atoms are
+// merged pairwise with a mean-preserving rule. The budget is a knob of the
+// Dodin implementation and is swept by bench/ablation_dodin_atoms.
+
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+namespace expmk::prob {
+
+/// One probability atom: P(X = value) = prob.
+struct Atom {
+  double value;
+  double prob;
+};
+
+/// An immutable-after-construction finite distribution. Invariants:
+/// atoms sorted strictly increasing by value, probabilities positive,
+/// total mass 1 within ~1e-9 (renormalized on construction).
+class DiscreteDistribution {
+ public:
+  /// The degenerate distribution at 0 (identity for convolution).
+  DiscreteDistribution();
+
+  /// Point mass at `value`.
+  static DiscreteDistribution point(double value);
+
+  /// Two-state task-duration law: `a` with probability p, `2a` with 1-p.
+  /// This is the paper's silent-error model for one task.
+  static DiscreteDistribution two_state(double a, double p_success);
+
+  /// Geometric re-execution law truncated at `max_attempts` executions:
+  /// k*a with probability p(1-p)^{k-1} for k < max_attempts and the
+  /// remaining tail mass on max_attempts*a. Models unbounded retries.
+  static DiscreteDistribution geometric_reexec(double a, double p_success,
+                                               int max_attempts);
+
+  /// From raw atoms (any order, duplicates allowed); consolidates, drops
+  /// non-positive masses, renormalizes. Throws if total mass is not
+  /// positive.
+  static DiscreteDistribution from_atoms(std::vector<Atom> atoms);
+
+  [[nodiscard]] const std::vector<Atom>& atoms() const noexcept {
+    return atoms_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return atoms_.size(); }
+
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double min() const noexcept { return atoms_.front().value; }
+  [[nodiscard]] double max() const noexcept { return atoms_.back().value; }
+
+  /// P(X <= x).
+  [[nodiscard]] double cdf(double x) const noexcept;
+  /// Smallest support value v with P(X <= v) >= q, q in (0,1].
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Distribution of X + c.
+  [[nodiscard]] DiscreteDistribution shifted(double c) const;
+
+  /// Distribution of X + Y for independent X, Y; result capped at
+  /// `max_atoms` (0 = unlimited).
+  [[nodiscard]] static DiscreteDistribution convolve(
+      const DiscreteDistribution& x, const DiscreteDistribution& y,
+      std::size_t max_atoms = 0);
+
+  /// Distribution of max(X, Y) for independent X, Y; capped at `max_atoms`.
+  [[nodiscard]] static DiscreteDistribution max_of(
+      const DiscreteDistribution& x, const DiscreteDistribution& y,
+      std::size_t max_atoms = 0);
+
+  /// Mixture: with probability w take X, else Y. Used by tests.
+  [[nodiscard]] static DiscreteDistribution mixture(
+      const DiscreteDistribution& x, double w, const DiscreteDistribution& y);
+
+  /// Returns a copy reduced to at most `max_atoms` atoms by repeatedly
+  /// merging the pair of adjacent atoms with the smallest value gap into a
+  /// single atom at their probability-weighted mean (preserves the overall
+  /// mean exactly; variance shrinks by at most gap² per merge).
+  [[nodiscard]] DiscreteDistribution truncated(std::size_t max_atoms) const;
+
+  /// Structural equality within `tol` on values and probabilities.
+  [[nodiscard]] bool approx_equals(const DiscreteDistribution& other,
+                                   double tol = 1e-9) const noexcept;
+
+ private:
+  explicit DiscreteDistribution(std::vector<Atom> sorted_atoms);
+  static void consolidate(std::vector<Atom>& atoms);
+
+  std::vector<Atom> atoms_;
+};
+
+/// Streams "{(v1,p1),(v2,p2),...}" — for test failure messages.
+std::ostream& operator<<(std::ostream& os, const DiscreteDistribution& d);
+
+}  // namespace expmk::prob

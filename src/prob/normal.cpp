@@ -1,0 +1,58 @@
+#include "prob/normal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "prob/statistics.hpp"
+
+namespace expmk::prob {
+
+NormalMoments sum_independent(NormalMoments x, NormalMoments y) noexcept {
+  return {x.mean + y.mean, x.var + y.var};
+}
+
+ClarkMax clark_max(NormalMoments x, NormalMoments y, double rho) noexcept {
+  rho = std::clamp(rho, -1.0, 1.0);
+  const double sx = std::sqrt(std::max(0.0, x.var));
+  const double sy = std::sqrt(std::max(0.0, y.var));
+  const double a2 = std::max(0.0, x.var + y.var - 2.0 * rho * sx * sy);
+  const double a = std::sqrt(a2);
+
+  ClarkMax out;
+  if (a < 1e-300) {
+    // X - Y is (almost) deterministic: the max is whichever mean is larger.
+    if (x.mean >= y.mean) {
+      out.moments = x;
+      out.weight_x = 1.0;
+      out.weight_y = 0.0;
+    } else {
+      out.moments = y;
+      out.weight_x = 0.0;
+      out.weight_y = 1.0;
+    }
+    return out;
+  }
+
+  const double beta = (x.mean - y.mean) / a;
+  const double phi = normal_pdf(beta);
+  const double Phi = normal_cdf(beta);
+  const double Phi_c = normal_cdf(-beta);
+
+  const double m1 = x.mean * Phi + y.mean * Phi_c + a * phi;
+  const double m2 = (x.mean * x.mean + x.var) * Phi +
+                    (y.mean * y.mean + y.var) * Phi_c +
+                    (x.mean + y.mean) * a * phi;
+
+  out.moments.mean = m1;
+  out.moments.var = std::max(0.0, m2 - m1 * m1);
+  out.weight_x = Phi;
+  out.weight_y = Phi_c;
+  return out;
+}
+
+double clark_linkage(double cov_xz, double cov_yz,
+                     const ClarkMax& fold) noexcept {
+  return cov_xz * fold.weight_x + cov_yz * fold.weight_y;
+}
+
+}  // namespace expmk::prob

@@ -1,0 +1,44 @@
+// prob/normal.hpp
+//
+// Gaussian moment arithmetic: Clark's 1961 formulas for the first two
+// moments of the maximum of two (possibly correlated) jointly normal random
+// variables, plus the linkage formula for the covariance of that maximum
+// with a third variable. This is the machinery behind the paper's "Normal"
+// estimator (Sculli's method) and its correlation-aware variants.
+
+#pragma once
+
+namespace expmk::prob {
+
+/// First two moments of a (approximately) normal random variable.
+struct NormalMoments {
+  double mean = 0.0;
+  double var = 0.0;  ///< variance, >= 0
+};
+
+/// Moments of X + Y for independent X, Y (exact for any distributions).
+[[nodiscard]] NormalMoments sum_independent(NormalMoments x,
+                                            NormalMoments y) noexcept;
+
+/// Result of Clark's max: moments of M = max(X, Y) plus the two weights
+/// Phi(beta), Phi(-beta) needed by the linkage formula.
+struct ClarkMax {
+  NormalMoments moments;
+  double weight_x = 1.0;  ///< Phi(beta): "probability X is the max"
+  double weight_y = 0.0;  ///< Phi(-beta)
+};
+
+/// Clark's formulas: first and second moments of max(X, Y) when (X, Y) are
+/// jointly normal with correlation rho. Exact under the normality
+/// assumption. Handles the degenerate case var(X)+var(Y)-2*rho*sx*sy ~ 0
+/// (then max is X or Y a.s. depending on means).
+[[nodiscard]] ClarkMax clark_max(NormalMoments x, NormalMoments y,
+                                 double rho) noexcept;
+
+/// Clark's linkage: Cov(max(X,Y), Z) = Cov(X,Z)*Phi(beta) +
+/// Cov(Y,Z)*Phi(-beta), with Phi(beta) taken from the ClarkMax result of
+/// the same (X, Y) fold. Used by the full-covariance Normal estimator.
+[[nodiscard]] double clark_linkage(double cov_xz, double cov_yz,
+                                   const ClarkMax& fold) noexcept;
+
+}  // namespace expmk::prob

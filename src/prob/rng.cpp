@@ -1,0 +1,28 @@
+#include "prob/rng.hpp"
+
+#include <cmath>
+
+namespace expmk::prob {
+
+double Xoshiro256pp::exponential(double lambda) noexcept {
+  // Inversion: -ln(U)/lambda with U in (0,1]. For lambda <= 0 we define the
+  // variate as +infinity (a task that can never fail), which callers use to
+  // model lambda = 0 without branching.
+  if (lambda <= 0.0) return INFINITY;
+  return -std::log(uniform_positive()) / lambda;
+}
+
+std::uint64_t Xoshiro256pp::below(std::uint64_t bound) noexcept {
+  // Lemire 2019 unbiased bounded generation.
+  if (bound == 0) return 0;
+  for (;;) {
+    const std::uint64_t x = (*this)();
+    const __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    const std::uint64_t low = static_cast<std::uint64_t>(m);
+    if (low >= bound) return static_cast<std::uint64_t>(m >> 64);
+    const std::uint64_t threshold = (0 - bound) % bound;
+    if (low >= threshold) return static_cast<std::uint64_t>(m >> 64);
+  }
+}
+
+}  // namespace expmk::prob

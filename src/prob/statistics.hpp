@@ -1,0 +1,60 @@
+// prob/statistics.hpp
+//
+// Streaming statistics for the Monte-Carlo engine: Welford's online
+// mean/variance with O(1) updates and a numerically stable pairwise merge,
+// so per-thread accumulators combine into one global estimate without ever
+// materializing the sample vector.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace expmk::prob {
+
+/// Welford online accumulator: count, mean, M2 (sum of squared deviations),
+/// min and max. Merging two accumulators is exact (Chan et al. update), so
+/// the MC engine's result is independent of how samples were partitioned.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void push(double x) noexcept;
+
+  /// Merges another accumulator into this one.
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean: s / sqrt(n).
+  [[nodiscard]] double standard_error() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Half-width of the two-sided normal-approximation confidence interval
+  /// at the given confidence level (e.g. 0.95 / 0.99). Valid for the large
+  /// sample counts the MC engine uses (>= thousands).
+  [[nodiscard]] double ci_half_width(double confidence) const;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Inverse standard-normal CDF (Acklam's rational approximation, |eps| <
+/// 1.15e-9) — used for CI z-values and by tests that validate Clark's
+/// formulas against quadrature.
+[[nodiscard]] double inverse_normal_cdf(double p);
+
+/// Standard normal PDF.
+[[nodiscard]] double normal_pdf(double x) noexcept;
+
+/// Standard normal CDF via erfc (double precision accurate).
+[[nodiscard]] double normal_cdf(double x) noexcept;
+
+}  // namespace expmk::prob

@@ -1,0 +1,30 @@
+#include "sched/fault_sim.hpp"
+
+#include <vector>
+
+namespace expmk::sched {
+
+FaultSimResult simulate_with_faults(const graph::Dag& g,
+                                    std::span<const double> priority,
+                                    const Machine& machine,
+                                    const core::FailureModel& model,
+                                    const FaultSimConfig& config) {
+  FaultSimResult result;
+  result.failure_free_makespan =
+      list_schedule(g, g.weights(), priority, machine).makespan;
+
+  const mc::TrialContext ctx(g, model, config.retry);
+  std::vector<double> durations(g.task_count());
+  for (std::uint64_t r = 0; r < config.runs; ++r) {
+    prob::Xoshiro256pp rng(config.seed, r);
+    // Sample per-task total execution time (attempts x weight), then
+    // schedule with those durations.
+    durations.resize(g.task_count());
+    (void)mc::run_trial(ctx, rng, durations);
+    const Schedule s = list_schedule(g, durations, priority, machine);
+    result.makespan.push(s.makespan);
+  }
+  return result;
+}
+
+}  // namespace expmk::sched

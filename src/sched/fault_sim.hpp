@@ -1,0 +1,41 @@
+// sched/fault_sim.hpp
+//
+// Fault-injected schedule simulation: runs the list scheduler with task
+// durations sampled from the silent-error model (every failed attempt is
+// fully re-executed, verification at task end). Used to compare priority
+// schemes — classical bottom level vs the paper's failure-aware bottom
+// level — under actual failures (bench/ablation_scheduling).
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/failure_model.hpp"
+#include "mc/trial.hpp"
+#include "prob/statistics.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/priorities.hpp"
+
+namespace expmk::sched {
+
+/// Configuration of a fault-injection campaign.
+struct FaultSimConfig {
+  std::uint64_t runs = 1000;
+  std::uint64_t seed = 0xFEED;
+  core::RetryModel retry = core::RetryModel::Geometric;
+};
+
+/// Aggregate outcome over the campaign.
+struct FaultSimResult {
+  prob::RunningStats makespan;  ///< distribution of achieved makespans
+  double failure_free_makespan = 0.0;  ///< same priorities, no faults
+};
+
+/// Runs `config.runs` fault-injected executions of the list schedule with
+/// the given priority vector on `machine`.
+[[nodiscard]] FaultSimResult simulate_with_faults(
+    const graph::Dag& g, std::span<const double> priority,
+    const Machine& machine, const core::FailureModel& model,
+    const FaultSimConfig& config = {});
+
+}  // namespace expmk::sched

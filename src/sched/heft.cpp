@@ -1,0 +1,116 @@
+#include "sched/heft.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/topological.hpp"
+
+namespace expmk::sched {
+
+namespace {
+
+/// Occupied interval on a processor, kept sorted by start time.
+struct Busy {
+  double start;
+  double finish;
+};
+
+/// Earliest start >= ready on a processor with the given busy list, for a
+/// job of length `len` (insertion policy: scan gaps).
+double earliest_slot(const std::vector<Busy>& busy, double ready,
+                     double len) {
+  double t = ready;
+  for (const Busy& b : busy) {
+    if (t + len <= b.start + 1e-15) return t;  // fits before this interval
+    t = std::max(t, b.finish);
+  }
+  return t;
+}
+
+void insert_slot(std::vector<Busy>& busy, double start, double finish) {
+  const Busy slot{start, finish};
+  const auto it = std::lower_bound(
+      busy.begin(), busy.end(), slot,
+      [](const Busy& a, const Busy& b) { return a.start < b.start; });
+  busy.insert(it, slot);
+}
+
+}  // namespace
+
+Schedule heft_schedule(const graph::Dag& g, std::span<const double> durations,
+                       std::span<const double> priority,
+                       const Machine& machine) {
+  const std::size_t n = g.task_count();
+  if (durations.size() != n || priority.size() != n) {
+    throw std::invalid_argument(
+        "heft_schedule: durations/priority size mismatch");
+  }
+
+  // Process tasks by descending priority; break ties topologically so the
+  // order is precedence-compatible even with zero-weight tasks.
+  const auto topo = graph::topological_order(g);
+  const auto rank = graph::ranks_of(topo);
+  std::vector<graph::TaskId> order(n);
+  for (graph::TaskId v = 0; v < n; ++v) order[v] = v;
+  std::sort(order.begin(), order.end(),
+            [&](graph::TaskId a, graph::TaskId b) {
+              if (priority[a] != priority[b]) {
+                return priority[a] > priority[b];
+              }
+              return rank[a] < rank[b];
+            });
+  // Safety: verify precedence compatibility (priorities should decrease
+  // along edges; bottom levels do).
+  {
+    std::vector<std::uint32_t> pos(n);
+    for (std::uint32_t i = 0; i < n; ++i) pos[order[i]] = i;
+    for (graph::TaskId u = 0; u < n; ++u) {
+      for (const graph::TaskId v : g.successors(u)) {
+        if (pos[u] >= pos[v]) {
+          throw std::invalid_argument(
+              "heft_schedule: priority order violates precedence (use a "
+              "bottom-level-like priority)");
+        }
+      }
+    }
+  }
+
+  Schedule schedule;
+  schedule.placements.assign(n, {});
+  std::vector<std::vector<Busy>> busy(machine.processors());
+  std::vector<double> finish(n, 0.0);
+
+  for (const graph::TaskId v : order) {
+    double ready = 0.0;
+    for (const graph::TaskId u : g.predecessors(v)) {
+      ready = std::max(ready, finish[u]);
+    }
+    std::size_t best_p = 0;
+    double best_start = 0.0;
+    double best_finish = std::numeric_limits<double>::infinity();
+    for (std::size_t p = 0; p < machine.processors(); ++p) {
+      const double len = machine.execution_time(durations[v], p);
+      const double start = earliest_slot(busy[p], ready, len);
+      if (start + len < best_finish) {
+        best_finish = start + len;
+        best_start = start;
+        best_p = p;
+      }
+    }
+    insert_slot(busy[best_p], best_start, best_finish);
+    finish[v] = best_finish;
+    schedule.placements[v] = {best_start, best_finish,
+                              static_cast<std::uint32_t>(best_p)};
+    schedule.makespan = std::max(schedule.makespan, best_finish);
+  }
+  return schedule;
+}
+
+Schedule heft_schedule(const graph::Dag& g, std::span<const double> priority,
+                       const Machine& machine) {
+  return heft_schedule(g, g.weights(), priority, machine);
+}
+
+}  // namespace expmk::sched

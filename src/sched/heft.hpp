@@ -1,0 +1,31 @@
+// sched/heft.hpp
+//
+// HEFT-style static scheduling (Topcuoglu, Hariri, Wu 2002 — the paper's
+// reference [7]): tasks are processed in descending upward-rank order
+// (here: bottom level, or the failure-aware variant) and placed on the
+// processor minimizing the earliest finish time with **insertion** — a
+// task may slide into an idle gap between two already-scheduled tasks,
+// which the plain list scheduler (list_scheduler.hpp) never does.
+
+#pragma once
+
+#include <span>
+
+#include "sched/list_scheduler.hpp"
+
+namespace expmk::sched {
+
+/// Insertion-based HEFT schedule. `durations` and `priority` as in
+/// list_schedule(); ties in priority are broken topologically so the
+/// processing order is always precedence-compatible.
+[[nodiscard]] Schedule heft_schedule(const graph::Dag& g,
+                                     std::span<const double> durations,
+                                     std::span<const double> priority,
+                                     const Machine& machine);
+
+/// Convenience overload: durations = task weights.
+[[nodiscard]] Schedule heft_schedule(const graph::Dag& g,
+                                     std::span<const double> priority,
+                                     const Machine& machine);
+
+}  // namespace expmk::sched

@@ -1,0 +1,58 @@
+// sched/list_scheduler.hpp
+//
+// Event-driven list scheduling on a bounded set of processors. Ready tasks
+// are kept in a priority queue (priority vector supplied by the caller);
+// when a processor frees up, the highest-priority ready task starts on the
+// earliest-available processor (EFT placement, which on heterogeneous
+// speeds reproduces HEFT's processor-selection rule without insertion).
+//
+// The scheduler takes the *actual durations* as an explicit vector so the
+// same machinery serves both deterministic scheduling (durations = task
+// weights) and fault-injected simulation (durations = sampled execution
+// counts x weights; see fault_sim.hpp).
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/dag.hpp"
+#include "sched/machine.hpp"
+
+namespace expmk::sched {
+
+/// One scheduled task instance.
+struct Placement {
+  double start = 0.0;
+  double finish = 0.0;
+  std::uint32_t processor = 0;
+};
+
+/// A complete schedule.
+struct Schedule {
+  std::vector<Placement> placements;  ///< indexed by TaskId
+  double makespan = 0.0;
+};
+
+/// Builds the list schedule. `durations[i]` is the wall-clock work of task
+/// i at unit speed; on processor p it runs for durations[i] / speed(p).
+/// `priority[i]` ranks ready tasks (higher first; ties by smaller id).
+[[nodiscard]] Schedule list_schedule(const graph::Dag& g,
+                                     std::span<const double> durations,
+                                     std::span<const double> priority,
+                                     const Machine& machine);
+
+/// Convenience: durations = task weights (failure-free schedule).
+[[nodiscard]] Schedule list_schedule(const graph::Dag& g,
+                                     std::span<const double> priority,
+                                     const Machine& machine);
+
+/// Checks that `s` respects precedence constraints, processor exclusivity
+/// and per-task durations; returns an empty string when valid, else a
+/// description of the first violation (test helper).
+[[nodiscard]] std::string validate_schedule(const graph::Dag& g,
+                                            std::span<const double> durations,
+                                            const Machine& machine,
+                                            const Schedule& s);
+
+}  // namespace expmk::sched

@@ -1,0 +1,4 @@
+// sched/machine.cpp — Machine is header-only; this TU anchors the header
+// so missing-include errors surface once, in one place.
+
+#include "sched/machine.hpp"

@@ -1,0 +1,54 @@
+// sched/machine.hpp
+//
+// Platform model for the list-scheduling substrate: P processors, each
+// with a relative speed (1.0 = reference). Identical machines reproduce
+// classical CP-scheduling; heterogeneous speeds exercise the HEFT-style
+// earliest-finish-time placement.
+
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace expmk::sched {
+
+/// A set of processors with relative speeds.
+class Machine {
+ public:
+  /// `p` identical unit-speed processors.
+  explicit Machine(std::size_t p) : speeds_(p, 1.0) {
+    if (p == 0) throw std::invalid_argument("Machine: need >= 1 processor");
+  }
+
+  /// Heterogeneous platform from explicit speeds (> 0 each).
+  explicit Machine(std::vector<double> speeds) : speeds_(std::move(speeds)) {
+    if (speeds_.empty()) {
+      throw std::invalid_argument("Machine: need >= 1 processor");
+    }
+    for (const double s : speeds_) {
+      if (s <= 0.0) throw std::invalid_argument("Machine: speeds must be > 0");
+    }
+  }
+
+  [[nodiscard]] std::size_t processors() const noexcept {
+    return speeds_.size();
+  }
+  [[nodiscard]] double speed(std::size_t p) const { return speeds_.at(p); }
+  [[nodiscard]] bool homogeneous() const noexcept {
+    for (const double s : speeds_) {
+      if (s != speeds_.front()) return false;
+    }
+    return true;
+  }
+
+  /// Execution time of a task of weight `w` on processor `p`.
+  [[nodiscard]] double execution_time(double w, std::size_t p) const {
+    return w / speed(p);
+  }
+
+ private:
+  std::vector<double> speeds_;
+};
+
+}  // namespace expmk::sched

@@ -1,0 +1,22 @@
+#include "sched/priorities.hpp"
+
+#include "core/bottom_levels.hpp"
+#include "graph/levels.hpp"
+#include "graph/topological.hpp"
+
+namespace expmk::sched {
+
+std::vector<double> priorities(const graph::Dag& g, PriorityKind kind,
+                               const core::FailureModel& model) {
+  const auto topo = graph::topological_order(g);
+  switch (kind) {
+    case PriorityKind::BottomLevel:
+    case PriorityKind::UpwardRank:
+      return graph::bottom_levels(g, g.weights(), topo);
+    case PriorityKind::FailureAwareBottomLevel:
+      return core::failure_aware_bottom_levels(g, model, topo);
+  }
+  return graph::bottom_levels(g, g.weights(), topo);
+}
+
+}  // namespace expmk::sched

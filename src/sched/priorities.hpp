@@ -1,0 +1,34 @@
+// sched/priorities.hpp
+//
+// Task priority vectors for list scheduling. The paper's motivation: CP
+// scheduling ranks tasks by bottom level; under silent errors the bottom
+// level should be the *expected* one — which is exactly what the
+// first-order machinery provides (core/bottom_levels.hpp).
+
+#pragma once
+
+#include <vector>
+
+#include "core/failure_model.hpp"
+#include "graph/dag.hpp"
+
+namespace expmk::sched {
+
+/// Available priority schemes.
+enum class PriorityKind {
+  /// Classical CP-scheduling: failure-free bottom level.
+  BottomLevel,
+  /// Failure-aware CP: first-order expected bottom level (the paper's
+  /// proposed use of its approximation).
+  FailureAwareBottomLevel,
+  /// Upward rank alias used by HEFT on homogeneous platforms — identical
+  /// to BottomLevel here because task costs do not vary per processor.
+  UpwardRank,
+};
+
+/// Computes the priority of every task (higher = schedule earlier).
+[[nodiscard]] std::vector<double> priorities(const graph::Dag& g,
+                                             PriorityKind kind,
+                                             const core::FailureModel& model);
+
+}  // namespace expmk::sched

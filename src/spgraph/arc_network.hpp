@@ -1,0 +1,93 @@
+// spgraph/arc_network.hpp
+//
+// Activity-on-arc (AoA) networks: the representation Dodin's algorithm and
+// the series-parallel reductions operate on.
+//
+// A task DAG (activity-on-node) converts to a two-terminal AoA network as
+// follows: every task i becomes an arc (u_i -> v_i) carrying the task's
+// duration distribution; every precedence edge (i, j) becomes a
+// zero-duration arc (v_i -> u_j); a virtual source s feeds every entry's
+// u-node and every exit's v-node feeds a virtual sink t. The network's
+// s-to-t "project duration" then equals the DAG's makespan.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dag.hpp"
+#include "prob/discrete_distribution.hpp"
+
+namespace expmk::sp {
+
+using NodeId = std::uint32_t;
+using ArcId = std::uint32_t;
+
+/// One arc of the network. Arcs are soft-deleted (alive flag) during
+/// reduction so ids stay stable.
+struct Arc {
+  NodeId from;
+  NodeId to;
+  prob::DiscreteDistribution dist;
+  bool alive = true;
+};
+
+/// A mutable two-terminal AoA network supporting the operations Dodin's
+/// transformation needs: arc insertion/removal, degree queries, and node
+/// duplication bookkeeping (node count may grow).
+class ArcNetwork {
+ public:
+  /// Builds the AoA network of a task DAG, one distribution per task
+  /// (indexed by TaskId).
+  static ArcNetwork from_dag(const graph::Dag& g,
+                             std::vector<prob::DiscreteDistribution> task_dist);
+
+  [[nodiscard]] NodeId source() const noexcept { return source_; }
+  [[nodiscard]] NodeId sink() const noexcept { return sink_; }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return out_.size();
+  }
+  /// Number of alive arcs.
+  [[nodiscard]] std::size_t arc_count() const noexcept { return alive_arcs_; }
+
+  [[nodiscard]] const Arc& arc(ArcId id) const { return arcs_.at(id); }
+  [[nodiscard]] Arc& arc(ArcId id) { return arcs_.at(id); }
+
+  /// Alive out-arc / in-arc ids of a node (compacted on access).
+  [[nodiscard]] std::vector<ArcId> out_arcs(NodeId n) const;
+  [[nodiscard]] std::vector<ArcId> in_arcs(NodeId n) const;
+  [[nodiscard]] std::size_t out_degree(NodeId n) const;
+  [[nodiscard]] std::size_t in_degree(NodeId n) const;
+
+  /// Adds a new node (used by Dodin duplication).
+  NodeId add_node();
+
+  /// Adds an alive arc and returns its id.
+  ArcId add_arc(NodeId from, NodeId to, prob::DiscreteDistribution dist);
+
+  /// Soft-deletes an arc.
+  void remove_arc(ArcId id);
+
+  /// Moves an arc's head to a different node (Dodin moves (u,v) to
+  /// (u, v')).
+  void retarget_arc(ArcId id, NodeId new_to);
+
+  /// Topological order of nodes over alive arcs; throws on a cycle (which
+  /// would indicate a bug — reductions preserve acyclicity).
+  [[nodiscard]] std::vector<NodeId> topological_nodes() const;
+
+ private:
+  ArcNetwork() = default;
+  void compact(std::vector<ArcId>& list) const;
+
+  std::vector<Arc> arcs_;
+  // Adjacency lists may contain stale (dead) arc ids; they are compacted
+  // lazily by the accessors.
+  mutable std::vector<std::vector<ArcId>> out_;
+  mutable std::vector<std::vector<ArcId>> in_;
+  NodeId source_ = 0;
+  NodeId sink_ = 0;
+  std::size_t alive_arcs_ = 0;
+};
+
+}  // namespace expmk::sp

@@ -1,0 +1,73 @@
+// spgraph/dodin.hpp
+//
+// Dodin's bound (B. Dodin, "Bounding the project completion time
+// distribution in PERT networks", Operations Research 33(4), 1985) — the
+// first competitor estimator of the paper's evaluation.
+//
+// The general AoA network is transformed into a series-parallel one:
+// series/parallel reductions are applied exhaustively; when the network is
+// irreducible, a node is *duplicated* and the copies of the affected arc's
+// duration are treated as independent random variables — which is exactly
+// where the approximation (and Dodin's bias) comes from. The process
+// repeats until a single source->sink arc remains, whose distribution
+// approximates the makespan law.
+//
+// Duplication strategy. We use "cost-1" sites only: a join (in >= 2,
+// out == 1) loses one in-arc to a clone carrying a copy of its single
+// out-arc; a fork (in == 1, out >= 2) loses one out-arc to a clone
+// carrying a copy of its single in-arc. Either way the clone has degree
+// (1,1) and series-merges immediately, so the alive arc count is
+// non-increasing and the total number of duplications is O(|V| + |E|) —
+// unlike the classical copy-all-out-arcs rule, whose duplication count
+// explodes combinatorially on the dense factorization DAGs (measured:
+// 14,700 duplications for Cholesky k=8 vs a few hundred here). In an
+// exhaustively reduced network the topologically-first internal node is
+// always a fork, so a site always exists; joins are preferred when
+// present, matching Dodin's original join-duplication rule.
+//
+// Distribution supports are capped at `max_atoms` (mean-preserving
+// adjacent merges); the cap is an accuracy/time knob swept by
+// bench/ablation_dodin_atoms.
+
+#pragma once
+
+#include <cstddef>
+
+#include "core/failure_model.hpp"
+#include "graph/dag.hpp"
+#include "prob/discrete_distribution.hpp"
+#include "spgraph/arc_network.hpp"
+
+namespace expmk::sp {
+
+/// Tuning knobs for the Dodin transformation.
+struct DodinOptions {
+  /// Atom budget per intermediate distribution; 0 = exact (exponential
+  /// blow-up risk on non-trivial graphs — use only in tests).
+  std::size_t max_atoms = 256;
+  /// Safety valve: abort (throw std::runtime_error) after this many node
+  /// duplications. Our largest experiment (LU k=20) needs well under this.
+  std::size_t max_duplications = 2'000'000;
+};
+
+/// Result of the transformation.
+struct DodinResult {
+  prob::DiscreteDistribution makespan;  ///< approximate makespan law
+  std::size_t duplications = 0;         ///< nodes cloned
+  std::size_t series_reductions = 0;
+  std::size_t parallel_reductions = 0;
+
+  [[nodiscard]] double expected_makespan() const { return makespan.mean(); }
+};
+
+/// Runs Dodin's algorithm on an arbitrary AoA network (consumed).
+[[nodiscard]] DodinResult dodin(ArcNetwork net, const DodinOptions& options = {});
+
+/// Paper pipeline: task durations are the 2-state laws of `model`
+/// (a_i w.p. e^{-lambda a_i}, else 2 a_i); returns the Dodin estimate of
+/// the expected makespan of `g`.
+[[nodiscard]] DodinResult dodin_two_state(const graph::Dag& g,
+                                          const core::FailureModel& model,
+                                          const DodinOptions& options = {});
+
+}  // namespace expmk::sp

@@ -1,0 +1,58 @@
+// spgraph/sp_reduce.hpp
+//
+// Exhaustive series/parallel reduction of a two-terminal AoA network —
+// the recognition algorithm of Valdes, Tarjan and Lawler specialized to
+// our use: a network is (two-terminal) series-parallel iff the rewrite
+// system below reduces it to a single source->sink arc.
+//
+//   series:   internal node v with in-degree 1 and out-degree 1:
+//             arcs (u,v), (v,w) merge into (u,w) with the *convolution*
+//             of their duration distributions;
+//   parallel: two arcs with identical endpoints (u,w) merge into one arc
+//             with the distribution of the *maximum* (independent).
+//
+// On an SP network the resulting single arc carries the exact makespan
+// distribution (exact modulo the atom budget). On a non-SP network the
+// reductions stall; Dodin's algorithm (dodin.hpp) then duplicates a node
+// and resumes.
+
+#pragma once
+
+#include <cstddef>
+
+#include "spgraph/arc_network.hpp"
+
+namespace expmk::sp {
+
+/// Outcome of exhaustive reduction.
+struct ReduceStats {
+  std::size_t series = 0;     ///< series merges applied
+  std::size_t parallel = 0;   ///< parallel merges applied
+  bool reduced_to_single_arc = false;
+};
+
+/// Applies series/parallel reductions until none applies. `max_atoms`
+/// bounds every intermediate distribution (0 = exact/unbounded).
+/// Worklist-driven: O((#merges) * degree) plus distribution costs.
+ReduceStats reduce_exhaustively(ArcNetwork& net, std::size_t max_atoms);
+
+/// Incremental variant: only re-examines `seeds` and whatever their merges
+/// touch. Used by Dodin's loop so a duplication triggers local rewriting
+/// instead of a full network pass. Accumulates counts into `stats`.
+void reduce_from(ArcNetwork& net, std::vector<NodeId> seeds,
+                 std::size_t max_atoms, ReduceStats& stats);
+
+/// Result of evaluating a network that is (or reduces to) series-parallel.
+struct SpEvaluation {
+  bool is_series_parallel = false;
+  /// Makespan distribution; meaningful only when is_series_parallel.
+  prob::DiscreteDistribution makespan;
+  ReduceStats stats;
+};
+
+/// Convenience: reduce a copy of the network built from `g` and report
+/// whether it was SP, together with the exact makespan distribution
+/// (task durations = 2-state laws for the given failure model's lambda).
+SpEvaluation evaluate_sp(ArcNetwork net, std::size_t max_atoms = 0);
+
+}  // namespace expmk::sp

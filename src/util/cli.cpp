@@ -1,0 +1,127 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace expmk::util {
+
+Cli::Cli(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void Cli::add_int(const std::string& name, std::int64_t def,
+                  const std::string& help) {
+  options_[name] = Option{Kind::Int, std::to_string(def), help};
+}
+
+void Cli::add_double(const std::string& name, double def,
+                     const std::string& help) {
+  std::ostringstream os;
+  os << def;
+  options_[name] = Option{Kind::Double, os.str(), help};
+}
+
+void Cli::add_string(const std::string& name, std::string def,
+                     const std::string& help) {
+  options_[name] = Option{Kind::String, std::move(def), help};
+}
+
+void Cli::add_flag(const std::string& name, const std::string& help) {
+  options_[name] = Option{Kind::Flag, "0", help};
+}
+
+std::string Cli::usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\nOptions:\n";
+  for (const auto& [name, opt] : options_) {
+    os << "  --" << name;
+    switch (opt.kind) {
+      case Kind::Int:    os << " <int>"; break;
+      case Kind::Double: os << " <float>"; break;
+      case Kind::String: os << " <str>"; break;
+      case Kind::Flag:   break;
+    }
+    os << "\n      " << opt.help;
+    if (opt.kind != Kind::Flag) os << " (default: " << opt.value << ")";
+    os << "\n";
+  }
+  os << "  --help\n      show this message\n";
+  return os.str();
+}
+
+void Cli::fail(const std::string& message) const {
+  std::fprintf(stderr, "%s: %s\n\n%s", program_.c_str(), message.c_str(),
+               usage().c_str());
+  std::exit(2);
+}
+
+void Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("%s", usage().c_str());
+      std::exit(0);
+    }
+    if (arg.rfind("--", 0) != 0) fail("unexpected positional argument '" + arg + "'");
+    arg.erase(0, 2);
+
+    std::string name = arg;
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+
+    const auto it = options_.find(name);
+    if (it == options_.end()) fail("unknown option '--" + name + "'");
+    Option& opt = it->second;
+
+    if (opt.kind == Kind::Flag) {
+      if (has_value) fail("flag '--" + name + "' does not take a value");
+      opt.value = "1";
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) fail("option '--" + name + "' expects a value");
+      value = argv[++i];
+    }
+    // Validate eagerly so errors surface at parse time.
+    try {
+      if (opt.kind == Kind::Int) (void)std::stoll(value);
+      if (opt.kind == Kind::Double) (void)std::stod(value);
+    } catch (const std::exception&) {
+      fail("invalid value '" + value + "' for option '--" + name + "'");
+    }
+    opt.value = value;
+  }
+}
+
+const Cli::Option& Cli::find(const std::string& name, Kind kind) const {
+  const auto it = options_.find(name);
+  if (it == options_.end() || it->second.kind != kind) {
+    throw std::logic_error("Cli: option '" + name +
+                           "' not registered with the requested type");
+  }
+  return it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name) const {
+  return std::stoll(find(name, Kind::Int).value);
+}
+
+double Cli::get_double(const std::string& name) const {
+  return std::stod(find(name, Kind::Double).value);
+}
+
+const std::string& Cli::get_string(const std::string& name) const {
+  return find(name, Kind::String).value;
+}
+
+bool Cli::get_flag(const std::string& name) const {
+  return find(name, Kind::Flag).value == "1";
+}
+
+}  // namespace expmk::util

@@ -1,0 +1,80 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace expmk::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("Table: empty header");
+}
+
+void Table::begin_row() { cells_.emplace_back(); }
+
+void Table::add(std::string cell) {
+  if (cells_.empty()) throw std::logic_error("Table: add before begin_row");
+  if (cells_.back().size() >= header_.size()) {
+    throw std::logic_error("Table: row has more cells than header columns");
+  }
+  cells_.back().push_back(std::move(cell));
+}
+
+void Table::add_int(std::int64_t v) { add(std::to_string(v)); }
+
+void Table::add_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  add(buf);
+}
+
+void Table::add_signed_sci(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%+.3e", v);
+  add(buf);
+}
+
+const std::string& Table::cell(std::size_t r, std::size_t c) const {
+  return cells_.at(r).at(c);
+}
+
+void Table::print_aligned(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : cells_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+    }
+  }
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& s = c < row.size() ? row[c] : std::string();
+      os << s;
+      if (c + 1 < header_.size()) {
+        os << std::string(width[c] - s.size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : cells_) emit(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : cells_) emit(row);
+}
+
+}  // namespace expmk::util

@@ -1,0 +1,48 @@
+// util/table.hpp
+//
+// Text-table rendering for the benchmark harness: every paper table/figure
+// is regenerated as rows of a Table, printed either as an aligned monospace
+// table (human reading) or as CSV (plotting scripts).
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace expmk::util {
+
+/// A rectangular table of strings with a header row.
+///
+/// Cells are added row-by-row; numeric helpers format doubles with
+/// significant digits appropriate for relative-error reporting (the paper
+/// plots errors between 1e-6 and 1e-1 on log axes).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent add_* calls fill it left to right.
+  void begin_row();
+  void add(std::string cell);
+  void add_int(std::int64_t v);
+  /// %.6g formatting — enough to read 1e-6-scale relative errors.
+  void add_double(double v);
+  /// Scientific with explicit sign, e.g. "+1.93e-02" (figure series).
+  void add_signed_sci(double v);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return cells_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return header_.size(); }
+  [[nodiscard]] const std::string& cell(std::size_t r, std::size_t c) const;
+
+  /// Renders with space padding and a rule under the header.
+  void print_aligned(std::ostream& os) const;
+  /// Renders as RFC-4180-ish CSV (no quoting needed for our content).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+}  // namespace expmk::util

@@ -1,0 +1,25 @@
+#include "util/timer.hpp"
+
+#include <cstdio>
+
+namespace expmk::util {
+
+std::string format_duration(double seconds) {
+  char buf[64];
+  if (seconds < 0) {
+    std::snprintf(buf, sizeof buf, "n/a");
+  } else if (seconds < 1e-6) {
+    std::snprintf(buf, sizeof buf, "%.0f ns", seconds * 1e9);
+  } else if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.1f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", seconds * 1e3);
+  } else if (seconds < 120.0) {
+    std::snprintf(buf, sizeof buf, "%.2f s", seconds);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f min", seconds / 60.0);
+  }
+  return buf;
+}
+
+}  // namespace expmk::util

@@ -1,0 +1,38 @@
+// util/timer.hpp
+//
+// Wall-clock stopwatch used by the benchmark harness to reproduce the
+// execution-time column of the paper's Table I.
+
+#pragma once
+
+#include <chrono>
+#include <string>
+
+namespace expmk::util {
+
+/// Monotonic wall-clock stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last reset().
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Formats a duration in seconds with an adaptive unit, e.g. "153 us",
+/// "2.31 ms", "4.07 s", "2.1 min" — used in bench table output.
+[[nodiscard]] std::string format_duration(double seconds);
+
+}  // namespace expmk::util

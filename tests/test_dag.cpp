@@ -1,0 +1,100 @@
+// Unit tests for graph/dag: construction, adjacency bookkeeping, weight
+// invariants, name lookup.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/dag.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using expmk::graph::Dag;
+using expmk::graph::kNoTask;
+
+TEST(Dag, AddTaskAssignsSequentialIds) {
+  Dag g;
+  EXPECT_EQ(g.add_task("a", 1.0), 0u);
+  EXPECT_EQ(g.add_task("b", 2.0), 1u);
+  EXPECT_EQ(g.task_count(), 2u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_DOUBLE_EQ(g.weight(0), 1.0);
+  EXPECT_EQ(g.name(1), "b");
+}
+
+TEST(Dag, WithTasksBulkConstruction) {
+  const Dag g = Dag::with_tasks(5, 0.5);
+  EXPECT_EQ(g.task_count(), 5u);
+  for (expmk::graph::TaskId i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(g.weight(i), 0.5);
+  }
+  EXPECT_THROW(Dag::with_tasks(2, -1.0), std::invalid_argument);
+}
+
+TEST(Dag, EdgesMaintainBothAdjacencies) {
+  Dag g;
+  const auto a = g.add_task(1.0);
+  const auto b = g.add_task(1.0);
+  const auto c = g.add_task(1.0);
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, c);
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_EQ(g.out_degree(a), 2u);
+  EXPECT_EQ(g.in_degree(c), 2u);
+  EXPECT_EQ(g.successors(a).size(), 2u);
+  EXPECT_EQ(g.predecessors(c).size(), 2u);
+}
+
+TEST(Dag, RejectsInvalidEdges) {
+  Dag g;
+  const auto a = g.add_task(1.0);
+  EXPECT_THROW(g.add_edge(a, a), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(a, 99), std::out_of_range);
+  EXPECT_THROW(g.add_edge(99, a), std::out_of_range);
+}
+
+TEST(Dag, AddEdgeUniqueDeduplicates) {
+  Dag g;
+  const auto a = g.add_task(1.0);
+  const auto b = g.add_task(1.0);
+  g.add_edge_unique(a, b);
+  g.add_edge_unique(a, b);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Dag, NegativeWeightRejected) {
+  Dag g;
+  EXPECT_THROW(g.add_task(-0.5), std::invalid_argument);
+  const auto a = g.add_task(1.0);
+  EXPECT_THROW(g.set_weight(a, -1.0), std::invalid_argument);
+  g.set_weight(a, 3.0);
+  EXPECT_DOUBLE_EQ(g.weight(a), 3.0);
+}
+
+TEST(Dag, EntryAndExitTasks) {
+  const auto g = expmk::test::diamond();
+  const auto entries = g.entry_tasks();
+  const auto exits = g.exit_tasks();
+  ASSERT_EQ(entries.size(), 1u);
+  ASSERT_EQ(exits.size(), 1u);
+  EXPECT_EQ(g.name(entries[0]), "A");
+  EXPECT_EQ(g.name(exits[0]), "D");
+}
+
+TEST(Dag, TotalAndMeanWeight) {
+  const auto g = expmk::test::diamond(1.0, 2.0, 3.0, 4.0);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 10.0);
+  EXPECT_DOUBLE_EQ(g.mean_weight(), 2.5);
+  const Dag empty;
+  EXPECT_DOUBLE_EQ(empty.mean_weight(), 0.0);
+}
+
+TEST(Dag, FindByName) {
+  const auto g = expmk::test::diamond();
+  EXPECT_EQ(g.name(g.find_by_name("C")), "C");
+  EXPECT_EQ(g.find_by_name("nope"), kNoTask);
+}
+
+}  // namespace

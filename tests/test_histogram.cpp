@@ -1,0 +1,79 @@
+// Tests for mc/histogram: binning, quantiles, empirical CDF.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mc/histogram.hpp"
+
+namespace {
+
+using expmk::mc::empirical_cdf;
+using expmk::mc::empirical_quantile;
+using expmk::mc::Histogram;
+
+TEST(Histogram, BinsCountsAndDensity) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);  // one per bucket
+  EXPECT_EQ(h.total(), 10u);
+  for (std::size_t b = 0; b < 10; ++b) {
+    EXPECT_EQ(h.count(b), 1u);
+    EXPECT_DOUBLE_EQ(h.density(b), 0.1);
+    EXPECT_DOUBLE_EQ(h.bin_center(b), b + 0.5);
+  }
+}
+
+TEST(Histogram, OutOfRangeClampsToBoundaryBuckets) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(99.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+}
+
+TEST(Histogram, FromSamplesAutoRange) {
+  const std::vector<double> samples = {1.0, 2.0, 3.0, 4.0};
+  const auto h = Histogram::from_samples(samples, 4);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_THROW((void)Histogram::from_samples({}, 4), std::invalid_argument);
+}
+
+TEST(Histogram, DegenerateSamplesStillBin) {
+  const std::vector<double> samples(5, 2.5);
+  const auto h = Histogram::from_samples(samples, 3);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(Histogram, AsciiRenderingMentionsCounts) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  std::ostringstream os;
+  h.print_ascii(os, 10);
+  EXPECT_NE(os.str().find('#'), std::string::npos);
+}
+
+TEST(EmpiricalQuantile, OrderStatisticsInterpolation) {
+  const std::vector<double> s = {4.0, 1.0, 3.0, 2.0};  // sorted: 1 2 3 4
+  EXPECT_DOUBLE_EQ(empirical_quantile(s, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(empirical_quantile(s, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(empirical_quantile(s, 0.5), 2.5);
+  EXPECT_THROW((void)empirical_quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)empirical_quantile(s, 1.5), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, CountsFractionBelow) {
+  const std::vector<double> s = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(empirical_cdf(s, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empirical_cdf(s, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(empirical_cdf(s, 9.0), 1.0);
+  EXPECT_THROW((void)empirical_cdf({}, 1.0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,92 @@
+// Unit tests for graph/levels: top/bottom level conventions and their
+// relationship to the critical path (the identities the first-order
+// estimator depends on).
+
+#include <gtest/gtest.h>
+
+#include "gen/cholesky.hpp"
+#include "gen/random_dags.hpp"
+#include "graph/levels.hpp"
+#include "graph/longest_path.hpp"
+#include "graph/topological.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using expmk::graph::bottom_levels;
+using expmk::graph::compute_levels;
+using expmk::graph::critical_path_length;
+using expmk::graph::top_levels;
+using expmk::graph::topological_order;
+
+TEST(Levels, DiamondValues) {
+  const auto g = expmk::test::diamond(1.0, 2.0, 3.0, 4.0);
+  const auto topo = topological_order(g);
+  const auto top = top_levels(g, g.weights(), topo);
+  const auto bottom = bottom_levels(g, g.weights(), topo);
+
+  const auto A = g.find_by_name("A"), B = g.find_by_name("B"),
+             C = g.find_by_name("C"), D = g.find_by_name("D");
+  EXPECT_DOUBLE_EQ(top[A], 0.0);
+  EXPECT_DOUBLE_EQ(top[B], 1.0);
+  EXPECT_DOUBLE_EQ(top[C], 1.0);
+  EXPECT_DOUBLE_EQ(top[D], 4.0);  // A + C
+  EXPECT_DOUBLE_EQ(bottom[D], 4.0);
+  EXPECT_DOUBLE_EQ(bottom[B], 6.0);
+  EXPECT_DOUBLE_EQ(bottom[C], 7.0);
+  EXPECT_DOUBLE_EQ(bottom[A], 8.0);
+}
+
+TEST(Levels, EntryTopIsZeroExitBottomIsWeight) {
+  const auto g = expmk::gen::layered_random(4, 3, 0.5, 11);
+  const auto topo = topological_order(g);
+  const auto top = top_levels(g, g.weights(), topo);
+  const auto bottom = bottom_levels(g, g.weights(), topo);
+  for (const auto e : g.entry_tasks()) EXPECT_DOUBLE_EQ(top[e], 0.0);
+  for (const auto x : g.exit_tasks()) {
+    EXPECT_DOUBLE_EQ(bottom[x], g.weight(x));
+  }
+}
+
+TEST(Levels, BundleCriticalPathMatchesLongestPath) {
+  const auto g = expmk::gen::cholesky_dag(5);
+  const auto topo = topological_order(g);
+  const auto levels = compute_levels(g, g.weights(), topo);
+  EXPECT_NEAR(levels.critical_path,
+              critical_path_length(g, g.weights(), topo), 1e-12);
+}
+
+// Key identity behind the closed-form first order: for every task,
+// top(i) + bottom(i) <= d(G), with equality on critical tasks; and the
+// bottom level of an entry on the critical path equals d(G).
+class LevelsInvariantSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LevelsInvariantSweep, ThroughPathNeverExceedsCriticalPath) {
+  const auto g = expmk::gen::erdos_dag(30, 0.15, GetParam());
+  const auto topo = topological_order(g);
+  const auto levels = compute_levels(g, g.weights(), topo);
+  bool some_tight = false;
+  for (expmk::graph::TaskId v = 0; v < g.task_count(); ++v) {
+    const double through = levels.top[v] + levels.bottom[v];
+    EXPECT_LE(through, levels.critical_path + 1e-12);
+    if (expmk::test::near(through, levels.critical_path)) some_tight = true;
+  }
+  EXPECT_TRUE(some_tight);  // the critical path itself is tight
+}
+
+TEST_P(LevelsInvariantSweep, BottomLevelIsMonotoneAlongEdges) {
+  const auto g = expmk::gen::erdos_dag(30, 0.15, GetParam() + 100);
+  const auto topo = topological_order(g);
+  const auto bottom = bottom_levels(g, g.weights(), topo);
+  for (expmk::graph::TaskId u = 0; u < g.task_count(); ++u) {
+    for (const auto v : g.successors(u)) {
+      // bottom(u) >= a_u + bottom(v) > bottom(v).
+      EXPECT_GE(bottom[u], g.weight(u) + bottom[v] - 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LevelsInvariantSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace

@@ -1,0 +1,103 @@
+// Unit tests for graph/longest_path: the d(G) computation every estimator
+// builds on, cross-checked against a brute-force path enumeration.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "gen/random_dags.hpp"
+#include "graph/longest_path.hpp"
+#include "graph/topological.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using expmk::graph::critical_path;
+using expmk::graph::critical_path_length;
+using expmk::graph::longest_from;
+using expmk::graph::topological_order;
+
+TEST(LongestPath, DiamondTakesHeavierBranch) {
+  const auto g = expmk::test::diamond(1.0, 2.0, 3.0, 1.0);
+  EXPECT_DOUBLE_EQ(critical_path_length(g), 1.0 + 3.0 + 1.0);
+}
+
+TEST(LongestPath, ChainSumsAllWeights) {
+  const auto g = expmk::gen::uniform_chain(10, 0.5);
+  EXPECT_DOUBLE_EQ(critical_path_length(g), 5.0);
+}
+
+TEST(LongestPath, IndependentTasksTakeMaximum) {
+  auto g = expmk::graph::Dag();
+  g.add_task(1.0);
+  g.add_task(7.0);
+  g.add_task(3.0);
+  EXPECT_DOUBLE_EQ(critical_path_length(g), 7.0);
+}
+
+TEST(LongestPath, CustomWeightsOverrideDagWeights) {
+  const auto g = expmk::test::diamond(1.0, 2.0, 3.0, 1.0);
+  const auto topo = topological_order(g);
+  const std::vector<double> w = {1.0, 10.0, 3.0, 1.0};  // B now heavier
+  EXPECT_DOUBLE_EQ(critical_path_length(g, w, topo), 12.0);
+}
+
+TEST(LongestPath, MismatchedSizesThrow) {
+  const auto g = expmk::test::diamond();
+  const auto topo = topological_order(g);
+  const std::vector<double> wrong = {1.0, 2.0};
+  EXPECT_THROW((void)critical_path_length(g, wrong, topo),
+               std::invalid_argument);
+}
+
+TEST(LongestPath, PathExtractionMatchesLength) {
+  const auto g = expmk::test::diamond(1.0, 2.0, 3.0, 1.0);
+  const auto topo = topological_order(g);
+  const auto cp = critical_path(g, g.weights(), topo);
+  EXPECT_DOUBLE_EQ(cp.length, 5.0);
+  ASSERT_EQ(cp.tasks.size(), 3u);
+  EXPECT_EQ(g.name(cp.tasks[0]), "A");
+  EXPECT_EQ(g.name(cp.tasks[1]), "C");
+  EXPECT_EQ(g.name(cp.tasks[2]), "D");
+  // The extracted path must be a real path.
+  for (std::size_t i = 0; i + 1 < cp.tasks.size(); ++i) {
+    const auto succ = g.successors(cp.tasks[i]);
+    EXPECT_NE(std::find(succ.begin(), succ.end(), cp.tasks[i + 1]),
+              succ.end());
+  }
+}
+
+TEST(LongestPath, LongestFromComputesInclusiveLengths) {
+  const auto g = expmk::test::diamond(1.0, 2.0, 3.0, 4.0);
+  const auto topo = topological_order(g);
+  const auto lp = longest_from(g, g.find_by_name("A"), g.weights(), topo);
+  EXPECT_DOUBLE_EQ(lp[g.find_by_name("A")], 1.0);
+  EXPECT_DOUBLE_EQ(lp[g.find_by_name("B")], 3.0);
+  EXPECT_DOUBLE_EQ(lp[g.find_by_name("C")], 4.0);
+  EXPECT_DOUBLE_EQ(lp[g.find_by_name("D")], 8.0);  // A-C-D
+}
+
+TEST(LongestPath, LongestFromUnreachableIsMinusInfinity) {
+  const auto g = expmk::test::n_graph();
+  const auto topo = topological_order(g);
+  const auto lp = longest_from(g, g.find_by_name("B"), g.weights(), topo);
+  EXPECT_EQ(lp[g.find_by_name("C")], -std::numeric_limits<double>::infinity());
+  EXPECT_GT(lp[g.find_by_name("D")], 0.0);
+}
+
+// Property sweep: DP result equals brute-force enumeration on random DAGs.
+class LongestPathSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LongestPathSweep, MatchesBruteForce) {
+  const auto seed = GetParam();
+  const auto g = expmk::gen::erdos_dag(12, 0.25, seed);
+  const auto topo = topological_order(g);
+  const double dp = critical_path_length(g, g.weights(), topo);
+  const double brute = expmk::test::brute_force_longest_path(g, g.weights());
+  EXPECT_NEAR(dp, brute, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LongestPathSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace

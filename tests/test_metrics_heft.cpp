@@ -1,0 +1,165 @@
+// Tests for graph/metrics and sched/heft (insertion-based HEFT).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/cholesky.hpp"
+#include "gen/lu.hpp"
+#include "gen/random_dags.hpp"
+#include "graph/longest_path.hpp"
+#include "graph/metrics.hpp"
+#include "sched/heft.hpp"
+#include "sched/priorities.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using expmk::graph::compute_metrics;
+using expmk::graph::level_partition;
+using expmk::sched::heft_schedule;
+using expmk::sched::list_schedule;
+using expmk::sched::Machine;
+
+TEST(Metrics, DiamondNumbers) {
+  const auto g = expmk::test::diamond(1.0, 2.0, 3.0, 4.0);
+  const auto m = compute_metrics(g);
+  EXPECT_EQ(m.tasks, 4u);
+  EXPECT_EQ(m.edges, 4u);
+  EXPECT_EQ(m.entries, 1u);
+  EXPECT_EQ(m.exits, 1u);
+  EXPECT_EQ(m.depth, 3u);
+  EXPECT_EQ(m.max_level_width, 2u);
+  EXPECT_DOUBLE_EQ(m.total_work, 10.0);
+  EXPECT_DOUBLE_EQ(m.critical_path, 8.0);
+  EXPECT_DOUBLE_EQ(m.average_parallelism, 1.25);
+  EXPECT_EQ(m.max_out_degree, 2u);
+  EXPECT_EQ(m.max_in_degree, 2u);
+  EXPECT_DOUBLE_EQ(m.density, 4.0 / 6.0);
+}
+
+TEST(Metrics, LevelPartitionCoversAllTasks) {
+  const auto g = expmk::gen::cholesky_dag(5);
+  const auto levels = level_partition(g);
+  std::size_t total = 0;
+  for (const auto& l : levels) total += l.size();
+  EXPECT_EQ(total, g.task_count());
+  // Entries exactly at level 0.
+  EXPECT_EQ(levels[0].size(), g.entry_tasks().size());
+  // Each task's level exceeds its predecessors'.
+  std::vector<std::size_t> level_of(g.task_count());
+  for (std::size_t l = 0; l < levels.size(); ++l) {
+    for (const auto v : levels[l]) level_of[v] = l;
+  }
+  for (expmk::graph::TaskId u = 0; u < g.task_count(); ++u) {
+    for (const auto v : g.successors(u)) {
+      EXPECT_LT(level_of[u], level_of[v]);
+    }
+  }
+}
+
+TEST(Metrics, ParallelismIsConsistentWithFamilies) {
+  // A chain has parallelism 1; independent tasks have parallelism ~n.
+  const auto chain = expmk::gen::uniform_chain(10, 1.0);
+  EXPECT_NEAR(compute_metrics(chain).average_parallelism, 1.0, 1e-12);
+  const auto indep = expmk::gen::independent_tasks(10, 5, {0.2, 0.2});
+  EXPECT_NEAR(compute_metrics(indep).average_parallelism, 10.0, 1e-9);
+}
+
+TEST(Metrics, StreamOperatorMentionsKeyNumbers) {
+  std::ostringstream os;
+  os << compute_metrics(expmk::test::diamond());
+  EXPECT_NE(os.str().find("tasks=4"), std::string::npos);
+  EXPECT_NE(os.str().find("critical_path"), std::string::npos);
+}
+
+TEST(Heft, MatchesListSchedulerOnSerialChain) {
+  const auto g = expmk::gen::uniform_chain(6, 1.0);
+  const Machine m(3);
+  const auto prio = expmk::sched::priorities(
+      g, expmk::sched::PriorityKind::BottomLevel, {});
+  EXPECT_DOUBLE_EQ(heft_schedule(g, prio, m).makespan,
+                   list_schedule(g, prio, m).makespan);
+}
+
+TEST(Heft, InsertionFillsGaps) {
+  // Crafted instance where non-insertion EFT leaves a gap HEFT can use:
+  //   A(2) -> C(2);  B(1) independent;  D(1) independent, low priority.
+  // On one processor pair: plain list scheduling with priorities
+  // A=5,C=3,B=4,D=0.5 runs A,B first; C waits for A; D goes after B on
+  // proc 1 (no gap). With insertion D can slot into proc0's idle window
+  // only if one exists — construct: P=1 with B scheduled between A and C
+  // leaves no gap; use 2 procs and check HEFT <= list everywhere instead
+  // plus a concrete gap case below.
+  expmk::graph::Dag g;
+  const auto a = g.add_task("A", 2.0);
+  const auto c = g.add_task("C", 2.0);
+  const auto b = g.add_task("B", 3.0);
+  const auto d = g.add_task("D", 1.0);
+  (void)d;
+  g.add_edge(a, c);
+  g.add_edge(b, c);
+  // Priorities: bottom levels: A=4, B=5, C=2, D=1.
+  const auto prio = expmk::sched::priorities(
+      g, expmk::sched::PriorityKind::BottomLevel, {});
+  const Machine m(2);
+  // Plain list scheduling: B->p0 (0..3), A->p1 (0..2), C after max(3,2)=3
+  // on p0 or p1 (3..5), D placed when ready at its turn.
+  const auto plain = list_schedule(g, prio, m);
+  const auto heft = heft_schedule(g, prio, m);
+  // HEFT can insert D into p1's idle window (2..3) while list scheduling
+  // cannot start D before higher-priority C has been dispatched.
+  EXPECT_LE(heft.makespan, plain.makespan + 1e-12);
+  EXPECT_NEAR(heft.makespan, 5.0, 1e-12);
+  EXPECT_NEAR(heft.placements[d].start, 2.0, 1e-12);
+  EXPECT_EQ(heft.placements[d].processor,
+            heft.placements[a].processor);
+}
+
+TEST(Heft, ValidSchedulesOnRandomGraphs) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto g = expmk::gen::erdos_dag(40, 0.15, seed);
+    const Machine m(3);
+    const auto prio = expmk::sched::priorities(
+        g, expmk::sched::PriorityKind::BottomLevel, {});
+    const auto s = heft_schedule(g, prio, m);
+    EXPECT_EQ(expmk::sched::validate_schedule(g, g.weights(), m, s), "");
+    // Insertion never loses to the trivial bounds.
+    EXPECT_GE(s.makespan,
+              expmk::graph::critical_path_length(g) - 1e-9);
+    EXPECT_LE(s.makespan, g.total_weight() + 1e-9);
+  }
+}
+
+TEST(Heft, NeverWorseThanListOnFactorizations) {
+  for (const int k : {4, 6}) {
+    const auto g = expmk::gen::lu_dag(k);
+    const auto prio = expmk::sched::priorities(
+        g, expmk::sched::PriorityKind::BottomLevel, {});
+    for (const std::size_t p : {2u, 4u}) {
+      const Machine m(p);
+      EXPECT_LE(heft_schedule(g, prio, m).makespan,
+                list_schedule(g, prio, m).makespan + 1e-9)
+          << "k=" << k << " p=" << p;
+    }
+  }
+}
+
+TEST(Heft, HeterogeneousInsertionPrefersFasterFinish) {
+  expmk::graph::Dag g;
+  g.add_task(1.0);
+  const Machine m({1.0, 5.0});
+  const std::vector<double> prio = {1.0};
+  const auto s = heft_schedule(g, prio, m);
+  EXPECT_EQ(s.placements[0].processor, 1u);
+  EXPECT_NEAR(s.makespan, 0.2, 1e-12);
+}
+
+TEST(Heft, RejectsPrecedenceViolatingPriorities) {
+  const auto g = expmk::gen::uniform_chain(3, 1.0);
+  const Machine m(1);
+  const std::vector<double> inverted = {0.0, 1.0, 2.0};  // child > parent
+  EXPECT_THROW((void)heft_schedule(g, inverted, m), std::invalid_argument);
+}
+
+}  // namespace

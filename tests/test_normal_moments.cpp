@@ -1,0 +1,140 @@
+// Unit tests for prob/normal: Clark's max formulas validated against
+// Monte-Carlo integration of actual bivariate normals, the linkage
+// formula, and degenerate cases.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "prob/normal.hpp"
+#include "prob/rng.hpp"
+#include "prob/statistics.hpp"
+
+namespace {
+
+using expmk::prob::clark_linkage;
+using expmk::prob::clark_max;
+using expmk::prob::NormalMoments;
+using expmk::prob::sum_independent;
+using expmk::prob::Xoshiro256pp;
+
+/// Box-Muller standard normal pair.
+void gauss_pair(Xoshiro256pp& rng, double& z1, double& z2) {
+  const double u1 = rng.uniform_positive();
+  const double u2 = rng.uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  z1 = r * std::cos(2.0 * M_PI * u2);
+  z2 = r * std::sin(2.0 * M_PI * u2);
+}
+
+/// Simulates E/Var of max(X, Y) for correlated normals.
+NormalMoments simulate_max(NormalMoments x, NormalMoments y, double rho,
+                           int n = 400000) {
+  Xoshiro256pp rng(99);
+  expmk::prob::RunningStats s;
+  const double sx = std::sqrt(x.var);
+  const double sy = std::sqrt(y.var);
+  for (int i = 0; i < n; ++i) {
+    double z1, z2;
+    gauss_pair(rng, z1, z2);
+    const double xv = x.mean + sx * z1;
+    const double yv =
+        y.mean + sy * (rho * z1 + std::sqrt(1.0 - rho * rho) * z2);
+    s.push(std::max(xv, yv));
+  }
+  return {s.mean(), s.variance()};
+}
+
+TEST(ClarkMax, MatchesSimulationIndependent) {
+  const NormalMoments x{1.0, 0.25}, y{1.2, 0.49};
+  const auto fold = clark_max(x, y, 0.0);
+  const auto sim = simulate_max(x, y, 0.0);
+  EXPECT_NEAR(fold.moments.mean, sim.mean, 5e-3);
+  EXPECT_NEAR(fold.moments.var, sim.var, 5e-3);
+}
+
+TEST(ClarkMax, MatchesSimulationPositiveCorrelation) {
+  const NormalMoments x{2.0, 1.0}, y{2.5, 0.5};
+  const auto fold = clark_max(x, y, 0.6);
+  const auto sim = simulate_max(x, y, 0.6);
+  EXPECT_NEAR(fold.moments.mean, sim.mean, 5e-3);
+  EXPECT_NEAR(fold.moments.var, sim.var, 1e-2);
+}
+
+TEST(ClarkMax, MatchesSimulationNegativeCorrelation) {
+  const NormalMoments x{0.0, 1.0}, y{0.0, 1.0};
+  const auto fold = clark_max(x, y, -0.8);
+  const auto sim = simulate_max(x, y, -0.8);
+  EXPECT_NEAR(fold.moments.mean, sim.mean, 5e-3);
+  EXPECT_NEAR(fold.moments.var, sim.var, 1e-2);
+}
+
+TEST(ClarkMax, EqualOperandsIndependentKnownValue) {
+  // max of two iid N(0,1): mean = 1/sqrt(pi), var = 1 - 1/pi.
+  const auto fold = clark_max({0.0, 1.0}, {0.0, 1.0}, 0.0);
+  EXPECT_NEAR(fold.moments.mean, 1.0 / std::sqrt(M_PI), 1e-12);
+  EXPECT_NEAR(fold.moments.var, 1.0 - 1.0 / M_PI, 1e-12);
+  EXPECT_NEAR(fold.weight_x, 0.5, 1e-12);
+  EXPECT_NEAR(fold.weight_y, 0.5, 1e-12);
+}
+
+TEST(ClarkMax, DegenerateBothDeterministic) {
+  const auto fold = clark_max({3.0, 0.0}, {5.0, 0.0}, 0.0);
+  EXPECT_DOUBLE_EQ(fold.moments.mean, 5.0);
+  EXPECT_DOUBLE_EQ(fold.moments.var, 0.0);
+  EXPECT_DOUBLE_EQ(fold.weight_y, 1.0);
+}
+
+TEST(ClarkMax, PerfectlyCorrelatedEqualVariance) {
+  // rho=1 and equal variances: X - Y deterministic, max = larger-mean one.
+  const auto fold = clark_max({3.0, 1.0}, {4.0, 1.0}, 1.0);
+  EXPECT_DOUBLE_EQ(fold.moments.mean, 4.0);
+  EXPECT_DOUBLE_EQ(fold.moments.var, 1.0);
+}
+
+TEST(ClarkMax, DominatingOperandPassesThrough) {
+  // Y is far above X: max ~ Y.
+  const auto fold = clark_max({0.0, 0.01}, {100.0, 0.02}, 0.0);
+  EXPECT_NEAR(fold.moments.mean, 100.0, 1e-9);
+  EXPECT_NEAR(fold.moments.var, 0.02, 1e-9);
+  EXPECT_NEAR(fold.weight_y, 1.0, 1e-12);
+}
+
+TEST(ClarkMax, MeanAtLeastBothOperands) {
+  // E[max(X,Y)] >= max(E X, E Y) for any rho.
+  for (const double rho : {-0.9, -0.5, 0.0, 0.5, 0.9}) {
+    const auto fold = clark_max({1.0, 0.5}, {1.3, 2.0}, rho);
+    EXPECT_GE(fold.moments.mean, 1.3 - 1e-12) << "rho=" << rho;
+  }
+}
+
+TEST(ClarkLinkage, RecoversCovarianceAgainstSimulation) {
+  // Z = X (fully): Cov(max(X,Y), X) should match simulation.
+  const NormalMoments x{1.0, 1.0}, y{1.5, 0.64};
+  const auto fold = clark_max(x, y, 0.0);
+  const double cov_formula = clark_linkage(/*cov_xz=*/1.0, /*cov_yz=*/0.0, fold);
+
+  Xoshiro256pp rng(7);
+  double sum_m = 0.0, sum_x = 0.0, sum_mx = 0.0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) {
+    double z1, z2;
+    gauss_pair(rng, z1, z2);
+    const double xv = x.mean + std::sqrt(x.var) * z1;
+    const double yv = y.mean + std::sqrt(y.var) * z2;
+    const double m = std::max(xv, yv);
+    sum_m += m;
+    sum_x += xv;
+    sum_mx += m * xv;
+  }
+  const double cov_sim = sum_mx / n - (sum_m / n) * (sum_x / n);
+  EXPECT_NEAR(cov_formula, cov_sim, 5e-3);
+}
+
+TEST(SumIndependent, AddsMoments) {
+  const auto s = sum_independent({1.0, 2.0}, {3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.var, 6.0);
+}
+
+}  // namespace

@@ -1,0 +1,334 @@
+// Cross-cutting property tests: algebraic laws of the probability
+// substrate, invariants tying the estimators together, and behavioural
+// equivalences that must hold on *every* graph family. These complement
+// the per-module unit tests with randomized sweeps (parameterized over
+// seeds/families) — the "property-based" layer of the suite.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bounds.hpp"
+#include "core/exact.hpp"
+#include "core/failure_model.hpp"
+#include "core/first_order.hpp"
+#include "core/second_order.hpp"
+#include "gen/cholesky.hpp"
+#include "gen/lu.hpp"
+#include "gen/qr.hpp"
+#include "gen/random_dags.hpp"
+#include "graph/longest_path.hpp"
+#include "graph/serialize.hpp"
+#include "graph/topological.hpp"
+#include "mc/engine.hpp"
+#include "normal/sculli.hpp"
+#include "prob/discrete_distribution.hpp"
+#include "prob/rng.hpp"
+#include "spgraph/dodin.hpp"
+#include "spgraph/sp_reduce.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using D = expmk::prob::DiscreteDistribution;
+using expmk::core::FailureModel;
+using expmk::prob::Xoshiro256pp;
+
+D random_distribution(Xoshiro256pp& rng, std::size_t max_atoms = 5) {
+  std::vector<expmk::prob::Atom> atoms;
+  const std::size_t n = 1 + rng.below(max_atoms);
+  for (std::size_t i = 0; i < n; ++i) {
+    atoms.push_back({rng.uniform() * 10.0, 0.05 + rng.uniform()});
+  }
+  return D::from_atoms(std::move(atoms));
+}
+
+// ---------------------------------------------------------------------
+// Distribution algebra laws.
+// ---------------------------------------------------------------------
+
+class DistributionLaws : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DistributionLaws, ConvolutionIsCommutative) {
+  Xoshiro256pp rng(GetParam());
+  const D x = random_distribution(rng);
+  const D y = random_distribution(rng);
+  EXPECT_TRUE(D::convolve(x, y).approx_equals(D::convolve(y, x), 1e-9));
+}
+
+TEST_P(DistributionLaws, ConvolutionIsAssociativeInMean) {
+  Xoshiro256pp rng(GetParam() + 100);
+  const D x = random_distribution(rng);
+  const D y = random_distribution(rng);
+  const D z = random_distribution(rng);
+  const D left = D::convolve(D::convolve(x, y), z);
+  const D right = D::convolve(x, D::convolve(y, z));
+  EXPECT_NEAR(left.mean(), right.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), right.variance(), 1e-9);
+}
+
+TEST_P(DistributionLaws, MaxIsCommutativeAndIdempotentOnPoints) {
+  Xoshiro256pp rng(GetParam() + 200);
+  const D x = random_distribution(rng);
+  const D y = random_distribution(rng);
+  EXPECT_TRUE(D::max_of(x, y).approx_equals(D::max_of(y, x), 1e-9));
+  const D p = D::point(3.0);
+  EXPECT_TRUE(D::max_of(p, p).approx_equals(p, 1e-12));
+}
+
+TEST_P(DistributionLaws, ConvolveWithPointIsShift) {
+  Xoshiro256pp rng(GetParam() + 300);
+  const D x = random_distribution(rng);
+  EXPECT_TRUE(
+      D::convolve(x, D::point(2.5)).approx_equals(x.shifted(2.5), 1e-9));
+}
+
+TEST_P(DistributionLaws, MaxDominatesBothOperandsStochastically) {
+  Xoshiro256pp rng(GetParam() + 400);
+  const D x = random_distribution(rng);
+  const D y = random_distribution(rng);
+  const D m = D::max_of(x, y);
+  // F_max(t) <= min(F_x(t), F_y(t)) pointwise.
+  for (const auto& at : m.atoms()) {
+    EXPECT_LE(m.cdf(at.value), x.cdf(at.value) + 1e-12);
+    EXPECT_LE(m.cdf(at.value), y.cdf(at.value) + 1e-12);
+  }
+  EXPECT_GE(m.mean(), std::max(x.mean(), y.mean()) - 1e-12);
+}
+
+TEST_P(DistributionLaws, TruncationIsMeanPreservingAndVarianceShrinking) {
+  Xoshiro256pp rng(GetParam() + 500);
+  D d = random_distribution(rng);
+  for (int i = 0; i < 4; ++i) d = D::convolve(d, random_distribution(rng));
+  const D t = d.truncated(8);
+  EXPECT_LE(t.size(), 8u);
+  EXPECT_NEAR(t.mean(), d.mean(), 1e-9);
+  EXPECT_LE(t.variance(), d.variance() + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistributionLaws,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+// ---------------------------------------------------------------------
+// Estimator invariants across graph families.
+// ---------------------------------------------------------------------
+
+struct FamilyCase {
+  const char* name;
+  expmk::graph::Dag (*make)(std::uint64_t seed);
+};
+
+expmk::graph::Dag make_erdos(std::uint64_t s) {
+  return expmk::gen::erdos_dag(25, 0.2, s);
+}
+expmk::graph::Dag make_layered(std::uint64_t s) {
+  return expmk::gen::layered_random(5, 5, 0.4, s);
+}
+expmk::graph::Dag make_sp(std::uint64_t s) {
+  return expmk::gen::random_series_parallel(25, s);
+}
+expmk::graph::Dag make_chol(std::uint64_t s) {
+  return expmk::gen::cholesky_dag(3 + static_cast<int>(s % 4));
+}
+expmk::graph::Dag make_lu(std::uint64_t s) {
+  return expmk::gen::lu_dag(3 + static_cast<int>(s % 3));
+}
+
+class EstimatorInvariants
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {
+ protected:
+  expmk::graph::Dag make() const {
+    static constexpr FamilyCase kFamilies[] = {
+        {"erdos", make_erdos},   {"layered", make_layered},
+        {"sp", make_sp},         {"cholesky", make_chol},
+        {"lu", make_lu},
+    };
+    const auto& fam = kFamilies[std::get<0>(GetParam())];
+    return fam.make(std::get<1>(GetParam()));
+  }
+};
+
+TEST_P(EstimatorInvariants, FirstOrderSandwichedByBounds) {
+  const auto g = make();
+  const FailureModel m = expmk::core::calibrate(g, 0.001);
+  const auto b = expmk::core::makespan_bounds(g, m);
+  const double fo = expmk::core::first_order(g, m).expected_makespan();
+  EXPECT_GE(fo, b.failure_free - 1e-12);
+  EXPECT_LE(fo, b.level_upper * (1.0 + 1e-6));
+}
+
+TEST_P(EstimatorInvariants, ClosedFormEqualsNaiveEverywhere) {
+  const auto g = make();
+  const FailureModel m{0.03};
+  EXPECT_NEAR(expmk::core::first_order(g, m).expected_makespan(),
+              expmk::core::first_order_naive(g, m), 1e-9);
+}
+
+TEST_P(EstimatorInvariants, SecondOrderReducesToFirstOrderAsLambdaShrinks) {
+  const auto g = make();
+  // (SO - FO) is O(lambda^2): quartering lambda shrinks it ~16x.
+  const FailureModel m1{0.04}, m2{0.01};
+  const double gap1 =
+      std::fabs(expmk::core::second_order(g, m1).expected_makespan -
+                expmk::core::first_order(g, m1).expected_makespan());
+  const double gap2 =
+      std::fabs(expmk::core::second_order(g, m2).expected_makespan -
+                expmk::core::first_order(g, m2).expected_makespan());
+  if (gap1 > 1e-12 && gap2 > 1e-13) {
+    EXPECT_GT(gap1 / gap2, 8.0);
+  }
+}
+
+TEST_P(EstimatorInvariants, SerializationDoesNotChangeEstimates) {
+  const auto g = make();
+  const auto round_tripped =
+      expmk::graph::taskgraph_from_string(expmk::graph::to_taskgraph(g));
+  const FailureModel m{0.02};
+  // First order is order-independent: bit-exact across the round trip.
+  EXPECT_DOUBLE_EQ(
+      expmk::core::first_order(g, m).expected_makespan(),
+      expmk::core::first_order(round_tripped, m).expected_makespan());
+  // Sculli folds predecessors pairwise with Clark's formulas, which are
+  // NOT associative; serialization canonicalizes edge order (grouped by
+  // source), so the fold order may differ and the estimate moves at the
+  // 1e-7..1e-4 level (a documented property of Sculli's method — Canon &
+  // Jeannot discuss the same sensitivity). Assert closeness, not
+  // identity.
+  const double s1 = expmk::normal::sculli(g, m).expected_makespan();
+  const double s2 =
+      expmk::normal::sculli(round_tripped, m).expected_makespan();
+  EXPECT_NEAR(s1, s2, 1e-4 * s1);
+}
+
+TEST_P(EstimatorInvariants, AllEstimatorsAgreeAtLambdaZero) {
+  const auto g = make();
+  const FailureModel zero{0.0};
+  const double d = expmk::graph::critical_path_length(g);
+  EXPECT_NEAR(expmk::core::first_order(g, zero).expected_makespan(), d,
+              1e-9);
+  EXPECT_NEAR(expmk::core::second_order(g, zero).expected_makespan, d,
+              1e-9);
+  EXPECT_NEAR(expmk::normal::sculli(g, zero).expected_makespan(), d, 1e-9);
+  EXPECT_NEAR(
+      expmk::sp::dodin_two_state(g, zero, {.max_atoms = 64})
+          .expected_makespan(),
+      d, 1e-9);
+}
+
+TEST_P(EstimatorInvariants, McAgreesWithFirstOrderAtLowLambda) {
+  const auto g = make();
+  const FailureModel m = expmk::core::calibrate(g, 0.0005);
+  expmk::mc::McConfig cfg;
+  cfg.trials = 40'000;
+  cfg.retry = expmk::core::RetryModel::TwoState;
+  const auto mc = expmk::mc::run_monte_carlo(g, m, cfg);
+  const double fo = expmk::core::first_order(g, m).expected_makespan();
+  // FO error is O(lambda^2) ~ 1e-6 relative here; the MC CI dominates.
+  EXPECT_NEAR(fo, mc.mean, 5.0 * mc.ci95_half_width + 1e-6 * mc.mean);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesAndSeeds, EstimatorInvariants,
+    ::testing::Combine(::testing::Range(0, 5),
+                       ::testing::Values(1u, 2u, 3u)));
+
+// ---------------------------------------------------------------------
+// Spot properties that need only one instantiation.
+// ---------------------------------------------------------------------
+
+TEST(Properties, FirstOrderIsLinearInLambda) {
+  // FO(lambda) = d + lambda * C exactly (the correction is linear).
+  const auto g = expmk::gen::qr_dag(4);
+  const auto f1 = expmk::core::first_order(g, FailureModel{0.01});
+  const auto f2 = expmk::core::first_order(g, FailureModel{0.02});
+  const auto f3 = expmk::core::first_order(g, FailureModel{0.03});
+  const double d1 = f2.expected_makespan() - f1.expected_makespan();
+  const double d2 = f3.expected_makespan() - f2.expected_makespan();
+  EXPECT_NEAR(d1, d2, 1e-12);
+}
+
+TEST(Properties, ScalingWeightsScalesEstimatesWithRescaledLambda) {
+  // Replacing a_i -> c a_i and lambda -> lambda / c leaves every
+  // probability p_i invariant, so FO scales exactly by c.
+  const auto g = expmk::gen::cholesky_dag(4);
+  expmk::graph::Dag scaled = g;
+  const double c = 3.0;
+  for (expmk::graph::TaskId i = 0; i < g.task_count(); ++i) {
+    scaled.set_weight(i, c * g.weight(i));
+  }
+  const double lambda = 0.05;
+  const double fo = expmk::core::first_order(g, FailureModel{lambda})
+                        .expected_makespan();
+  const double fo_scaled =
+      expmk::core::first_order(scaled, FailureModel{lambda / c})
+          .expected_makespan();
+  EXPECT_NEAR(fo_scaled, c * fo, 1e-9);
+}
+
+TEST(Properties, DodinExactEqualsSpEvaluationOnSpGraphs) {
+  for (const std::uint64_t seed : {21u, 22u, 23u}) {
+    const auto g = expmk::gen::random_series_parallel(18, seed);
+    const FailureModel m{0.1};
+    std::vector<D> dists;
+    for (expmk::graph::TaskId i = 0; i < g.task_count(); ++i) {
+      const double a = g.weight(i);
+      dists.push_back(a > 0.0 ? D::two_state(a, m.p_success(a))
+                              : D::point(0.0));
+    }
+    const auto sp_eval = expmk::sp::evaluate_sp(
+        expmk::sp::ArcNetwork::from_dag(g, std::move(dists)));
+    ASSERT_TRUE(sp_eval.is_series_parallel);
+    const auto dodin = expmk::sp::dodin_two_state(g, m, {.max_atoms = 0});
+    EXPECT_NEAR(dodin.expected_makespan(), sp_eval.makespan.mean(), 1e-10);
+  }
+}
+
+TEST(Properties, AddingAnEdgeNeverShrinksTheExpectedMakespan) {
+  // More precedence = (weakly) longer makespan, for exact and FO alike.
+  Xoshiro256pp rng(77);
+  auto g = expmk::gen::erdos_dag(10, 0.2, 9);
+  const FailureModel m{0.05};
+  const auto topo = expmk::graph::topological_order(g);
+  const auto rank = expmk::graph::ranks_of(topo);
+  // Add a random forward edge not present yet.
+  for (int added = 0; added < 5;) {
+    const auto u = static_cast<expmk::graph::TaskId>(rng.below(10));
+    const auto v = static_cast<expmk::graph::TaskId>(rng.below(10));
+    if (u == v || rank[u] >= rank[v]) continue;
+    const auto succ = g.successors(u);
+    if (std::find(succ.begin(), succ.end(), v) != succ.end()) continue;
+    const double before_exact = expmk::core::exact_two_state(g, m);
+    const double before_fo =
+        expmk::core::first_order(g, m).expected_makespan();
+    g.add_edge(u, v);
+    ++added;
+    EXPECT_GE(expmk::core::exact_two_state(g, m), before_exact - 1e-12);
+    EXPECT_GE(expmk::core::first_order(g, m).expected_makespan(),
+              before_fo - 1e-12);
+  }
+}
+
+TEST(Properties, TwoStateExactIsMonotoneInLambda) {
+  const auto g = expmk::test::diamond(0.4, 0.3, 0.5, 0.2);
+  double prev = 0.0;
+  for (const double lambda : {0.0, 0.05, 0.1, 0.2, 0.4, 0.8}) {
+    const double e = expmk::core::exact_two_state(g, FailureModel{lambda});
+    EXPECT_GE(e, prev - 1e-12) << lambda;
+    prev = e;
+  }
+}
+
+TEST(Properties, QrAlwaysCostsMoreThanLuSameSize) {
+  // Same DAG shape, ~2x kernel weights: every estimator must rank QR
+  // above LU for the same k and pfail.
+  for (const int k : {4, 6, 8}) {
+    const auto lu = expmk::gen::lu_dag(k);
+    const auto qr = expmk::gen::qr_dag(k);
+    const FailureModel mlu = expmk::core::calibrate(lu, 0.01);
+    const FailureModel mqr = expmk::core::calibrate(qr, 0.01);
+    EXPECT_GT(expmk::core::first_order(qr, mqr).expected_makespan(),
+              expmk::core::first_order(lu, mlu).expected_makespan());
+  }
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+// Unit tests for gen/random_dags: determinism, structural guarantees and
+// weight-range compliance of every random family.
+
+#include <gtest/gtest.h>
+
+#include "gen/random_dags.hpp"
+#include "graph/topological.hpp"
+#include "graph/validate.hpp"
+
+namespace {
+
+using namespace expmk::gen;
+
+TEST(RandomDags, DeterministicForFixedSeed) {
+  const auto a = erdos_dag(30, 0.2, 42);
+  const auto b = erdos_dag(30, 0.2, 42);
+  ASSERT_EQ(a.task_count(), b.task_count());
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (expmk::graph::TaskId i = 0; i < a.task_count(); ++i) {
+    EXPECT_DOUBLE_EQ(a.weight(i), b.weight(i));
+  }
+}
+
+TEST(RandomDags, DifferentSeedsDiffer) {
+  const auto a = erdos_dag(30, 0.2, 1);
+  const auto b = erdos_dag(30, 0.2, 2);
+  bool differs = a.edge_count() != b.edge_count();
+  for (expmk::graph::TaskId i = 0; !differs && i < a.task_count(); ++i) {
+    differs = a.weight(i) != b.weight(i);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RandomDags, WeightsInRange) {
+  const WeightRange w{0.1, 0.2};
+  for (const auto& g :
+       {layered_random(5, 4, 0.3, 7, w), erdos_dag(25, 0.2, 7, w),
+        random_series_parallel(25, 7, w), chain_dag(10, 7, w),
+        fork_join_dag(8, 7, w), independent_tasks(10, 7, w)}) {
+    for (expmk::graph::TaskId i = 0; i < g.task_count(); ++i) {
+      if (g.name(i).substr(0, 4) == "JOIN") continue;  // junctions
+      EXPECT_GE(g.weight(i), 0.1);
+      EXPECT_LE(g.weight(i), 0.2);
+    }
+  }
+}
+
+TEST(RandomDags, LayeredHasExpectedShape) {
+  const auto g = layered_random(4, 5, 0.5, 3);
+  EXPECT_EQ(g.task_count(), 20u);
+  const auto report = expmk::graph::validate(g);
+  EXPECT_TRUE(report.acyclic);
+  // Non-first-layer tasks are guaranteed at least one predecessor.
+  std::size_t entries = 0;
+  for (expmk::graph::TaskId i = 0; i < g.task_count(); ++i) {
+    if (g.in_degree(i) == 0) ++entries;
+  }
+  EXPECT_EQ(entries, 5u);  // exactly the first layer
+}
+
+TEST(RandomDags, ErdosAcyclicAcrossDensities) {
+  for (const double p : {0.05, 0.3, 0.9}) {
+    const auto g = erdos_dag(30, p, 5);
+    EXPECT_TRUE(expmk::graph::try_topological_order(g).has_value())
+        << "p=" << p;
+  }
+}
+
+TEST(RandomDags, ChainIsAPath) {
+  const auto g = chain_dag(12, 9);
+  EXPECT_EQ(g.task_count(), 12u);
+  EXPECT_EQ(g.edge_count(), 11u);
+  EXPECT_EQ(g.entry_tasks().size(), 1u);
+  EXPECT_EQ(g.exit_tasks().size(), 1u);
+}
+
+TEST(RandomDags, UniformChainWeights) {
+  const auto g = uniform_chain(5, 0.25);
+  for (expmk::graph::TaskId i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(g.weight(i), 0.25);
+  }
+}
+
+TEST(RandomDags, ForkJoinShape) {
+  const auto g = fork_join_dag(6, 11);
+  EXPECT_EQ(g.task_count(), 8u);
+  EXPECT_EQ(g.edge_count(), 12u);
+  EXPECT_EQ(g.entry_tasks().size(), 1u);
+  EXPECT_EQ(g.exit_tasks().size(), 1u);
+  const auto fork = g.find_by_name("FORK");
+  EXPECT_EQ(g.out_degree(fork), 6u);
+}
+
+TEST(RandomDags, UniformForkJoinWeights) {
+  const auto g = uniform_fork_join(4, 2.0, 0.5);
+  EXPECT_DOUBLE_EQ(g.weight(g.find_by_name("FORK")), 0.5);
+  EXPECT_DOUBLE_EQ(g.weight(g.find_by_name("B0")), 2.0);
+}
+
+TEST(RandomDags, IndependentTasksHaveNoEdges) {
+  const auto g = independent_tasks(7, 13);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_EQ(g.entry_tasks().size(), 7u);
+}
+
+TEST(RandomDags, SeriesParallelSizeApproximatelyRequested) {
+  const auto g = random_series_parallel(40, 21);
+  // n real tasks plus possibly a few zero-weight junctions.
+  std::size_t real = 0;
+  for (expmk::graph::TaskId i = 0; i < g.task_count(); ++i) {
+    if (g.name(i).substr(0, 4) != "JOIN") ++real;
+  }
+  EXPECT_EQ(real, 40u);
+  EXPECT_LE(g.task_count(), 80u);
+  EXPECT_TRUE(expmk::graph::try_topological_order(g).has_value());
+}
+
+TEST(RandomDags, WheatstoneBridgeShape) {
+  const auto g = wheatstone_bridge();
+  EXPECT_EQ(g.task_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 5u);
+  EXPECT_EQ(g.entry_tasks().size(), 2u);
+  EXPECT_EQ(g.exit_tasks().size(), 3u);
+}
+
+TEST(RandomDags, InvalidParametersThrow) {
+  EXPECT_THROW((void)layered_random(0, 3, 0.5, 1), std::invalid_argument);
+  EXPECT_THROW((void)erdos_dag(0, 0.5, 1), std::invalid_argument);
+  EXPECT_THROW((void)chain_dag(0, 1), std::invalid_argument);
+  EXPECT_THROW((void)fork_join_dag(0, 1), std::invalid_argument);
+  const WeightRange bad{-1.0, 2.0};
+  EXPECT_THROW((void)chain_dag(3, 1, bad), std::invalid_argument);
+}
+
+}  // namespace

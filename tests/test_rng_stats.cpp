@@ -1,0 +1,167 @@
+// Unit tests for prob/rng and prob/statistics: determinism, stream
+// independence, basic distributional sanity, Welford merge exactness, and
+// the normal CDF/quantile pair.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "prob/rng.hpp"
+#include "prob/statistics.hpp"
+
+namespace {
+
+using expmk::prob::RunningStats;
+using expmk::prob::Xoshiro256pp;
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Xoshiro256pp a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, StreamsDiffer) {
+  Xoshiro256pp a(1, 0), b(1, 1);
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) {
+    if (a() != b()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256pp rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformPositiveNeverZero) {
+  Xoshiro256pp rng(9);
+  for (int i = 0; i < 100000; ++i) ASSERT_GT(rng.uniform_positive(), 0.0);
+}
+
+TEST(Rng, UniformityChiSquareRough) {
+  // 16 buckets, 160k draws: chi^2(15) should be far below 100.
+  Xoshiro256pp rng(11);
+  std::vector<int> counts(16, 0);
+  const int n = 160000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[static_cast<std::size_t>(rng.uniform() * 16.0)];
+  }
+  const double expected = n / 16.0;
+  double chi2 = 0.0;
+  for (const int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 100.0);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Xoshiro256pp rng(13);
+  const double lambda = 4.0;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(lambda);
+  EXPECT_NEAR(sum / n, 1.0 / lambda, 0.01);
+}
+
+TEST(Rng, ExponentialZeroRateIsInfinite) {
+  Xoshiro256pp rng(13);
+  EXPECT_TRUE(std::isinf(rng.exponential(0.0)));
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Xoshiro256pp rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.2) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.2, 0.01);
+}
+
+TEST(Rng, BoundedBelowIsInRangeAndRoughlyUniform) {
+  Xoshiro256pp rng(19);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 70000; ++i) {
+    const auto v = rng.below(7);
+    ASSERT_LT(v, 7u);
+    ++counts[v];
+  }
+  for (const int c : counts) EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(RunningStats, MeanVarianceAgainstClosedForm) {
+  RunningStats s;
+  for (int i = 1; i <= 5; ++i) s.push(i);  // 1..5
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.5);  // sample variance of 1..5
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.count(), 5u);
+}
+
+TEST(RunningStats, MergeMatchesSinglePass) {
+  Xoshiro256pp rng(21);
+  RunningStats whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform() * 10.0 - 3.0;
+    whole.push(x);
+    (i < 400 ? left : right).push(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a, empty;
+  a.push(1.0);
+  a.push(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(RunningStats, CiHalfWidthShrinksWithSamples) {
+  Xoshiro256pp rng(23);
+  RunningStats small, large;
+  for (int i = 0; i < 100; ++i) small.push(rng.uniform());
+  for (int i = 0; i < 10000; ++i) large.push(rng.uniform());
+  EXPECT_GT(small.ci_half_width(0.95), large.ci_half_width(0.95));
+  EXPECT_GT(large.ci_half_width(0.99), large.ci_half_width(0.95));
+  EXPECT_THROW((void)large.ci_half_width(1.5), std::invalid_argument);
+}
+
+TEST(NormalFunctions, CdfAndPdfKnownValues) {
+  using expmk::prob::normal_cdf;
+  using expmk::prob::normal_pdf;
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.9750021, 1e-6);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.0249979, 1e-6);
+  EXPECT_NEAR(normal_pdf(0.0), 0.3989422804, 1e-9);
+}
+
+TEST(NormalFunctions, InverseCdfRoundTrips) {
+  using expmk::prob::inverse_normal_cdf;
+  using expmk::prob::normal_cdf;
+  for (const double p : {0.001, 0.025, 0.2, 0.5, 0.8, 0.975, 0.999}) {
+    EXPECT_NEAR(normal_cdf(inverse_normal_cdf(p)), p, 1e-9) << "p=" << p;
+  }
+  EXPECT_NEAR(inverse_normal_cdf(0.975), 1.959964, 1e-5);
+  EXPECT_THROW((void)inverse_normal_cdf(0.0), std::invalid_argument);
+  EXPECT_THROW((void)inverse_normal_cdf(1.0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+// Cross-substrate validation: the Monte-Carlo trial sampler (mc/trial)
+// and the analytic distribution factories (prob/discrete_distribution)
+// describe the SAME task-duration laws. These tests compare empirical
+// frequencies against the analytic CDFs — a disagreement here would mean
+// the ground truth and the estimators are silently targeting different
+// models.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "core/failure_model.hpp"
+#include "mc/trial.hpp"
+#include "prob/discrete_distribution.hpp"
+#include "prob/rng.hpp"
+
+namespace {
+
+using D = expmk::prob::DiscreteDistribution;
+using expmk::core::FailureModel;
+using expmk::core::RetryModel;
+using expmk::mc::TrialContext;
+
+/// Samples one task's duration `n` times via the trial machinery and
+/// returns value -> frequency.
+std::map<double, double> empirical_law(double weight, double lambda,
+                                       RetryModel retry, int n) {
+  expmk::graph::Dag g;
+  g.add_task(weight);
+  const TrialContext ctx(g, FailureModel{lambda}, retry);
+  std::map<double, int> counts;
+  std::vector<double> durations;
+  for (int t = 0; t < n; ++t) {
+    expmk::prob::Xoshiro256pp rng(42, static_cast<std::uint64_t>(t));
+    const double makespan = expmk::mc::run_trial(ctx, rng, durations);
+    ++counts[makespan];
+  }
+  std::map<double, double> freq;
+  for (const auto& [v, c] : counts) {
+    freq[v] = static_cast<double>(c) / n;
+  }
+  return freq;
+}
+
+TEST(SamplerVsDistribution, TwoStateFrequenciesMatch) {
+  const double a = 0.6, lambda = 0.5;
+  const double p = std::exp(-lambda * a);
+  const auto freq = empirical_law(a, lambda, RetryModel::TwoState, 200'000);
+  ASSERT_EQ(freq.size(), 2u);
+  EXPECT_NEAR(freq.at(a), p, 0.005);
+  EXPECT_NEAR(freq.at(2 * a), 1.0 - p, 0.005);
+
+  const D analytic = D::two_state(a, p);
+  EXPECT_NEAR(analytic.atoms()[0].prob, p, 1e-12);
+}
+
+TEST(SamplerVsDistribution, GeometricFrequenciesMatchTruncatedLaw) {
+  const double a = 1.0, lambda = 0.7;  // harsh: retries frequent
+  const double p = std::exp(-lambda * a);
+  const auto freq =
+      empirical_law(a, lambda, RetryModel::Geometric, 200'000);
+  const D analytic = D::geometric_reexec(a, p, 64);
+  // Compare the first few atoms (k = 1..4 executions).
+  for (int k = 1; k <= 4; ++k) {
+    const double expect = analytic.atoms()[static_cast<std::size_t>(k - 1)].prob;
+    const auto it = freq.find(a * k);
+    ASSERT_NE(it, freq.end()) << "no samples with " << k << " executions";
+    EXPECT_NEAR(it->second, expect, 0.006) << k;
+  }
+}
+
+TEST(SamplerVsDistribution, GeometricMeanMatchesClosedForm) {
+  const double a = 0.8, lambda = 0.4;
+  const double p = std::exp(-lambda * a);
+  const auto freq =
+      empirical_law(a, lambda, RetryModel::Geometric, 200'000);
+  double mean = 0.0;
+  for (const auto& [v, f] : freq) mean += v * f;
+  EXPECT_NEAR(mean, a / p, 0.01 * a / p);
+}
+
+TEST(SamplerVsDistribution, ZeroLambdaIsDeterministic) {
+  const auto freq = empirical_law(1.0, 0.0, RetryModel::Geometric, 1'000);
+  ASSERT_EQ(freq.size(), 1u);
+  EXPECT_DOUBLE_EQ(freq.begin()->first, 1.0);
+}
+
+TEST(SamplerVsDistribution, CapBoundsGeometricExecutions) {
+  // With an absurd rate every attempt fails; the cap must bound durations.
+  expmk::graph::Dag g;
+  g.add_task(1.0);
+  TrialContext ctx(g, FailureModel{50.0}, RetryModel::Geometric);
+  ctx.max_executions = 8;
+  std::vector<double> durations;
+  double max_seen = 0.0;
+  for (int t = 0; t < 2'000; ++t) {
+    expmk::prob::Xoshiro256pp rng(7, static_cast<std::uint64_t>(t));
+    max_seen = std::max(max_seen, expmk::mc::run_trial(ctx, rng, durations));
+  }
+  EXPECT_LE(max_seen, 8.0 + 1e-12);
+  EXPECT_GT(max_seen, 7.0);  // the cap is actually reached at this rate
+}
+
+TEST(SamplerVsDistribution, ControlStatisticMatchesDefinition) {
+  // Z = sum a_i (executions_i - 1): with a single task, duration = a * e
+  // implies Z = duration - a, exactly.
+  expmk::graph::Dag g;
+  g.add_task(0.5);
+  const TrialContext ctx(g, FailureModel{1.0}, RetryModel::Geometric);
+  std::vector<double> durations;
+  for (int t = 0; t < 1'000; ++t) {
+    expmk::prob::Xoshiro256pp rng(3, static_cast<std::uint64_t>(t));
+    const auto obs = expmk::mc::run_trial_with_control(ctx, rng, durations);
+    EXPECT_NEAR(obs.control, obs.makespan - 0.5, 1e-12);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+// Tests for graph/serialize: round-trips, format tolerance (comments,
+// blank lines), and precise parse errors.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "gen/cholesky.hpp"
+#include "gen/random_dags.hpp"
+#include "graph/serialize.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using expmk::graph::Dag;
+using expmk::graph::load_taskgraph;
+using expmk::graph::save_taskgraph;
+using expmk::graph::taskgraph_from_string;
+using expmk::graph::to_taskgraph;
+
+TEST(Serialize, RoundTripPreservesStructure) {
+  const auto g = expmk::gen::cholesky_dag(4);
+  const auto parsed = taskgraph_from_string(to_taskgraph(g));
+  ASSERT_EQ(parsed.task_count(), g.task_count());
+  ASSERT_EQ(parsed.edge_count(), g.edge_count());
+  for (expmk::graph::TaskId i = 0; i < g.task_count(); ++i) {
+    EXPECT_EQ(parsed.name(i), g.name(i));
+    EXPECT_DOUBLE_EQ(parsed.weight(i), g.weight(i));
+    EXPECT_EQ(parsed.out_degree(i), g.out_degree(i));
+  }
+}
+
+TEST(Serialize, RoundTripPreservesIds) {
+  const auto g = expmk::gen::erdos_dag(25, 0.2, 3);
+  const auto parsed = taskgraph_from_string(to_taskgraph(g));
+  for (expmk::graph::TaskId u = 0; u < g.task_count(); ++u) {
+    const auto a = g.successors(u);
+    const auto b = parsed.successors(u);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(Serialize, UnnamedTasksGetStableAutoNames) {
+  Dag g;
+  const auto a = g.add_task(1.0);
+  const auto b = g.add_task(2.0);
+  g.add_edge(a, b);
+  const auto parsed = taskgraph_from_string(to_taskgraph(g));
+  EXPECT_EQ(parsed.name(0), "t0");
+  EXPECT_EQ(parsed.name(1), "t1");
+  EXPECT_EQ(parsed.edge_count(), 1u);
+}
+
+TEST(Serialize, ToleratesCommentsAndBlankLines) {
+  const auto g = taskgraph_from_string(
+      "expmk-taskgraph 1\n"
+      "# a comment\n"
+      "\n"
+      "task a 1.5   # trailing comment\n"
+      "task b 2.5\n"
+      "edge a b\n");
+  EXPECT_EQ(g.task_count(), 2u);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_DOUBLE_EQ(g.weight(g.find_by_name("a")), 1.5);
+}
+
+TEST(Serialize, ParseErrorsCarryLineNumbers) {
+  const auto expect_error = [](const std::string& text,
+                               const std::string& needle) {
+    try {
+      (void)taskgraph_from_string(text);
+      FAIL() << "expected parse error for: " << text;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_error("", "empty");
+  expect_error("bogus-header 1\n", "line 1");
+  expect_error("expmk-taskgraph 9\n", "version");
+  expect_error("expmk-taskgraph 1\nfrob a 1\n", "unknown directive");
+  expect_error("expmk-taskgraph 1\ntask a 1\ntask a 2\n", "duplicate");
+  expect_error("expmk-taskgraph 1\ntask a 1\nedge a b\n", "unknown task");
+  expect_error("expmk-taskgraph 1\ntask a 1\nedge a a\n", "self loop");
+  expect_error("expmk-taskgraph 1\ntask a -1\n", "negative");
+  expect_error("expmk-taskgraph 1\ntask a\n", "expected");
+}
+
+TEST(Serialize, FileHelpersRoundTrip) {
+  const auto g = expmk::test::diamond(0.1, 0.2, 0.3, 0.4);
+  const std::string path = "/tmp/expmk_serialize_test.tg";
+  save_taskgraph(path, g);
+  const auto loaded = load_taskgraph(path);
+  EXPECT_EQ(loaded.task_count(), 4u);
+  EXPECT_EQ(loaded.edge_count(), 4u);
+  std::remove(path.c_str());
+  EXPECT_THROW((void)load_taskgraph("/nonexistent/dir/x.tg"),
+               std::runtime_error);
+}
+
+TEST(Serialize, LargeGraphRoundTripIsExact) {
+  const auto g = expmk::gen::cholesky_dag(8);
+  const auto parsed = taskgraph_from_string(to_taskgraph(g));
+  EXPECT_EQ(parsed.task_count(), g.task_count());
+  EXPECT_EQ(parsed.edge_count(), g.edge_count());
+  EXPECT_DOUBLE_EQ(parsed.total_weight(), g.total_weight());
+}
+
+}  // namespace

@@ -1,0 +1,162 @@
+// Tests for spgraph/arc_network and spgraph/sp_reduce: AoA conversion,
+// series/parallel rewriting, SP recognition, and exactness of the SP
+// evaluation against the enumeration oracle.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/exact.hpp"
+#include "core/failure_model.hpp"
+#include "gen/cholesky.hpp"
+#include "gen/random_dags.hpp"
+#include "graph/validate.hpp"
+#include "spgraph/arc_network.hpp"
+#include "spgraph/sp_reduce.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using expmk::core::FailureModel;
+using expmk::prob::DiscreteDistribution;
+using expmk::sp::ArcNetwork;
+using expmk::sp::evaluate_sp;
+using expmk::sp::reduce_exhaustively;
+
+std::vector<DiscreteDistribution> two_state_dists(const expmk::graph::Dag& g,
+                                                  double lambda) {
+  const FailureModel m{lambda};
+  std::vector<DiscreteDistribution> out;
+  out.reserve(g.task_count());
+  for (expmk::graph::TaskId i = 0; i < g.task_count(); ++i) {
+    const double a = g.weight(i);
+    out.push_back(a > 0.0
+                      ? DiscreteDistribution::two_state(a, m.p_success(a))
+                      : DiscreteDistribution::point(0.0));
+  }
+  return out;
+}
+
+TEST(ArcNetwork, FromDagLayout) {
+  const auto g = expmk::test::diamond();
+  const auto net = ArcNetwork::from_dag(g, two_state_dists(g, 0.1));
+  // 4 task arcs + 4 precedence arcs + 1 source feed + 1 sink feed.
+  EXPECT_EQ(net.arc_count(), 10u);
+  EXPECT_EQ(net.node_count(), 2 * 4 + 2);
+  EXPECT_EQ(net.out_degree(net.source()), 1u);
+  EXPECT_EQ(net.in_degree(net.sink()), 1u);
+}
+
+TEST(ArcNetwork, DistCountMismatchThrows) {
+  const auto g = expmk::test::diamond();
+  EXPECT_THROW(ArcNetwork::from_dag(g, {}), std::invalid_argument);
+}
+
+TEST(ArcNetwork, AddRemoveRetarget) {
+  const auto g = expmk::test::diamond();
+  auto net = ArcNetwork::from_dag(g, two_state_dists(g, 0.1));
+  const auto n1 = net.add_node();
+  const auto id = net.add_arc(net.source(), n1, DiscreteDistribution{});
+  EXPECT_EQ(net.in_degree(n1), 1u);
+  net.retarget_arc(id, net.sink());
+  EXPECT_EQ(net.in_degree(n1), 0u);
+  const auto before = net.arc_count();
+  net.remove_arc(id);
+  EXPECT_EQ(net.arc_count(), before - 1);
+  net.remove_arc(id);  // idempotent
+  EXPECT_EQ(net.arc_count(), before - 1);
+}
+
+TEST(SpReduce, SingleTaskReducesToItsDistribution) {
+  expmk::graph::Dag g;
+  g.add_task(1.0);
+  const auto eval =
+      evaluate_sp(ArcNetwork::from_dag(g, two_state_dists(g, 0.2)));
+  EXPECT_TRUE(eval.is_series_parallel);
+  const double p = std::exp(-0.2);
+  EXPECT_NEAR(eval.makespan.mean(), 1.0 * p + 2.0 * (1.0 - p), 1e-12);
+}
+
+TEST(SpReduce, ChainConvolves) {
+  const auto g = expmk::gen::uniform_chain(4, 0.5);
+  const auto eval =
+      evaluate_sp(ArcNetwork::from_dag(g, two_state_dists(g, 0.3)));
+  EXPECT_TRUE(eval.is_series_parallel);
+  EXPECT_NEAR(eval.makespan.mean(),
+              expmk::core::exact_two_state(g, FailureModel{0.3}), 1e-12);
+  // Chain of 4 two-state tasks: support has 5 distinct sums.
+  EXPECT_EQ(eval.makespan.size(), 5u);
+}
+
+TEST(SpReduce, DiamondIsSeriesParallel) {
+  const auto g = expmk::test::diamond(0.4, 0.3, 0.5, 0.2);
+  const FailureModel m{0.25};
+  const auto eval =
+      evaluate_sp(ArcNetwork::from_dag(g, two_state_dists(g, m.lambda)));
+  EXPECT_TRUE(eval.is_series_parallel);
+  EXPECT_NEAR(eval.makespan.mean(), expmk::core::exact_two_state(g, m),
+              1e-12);
+}
+
+TEST(SpReduce, NGraphIsNotSeriesParallel) {
+  const auto g = expmk::test::n_graph();
+  const auto eval =
+      evaluate_sp(ArcNetwork::from_dag(g, two_state_dists(g, 0.1)));
+  EXPECT_FALSE(eval.is_series_parallel);
+}
+
+TEST(SpReduce, WheatstoneBridgeIsNotSeriesParallel) {
+  const auto g = expmk::gen::wheatstone_bridge();
+  const auto eval =
+      evaluate_sp(ArcNetwork::from_dag(g, two_state_dists(g, 0.1)));
+  EXPECT_FALSE(eval.is_series_parallel);
+}
+
+TEST(SpReduce, CholeskyLikeGraphsAreNotSp) {
+  // The paper attributes Dodin's poor accuracy to these DAGs being far
+  // from series-parallel; verify they indeed are not SP.
+  const auto g = expmk::gen::cholesky_dag(4);
+  const auto eval =
+      evaluate_sp(ArcNetwork::from_dag(g, two_state_dists(g, 0.1)));
+  EXPECT_FALSE(eval.is_series_parallel);
+}
+
+// Property: every random_series_parallel graph is recognized as SP and
+// its evaluated mean matches enumeration (for small sizes).
+class SpRandomSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpRandomSweep, RecognizedAndExact) {
+  const auto seed = GetParam();
+  const auto g = expmk::gen::random_series_parallel(12, seed);
+  const FailureModel m{0.15};
+  const auto eval =
+      evaluate_sp(ArcNetwork::from_dag(g, two_state_dists(g, m.lambda)));
+  ASSERT_TRUE(eval.is_series_parallel) << "seed " << seed;
+  EXPECT_NEAR(eval.makespan.mean(), expmk::core::exact_two_state(g, m),
+              1e-10)
+      << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpRandomSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u,
+                                           9u, 10u));
+
+TEST(SpReduce, LargeSpGraphReducesWithBudget) {
+  const auto g = expmk::gen::random_series_parallel(300, 77);
+  const auto eval = evaluate_sp(
+      ArcNetwork::from_dag(g, two_state_dists(g, 0.05)), /*max_atoms=*/64);
+  EXPECT_TRUE(eval.is_series_parallel);
+  EXPECT_LE(eval.makespan.size(), 64u);
+  EXPECT_GT(eval.makespan.mean(), 0.0);
+}
+
+TEST(SpReduce, StatsCountReductions) {
+  const auto g = expmk::gen::uniform_chain(4, 0.5);
+  auto net = ArcNetwork::from_dag(g, two_state_dists(g, 0.3));
+  const auto stats = reduce_exhaustively(net, 0);
+  EXPECT_TRUE(stats.reduced_to_single_arc);
+  EXPECT_GT(stats.series, 0u);
+  EXPECT_EQ(stats.parallel, 0u);  // a chain needs no parallel merges
+}
+
+}  // namespace

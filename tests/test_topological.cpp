@@ -1,0 +1,98 @@
+// Unit tests for graph/topological: Kahn ordering, cycle detection, and
+// the property that every generator family yields valid orders.
+
+#include <gtest/gtest.h>
+
+#include "gen/cholesky.hpp"
+#include "gen/lu.hpp"
+#include "gen/qr.hpp"
+#include "gen/random_dags.hpp"
+#include "graph/topological.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using expmk::graph::Dag;
+using expmk::graph::is_topological_order;
+using expmk::graph::topological_order;
+using expmk::graph::try_topological_order;
+
+TEST(Topological, DiamondOrderRespectsEdges) {
+  const auto g = expmk::test::diamond();
+  const auto order = topological_order(g);
+  EXPECT_TRUE(is_topological_order(g, order));
+  EXPECT_EQ(order.front(), g.find_by_name("A"));
+  EXPECT_EQ(order.back(), g.find_by_name("D"));
+}
+
+TEST(Topological, DetectsCycle) {
+  Dag g;
+  const auto a = g.add_task(1.0);
+  const auto b = g.add_task(1.0);
+  const auto c = g.add_task(1.0);
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  g.add_edge(c, a);
+  EXPECT_FALSE(try_topological_order(g).has_value());
+  EXPECT_THROW((void)topological_order(g), std::invalid_argument);
+}
+
+TEST(Topological, SingleTaskAndEmptyGraph) {
+  Dag g;
+  EXPECT_TRUE(try_topological_order(g).has_value());  // empty is fine
+  g.add_task(1.0);
+  const auto order = topological_order(g);
+  EXPECT_EQ(order.size(), 1u);
+}
+
+TEST(Topological, RanksInvertOrder) {
+  const auto g = expmk::test::diamond();
+  const auto order = topological_order(g);
+  const auto rank = expmk::graph::ranks_of(order);
+  for (std::uint32_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(rank[order[i]], i);
+  }
+}
+
+TEST(Topological, IsTopologicalOrderRejectsBadInputs) {
+  const auto g = expmk::test::diamond();
+  auto order = topological_order(g);
+  std::swap(order.front(), order.back());  // breaks A before D
+  EXPECT_FALSE(is_topological_order(g, order));
+  EXPECT_FALSE(is_topological_order(g, {}));                // wrong size
+  EXPECT_FALSE(is_topological_order(g, {0u, 0u, 1u, 2u}));  // duplicate
+}
+
+// Property sweep: every generator family yields DAGs whose computed order
+// validates.
+class TopoGeneratorSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TopoGeneratorSweep, FactorizationDagsHaveValidOrders) {
+  const int k = GetParam();
+  for (const auto& g :
+       {expmk::gen::cholesky_dag(k), expmk::gen::lu_dag(k),
+        expmk::gen::qr_dag(k)}) {
+    const auto order = topological_order(g);
+    EXPECT_TRUE(is_topological_order(g, order));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TopoGeneratorSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 8));
+
+class TopoRandomSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TopoRandomSweep, RandomDagsHaveValidOrders) {
+  const std::uint64_t seed = GetParam();
+  const auto layered = expmk::gen::layered_random(6, 5, 0.3, seed);
+  EXPECT_TRUE(is_topological_order(layered, topological_order(layered)));
+  const auto erdos = expmk::gen::erdos_dag(40, 0.1, seed);
+  EXPECT_TRUE(is_topological_order(erdos, topological_order(erdos)));
+  const auto sp = expmk::gen::random_series_parallel(30, seed);
+  EXPECT_TRUE(is_topological_order(sp, topological_order(sp)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopoRandomSweep,
+                         ::testing::Values(1u, 2u, 3u, 17u, 99u));
+
+}  // namespace

@@ -18,6 +18,7 @@
 #include "graph/longest_path.hpp"
 #include "graph/reachability.hpp"
 #include "graph/topological.hpp"
+#include "legacy_trial.hpp"
 #include "mc/trial.hpp"
 #include "normal/clark_full.hpp"
 #include "normal/corlca.hpp"
@@ -84,6 +85,36 @@ void BM_McTrial(benchmark::State& state) {
   state.SetLabel(std::to_string(g.task_count()) + " tasks");
 }
 BENCHMARK(BM_McTrial)->Arg(8)->Arg(12)->Arg(20);
+
+// The engine's hot path: fused allocation-free CSR trial kernel.
+void BM_McTrial_Csr(benchmark::State& state) {
+  const auto g = gen::lu_dag(static_cast<int>(state.range(0)));
+  const auto model = core::calibrate(g, 0.001);
+  const mc::TrialContext ctx(g, model, core::RetryModel::Geometric);
+  prob::Xoshiro256pp rng(1);
+  std::vector<double> finish(g.task_count());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mc::run_trial_csr(ctx, rng, finish));
+  }
+  state.SetLabel(std::to_string(g.task_count()) + " tasks");
+}
+BENCHMARK(BM_McTrial_Csr)->Arg(8)->Arg(12)->Arg(20);
+
+// Pre-CSR baseline (bench/legacy_trial.hpp): per-trial allocation,
+// pointer-chasing adjacency, two logs per task. Kept so the BM_McTrial_Csr
+// speedup stays visible in every micro run.
+void BM_McTrial_Legacy(benchmark::State& state) {
+  const auto g = gen::lu_dag(static_cast<int>(state.range(0)));
+  const auto model = core::calibrate(g, 0.001);
+  const bench::LegacyTrialContext ctx(g, model, core::RetryModel::Geometric);
+  prob::Xoshiro256pp rng(1);
+  std::vector<double> durations(g.task_count());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::legacy_run_trial(ctx, rng, durations));
+  }
+  state.SetLabel(std::to_string(g.task_count()) + " tasks");
+}
+BENCHMARK(BM_McTrial_Legacy)->Arg(8)->Arg(12)->Arg(20);
 
 void BM_Sculli(benchmark::State& state) {
   const auto g = gen::lu_dag(static_cast<int>(state.range(0)));

@@ -2,23 +2,45 @@
 
 #include <algorithm>
 
+#include "graph/csr.hpp"
 #include "graph/levels.hpp"
 #include "graph/longest_path.hpp"
 #include "graph/topological.hpp"
 
 namespace expmk::core {
 
+FirstOrderResult first_order(const graph::CsrDag& csr,
+                             const FailureModel& model) {
+  const std::size_t n = csr.task_count();
+  const std::span<const double> w = csr.weights();
+  std::vector<double> top(n), bottom(n);
+  const double d = graph::compute_levels(csr, w, top, bottom);
+
+  FirstOrderResult out;
+  out.critical_path = d;
+  double correction = 0.0;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    // d(G_v) - d(G) = max(0, through(v) + a_v - d(G)): doubling a_v adds
+    // a_v to every path through v and leaves other paths unchanged.
+    const double through_doubled = top[v] + bottom[v] + w[v];
+    const double delta = std::max(0.0, through_doubled - d);
+    correction += w[v] * delta;
+  }
+  out.correction = model.lambda * correction;
+  return out;
+}
+
 FirstOrderResult first_order(const graph::Dag& g, const FailureModel& model,
                              std::span<const graph::TaskId> topo) {
+  // Honors the caller's precomputed order (callers like core::dvfs_sweep
+  // pass it to amortize across repeated evaluations); the CSR overload
+  // above is for callers already holding a CsrDag.
   const auto levels = graph::compute_levels(g, g.weights(), topo);
   FirstOrderResult out;
   out.critical_path = levels.critical_path;
-
   double correction = 0.0;
   for (graph::TaskId i = 0; i < g.task_count(); ++i) {
     const double a = g.weight(i);
-    // d(G_i) - d(G) = max(0, through(i) + a_i - d(G)): doubling a_i adds
-    // a_i to every path through i and leaves other paths unchanged.
     const double through_doubled = levels.top[i] + levels.bottom[i] + a;
     const double delta = std::max(0.0, through_doubled - levels.critical_path);
     correction += a * delta;
@@ -28,19 +50,19 @@ FirstOrderResult first_order(const graph::Dag& g, const FailureModel& model,
 }
 
 FirstOrderResult first_order(const graph::Dag& g, const FailureModel& model) {
-  const auto topo = graph::topological_order(g);
-  return first_order(g, model, topo);
+  return first_order(graph::CsrDag(g), model);
 }
 
 double first_order_naive(const graph::Dag& g, const FailureModel& model) {
   const auto topo = graph::topological_order(g);
-  const double d = graph::critical_path_length(g, g.weights(), topo);
+  std::vector<double> finish(g.task_count());
+  const double d = graph::critical_path_length(g, g.weights(), topo, finish);
   std::vector<double> weights = g.weights();
   double correction = 0.0;
   for (graph::TaskId i = 0; i < g.task_count(); ++i) {
     const double a = weights[i];
     weights[i] = 2.0 * a;
-    const double d_i = graph::critical_path_length(g, weights, topo);
+    const double d_i = graph::critical_path_length(g, weights, topo, finish);
     weights[i] = a;
     correction += a * (d_i - d);
   }

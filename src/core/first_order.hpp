@@ -22,6 +22,7 @@
 #include <span>
 
 #include "core/failure_model.hpp"
+#include "graph/csr.hpp"
 #include "graph/dag.hpp"
 
 namespace expmk::core {
@@ -37,6 +38,13 @@ struct FirstOrderResult {
     return critical_path + correction;
   }
 };
+
+/// Closed-form first-order approximation over a prebuilt CSR view,
+/// O(|V| + |E|) — the implementation the Dag overloads adapt to. Callers
+/// that already hold a CsrDag (e.g. via mc::TrialContext) should use this
+/// directly and skip the rebuild.
+[[nodiscard]] FirstOrderResult first_order(const graph::CsrDag& csr,
+                                           const FailureModel& model);
 
 /// Closed-form first-order approximation, O(|V| + |E|).
 /// `topo` must be a topological order of `g` (see graph::topological_order).

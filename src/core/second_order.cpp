@@ -3,22 +3,23 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
-#include "core/first_order.hpp"
-#include "graph/levels.hpp"
-#include "graph/longest_path.hpp"
-#include "graph/topological.hpp"
+#include "graph/csr.hpp"
 
 namespace expmk::core {
 
-SecondOrderResult second_order(const graph::Dag& g, const FailureModel& model,
-                               RetryModel model_kind,
-                               std::span<const graph::TaskId> topo) {
+SecondOrderResult second_order(const graph::CsrDag& csr,
+                               const FailureModel& model,
+                               RetryModel model_kind) {
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
   const double lambda = model.lambda;
-  const auto& w = g.weights();
-  const auto levels = graph::compute_levels(g, w, topo);
-  const double d = levels.critical_path;
-  const std::size_t n = g.task_count();
+  const std::size_t n = csr.task_count();
+  const std::span<const double> w = csr.weights();
+
+  // Levels over the renumbered positions (one forward, one backward pass).
+  std::vector<double> top(n), bottom(n);
+  const double d = graph::compute_levels(csr, w, top, bottom);
 
   double A = 0.0;
   for (const double a : w) A += a;
@@ -26,77 +27,38 @@ SecondOrderResult second_order(const graph::Dag& g, const FailureModel& model,
   // d(G_i) for every i, plus the first-order correction for reporting.
   std::vector<double> d_single(n);
   double fo_correction = 0.0;
-  for (graph::TaskId i = 0; i < n; ++i) {
-    const double thr2 = levels.top[i] + levels.bottom[i] + w[i];
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const double thr2 = top[i] + bottom[i] + w[i];
     d_single[i] = std::max(d, thr2);
     fo_correction += w[i] * (d_single[i] - d);
   }
 
-  // Accumulate pair terms sum_{i<j} a_i a_j d(G_ij) by streaming a
-  // single-source longest path from every i. Pairs where j is reachable
-  // from i use the cross(i,j) candidate; unordered unrelated pairs are
-  // handled when scanning from min(i,j) (reachability is one-directional
-  // in a DAG, so every unordered pair is visited exactly once from the
-  // lexicographically smaller endpoint).
+  // Pair terms sum_{i<j} a_i a_j d(G_ij), streaming one single-source
+  // longest path per i into a reused scratch buffer. Because positions
+  // are topologically renumbered, j at a later position can NEVER reach i
+  // — so one forward suffix sweep per i covers every unordered pair, and
+  // the reverse patch-up sweep the Dag-order implementation needed
+  // disappears entirely (half the work, zero allocations in the loop).
+  std::vector<double> dist(n);
   double pair_sum = 0.0;
-  for (graph::TaskId i = 0; i < n; ++i) {
-    const auto lp = graph::longest_from(g, i, w, topo);
-    for (graph::TaskId j = i + 1; j < n; ++j) {
+  for (std::uint32_t i = 0; i < n; ++i) {
+    longest_from(csr, i, w, dist);  // fills dist[i..n)
+    for (std::uint32_t j = i + 1; j < n; ++j) {
       double dij = std::max(d_single[i], d_single[j]);
-      if (lp[j] != -std::numeric_limits<double>::infinity()) {
+      if (dist[j] != kNegInf) {
         // Best path through both i and j (j reachable from i), with both
         // weights doubled: top(i) + [lp(i,j) + a_i + a_j] + tail(j).
         const double cross =
-            levels.top[i] + lp[j] + w[i] + w[j] + (levels.bottom[j] - w[j]);
+            top[i] + dist[j] + w[i] + w[j] + (bottom[j] - w[j]);
         dij = std::max(dij, cross);
-      } else {
-        // j might instead reach i: check via levels using the reverse
-        // direction — recomputing lp from j for this test would be
-        // quadratic in memory-friendly form, so instead note that if j
-        // reaches i the pair is covered by the cross term when scanning
-        // from j... but we only scan forward from i < j. Handle it here
-        // by an explicit reverse query: longest path from j to i exists
-        // iff top(i) >= top(j) + a_j along some path — information lp
-        // does not carry. We therefore run the reverse single-source walk
-        // lazily only when needed (see below).
-        dij = dij;  // resolved by the reverse sweep after this loop
       }
       pair_sum += w[i] * w[j] * dij;
-    }
-    // Correct pairs where i is reachable FROM a later-id task j: the
-    // forward scan above missed their cross term. Run the reverse walk
-    // (predecessor direction) from i and patch those pairs.
-    const auto lp_rev = [&] {
-      std::vector<double> dist(n, -std::numeric_limits<double>::infinity());
-      dist[i] = w[i];
-      bool seen = false;
-      for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
-        const graph::TaskId v = *it;
-        if (v == i) seen = true;
-        if (!seen || dist[v] == -std::numeric_limits<double>::infinity()) {
-          continue;
-        }
-        for (const graph::TaskId u : g.predecessors(v)) {
-          const double cand = dist[v] + w[u];
-          if (cand > dist[u]) dist[u] = cand;
-        }
-      }
-      return dist;
-    }();
-    for (graph::TaskId j = i + 1; j < n; ++j) {
-      if (lp_rev[j] == -std::numeric_limits<double>::infinity()) continue;
-      // j -> i path exists: cross(j,i) with both doubled.
-      const double cross =
-          levels.top[j] + lp_rev[j] + w[i] + w[j] + (levels.bottom[i] - w[i]);
-      const double old_dij = std::max(d_single[i], d_single[j]);
-      const double new_dij = std::max(old_dij, cross);
-      pair_sum += w[i] * w[j] * (new_dij - old_dij);
     }
   }
 
   // Assemble per the expansion in the header comment.
   double e2 = d * (1.0 - lambda * A + lambda * lambda * A * A / 2.0);
-  for (graph::TaskId i = 0; i < n; ++i) {
+  for (std::uint32_t i = 0; i < n; ++i) {
     const double a = w[i];
     double coeff1;  // coefficient of lambda^2 on d(G_i)
     switch (model_kind) {
@@ -117,8 +79,8 @@ SecondOrderResult second_order(const graph::Dag& g, const FailureModel& model,
     // Triple execution of a single task: weight 3 a_i with prob
     // (lambda a_i)^2 + O(lambda^3).
     double triple = 0.0;
-    for (graph::TaskId i = 0; i < n; ++i) {
-      const double thr3 = levels.top[i] + levels.bottom[i] + 2.0 * w[i];
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const double thr3 = top[i] + bottom[i] + 2.0 * w[i];
       triple += w[i] * w[i] * std::max(d, thr3);
     }
     e2 += lambda * lambda * triple;
@@ -132,9 +94,20 @@ SecondOrderResult second_order(const graph::Dag& g, const FailureModel& model,
 }
 
 SecondOrderResult second_order(const graph::Dag& g, const FailureModel& model,
+                               RetryModel model_kind,
+                               std::span<const graph::TaskId> topo) {
+  // The CSR build derives its own order; still validate the argument so a
+  // caller passing an order from a different graph keeps its error signal.
+  if (topo.size() != g.task_count()) {
+    throw std::invalid_argument(
+        "second_order: topo size mismatch with task count");
+  }
+  return second_order(graph::CsrDag(g), model, model_kind);
+}
+
+SecondOrderResult second_order(const graph::Dag& g, const FailureModel& model,
                                RetryModel model_kind) {
-  const auto topo = graph::topological_order(g);
-  return second_order(g, model, model_kind, topo);
+  return second_order(graph::CsrDag(g), model, model_kind);
 }
 
 }  // namespace expmk::core

@@ -31,6 +31,7 @@
 #include <span>
 
 #include "core/failure_model.hpp"
+#include "graph/csr.hpp"
 #include "graph/dag.hpp"
 
 namespace expmk::core {
@@ -42,13 +43,25 @@ struct SecondOrderResult {
   double expected_makespan = 0.0;  ///< the O(lambda^2)-exact estimate
 };
 
+/// Second-order approximation over a prebuilt CSR view — the
+/// implementation the Dag overloads adapt to. The topological
+/// renumbering lets the pair sweep run forward-only (a position can never
+/// reach an earlier one), and the per-source longest-path buffer is
+/// reused across sources: zero allocation inside the O(|V|^2) loop.
+[[nodiscard]] SecondOrderResult second_order(
+    const graph::CsrDag& csr, const FailureModel& model,
+    RetryModel model_kind = RetryModel::TwoState);
+
 /// Second-order approximation. `model_kind` selects the 2-state or
 /// geometric coefficient set (see file comment). O(|V| (|V| + |E|)).
 [[nodiscard]] SecondOrderResult second_order(
     const graph::Dag& g, const FailureModel& model,
     RetryModel model_kind = RetryModel::TwoState);
 
-/// As above with a caller-provided topological order.
+/// Source-compatibility overload: the caller-provided order is no longer
+/// consumed (the CSR build derives its own renumbering, which is what
+/// makes the forward-only pair sweep valid); its cost is O(V + E) noise
+/// next to the O(V^2) body.
 [[nodiscard]] SecondOrderResult second_order(
     const graph::Dag& g, const FailureModel& model, RetryModel model_kind,
     std::span<const graph::TaskId> topo);

@@ -1,0 +1,136 @@
+#include "graph/csr.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "graph/topological.hpp"
+
+namespace expmk::graph {
+
+CsrDag::CsrDag(const Dag& g) {
+  const std::size_t n = g.task_count();
+  order_ = topological_order(g);  // throws on cycle
+  position_.resize(n);
+  for (std::uint32_t pos = 0; pos < n; ++pos) {
+    position_[order_[pos]] = pos;
+  }
+
+  weights_.resize(n);
+  for (std::uint32_t pos = 0; pos < n; ++pos) {
+    weights_[pos] = g.weight(order_[pos]);
+  }
+
+  pred_offsets_.assign(n + 1, 0);
+  succ_offsets_.assign(n + 1, 0);
+  for (std::uint32_t pos = 0; pos < n; ++pos) {
+    const TaskId id = order_[pos];
+    pred_offsets_[pos + 1] =
+        pred_offsets_[pos] + static_cast<std::uint32_t>(g.in_degree(id));
+    succ_offsets_[pos + 1] =
+        succ_offsets_[pos] + static_cast<std::uint32_t>(g.out_degree(id));
+  }
+
+  pred_index_.resize(pred_offsets_[n]);
+  succ_index_.resize(succ_offsets_[n]);
+  for (std::uint32_t pos = 0; pos < n; ++pos) {
+    const TaskId id = order_[pos];
+    std::uint32_t cursor = pred_offsets_[pos];
+    for (const TaskId u : g.predecessors(id)) {
+      pred_index_[cursor++] = position_[u];
+    }
+    cursor = succ_offsets_[pos];
+    for (const TaskId w : g.successors(id)) {
+      succ_index_[cursor++] = position_[w];
+    }
+  }
+}
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+void check_scratch(const CsrDag& g, std::span<const double> weights,
+                   std::span<const double> scratch) {
+  if (weights.size() != g.task_count() || scratch.size() != g.task_count()) {
+    throw std::invalid_argument(
+        "csr: weights/scratch size mismatch with task count");
+  }
+}
+}  // namespace
+
+double critical_path_length(const CsrDag& g, std::span<const double> weights,
+                            std::span<double> finish) {
+  check_scratch(g, weights, finish);
+  const std::size_t n = g.task_count();
+  const std::span<const std::uint32_t> off = g.pred_offsets();
+  const std::span<const std::uint32_t> pred = g.pred_index();
+  double best = 0.0;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    double start = 0.0;
+    for (std::uint32_t e = off[v]; e < off[v + 1]; ++e) {
+      const double f = finish[pred[e]];
+      if (f > start) start = f;
+    }
+    const double fv = start + weights[v];
+    finish[v] = fv;
+    if (fv > best) best = fv;
+  }
+  return best;
+}
+
+void longest_from(const CsrDag& g, std::uint32_t source,
+                  std::span<const double> weights, std::span<double> dist) {
+  check_scratch(g, weights, dist);
+  const std::size_t n = g.task_count();
+  if (source >= n) {
+    throw std::out_of_range("csr longest_from: invalid source");
+  }
+  const std::span<const std::uint32_t> off = g.pred_offsets();
+  const std::span<const std::uint32_t> pred = g.pred_index();
+  dist[source] = weights[source];
+  // Positions after `source` are the only candidates (topological
+  // renumbering); a predecessor below `source` is unreachable from it, so
+  // its (stale) dist entry must be ignored rather than read.
+  for (std::uint32_t v = source + 1; v < n; ++v) {
+    double best = kNegInf;
+    for (std::uint32_t e = off[v]; e < off[v + 1]; ++e) {
+      const std::uint32_t u = pred[e];
+      if (u < source) continue;
+      const double d = dist[u];
+      if (d > best) best = d;
+    }
+    dist[v] = best == kNegInf ? kNegInf : best + weights[v];
+  }
+}
+
+double compute_levels(const CsrDag& g, std::span<const double> weights,
+                      std::span<double> top, std::span<double> bottom) {
+  check_scratch(g, weights, top);
+  check_scratch(g, weights, bottom);
+  const std::size_t n = g.task_count();
+  const std::span<const std::uint32_t> poff = g.pred_offsets();
+  const std::span<const std::uint32_t> pred = g.pred_index();
+  const std::span<const std::uint32_t> soff = g.succ_offsets();
+  const std::span<const std::uint32_t> succ = g.succ_index();
+  for (std::uint32_t v = 0; v < n; ++v) {
+    double t = 0.0;
+    for (std::uint32_t e = poff[v]; e < poff[v + 1]; ++e) {
+      const std::uint32_t u = pred[e];
+      const double cand = top[u] + weights[u];
+      if (cand > t) t = cand;
+    }
+    top[v] = t;
+  }
+  double d = 0.0;
+  for (std::uint32_t v = static_cast<std::uint32_t>(n); v-- > 0;) {
+    double below = 0.0;
+    for (std::uint32_t e = soff[v]; e < soff[v + 1]; ++e) {
+      if (bottom[succ[e]] > below) below = bottom[succ[e]];
+    }
+    bottom[v] = below + weights[v];
+    const double through = top[v] + bottom[v];
+    if (through > d) d = through;
+  }
+  return d;
+}
+
+}  // namespace expmk::graph

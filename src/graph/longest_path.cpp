@@ -21,11 +21,14 @@ void check_sizes(const Dag& g, std::span<const double> weights,
 }  // namespace
 
 double critical_path_length(const Dag& g, std::span<const double> weights,
-                            std::span<const TaskId> topo) {
+                            std::span<const TaskId> topo,
+                            std::span<double> finish) {
   check_sizes(g, weights, topo);
-  if (g.task_count() == 0) return 0.0;
+  if (finish.size() != g.task_count()) {
+    throw std::invalid_argument(
+        "longest_path: finish scratch size mismatch with task count");
+  }
   // finish[v] = longest path ending at v (inclusive of v's weight).
-  std::vector<double> finish(g.task_count(), 0.0);
   double best = 0.0;
   for (const TaskId v : topo) {
     double start = 0.0;
@@ -36,6 +39,16 @@ double critical_path_length(const Dag& g, std::span<const double> weights,
     if (finish[v] > best) best = finish[v];
   }
   return best;
+}
+
+double critical_path_length(const Dag& g, std::span<const double> weights,
+                            std::span<const TaskId> topo) {
+  if (g.task_count() == 0) {
+    check_sizes(g, weights, topo);
+    return 0.0;
+  }
+  std::vector<double> finish(g.task_count(), 0.0);
+  return critical_path_length(g, weights, topo, finish);
 }
 
 double critical_path_length(const Dag& g) {
@@ -74,14 +87,17 @@ CriticalPath critical_path(const Dag& g, std::span<const double> weights,
   return out;
 }
 
-std::vector<double> longest_from(const Dag& g, TaskId source,
-                                 std::span<const double> weights,
-                                 std::span<const TaskId> topo) {
+void longest_from(const Dag& g, TaskId source, std::span<const double> weights,
+                  std::span<const TaskId> topo, std::span<double> dist) {
   check_sizes(g, weights, topo);
   if (source >= g.task_count()) {
     throw std::out_of_range("longest_from: invalid source");
   }
-  std::vector<double> dist(g.task_count(), kNegInf);
+  if (dist.size() != g.task_count()) {
+    throw std::invalid_argument(
+        "longest_from: dist scratch size mismatch with task count");
+  }
+  std::fill(dist.begin(), dist.end(), kNegInf);
   dist[source] = weights[source];
   // One pass over the topological suffix starting at source is enough; we
   // simply skip vertices that are still unreachable.
@@ -94,6 +110,13 @@ std::vector<double> longest_from(const Dag& g, TaskId source,
       if (cand > dist[w]) dist[w] = cand;
     }
   }
+}
+
+std::vector<double> longest_from(const Dag& g, TaskId source,
+                                 std::span<const double> weights,
+                                 std::span<const TaskId> topo) {
+  std::vector<double> dist(g.task_count());
+  longest_from(g, source, weights, topo, dist);
   return dist;
 }
 

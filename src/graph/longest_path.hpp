@@ -21,6 +21,15 @@ namespace expmk::graph {
                                           std::span<const double> weights,
                                           std::span<const TaskId> topo);
 
+/// Allocation-free overload: `finish` is caller scratch of size
+/// task_count(), overwritten with finish[v] = longest path ending at v.
+/// Hot-path form (see DESIGN.md); the overload above allocates the scratch
+/// per call and delegates here.
+[[nodiscard]] double critical_path_length(const Dag& g,
+                                          std::span<const double> weights,
+                                          std::span<const TaskId> topo,
+                                          std::span<double> finish);
+
 /// Convenience overload using the DAG's own weights and a fresh order.
 [[nodiscard]] double critical_path_length(const Dag& g);
 
@@ -42,5 +51,10 @@ struct CriticalPath {
 [[nodiscard]] std::vector<double> longest_from(const Dag& g, TaskId source,
                                                std::span<const double> weights,
                                                std::span<const TaskId> topo);
+
+/// Allocation-free overload writing into caller scratch `dist` (size
+/// task_count(), fully overwritten). Same semantics as above.
+void longest_from(const Dag& g, TaskId source, std::span<const double> weights,
+                  std::span<const TaskId> topo, std::span<double> dist);
 
 }  // namespace expmk::graph

@@ -5,8 +5,7 @@
 #include <thread>
 #include <vector>
 
-#include "graph/longest_path.hpp"
-#include "graph/topological.hpp"
+#include "graph/csr.hpp"
 #include "prob/rng.hpp"
 #include "prob/statistics.hpp"
 #include "util/thread_pool.hpp"
@@ -27,12 +26,21 @@ ConditionalMcResult run_conditional_monte_carlo(
     const graph::Dag& g, const core::FailureModel& model,
     const ConditionalMcConfig& config) {
   const util::Timer timer;
-  const auto topo = graph::topological_order(g);
-  const auto p = core::success_probabilities(g, model);
+  const graph::CsrDag csr(g);
   const std::size_t n = g.task_count();
+  // Success probabilities in CSR position order: the sampling loop below
+  // walks positions, so every per-task array it touches is sequential.
+  const auto p_by_id = core::success_probabilities(g, model);
+  std::vector<double> p(n);
+  for (std::uint32_t pos = 0; pos < n; ++pos) {
+    p[pos] = p_by_id[csr.original_id(pos)];
+  }
 
   ConditionalMcResult result;
-  result.critical_path = graph::critical_path_length(g, g.weights(), topo);
+  {
+    std::vector<double> finish(n);
+    result.critical_path = graph::critical_path_length(csr, csr.weights(), finish);
+  }
 
   double p0 = 1.0;
   for (const double pi : p) p0 *= pi;
@@ -52,15 +60,18 @@ ConditionalMcResult run_conditional_monte_carlo(
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
   const std::uint64_t trials = std::max<std::uint64_t>(1, config.trials);
-  const std::size_t chunks = std::min<std::uint64_t>(threads * 4, trials);
+  const std::size_t chunks = std::min<std::uint64_t>(kEngineChunks, trials);
 
+  const std::span<const double> w = csr.weights();
   std::vector<Accum> accums(chunks);
   util::ThreadPool pool(threads);
   pool.parallel_for_chunks(chunks, [&](std::size_t c) {
     Accum& acc = accums[c];
     const std::uint64_t begin = trials * c / chunks;
     const std::uint64_t end = trials * (c + 1) / chunks;
+    // Per-worker scratch (CSR position order), sized once per chunk.
     std::vector<double> durations(n);
+    std::vector<double> finish(n);
     for (std::uint64_t t = begin; t < end; ++t) {
       prob::Xoshiro256pp rng(config.seed, t);
       // Rejection: redraw the failure pattern until at least one failure.
@@ -73,19 +84,19 @@ ConditionalMcResult run_conditional_monte_carlo(
           // bias the estimate, so instead surface the degenerate case as
           // the failure-free makespan sample (its weight (1-p0) is
           // negligible by construction).
-          for (std::size_t i = 0; i < n; ++i) durations[i] = g.weights()[i];
+          for (std::size_t i = 0; i < n; ++i) durations[i] = w[i];
           any = true;
           break;
         }
         any = false;
         for (std::size_t i = 0; i < n; ++i) {
           const bool failed = !rng.bernoulli(p[i]);
-          durations[i] = failed ? 2.0 * g.weights()[i] : g.weights()[i];
+          durations[i] = failed ? 2.0 * w[i] : w[i];
           any = any || failed;
         }
       }
       acc.rejections += attempts - 1;
-      acc.stats.push(graph::critical_path_length(g, durations, topo));
+      acc.stats.push(graph::critical_path_length(csr, durations, finish));
     }
   });
 

@@ -35,7 +35,7 @@ McResult run_monte_carlo(const graph::Dag& g, const core::FailureModel& model,
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
   const std::uint64_t trials = std::max<std::uint64_t>(1, config.trials);
-  const std::size_t chunks = std::min<std::uint64_t>(threads * 4, trials);
+  const std::size_t chunks = std::min<std::uint64_t>(kEngineChunks, trials);
 
   std::vector<WorkerAccum> accums(chunks);
   util::ThreadPool pool(threads);
@@ -44,11 +44,13 @@ McResult run_monte_carlo(const graph::Dag& g, const core::FailureModel& model,
     const std::uint64_t begin = trials * c / chunks;
     const std::uint64_t end = trials * (c + 1) / chunks;
     if (config.capture_samples) acc.samples.reserve(end - begin);
-    std::vector<double> durations(g.task_count());
+    // Per-worker scratch, sized once per chunk: the CSR kernel allocates
+    // nothing per trial.
+    std::vector<double> finish(g.task_count());
     for (std::uint64_t t = begin; t < end; ++t) {
       prob::Xoshiro256pp rng(config.seed, t);
       const TrialObservation obs =
-          run_trial_with_control(ctx, rng, durations);
+          run_trial_with_control_csr(ctx, rng, finish);
       acc.makespan.push(obs.makespan);
       acc.sum_z += obs.control;
       acc.sum_zz += obs.control * obs.control;

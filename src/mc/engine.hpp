@@ -4,9 +4,10 @@
 // ground truth (300,000 trials in Section V; configurable here).
 //
 // Reproducibility: every trial seeds its own xoshiro256++ stream from
-// (seed, trial_index), so the estimate is bit-identical for any thread
-// count and any batch partitioning. Results merge through Welford
-// accumulators (exact pairwise merge).
+// (seed, trial_index), and trials are partitioned into a FIXED number of
+// chunks (independent of the thread count) whose Welford accumulators are
+// merged in chunk order — so the estimate is bit-identical for any thread
+// count. tests/test_csr.cpp pins this contract down to the last bit.
 //
 // Variance reduction: an optional control variate
 //   Z = sum_i a_i * (executions_i - 1)       (E[Z] known in closed form)
@@ -24,6 +25,18 @@
 #include "mc/trial.hpp"
 
 namespace expmk::mc {
+
+/// Number of work chunks the Monte-Carlo engines split their trial range
+/// into. Deliberately a fixed constant, NOT a function of the thread
+/// count: chunk boundaries determine the accumulator merge tree, so a
+/// fixed partition (plus the per-trial counter-based RNG streams) makes
+/// estimates bit-identical for ANY thread count — the reproducibility
+/// contract shared by run_monte_carlo and run_conditional_monte_carlo.
+/// 128 chunks keep the pool load-balanced well past any realistic core
+/// count. Changing this value changes merge order (NOT the sampled
+/// trials), so it is an estimate-perturbing event at the float-noise
+/// level; treat it like a seed change.
+inline constexpr std::size_t kEngineChunks = 128;
 
 /// Engine configuration.
 struct McConfig {

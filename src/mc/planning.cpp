@@ -63,4 +63,20 @@ std::uint64_t plan_trials(const prob::RunningStats& pilot,
                     confidence);
 }
 
+PilotPlan plan_with_pilot(const graph::Dag& g,
+                          const core::FailureModel& model,
+                          double relative_error, double confidence,
+                          const McConfig& pilot_config) {
+  check_targets(relative_error, confidence);
+  PilotPlan out;
+  out.pilot = run_monte_carlo(g, model, pilot_config);
+  if (out.pilot.mean <= 0.0) {
+    throw std::invalid_argument("plan_with_pilot: non-positive pilot mean");
+  }
+  out.planned_trials = clt_trials(std::sqrt(out.pilot.variance),
+                                  relative_error * out.pilot.mean,
+                                  confidence);
+  return out;
+}
+
 }  // namespace expmk::mc

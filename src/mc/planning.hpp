@@ -15,6 +15,7 @@
 
 #include <cstdint>
 
+#include "mc/engine.hpp"
 #include "prob/statistics.hpp"
 
 namespace expmk::mc {
@@ -36,5 +37,24 @@ namespace expmk::mc {
 [[nodiscard]] std::uint64_t plan_trials(const prob::RunningStats& pilot,
                                         double relative_error,
                                         double confidence);
+
+/// Outcome of a pilot-driven plan: the pilot estimate itself plus the
+/// total trial count the CLT bound asks for.
+struct PilotPlan {
+  McResult pilot;
+  std::uint64_t planned_trials = 0;
+};
+
+/// End-to-end a-posteriori planning: runs `pilot_config` trials through
+/// the (CSR-kernel) Monte-Carlo engine, then sizes the production run for
+/// a relative CI half-width <= relative_error at the given confidence.
+/// The pilot's own trials count toward the plan, so a plan smaller than
+/// the pilot means "the pilot already suffices".
+[[nodiscard]] PilotPlan plan_with_pilot(const graph::Dag& g,
+                                        const core::FailureModel& model,
+                                        double relative_error,
+                                        double confidence,
+                                        const McConfig& pilot_config = {
+                                            .trials = 2000});
 
 }  // namespace expmk::mc

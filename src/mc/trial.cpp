@@ -1,9 +1,8 @@
 #include "mc/trial.hpp"
 
+#include <cassert>
 #include <cmath>
-
-#include "graph/longest_path.hpp"
-#include "graph/topological.hpp"
+#include <stdexcept>
 
 namespace expmk::mc {
 
@@ -11,60 +10,155 @@ TrialContext::TrialContext(const graph::Dag& g,
                            const core::FailureModel& model,
                            core::RetryModel retry_model)
     : dag(&g),
-      topo(graph::topological_order(g)),
+      csr(g),
+      topo(csr.order().begin(), csr.order().end()),
       p_success(core::success_probabilities(g, model)),
-      retry(retry_model) {}
+      retry(retry_model) {
+  const std::size_t n = g.task_count();
+  p_success_csr.resize(n);
+  q_fail_csr.resize(n);
+  inv_log_q_csr.resize(n);
+  for (std::uint32_t pos = 0; pos < n; ++pos) {
+    const double p = p_success[csr.original_id(pos)];
+    p_success_csr[pos] = p;
+    // q_fail <= 0 (p >= 1) makes the fast path unconditional: u > 0 always.
+    q_fail_csr[pos] = 1.0 - p;
+    // Only read on the slow path, where q_fail > 0 implies p < 1 and the
+    // log is finite and negative. (p == 0 gives -0.0/-inf artifacts that
+    // the cap in the sampler absorbs, matching the pre-CSR behaviour.)
+    inv_log_q_csr[pos] = 1.0 / std::log1p(-p);
+  }
+}
 
 namespace {
 
-/// Samples the number of executions of one task (>= 1).
-inline int sample_executions(const TrialContext& ctx, std::size_t i,
-                             prob::Xoshiro256pp& rng) {
-  const double p = ctx.p_success[i];
-  if (p >= 1.0) return 1;
-  if (ctx.retry == core::RetryModel::TwoState) {
-    return rng.bernoulli(p) ? 1 : 2;
-  }
-  // Geometric: failures F with P(F >= k) = (1-p)^k, sampled by inversion:
-  // F = floor( ln U / ln(1-p) ), capped. Clamp BEFORE the int cast: at
-  // extreme lambda the inversion yields doubles far beyond int range and
-  // the cast would be undefined behaviour.
-  const double u = rng.uniform_positive();
-  const double f = std::floor(std::log(u) / std::log1p(-p));
-  if (!(f < static_cast<double>(ctx.max_executions))) {
-    return ctx.max_executions;
+/// Geometric slow path: at least one failure occurred (u <= 1 - p).
+/// Inversion: failures F with P(F >= k) = (1-p)^k, F = floor(ln U / ln(1-p))
+/// = floor(ln U * inv_log_q), capped. Clamp BEFORE the int cast: at extreme
+/// lambda the inversion yields doubles far beyond int range and the cast
+/// would be undefined behaviour.
+inline int geometric_executions_slow(double u, double inv_log_q,
+                                     int max_executions) {
+  const double f = std::floor(std::log(u) * inv_log_q);
+  if (!(f < static_cast<double>(max_executions))) {
+    return max_executions;
   }
   const int failures = f < 0.0 ? 0 : static_cast<int>(f);
   const int executions = failures + 1;
-  return executions < ctx.max_executions ? executions : ctx.max_executions;
+  return executions < max_executions ? executions : max_executions;
+}
+
+/// Fused sample-and-longest-path sweep over the CSR view. One RNG draw per
+/// task in position order; finish[] written strictly left to right. When
+/// `durations_out` is non-null, per-task durations are scattered into Dag
+/// id order through csr.order(). The duration is computed as a separate
+/// statement from the finish update so the plain and scattering variants
+/// perform bit-identical arithmetic.
+template <bool kWithControl>
+inline TrialObservation trial_sweep(const TrialContext& ctx,
+                                    prob::Xoshiro256pp& rng,
+                                    std::span<double> finish,
+                                    double* durations_out) {
+  const std::size_t n = ctx.csr.task_count();
+  assert(finish.size() == n);
+  const std::span<const std::uint32_t> off = ctx.csr.pred_offsets();
+  const std::span<const std::uint32_t> pred = ctx.csr.pred_index();
+  const std::span<const graph::TaskId> order = ctx.csr.order();
+  const double* const w = ctx.csr.weights().data();
+  const double* const p = ctx.p_success_csr.data();
+  const double* const qf = ctx.q_fail_csr.data();
+  const double* const inv_log_q = ctx.inv_log_q_csr.data();
+  const bool two_state = ctx.retry == core::RetryModel::TwoState;
+
+  double best = 0.0;
+  double control = 0.0;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    int executions = 1;
+    if (two_state) {
+      executions = rng.uniform() < p[v] ? 1 : 2;
+    } else {
+      const double u = rng.uniform_positive();
+      if (u <= qf[v]) {
+        executions = geometric_executions_slow(u, inv_log_q[v],
+                                               ctx.max_executions);
+      }
+    }
+    const double duration = w[v] * static_cast<double>(executions);
+    if constexpr (kWithControl) {
+      control += w[v] * static_cast<double>(executions - 1);
+    }
+    if (durations_out != nullptr) durations_out[order[v]] = duration;
+
+    double start = 0.0;
+    for (std::uint32_t e = off[v]; e < off[v + 1]; ++e) {
+      const double f = finish[pred[e]];
+      if (f > start) start = f;
+    }
+    const double fv = start + duration;
+    finish[v] = fv;
+    if (fv > best) best = fv;
+  }
+  return {best, control};
+}
+
+/// Per-thread finish scratch backing the Dag-facing adapters, so the old
+/// signatures stay allocation-free per call after warm-up.
+std::span<double> adapter_scratch(std::size_t n) {
+  thread_local std::vector<double> scratch;
+  if (scratch.size() < n) scratch.resize(n);
+  return {scratch.data(), n};
+}
+
+/// The adapters used to resize `durations` every call; now the buffer must
+/// be sized once outside the trial loop. Enforced in Release too — an
+/// undersized buffer would otherwise be an out-of-bounds scatter.
+void check_durations(const TrialContext& ctx,
+                     const std::vector<double>& durations) {
+  if (durations.size() != ctx.dag->task_count()) {
+    throw std::invalid_argument(
+        "run_trial: durations must be pre-sized to task_count(); size the "
+        "buffer once, outside the trial loop");
+  }
+}
+
+/// Same Release-mode enforcement for the public CSR kernels (one branch
+/// per trial, consistent with the graph:: CSR kernels' check_scratch).
+void check_finish(const TrialContext& ctx, std::span<const double> finish) {
+  if (finish.size() != ctx.csr.task_count()) {
+    throw std::invalid_argument(
+        "run_trial_csr: finish scratch must have size task_count()");
+  }
 }
 
 }  // namespace
 
+double run_trial_csr(const TrialContext& ctx, prob::Xoshiro256pp& rng,
+                     std::span<double> finish) {
+  check_finish(ctx, finish);
+  return trial_sweep<false>(ctx, rng, finish, nullptr).makespan;
+}
+
+TrialObservation run_trial_with_control_csr(const TrialContext& ctx,
+                                            prob::Xoshiro256pp& rng,
+                                            std::span<double> finish) {
+  check_finish(ctx, finish);
+  return trial_sweep<true>(ctx, rng, finish, nullptr);
+}
+
 double run_trial(const TrialContext& ctx, prob::Xoshiro256pp& rng,
                  std::vector<double>& durations) {
-  const graph::Dag& g = *ctx.dag;
-  durations.resize(g.task_count());
-  for (std::size_t i = 0; i < g.task_count(); ++i) {
-    durations[i] =
-        g.weights()[i] * static_cast<double>(sample_executions(ctx, i, rng));
-  }
-  return graph::critical_path_length(g, durations, ctx.topo);
+  check_durations(ctx, durations);
+  return trial_sweep<false>(ctx, rng, adapter_scratch(durations.size()),
+                            durations.data())
+      .makespan;
 }
 
 TrialObservation run_trial_with_control(const TrialContext& ctx,
                                         prob::Xoshiro256pp& rng,
                                         std::vector<double>& durations) {
-  const graph::Dag& g = *ctx.dag;
-  durations.resize(g.task_count());
-  double control = 0.0;
-  for (std::size_t i = 0; i < g.task_count(); ++i) {
-    const int executions = sample_executions(ctx, i, rng);
-    const double a = g.weights()[i];
-    durations[i] = a * static_cast<double>(executions);
-    control += a * static_cast<double>(executions - 1);
-  }
-  return {graph::critical_path_length(g, durations, ctx.topo), control};
+  check_durations(ctx, durations);
+  return trial_sweep<true>(ctx, rng, adapter_scratch(durations.size()),
+                           durations.data());
 }
 
 double control_variate_mean(const TrialContext& ctx) {

@@ -6,6 +6,16 @@
 // attempt; an attempt fails iff that time is shorter than the task length,
 // which is exactly a Bernoulli(1 - e^{-lambda a_i}) draw — so sampling the
 // failure indicator directly is equivalent and faster.
+//
+// Hot-path layout (see DESIGN.md). The context precomputes a CsrDag —
+// flattened adjacency, vertices renumbered into topological order — plus
+// per-task sampling constants in that position order:
+//   q_fail      = 1 - e^{-lambda a_i}   (fast-path threshold)
+//   inv_log_q   = 1 / log1p(-p_success) (slow-path geometric inversion)
+// so the geometric sampler pays ZERO transcendental calls on the (common)
+// no-failure path and exactly one log() when a failure did occur, instead
+// of the naive two logs per task. The CSR kernels fuse sampling with the
+// longest-path sweep — one forward pass, no allocation, caller scratch.
 
 #pragma once
 
@@ -13,6 +23,7 @@
 #include <vector>
 
 #include "core/failure_model.hpp"
+#include "graph/csr.hpp"
 #include "graph/dag.hpp"
 #include "prob/rng.hpp"
 
@@ -21,8 +32,16 @@ namespace expmk::mc {
 /// Precomputed per-task sampling constants, shared across trials.
 struct TrialContext {
   const graph::Dag* dag = nullptr;
+  /// Flattened topologically renumbered view; the trial kernels run on it.
+  graph::CsrDag csr;
+  /// The CSR position order as a Dag topological order (== csr.order());
+  /// kept for consumers that still walk the Dag (e.g. core::criticality).
   std::vector<graph::TaskId> topo;
-  std::vector<double> p_success;  ///< e^{-lambda a_i}
+  std::vector<double> p_success;  ///< e^{-lambda a_i}, Dag id order
+  // Sampling constants in CSR *position* order (weights live in csr):
+  std::vector<double> p_success_csr;  ///< e^{-lambda a_i}
+  std::vector<double> q_fail_csr;     ///< 1 - e^{-lambda a_i}
+  std::vector<double> inv_log_q_csr;  ///< 1 / log1p(-p_success)
   core::RetryModel retry = core::RetryModel::Geometric;
   /// Executions cap in Geometric mode (guards pathological lambda; the
   /// truncation probability is (1-p)^{cap}, i.e. astronomically small for
@@ -33,10 +52,15 @@ struct TrialContext {
                core::RetryModel retry_model);
 };
 
-/// Samples every task's duration into `durations` (resized to V) and
-/// returns the resulting makespan. Deterministic given `rng` state.
-double run_trial(const TrialContext& ctx, prob::Xoshiro256pp& rng,
-                 std::vector<double>& durations);
+/// Allocation-free CSR trial kernel: samples every task (one RNG draw per
+/// task, in CSR position order) and evaluates the makespan in the same
+/// forward sweep. `finish` is caller scratch of size task_count(),
+/// overwritten. Deterministic given `rng` state; bit-identical to the
+/// reference scalar loop (sample durations, then Dag longest path) —
+/// tests/test_csr.cpp enforces this.
+[[nodiscard]] double run_trial_csr(const TrialContext& ctx,
+                                   prob::Xoshiro256pp& rng,
+                                   std::span<double> finish);
 
 /// Per-trial observation: the makespan and the control-variate statistic
 /// Z = sum_i a_i * (executions_i - 1), whose exact mean is known (see
@@ -45,6 +69,21 @@ struct TrialObservation {
   double makespan = 0.0;
   double control = 0.0;
 };
+
+/// As run_trial_csr, additionally accumulating the control variate. Draws
+/// the identical RNG stream as run_trial_csr (same makespans).
+[[nodiscard]] TrialObservation run_trial_with_control_csr(
+    const TrialContext& ctx, prob::Xoshiro256pp& rng,
+    std::span<double> finish);
+
+/// Dag-facing adapter over the CSR kernel: additionally scatters the
+/// sampled per-task durations into `durations` in Dag id order (for
+/// consumers that re-schedule with them, e.g. sched::fault_sim).
+/// Precondition: durations.size() == task_count() — size the buffer once
+/// outside the trial loop; this function throws std::invalid_argument
+/// instead of resizing per call.
+double run_trial(const TrialContext& ctx, prob::Xoshiro256pp& rng,
+                 std::vector<double>& durations);
 
 /// As run_trial, additionally accumulating the control variate.
 TrialObservation run_trial_with_control(const TrialContext& ctx,

@@ -14,12 +14,12 @@ FaultSimResult simulate_with_faults(const graph::Dag& g,
       list_schedule(g, g.weights(), priority, machine).makespan;
 
   const mc::TrialContext ctx(g, model, config.retry);
+  // Sized once; run_trial asserts the size instead of resizing per run.
   std::vector<double> durations(g.task_count());
   for (std::uint64_t r = 0; r < config.runs; ++r) {
     prob::Xoshiro256pp rng(config.seed, r);
     // Sample per-task total execution time (attempts x weight), then
     // schedule with those durations.
-    durations.resize(g.task_count());
     (void)mc::run_trial(ctx, rng, durations);
     const Schedule s = list_schedule(g, durations, priority, machine);
     result.makespan.push(s.makespan);

@@ -1,0 +1,284 @@
+// Tests for the CSR hot-path substrate: structural equivalence of
+// graph::CsrDag with the source Dag, allocation-free kernel correctness,
+// bit-identity of the fused MC trial kernel against a reference scalar
+// trial loop, and the engine's thread-count determinism contract.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/failure_model.hpp"
+#include "gen/lu.hpp"
+#include "gen/random_dags.hpp"
+#include "graph/csr.hpp"
+#include "graph/longest_path.hpp"
+#include "graph/topological.hpp"
+#include "mc/engine.hpp"
+#include "mc/trial.hpp"
+#include "prob/rng.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using expmk::core::FailureModel;
+using expmk::core::RetryModel;
+using expmk::graph::CsrDag;
+using expmk::graph::Dag;
+using expmk::graph::TaskId;
+using expmk::mc::TrialContext;
+
+std::vector<Dag> fixture_dags() {
+  std::vector<Dag> out;
+  out.push_back(expmk::test::diamond(0.4, 0.3, 0.5, 0.2));
+  out.push_back(expmk::test::n_graph());
+  out.push_back(expmk::gen::lu_dag(4));
+  out.push_back(expmk::gen::layered_random(6, 5, 0.3, 123));
+  return out;
+}
+
+TEST(CsrDag, OrderIsTopologicalAndPositionsInvert) {
+  for (const Dag& g : fixture_dags()) {
+    const CsrDag csr(g);
+    ASSERT_EQ(csr.task_count(), g.task_count());
+    ASSERT_EQ(csr.edge_count(), g.edge_count());
+    const std::vector<TaskId> order(csr.order().begin(), csr.order().end());
+    EXPECT_TRUE(expmk::graph::is_topological_order(g, order));
+    for (std::uint32_t pos = 0; pos < csr.task_count(); ++pos) {
+      EXPECT_EQ(csr.position_of(csr.original_id(pos)), pos);
+      EXPECT_DOUBLE_EQ(csr.weights()[pos], g.weight(csr.original_id(pos)));
+    }
+  }
+}
+
+TEST(CsrDag, EdgesArePreservedAndPointForward) {
+  for (const Dag& g : fixture_dags()) {
+    const CsrDag csr(g);
+    std::size_t pred_edges = 0, succ_edges = 0;
+    for (std::uint32_t pos = 0; pos < csr.task_count(); ++pos) {
+      const TaskId id = csr.original_id(pos);
+      ASSERT_EQ(csr.preds(pos).size(), g.in_degree(id));
+      ASSERT_EQ(csr.succs(pos).size(), g.out_degree(id));
+      pred_edges += csr.preds(pos).size();
+      succ_edges += csr.succs(pos).size();
+      for (const std::uint32_t u : csr.preds(pos)) {
+        EXPECT_LT(u, pos);  // topological renumbering: preds point back
+        // And the edge exists in the Dag.
+        bool found = false;
+        for (const TaskId du : g.predecessors(id)) {
+          found = found || csr.position_of(du) == u;
+        }
+        EXPECT_TRUE(found);
+      }
+      for (const std::uint32_t s : csr.succs(pos)) {
+        EXPECT_GT(s, pos);
+      }
+    }
+    EXPECT_EQ(pred_edges, g.edge_count());
+    EXPECT_EQ(succ_edges, g.edge_count());
+  }
+}
+
+TEST(CsrDag, RejectsCycles) {
+  Dag g;
+  const auto a = g.add_task(1.0);
+  const auto b = g.add_task(1.0);
+  g.add_edge(a, b);
+  g.add_edge(b, a);
+  EXPECT_THROW(CsrDag{g}, std::invalid_argument);
+}
+
+TEST(CsrKernels, CriticalPathMatchesDag) {
+  for (const Dag& g : fixture_dags()) {
+    const CsrDag csr(g);
+    const auto topo = expmk::graph::topological_order(g);
+    std::vector<double> finish(csr.task_count());
+    const double via_csr =
+        critical_path_length(csr, csr.weights(), finish);
+    const double via_dag =
+        expmk::graph::critical_path_length(g, g.weights(), topo);
+    EXPECT_DOUBLE_EQ(via_csr, via_dag);
+  }
+}
+
+TEST(CsrKernels, LongestFromMatchesDag) {
+  for (const Dag& g : fixture_dags()) {
+    const CsrDag csr(g);
+    const auto topo = expmk::graph::topological_order(g);
+    const std::size_t n = g.task_count();
+    std::vector<double> dist(n);
+    for (std::uint32_t src = 0; src < n; ++src) {
+      longest_from(csr, src, csr.weights(), dist);
+      const auto ref = expmk::graph::longest_from(
+          g, csr.original_id(src), g.weights(), topo);
+      for (std::uint32_t pos = src; pos < n; ++pos) {
+        EXPECT_DOUBLE_EQ(dist[pos], ref[csr.original_id(pos)])
+            << "src=" << src << " pos=" << pos;
+      }
+    }
+  }
+}
+
+TEST(CsrKernels, DagScratchOverloadsMatchAllocatingOnes) {
+  const Dag g = expmk::gen::lu_dag(4);
+  const auto topo = expmk::graph::topological_order(g);
+  std::vector<double> finish(g.task_count());
+  EXPECT_DOUBLE_EQ(
+      expmk::graph::critical_path_length(g, g.weights(), topo, finish),
+      expmk::graph::critical_path_length(g, g.weights(), topo));
+  std::vector<double> dist(g.task_count());
+  expmk::graph::longest_from(g, 0, g.weights(), topo, dist);
+  const auto ref = expmk::graph::longest_from(g, 0, g.weights(), topo);
+  for (std::size_t i = 0; i < dist.size(); ++i) {
+    EXPECT_DOUBLE_EQ(dist[i], ref[i]);
+  }
+}
+
+/// Reference scalar trial loop: sample per task (in CSR position order,
+/// using the context's precomputed constants — the documented sampling
+/// law), scatter durations into Dag id order, then evaluate the makespan
+/// with the allocating vector-of-vectors Dag longest path. The fused CSR
+/// kernel must reproduce it bit for bit.
+double reference_trial(const TrialContext& ctx, expmk::prob::Xoshiro256pp& rng,
+                       std::vector<double>& durations) {
+  const Dag& g = *ctx.dag;
+  const std::size_t n = g.task_count();
+  durations.resize(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    int executions = 1;
+    if (ctx.retry == RetryModel::TwoState) {
+      executions = rng.uniform() < ctx.p_success_csr[v] ? 1 : 2;
+    } else {
+      const double u = rng.uniform_positive();
+      if (u <= ctx.q_fail_csr[v]) {
+        const double f = std::floor(std::log(u) * ctx.inv_log_q_csr[v]);
+        if (!(f < static_cast<double>(ctx.max_executions))) {
+          executions = ctx.max_executions;
+        } else {
+          const int failures = f < 0.0 ? 0 : static_cast<int>(f);
+          executions = std::min(failures + 1, ctx.max_executions);
+        }
+      }
+    }
+    const double duration =
+        ctx.csr.weights()[v] * static_cast<double>(executions);
+    durations[ctx.csr.original_id(v)] = duration;
+  }
+  return expmk::graph::critical_path_length(g, durations, ctx.topo);
+}
+
+TEST(CsrTrialKernel, BitIdenticalToReferenceScalarLoop) {
+  for (const RetryModel retry :
+       {RetryModel::Geometric, RetryModel::TwoState}) {
+    for (const Dag& g : fixture_dags()) {
+      const auto model = expmk::core::calibrate(g, 0.05);
+      const TrialContext ctx(g, model, retry);
+      std::vector<double> finish(g.task_count());
+      std::vector<double> durations;
+      for (std::uint64_t t = 0; t < 500; ++t) {
+        expmk::prob::Xoshiro256pp rng_csr(99, t);
+        expmk::prob::Xoshiro256pp rng_ref(99, t);
+        const double csr_makespan =
+            expmk::mc::run_trial_csr(ctx, rng_csr, finish);
+        const double ref_makespan = reference_trial(ctx, rng_ref, durations);
+        ASSERT_EQ(csr_makespan, ref_makespan) << "trial " << t;
+      }
+    }
+  }
+}
+
+TEST(CsrTrialKernel, AdapterScattersDurationsInDagOrder) {
+  const Dag g = expmk::gen::lu_dag(4);
+  const auto model = expmk::core::calibrate(g, 0.1);
+  const TrialContext ctx(g, model, RetryModel::Geometric);
+  std::vector<double> durations(g.task_count());
+  std::vector<double> ref_durations;
+  for (std::uint64_t t = 0; t < 100; ++t) {
+    expmk::prob::Xoshiro256pp rng_a(5, t);
+    expmk::prob::Xoshiro256pp rng_b(5, t);
+    const double makespan = expmk::mc::run_trial(ctx, rng_a, durations);
+    const double ref = reference_trial(ctx, rng_b, ref_durations);
+    ASSERT_EQ(makespan, ref);
+    for (std::size_t i = 0; i < durations.size(); ++i) {
+      ASSERT_EQ(durations[i], ref_durations[i]) << "task " << i;
+    }
+  }
+}
+
+TEST(CsrTrialKernel, AdapterRejectsUndersizedBuffer) {
+  const Dag g = expmk::gen::lu_dag(3);
+  const auto model = expmk::core::calibrate(g, 0.01);
+  const TrialContext ctx(g, model, RetryModel::Geometric);
+  expmk::prob::Xoshiro256pp rng(1);
+  std::vector<double> too_small;  // the pre-CSR adapter would resize this
+  EXPECT_THROW((void)expmk::mc::run_trial(ctx, rng, too_small),
+               std::invalid_argument);
+  std::vector<double> sized(g.task_count());
+  EXPECT_NO_THROW((void)expmk::mc::run_trial(ctx, rng, sized));
+}
+
+TEST(CsrTrialKernel, ControlVariantDrawsIdenticalStream) {
+  const Dag g = expmk::gen::lu_dag(4);
+  const auto model = expmk::core::calibrate(g, 0.05);
+  const TrialContext ctx(g, model, RetryModel::Geometric);
+  std::vector<double> finish(g.task_count());
+  for (std::uint64_t t = 0; t < 200; ++t) {
+    expmk::prob::Xoshiro256pp rng_a(13, t);
+    expmk::prob::Xoshiro256pp rng_b(13, t);
+    const double plain = expmk::mc::run_trial_csr(ctx, rng_a, finish);
+    const auto obs = expmk::mc::run_trial_with_control_csr(ctx, rng_b, finish);
+    ASSERT_EQ(plain, obs.makespan);
+    ASSERT_GE(obs.control, 0.0);
+  }
+}
+
+// The determinism regression the CSR rewrite must not break: on a 50-task
+// LU DAG (k = 5 -> 55 tasks) the engine returns BIT-identical mean and
+// variance for thread counts 1, 2 and 7 — exact double equality, not a
+// tolerance — in both the plain and the control-variate configuration.
+TEST(CsrEngineDeterminism, BitIdenticalAcrossThreadCounts) {
+  const Dag g = expmk::gen::lu_dag(5);
+  ASSERT_GE(g.task_count(), 50u);
+  const auto model = expmk::core::calibrate(g, 0.01);
+  for (const bool cv : {false, true}) {
+    expmk::mc::McConfig cfg;
+    cfg.trials = 3000;
+    cfg.seed = 77;
+    cfg.control_variate = cv;
+    cfg.threads = 1;
+    const auto r1 = run_monte_carlo(g, model, cfg);
+    cfg.threads = 2;
+    const auto r2 = run_monte_carlo(g, model, cfg);
+    cfg.threads = 7;
+    const auto r7 = run_monte_carlo(g, model, cfg);
+    EXPECT_EQ(r1.mean, r2.mean) << "cv=" << cv;
+    EXPECT_EQ(r2.mean, r7.mean) << "cv=" << cv;
+    EXPECT_EQ(r1.variance, r2.variance) << "cv=" << cv;
+    EXPECT_EQ(r2.variance, r7.variance) << "cv=" << cv;
+    EXPECT_EQ(r1.trials, r7.trials);
+  }
+}
+
+// End-to-end: the engine's per-trial samples equal the reference scalar
+// loop's makespans trial for trial (capture_samples preserves trial
+// order because chunk accumulators merge in chunk order).
+TEST(CsrEngineDeterminism, EngineSamplesMatchReferenceLoop) {
+  const Dag g = expmk::gen::lu_dag(5);
+  const auto model = expmk::core::calibrate(g, 0.02);
+  expmk::mc::McConfig cfg;
+  cfg.trials = 600;
+  cfg.seed = 31337;
+  cfg.capture_samples = true;
+  const auto r = run_monte_carlo(g, model, cfg);
+  ASSERT_EQ(r.samples.size(), cfg.trials);
+  const TrialContext ctx(g, model, cfg.retry);
+  std::vector<double> durations;
+  for (std::uint64_t t = 0; t < cfg.trials; ++t) {
+    expmk::prob::Xoshiro256pp rng(cfg.seed, t);
+    ASSERT_EQ(r.samples[t], reference_trial(ctx, rng, durations))
+        << "trial " << t;
+  }
+}
+
+}  // namespace

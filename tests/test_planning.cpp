@@ -94,6 +94,29 @@ TEST(Planning, PlannedTrialsAchieveTargetOnRealDag) {
   EXPECT_LT(run.ci95_half_width, 2.0 * rel * run.mean);
 }
 
+TEST(Planning, PilotPlanIsDeterministicAndConsistent) {
+  const auto g = expmk::gen::cholesky_dag(3);
+  const auto model = expmk::core::calibrate(g, 0.01);
+  expmk::mc::McConfig pilot_cfg;
+  pilot_cfg.trials = 1500;
+  pilot_cfg.seed = 5;
+  const auto plan_a =
+      expmk::mc::plan_with_pilot(g, model, 0.001, 0.95, pilot_cfg);
+  const auto plan_b =
+      expmk::mc::plan_with_pilot(g, model, 0.001, 0.95, pilot_cfg);
+  // Pilot rides the deterministic CSR engine: identical plans.
+  EXPECT_EQ(plan_a.pilot.mean, plan_b.pilot.mean);
+  EXPECT_EQ(plan_a.planned_trials, plan_b.planned_trials);
+  // And the plan matches planning directly from the pilot's moments.
+  EXPECT_EQ(plan_a.planned_trials,
+            clt_trials(std::sqrt(plan_a.pilot.variance),
+                       0.001 * plan_a.pilot.mean, 0.95));
+  // Tighter targets require more trials.
+  const auto tighter =
+      expmk::mc::plan_with_pilot(g, model, 0.0005, 0.95, pilot_cfg);
+  EXPECT_GT(tighter.planned_trials, plan_a.planned_trials);
+}
+
 TEST(Planning, HoeffdingJustifiesPaperTrialCount) {
   // Under the 2-state model the makespan lies in [d(G), 2 d(G)]. For the
   // k=12 Cholesky DAG a 0.5% absolute precision at 99% confidence needs

@@ -30,7 +30,7 @@ std::map<double, double> empirical_law(double weight, double lambda,
   g.add_task(weight);
   const TrialContext ctx(g, FailureModel{lambda}, retry);
   std::map<double, int> counts;
-  std::vector<double> durations;
+  std::vector<double> durations(g.task_count());
   for (int t = 0; t < n; ++t) {
     expmk::prob::Xoshiro256pp rng(42, static_cast<std::uint64_t>(t));
     const double makespan = expmk::mc::run_trial(ctx, rng, durations);
@@ -92,7 +92,7 @@ TEST(SamplerVsDistribution, CapBoundsGeometricExecutions) {
   g.add_task(1.0);
   TrialContext ctx(g, FailureModel{50.0}, RetryModel::Geometric);
   ctx.max_executions = 8;
-  std::vector<double> durations;
+  std::vector<double> durations(g.task_count());
   double max_seen = 0.0;
   for (int t = 0; t < 2'000; ++t) {
     expmk::prob::Xoshiro256pp rng(7, static_cast<std::uint64_t>(t));
@@ -108,7 +108,7 @@ TEST(SamplerVsDistribution, ControlStatisticMatchesDefinition) {
   expmk::graph::Dag g;
   g.add_task(0.5);
   const TrialContext ctx(g, FailureModel{1.0}, RetryModel::Geometric);
-  std::vector<double> durations;
+  std::vector<double> durations(g.task_count());
   for (int t = 0; t < 1'000; ++t) {
     expmk::prob::Xoshiro256pp rng(3, static_cast<std::uint64_t>(t));
     const auto obs = expmk::mc::run_trial_with_control(ctx, rng, durations);

@@ -26,91 +26,15 @@
 #include "normal/corlca.hpp"
 #include "normal/sculli.hpp"
 #include "spgraph/dodin.hpp"
+#include "util/json_writer.hpp"
 #include "util/timer.hpp"
 
 namespace expmk::bench {
 
-/// Minimal machine-readable JSON emitter for bench artifacts (e.g.
-/// BENCH_mc.json): flat or one-level-nested objects of numbers, strings
-/// and booleans — enough for perf-trajectory tracking across PRs without
-/// dragging in a JSON dependency. Doubles are printed with 17 significant
-/// digits so bit-level comparisons survive the round trip.
-class JsonWriter {
- public:
-  JsonWriter& field(const std::string& key, double value) {
-    // JSON has no inf/nan literals; map them to null so the file stays
-    // machine-readable even if a timing degenerates.
-    if (!std::isfinite(value)) return raw(key, "null");
-    std::ostringstream os;
-    os.precision(17);
-    os << value;
-    return raw(key, os.str());
-  }
-  /// Any integer type (int, std::size_t, std::uint64_t, ...) — a template
-  /// so size_t stays unambiguous on platforms where it isn't uint64_t.
-  template <typename T>
-    requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
-  JsonWriter& field(const std::string& key, T value) {
-    return raw(key, std::to_string(value));
-  }
-  JsonWriter& field(const std::string& key, bool value) {
-    return raw(key, value ? "true" : "false");
-  }
-  JsonWriter& field(const std::string& key, const std::string& value) {
-    return raw(key, quote(value));
-  }
-  /// Without this overload a string literal would take the pointer-to-bool
-  /// conversion and silently emit `true`.
-  JsonWriter& field(const std::string& key, const char* value) {
-    return raw(key, quote(value));
-  }
-  /// Nests a completed object under `key`.
-  JsonWriter& object(const std::string& key, const JsonWriter& nested) {
-    return raw(key, nested.str());
-  }
-
-  [[nodiscard]] std::string str() const {
-    std::string out = "{";
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-      if (i != 0) out += ", ";
-      out += entries_[i];
-    }
-    out += "}";
-    return out;
-  }
-
-  /// Writes the object to `path` (overwriting), newline-terminated.
-  void write_file(const std::string& path) const {
-    std::ofstream f(path);
-    f << str() << "\n";
-  }
-
- private:
-  static std::string quote(const std::string& value) {
-    std::string out = "\"";
-    for (const char c : value) {
-      if (c == '"' || c == '\\') {
-        out += '\\';
-        out += c;
-      } else if (static_cast<unsigned char>(c) < 0x20) {
-        // Control characters are not legal raw in JSON strings.
-        char buf[8];
-        std::snprintf(buf, sizeof buf, "\\u%04x",
-                      static_cast<unsigned>(static_cast<unsigned char>(c)));
-        out += buf;
-      } else {
-        out += c;
-      }
-    }
-    out += '"';
-    return out;
-  }
-  JsonWriter& raw(const std::string& key, const std::string& rendered) {
-    entries_.push_back(quote(key) + ": " + rendered);
-    return *this;
-  }
-  std::vector<std::string> entries_;
-};
+/// The JSON emitter moved into the library (util/json_writer.hpp) when the
+/// sweep subsystem started emitting artifacts; the bench binaries keep
+/// using it under the historical name.
+using JsonWriter = util::JsonWriter;
 
 /// One estimator's outcome on one (DAG, pfail) cell.
 struct MethodOutcome {

@@ -8,6 +8,13 @@ namespace expmk::core {
 
 double FailureModel::p_success(double a) const {
   if (a < 0.0) throw std::invalid_argument("p_success: negative weight");
+  if (lambda < 0.0) {
+    // A negative rate would make p_success exceed 1 and silently corrupt
+    // every probability downstream (the exact oracles would enumerate
+    // negative-mass states). lambda == 0 is the explicit "never fails"
+    // model and is fine.
+    throw std::invalid_argument("p_success: negative lambda");
+  }
   return std::exp(-lambda * a);
 }
 
@@ -36,6 +43,12 @@ double lambda_for_pfail(double pfail, double mean_weight) {
   if (mean_weight <= 0.0) {
     throw std::invalid_argument("lambda_for_pfail: mean weight must be > 0");
   }
+  // pfail == 0 maps to lambda == 0 by design: the explicit zero-failure
+  // model. Every consumer treats lambda == 0 the same way — p_success is
+  // exactly 1, mtbf() is infinite, the exact oracles and MC engines
+  // produce exactly d(G) — so a sweep may include pfail = 0 as its
+  // deterministic baseline row (tests/test_sweep.cpp pins this
+  // end-to-end).
   return -std::log1p(-pfail) / mean_weight;
 }
 

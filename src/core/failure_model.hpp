@@ -29,11 +29,21 @@ enum class RetryModel {
 
 /// The exponential silent-error model with rate `lambda` (errors per
 /// second of execution).
+///
+/// `lambda == 0` is the explicit *zero-failure* model: p_success(a) == 1
+/// for every weight, mtbf() is infinite, and every evaluator in the
+/// library (exact enumeration, Monte-Carlo, the approximations) yields
+/// exactly the failure-free makespan d(G). Negative lambda is rejected
+/// (p_success throws) — it would mean probabilities above 1.
 struct FailureModel {
   double lambda = 0.0;
 
+  /// True when this model can never produce a failure (lambda == 0).
+  [[nodiscard]] bool failure_free() const noexcept { return lambda <= 0.0; }
+
   /// Probability that one execution attempt of a task of weight `a`
-  /// completes without a silent error: exp(-lambda * a).
+  /// completes without a silent error: exp(-lambda * a). Throws
+  /// std::invalid_argument for negative `a` or negative lambda.
   [[nodiscard]] double p_success(double a) const;
 
   /// Probability that one attempt fails: 1 - exp(-lambda * a).
@@ -51,7 +61,8 @@ struct FailureModel {
 /// Section V-C calibration: choose lambda so that a task of *average*
 /// weight a-bar fails with probability pfail:  pfail = 1 - e^{-lambda a_bar}
 /// => lambda = -ln(1 - pfail) / a_bar. Requires pfail in [0, 1) and
-/// a_bar > 0.
+/// a_bar > 0. pfail == 0 yields lambda == 0, the explicit zero-failure
+/// model (see FailureModel) — valid as a sweep baseline.
 [[nodiscard]] double lambda_for_pfail(double pfail, double mean_weight);
 
 /// Convenience: calibrate directly from a DAG's mean task weight.

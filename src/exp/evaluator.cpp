@@ -1,0 +1,289 @@
+#include "exp/evaluator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/bounds.hpp"
+#include "core/exact.hpp"
+#include "core/first_order.hpp"
+#include "core/second_order.hpp"
+#include "mc/conditional.hpp"
+#include "mc/engine.hpp"
+#include "normal/clark_full.hpp"
+#include "normal/corlca.hpp"
+#include "normal/sculli.hpp"
+#include "spgraph/dodin.hpp"
+#include "spgraph/sp_reduce.hpp"
+#include "util/timer.hpp"
+
+namespace expmk::exp {
+
+Evaluator::Evaluator(std::string name, std::string description,
+                     Capabilities caps, Fn fn)
+    : name_(std::move(name)),
+      description_(std::move(description)),
+      caps_(caps),
+      fn_(std::move(fn)) {}
+
+EvalResult Evaluator::evaluate(const graph::Dag& g,
+                               const core::FailureModel& model,
+                               core::RetryModel retry,
+                               const EvalOptions& options) const {
+  EvalResult result;
+  if ((retry == core::RetryModel::TwoState && !caps_.two_state) ||
+      (retry == core::RetryModel::Geometric && !caps_.geometric)) {
+    result.supported = false;
+    result.note = retry == core::RetryModel::TwoState
+                      ? "two-state retry model not supported"
+                      : "geometric retry model not supported";
+    return result;
+  }
+  if (g.task_count() > caps_.max_tasks) {
+    result.supported = false;
+    result.note = "graph exceeds " + std::to_string(caps_.max_tasks) +
+                  "-task method limit";
+    return result;
+  }
+  const util::Timer timer;
+  try {
+    fn_(g, model, retry, options, result);
+  } catch (const std::exception& e) {
+    result = EvalResult{};
+    result.supported = false;
+    result.note = e.what();
+  }
+  result.seconds = timer.seconds();
+  return result;
+}
+
+void EvaluatorRegistry::add(Evaluator evaluator) {
+  if (find(evaluator.name()) != nullptr) {
+    throw std::invalid_argument("EvaluatorRegistry: duplicate name '" +
+                                std::string(evaluator.name()) + "'");
+  }
+  evaluators_.push_back(std::move(evaluator));
+}
+
+const Evaluator* EvaluatorRegistry::find(
+    std::string_view name) const noexcept {
+  for (const Evaluator& e : evaluators_) {
+    if (e.name() == name) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<std::string_view> EvaluatorRegistry::names() const {
+  std::vector<std::string_view> out;
+  out.reserve(evaluators_.size());
+  for (const Evaluator& e : evaluators_) out.push_back(e.name());
+  return out;
+}
+
+namespace {
+
+EvaluatorRegistry make_builtin() {
+  EvaluatorRegistry reg;
+
+  // ------------------------------------------------ exact ground truths
+  reg.add(Evaluator(
+      "exact",
+      "Exact E[M] of the 2-state DAG by subset enumeration, O(2^V (V+E))",
+      {.two_state = true,
+       .geometric = false,
+       .max_tasks = core::kMaxExactTasks,
+       .rel_tolerance = 1e-12},
+      [](const graph::Dag& g, const core::FailureModel& m, core::RetryModel,
+         const EvalOptions& opt, EvalResult& r) {
+        r.mean = core::exact_two_state(g, m);
+        if (opt.capture_distribution) {
+          r.distribution = core::exact_two_state_distribution(g, m);
+        }
+      }));
+
+  reg.add(Evaluator(
+      "exact.geo",
+      "Exact E[M] under the geometric retry model truncated at "
+      "geometric_max_executions executions (lower bound on the untruncated "
+      "model, converging exponentially)",
+      {.two_state = false,
+       .geometric = true,
+       // max_executions^V states: 3^12 ~ 5e5 keeps a cell sub-second.
+       .max_tasks = 12,
+       .kind = EstimateKind::Estimate,
+       .rel_tolerance = 1e-6},
+      [](const graph::Dag& g, const core::FailureModel& m, core::RetryModel,
+         const EvalOptions& opt, EvalResult& r) {
+        r.mean = core::exact_geometric(g, m, opt.geometric_max_executions);
+      }));
+
+  // -------------------------------------- the paper's closed-form family
+  reg.add(Evaluator(
+      "fo",
+      "First-order approximation (the paper, Section IV), O(V+E); "
+      "model-independent to O(lambda^2)",
+      {.two_state = true, .geometric = true, .rel_tolerance = 5e-3},
+      [](const graph::Dag& g, const core::FailureModel& m, core::RetryModel,
+         const EvalOptions&, EvalResult& r) {
+        r.mean = core::first_order(g, m).expected_makespan();
+      }));
+
+  reg.add(Evaluator(
+      "so",
+      "Second-order approximation (paper's conclusion, our extension), "
+      "O(V (V+E))",
+      {.two_state = true, .geometric = true, .rel_tolerance = 1e-3},
+      [](const graph::Dag& g, const core::FailureModel& m,
+         core::RetryModel retry, const EvalOptions&, EvalResult& r) {
+        r.mean = core::second_order(g, m, retry).expected_makespan;
+      }));
+
+  // ------------------------------------------- series-parallel / Dodin
+  reg.add(Evaluator(
+      "sp",
+      "Exact series-parallel reduction (Valdes-Tarjan-Lawler rewrite); "
+      "supported only when the AoA network is two-terminal SP",
+      {.two_state = true, .geometric = false, .rel_tolerance = 1e-9},
+      [](const graph::Dag& g, const core::FailureModel& m, core::RetryModel,
+         const EvalOptions& opt, EvalResult& r) {
+        std::vector<prob::DiscreteDistribution> dists;
+        dists.reserve(g.task_count());
+        for (graph::TaskId i = 0; i < g.task_count(); ++i) {
+          const double a = g.weight(i);
+          dists.push_back(
+              prob::DiscreteDistribution::two_state(a, m.p_success(a)));
+        }
+        auto eval = sp::evaluate_sp(
+            sp::ArcNetwork::from_dag(g, std::move(dists)), opt.sp_max_atoms);
+        if (!eval.is_series_parallel) {
+          r.supported = false;
+          r.note = "graph is not series-parallel";
+          return;
+        }
+        r.mean = eval.makespan.mean();
+        if (opt.capture_distribution) {
+          r.distribution = std::move(eval.makespan);
+        }
+      }));
+
+  reg.add(Evaluator(
+      "dodin",
+      "Dodin's series-parallelization bound (Dodin 1985) — the paper's "
+      "first competitor",
+      {.two_state = true, .geometric = false, .rel_tolerance = 0.05},
+      [](const graph::Dag& g, const core::FailureModel& m, core::RetryModel,
+         const EvalOptions& opt, EvalResult& r) {
+        auto d = sp::dodin_two_state(g, m, {.max_atoms = opt.dodin_atoms});
+        r.mean = d.expected_makespan();
+        if (opt.capture_distribution) {
+          r.distribution = std::move(d.makespan);
+        }
+      }));
+
+  // ----------------------------------------------------- Normal family
+  reg.add(Evaluator(
+      "sculli",
+      "Sculli's normal propagation (Sculli 1983) — the paper's 'Normal' "
+      "competitor, O(V+E)",
+      {.two_state = true, .geometric = true, .rel_tolerance = 0.05},
+      [](const graph::Dag& g, const core::FailureModel& m,
+         core::RetryModel retry, const EvalOptions&, EvalResult& r) {
+        r.mean = normal::sculli(g, m, retry).expected_makespan();
+      }));
+
+  reg.add(Evaluator(
+      "corlca",
+      "CorLCA correlation-tree normal propagation (Canon & Jeannot 2016), "
+      "O(E depth)",
+      {.two_state = true, .geometric = true, .rel_tolerance = 0.05},
+      [](const graph::Dag& g, const core::FailureModel& m,
+         core::RetryModel retry, const EvalOptions&, EvalResult& r) {
+        r.mean = normal::corlca(g, m, retry).expected_makespan();
+      }));
+
+  reg.add(Evaluator(
+      "clark",
+      "Clark propagation with the full covariance matrix, O(E V) time / "
+      "O(V^2) memory",
+      {.two_state = true,
+       .geometric = true,
+       .max_tasks = normal::kClarkFullMaxTasks,
+       .rel_tolerance = 0.05},
+      [](const graph::Dag& g, const core::FailureModel& m,
+         core::RetryModel retry, const EvalOptions&, EvalResult& r) {
+        r.mean = normal::clark_full(g, m, retry).expected_makespan();
+      }));
+
+  // -------------------------------------------------- analytic bounds
+  reg.add(Evaluator(
+      "bounds.lower",
+      "Jensen lower bound: d(G) with expected durations, O(V+E)",
+      {.two_state = true, .geometric = false, .kind = EstimateKind::LowerBound},
+      [](const graph::Dag& g, const core::FailureModel& m, core::RetryModel,
+         const EvalOptions&, EvalResult& r) {
+        r.mean = core::makespan_bounds(g, m).jensen_lower;
+      }));
+
+  reg.add(Evaluator(
+      "bounds.upper",
+      "Level-decomposition upper bound: sum of per-level expected maxima",
+      {.two_state = true, .geometric = false, .kind = EstimateKind::UpperBound},
+      [](const graph::Dag& g, const core::FailureModel& m, core::RetryModel,
+         const EvalOptions&, EvalResult& r) {
+        r.mean = core::makespan_bounds(g, m).level_upper;
+      }));
+
+  // -------------------------------------------------------- Monte-Carlo
+  reg.add(Evaluator(
+      "mc",
+      "Monte-Carlo estimation (the paper's ground truth; bit-identical "
+      "across thread counts)",
+      {.two_state = true,
+       .geometric = true,
+       .stochastic = true,
+       .rel_tolerance = 0.02},
+      [](const graph::Dag& g, const core::FailureModel& m,
+         core::RetryModel retry, const EvalOptions& opt, EvalResult& r) {
+        mc::McConfig cfg;
+        cfg.trials = opt.mc_trials;
+        cfg.seed = opt.seed;
+        cfg.threads = opt.threads;
+        cfg.retry = retry;
+        cfg.control_variate = opt.mc_control_variate;
+        const auto mc = mc::run_monte_carlo(g, m, cfg);
+        r.mean = mc.mean;
+        r.std_error = mc.std_error;
+      }));
+
+  reg.add(Evaluator(
+      "cmc",
+      "Conditional (zero-failure-stratum) Monte-Carlo: p0 analytic, only "
+      "E[M | >=1 failure] sampled",
+      {.two_state = true,
+       .geometric = false,
+       .stochastic = true,
+       .rel_tolerance = 0.02},
+      [](const graph::Dag& g, const core::FailureModel& m, core::RetryModel,
+         const EvalOptions& opt, EvalResult& r) {
+        mc::ConditionalMcConfig cfg;
+        cfg.trials = opt.mc_trials;
+        cfg.seed = opt.seed;
+        cfg.threads = opt.threads;
+        const auto mc = mc::run_conditional_monte_carlo(g, m, cfg);
+        r.mean = mc.mean;
+        r.std_error = mc.std_error;
+        if (mc.censored_trials != 0) {
+          r.note = std::to_string(mc.censored_trials) + " censored trials";
+        }
+      }));
+
+  return reg;
+}
+
+}  // namespace
+
+const EvaluatorRegistry& EvaluatorRegistry::builtin() {
+  static const EvaluatorRegistry registry = make_builtin();
+  return registry;
+}
+
+}  // namespace expmk::exp

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -18,6 +19,7 @@ namespace {
 struct Accum {
   prob::RunningStats stats;
   std::uint64_t rejections = 0;
+  std::uint64_t censored = 0;
 };
 
 }  // namespace
@@ -25,6 +27,14 @@ struct Accum {
 ConditionalMcResult run_conditional_monte_carlo(
     const graph::Dag& g, const core::FailureModel& model,
     const ConditionalMcConfig& config) {
+  if (config.trials == 0) {
+    throw std::invalid_argument(
+        "run_conditional_monte_carlo: trials must be >= 1");
+  }
+  if (config.max_rejections_per_trial == 0) {
+    throw std::invalid_argument(
+        "run_conditional_monte_carlo: max_rejections_per_trial must be >= 1");
+  }
   const util::Timer timer;
   const graph::CsrDag csr(g);
   const std::size_t n = g.task_count();
@@ -59,7 +69,7 @@ ConditionalMcResult run_conditional_monte_carlo(
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
-  const std::uint64_t trials = std::max<std::uint64_t>(1, config.trials);
+  const std::uint64_t trials = config.trials;
   const std::size_t chunks = std::min<std::uint64_t>(kEngineChunks, trials);
 
   const std::span<const double> w = csr.weights();
@@ -75,46 +85,62 @@ ConditionalMcResult run_conditional_monte_carlo(
     for (std::uint64_t t = begin; t < end; ++t) {
       prob::Xoshiro256pp rng(config.seed, t);
       // Rejection: redraw the failure pattern until at least one failure.
+      // If the cap is hit first (only plausible when 1 - p0 is
+      // microscopic), the trial is *censored*: it contributes nothing to
+      // the conditional statistics. Fabricating a sample instead — e.g.
+      // the failure-free makespan — would pull the conditional mean
+      // toward d(G) and bias the combined estimate downward.
       bool any = false;
       std::uint64_t attempts = 0;
-      while (!any) {
-        if (++attempts > config.max_rejections_per_trial) {
-          // Extremely unlikely unless 1 - p0 is microscopic; fall back to
-          // "one forced failure on the most failure-prone task" would
-          // bias the estimate, so instead surface the degenerate case as
-          // the failure-free makespan sample (its weight (1-p0) is
-          // negligible by construction).
-          for (std::size_t i = 0; i < n; ++i) durations[i] = w[i];
-          any = true;
-          break;
-        }
-        any = false;
+      while (!any && attempts < config.max_rejections_per_trial) {
+        ++attempts;
         for (std::size_t i = 0; i < n; ++i) {
           const bool failed = !rng.bernoulli(p[i]);
           durations[i] = failed ? 2.0 * w[i] : w[i];
           any = any || failed;
         }
       }
-      acc.rejections += attempts - 1;
-      acc.stats.push(graph::critical_path_length(csr, durations, finish));
+      if (any) {
+        acc.rejections += attempts - 1;
+        acc.stats.push(graph::critical_path_length(csr, durations, finish));
+      } else {
+        acc.rejections += attempts;
+        ++acc.censored;
+      }
     }
   });
 
   prob::RunningStats stats;
   std::uint64_t rejections = 0;
+  std::uint64_t censored = 0;
   for (const Accum& acc : accums) {
     stats.merge(acc.stats);
     rejections += acc.rejections;
+    censored += acc.censored;
   }
 
-  result.conditional_mean = stats.mean();
-  result.mean = p0 * result.critical_path + (1.0 - p0) * stats.mean();
-  result.std_error = (1.0 - p0) * stats.standard_error();
+  result.censored_trials = censored;
+  if (stats.count() == 0) {
+    // Every trial censored: no conditional sample survived. Report the
+    // only defensible fallback — d(G) — for the conditional stratum; its
+    // weight (1 - p0) is microscopic by construction (the cap can only
+    // bind when failures are astronomically rare), so the combined mean
+    // is dominated by the exact p0 * d(G) term either way.
+    result.conditional_mean = result.critical_path;
+    result.mean = result.critical_path;
+    result.std_error = 0.0;
+  } else {
+    result.conditional_mean = stats.mean();
+    result.mean = p0 * result.critical_path + (1.0 - p0) * stats.mean();
+    result.std_error = (1.0 - p0) * stats.standard_error();
+  }
   result.ci95_half_width =
       prob::inverse_normal_cdf(0.975) * result.std_error;
   result.trials = stats.count();
   result.avg_rejections =
-      static_cast<double>(rejections) / static_cast<double>(stats.count());
+      stats.count() == 0
+          ? 0.0
+          : static_cast<double>(rejections) / static_cast<double>(stats.count());
   result.seconds = timer.seconds();
   return result;
 }

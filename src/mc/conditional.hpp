@@ -27,13 +27,18 @@
 namespace expmk::mc {
 
 /// Configuration (subset of McConfig; retry model fixed to TwoState).
+/// `trials` and `max_rejections_per_trial` must be >= 1
+/// (std::invalid_argument otherwise).
 struct ConditionalMcConfig {
   std::uint64_t trials = 100'000;  ///< conditional trials (post-rejection)
   std::uint64_t seed = 0xC0DE;
   std::size_t threads = 0;
-  /// Abort a trial's rejection loop after this many redraw attempts
-  /// (guards lambda ~ 0 where failures never occur; the analytic p0 term
-  /// then carries the whole estimate anyway).
+  /// Give up on a trial's rejection loop after this many redraw attempts
+  /// (guards lambda ~ 0 where failures never occur). A trial whose loop
+  /// gives up is *censored* — counted in censored_trials, contributing
+  /// nothing to the conditional statistics (fabricating a sample would
+  /// bias the conditional mean toward d(G)); the analytic p0 term carries
+  /// essentially the whole estimate in that regime anyway.
   std::uint64_t max_rejections_per_trial = 1'000'000;
 };
 
@@ -45,7 +50,10 @@ struct ConditionalMcResult {
   double p_zero_failures = 0.0;  ///< exact p0
   double critical_path = 0.0;    ///< d(G)
   double conditional_mean = 0.0; ///< E[M | >=1 failure] estimate
-  std::uint64_t trials = 0;
+  std::uint64_t trials = 0;      ///< accepted (uncensored) trials
+  /// Trials whose rejection loop hit max_rejections_per_trial without
+  /// drawing a failure; excluded from the conditional statistics.
+  std::uint64_t censored_trials = 0;
   double avg_rejections = 0.0;   ///< redraws per accepted trial
   double seconds = 0.0;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 #include <thread>
 
 #include "prob/statistics.hpp"
@@ -27,6 +28,11 @@ struct WorkerAccum {
 
 McResult run_monte_carlo(const graph::Dag& g, const core::FailureModel& model,
                          const McConfig& config) {
+  // A zero trial count is a misconfiguration (an estimate from nothing),
+  // not a request to round up: fail loudly instead of silently clamping.
+  if (config.trials == 0) {
+    throw std::invalid_argument("run_monte_carlo: trials must be >= 1");
+  }
   const util::Timer timer;
   const TrialContext ctx(g, model, config.retry);
 
@@ -34,7 +40,7 @@ McResult run_monte_carlo(const graph::Dag& g, const core::FailureModel& model,
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
-  const std::uint64_t trials = std::max<std::uint64_t>(1, config.trials);
+  const std::uint64_t trials = config.trials;
   const std::size_t chunks = std::min<std::uint64_t>(kEngineChunks, trials);
 
   std::vector<WorkerAccum> accums(chunks);

@@ -38,7 +38,8 @@ namespace expmk::mc {
 /// level; treat it like a seed change.
 inline constexpr std::size_t kEngineChunks = 128;
 
-/// Engine configuration.
+/// Engine configuration. `trials` must be >= 1; run_monte_carlo throws
+/// std::invalid_argument on 0 (a misconfiguration, not a rounding case).
 struct McConfig {
   std::uint64_t trials = 300'000;  ///< the paper's trial count
   std::uint64_t seed = 0xC0FFEE;

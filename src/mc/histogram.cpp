@@ -19,6 +19,14 @@ Histogram Histogram::from_samples(const std::vector<double>& samples,
   if (samples.empty()) {
     throw std::invalid_argument("Histogram::from_samples: no samples");
   }
+  // Reject non-finite input before the minmax scan: a NaN would poison
+  // the automatic range and produce a histogram no add() could fill.
+  for (const double x : samples) {
+    if (!std::isfinite(x)) {
+      throw std::invalid_argument(
+          "Histogram::from_samples: non-finite sample");
+    }
+  }
   const auto [mn, mx] = std::minmax_element(samples.begin(), samples.end());
   const double lo = *mn;
   double hi = *mx;
@@ -29,11 +37,19 @@ Histogram Histogram::from_samples(const std::vector<double>& samples,
 }
 
 void Histogram::add(double x) {
-  const double t = (x - lo_) / (hi_ - lo_);
-  auto bin = static_cast<std::ptrdiff_t>(t * static_cast<double>(bins()));
-  bin = std::clamp<std::ptrdiff_t>(bin, 0,
-                                   static_cast<std::ptrdiff_t>(bins()) - 1);
-  ++counts_[static_cast<std::size_t>(bin)];
+  // A NaN/inf sample would feed a non-finite value into the float->int
+  // cast below, which is undefined behavior — reject it loudly instead.
+  if (!std::isfinite(x)) {
+    throw std::invalid_argument("Histogram::add: non-finite sample");
+  }
+  // Clamp in floating point BEFORE the integer cast: a finite but huge
+  // sample (x ~ 1e300 against a unit range) would otherwise overflow the
+  // cast itself — the same UB class as the NaN case above.
+  const double t =
+      std::clamp((x - lo_) / (hi_ - lo_), 0.0, 1.0);
+  auto bin = static_cast<std::size_t>(t * static_cast<double>(bins()));
+  if (bin >= bins()) bin = bins() - 1;  // t == 1.0 lands in the last bucket
+  ++counts_[bin];
   ++total_;
 }
 

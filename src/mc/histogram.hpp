@@ -14,16 +14,19 @@
 
 namespace expmk::mc {
 
-/// Fixed-width histogram over [lo, hi] with `bins` buckets; samples
-/// outside the range clamp to the boundary buckets.
+/// Fixed-width histogram over [lo, hi] with `bins` buckets; finite samples
+/// outside the range clamp to the boundary buckets, non-finite samples
+/// (NaN, ±inf) are rejected with std::invalid_argument.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
 
-  /// Builds from samples with automatic [min, max] range.
+  /// Builds from samples with automatic [min, max] range. Throws
+  /// std::invalid_argument on an empty vector or a non-finite sample.
   static Histogram from_samples(const std::vector<double>& samples,
                                 std::size_t bins);
 
+  /// Adds one sample. Throws std::invalid_argument if `x` is not finite.
   void add(double x);
 
   [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }

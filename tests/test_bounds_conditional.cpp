@@ -132,6 +132,60 @@ TEST(ConditionalMc, BeatsPlainMcAtLowPfail) {
               4.0 * (plain.ci95_half_width + cond.ci95_half_width));
 }
 
+TEST(ConditionalMc, ZeroTrialsThrowsInsteadOfClamping) {
+  const auto g = expmk::test::diamond();
+  ConditionalMcConfig cfg;
+  cfg.trials = 0;
+  EXPECT_THROW((void)run_conditional_monte_carlo(g, FailureModel{0.1}, cfg),
+               std::invalid_argument);
+  cfg.trials = 10;
+  cfg.max_rejections_per_trial = 0;
+  EXPECT_THROW((void)run_conditional_monte_carlo(g, FailureModel{0.1}, cfg),
+               std::invalid_argument);
+}
+
+TEST(ConditionalMc, MicroscopicFailureProbabilityCensorsEveryTrial) {
+  // 1 - p0 ~ 3e-15: no redraw will ever produce a failure, so every trial
+  // must be censored — NOT converted into a fabricated failure-free
+  // sample (the old fallback), which polluted the conditional statistics.
+  const auto g = expmk::gen::uniform_chain(3, 1.0);
+  const FailureModel m{1e-15};
+  ConditionalMcConfig cfg;
+  cfg.trials = 200;
+  cfg.max_rejections_per_trial = 20;
+  const auto r = run_conditional_monte_carlo(g, m, cfg);
+  EXPECT_EQ(r.censored_trials, 200u);
+  EXPECT_EQ(r.trials, 0u);  // zero accepted conditional samples
+  EXPECT_DOUBLE_EQ(r.conditional_mean, r.critical_path);
+  EXPECT_NEAR(r.mean, r.critical_path, 1e-12);
+  EXPECT_DOUBLE_EQ(r.std_error, 0.0);
+}
+
+TEST(ConditionalMc, CensoredTrialsDoNotBiasConditionalMean) {
+  // Cap the rejection loop at ONE redraw: a trial is censored exactly when
+  // its single pattern draw has no failure (probability p0 ~ 0.5 here), so
+  // about half the trials censor. The old fallback pushed d(G) into the
+  // conditional statistics for every censored trial, dragging
+  // conditional_mean (and mean through it) far below the exact value.
+  const auto g = expmk::test::diamond(0.4, 0.3, 0.5, 0.2);
+  const FailureModel m{0.5};
+  ConditionalMcConfig cfg;
+  cfg.trials = 60'000;
+  cfg.max_rejections_per_trial = 1;
+  const auto r = run_conditional_monte_carlo(g, m, cfg);
+
+  EXPECT_EQ(r.trials + r.censored_trials, 60'000u);
+  const double p0 = r.p_zero_failures;
+  EXPECT_NEAR(static_cast<double>(r.censored_trials) / 60'000.0, p0, 0.01);
+
+  const double exact = exact_two_state(g, m);
+  const double cond_exact =
+      (exact - p0 * r.critical_path) / (1.0 - p0);
+  const double cond_stderr = r.std_error / (1.0 - p0);
+  EXPECT_NEAR(r.conditional_mean, cond_exact, 5.0 * cond_stderr + 1e-9);
+  EXPECT_NEAR(r.mean, exact, 5.0 * r.std_error + 1e-9);
+}
+
 TEST(ConditionalMc, RejectionCountMatchesTheory) {
   // Expected redraws per accepted trial = 1/(1-p0) - 1 = p0/(1-p0).
   const auto g = expmk::gen::cholesky_dag(4);

@@ -29,6 +29,27 @@ TEST(FailureModel, ZeroLambdaNeverFails) {
   const FailureModel m{0.0};
   EXPECT_DOUBLE_EQ(m.p_success(100.0), 1.0);
   EXPECT_TRUE(std::isinf(m.mtbf()));
+  EXPECT_TRUE(m.failure_free());
+  EXPECT_FALSE(FailureModel{0.1}.failure_free());
+}
+
+TEST(FailureModel, NegativeLambdaIsRejected) {
+  // lambda < 0 would yield p_success > 1 and corrupt every downstream
+  // probability; only lambda == 0 is the legal "never fails" model.
+  const FailureModel m{-0.1};
+  EXPECT_THROW((void)m.p_success(1.0), std::invalid_argument);
+}
+
+TEST(FailureModel, ZeroPfailCalibratesToExplicitZeroFailureModel) {
+  // pfail == 0 is the documented zero-failure path: lambda == 0 exactly,
+  // every per-task success probability exactly 1.
+  const auto g = expmk::gen::cholesky_dag(4);
+  const auto m = calibrate(g, 0.0);
+  EXPECT_DOUBLE_EQ(m.lambda, 0.0);
+  EXPECT_TRUE(m.failure_free());
+  for (const double p : expmk::core::success_probabilities(g, m)) {
+    EXPECT_DOUBLE_EQ(p, 1.0);
+  }
 }
 
 TEST(FailureModel, CalibrationInvertsExactly) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "mc/histogram.hpp"
@@ -47,6 +49,46 @@ TEST(Histogram, DegenerateSamplesStillBin) {
 TEST(Histogram, InvalidConstruction) {
   EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
   EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(Histogram, NonFiniteSamplesAreRejected) {
+  // A NaN/inf would feed a non-finite value into the float->int bin cast
+  // (undefined behavior); add() must reject instead.
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_THROW(h.add(std::nan("")), std::invalid_argument);
+  EXPECT_THROW(h.add(std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_THROW(h.add(-std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_EQ(h.total(), 0u);  // rejected samples leave no trace
+  EXPECT_THROW((void)Histogram::from_samples({1.0, std::nan(""), 2.0}, 4),
+               std::invalid_argument);
+  EXPECT_THROW((void)Histogram::from_samples(
+                   {std::numeric_limits<double>::infinity()}, 4),
+               std::invalid_argument);
+}
+
+TEST(Histogram, HugeFiniteSamplesClampWithoutOverflow) {
+  // Finite values far outside the range must clamp to the boundary
+  // buckets; t * bins() is clamped in floating point before the integer
+  // cast (casting 4e300 to an integer type is the same UB as the NaN
+  // case).
+  Histogram h(0.0, 1.0, 4);
+  h.add(1e300);
+  h.add(-1e300);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.count(0), 1u);
+}
+
+TEST(Histogram, UpperBoundarySampleLandsInLastBin) {
+  // x == hi maps to t == 1 and the raw bin index == bins(); the clamp
+  // must place it in the last bucket, not past the array.
+  Histogram h(0.0, 1.0, 4);
+  h.add(1.0);
+  EXPECT_EQ(h.count(3), 1u);
+  h.add(0.0);  // lower boundary: first bucket
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.total(), 2u);
 }
 
 TEST(Histogram, AsciiRenderingMentionsCounts) {

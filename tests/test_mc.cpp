@@ -24,6 +24,16 @@ using expmk::core::RetryModel;
 using expmk::mc::McConfig;
 using expmk::mc::run_monte_carlo;
 
+TEST(MonteCarlo, ZeroTrialsThrowsInsteadOfClamping) {
+  // trials == 0 is a misconfiguration (sweep configs are user-supplied);
+  // the engine used to clamp it to 1 silently.
+  const auto g = expmk::test::diamond();
+  McConfig cfg;
+  cfg.trials = 0;
+  EXPECT_THROW((void)run_monte_carlo(g, FailureModel{0.1}, cfg),
+               std::invalid_argument);
+}
+
 TEST(MonteCarlo, DeterministicForFixedSeed) {
   const auto g = expmk::test::diamond(0.4, 0.3, 0.5, 0.2);
   const FailureModel m{0.1};

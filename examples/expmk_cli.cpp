@@ -4,24 +4,32 @@
 // want estimates without writing C++:
 //
 //   expmk_cli generate --class cholesky --k 6 --out chol6.tg
+//   expmk_cli generate --class lu --k 4 --pfail 0.01 --rate-spread 8 \
+//       --out lu4het.tg                      # heterogeneous per-task rates
 //   expmk_cli estimate --graph chol6.tg --pfail 0.001
+//   expmk_cli estimate --graph lu4het.tg --use-rates --method all
 //   expmk_cli estimate --graph chol6.tg --pfail 0.001 --method mc --trials 100000
 //   expmk_cli dot --graph chol6.tg --out chol6.dot
 //   expmk_cli schedule --graph chol6.tg --p 4 --pfail 0.01
 //
-// Graphs travel in the expmk-taskgraph text format (graph/serialize.hpp).
+// Graphs travel in the expmk-taskgraph text format (graph/serialize.hpp);
+// version-2 files carry per-task silent-error rates, and --use-rates
+// builds a heterogeneous scenario straight from them. Every estimating
+// command compiles ONE scenario::Scenario and hands it to the evaluator
+// registry — the same compile-once path the sweep harness uses.
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/criticality.hpp"
 #include "core/failure_model.hpp"
-#include "core/first_order.hpp"
-#include "core/second_order.hpp"
+#include "exp/evaluator.hpp"
 #include "gen/cholesky.hpp"
 #include "gen/lu.hpp"
 #include "gen/qr.hpp"
@@ -30,11 +38,9 @@
 #include "graph/longest_path.hpp"
 #include "graph/serialize.hpp"
 #include "graph/validate.hpp"
-#include "mc/engine.hpp"
-#include "normal/corlca.hpp"
-#include "normal/sculli.hpp"
+#include "prob/rng.hpp"
+#include "scenario/scenario.hpp"
 #include "sched/fault_sim.hpp"
-#include "spgraph/dodin.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -46,21 +52,47 @@ int usage() {
                "usage: expmk_cli <command> [options]\n"
                "commands:\n"
                "  generate  --class cholesky|lu|qr|layered|erdos --k N "
-               "[--seed S] --out FILE\n"
-               "  estimate  --graph FILE --pfail P [--method all|fo|so|"
-               "dodin|sculli|corlca|mc] [--trials N]\n"
+               "[--seed S] [--pfail P --rate-spread F] --out FILE\n"
+               "  estimate  --graph FILE (--pfail P | --use-rates) "
+               "[--method all|<registry name>] [--retry twostate|geometric] "
+               "[--trials N]\n"
                "  dot       --graph FILE --out FILE\n"
-               "  schedule  --graph FILE --p N --pfail P [--runs N]\n"
+               "  schedule  --graph FILE --p N (--pfail P | --use-rates) "
+               "[--runs N]\n"
                "  validate  --graph FILE\n"
-               "  critical  --graph FILE --pfail P [--trials N]\n");
+               "  critical  --graph FILE (--pfail P | --use-rates) "
+               "[--trials N]\n");
   return 2;
+}
+
+/// Builds the scenario every estimating command shares: uniform pfail
+/// calibration, or (--use-rates) the per-task rates embedded in a
+/// version-2 task-graph file.
+scenario::Scenario scenario_from_file(const graph::TaskGraphFile& file,
+                                      bool use_rates, double pfail,
+                                      core::RetryModel retry) {
+  if (use_rates) {
+    if (!file.has_rates()) {
+      throw std::invalid_argument(
+          "--use-rates: the graph file carries no per-task rates "
+          "(expmk-taskgraph version 2; see 'generate --rate-spread')");
+    }
+    return scenario::Scenario::compile(
+        file.dag, scenario::FailureSpec::per_task(file.rates), retry);
+  }
+  return scenario::Scenario::calibrated(file.dag, pfail, retry);
 }
 
 int cmd_generate(int argc, const char* const* argv) {
   util::Cli cli("expmk_cli generate", "Generate a task graph file");
   cli.add_string("class", "cholesky", "cholesky|lu|qr|layered|erdos");
   cli.add_int("k", 6, "tile count (factorizations) / size parameter");
-  cli.add_int("seed", 1, "seed for random families");
+  cli.add_int("seed", 1, "seed for random families (and --rate-spread)");
+  cli.add_double("pfail", 0.0,
+                 "with --rate-spread: center rate calibration");
+  cli.add_double("rate-spread", 0.0,
+                 "write per-task rates log-uniform in [lambda/F, lambda*F] "
+                 "(version-2 file; 0 = uniform file without rates)");
   cli.add_string("out", "graph.tg", "output path");
   cli.parse(argc, argv);
 
@@ -82,6 +114,39 @@ int cmd_generate(int argc, const char* const* argv) {
     std::fprintf(stderr, "unknown class '%s'\n", cls.c_str());
     return 2;
   }
+
+  const double spread = cli.get_double("rate-spread");
+  if (spread > 0.0) {
+    if (spread < 1.0) {
+      std::fprintf(stderr, "--rate-spread must be >= 1\n");
+      return 2;
+    }
+    if (!(cli.get_double("pfail") > 0.0)) {
+      // pfail defaults to 0: spreading rates around lambda == 0 would
+      // silently write an all-zero (failure-free) "heterogeneous" file.
+      std::fprintf(stderr,
+                   "--rate-spread needs --pfail > 0 (the center rate)\n");
+      return 2;
+    }
+    const double lambda =
+        core::calibrate(g, cli.get_double("pfail")).lambda;
+    // Per-task rates log-uniform in [lambda/spread, lambda*spread]: the
+    // standard way to model machines whose error rates differ by up to
+    // spread^2 while keeping the calibrated rate as the geometric center.
+    std::vector<double> rates(g.task_count());
+    prob::Xoshiro256pp rng(seed, 0x8a7e5);
+    const double log_spread = std::log(spread);
+    for (double& r : rates) {
+      r = lambda * std::exp((2.0 * rng.uniform() - 1.0) * log_spread);
+    }
+    graph::save_taskgraph(cli.get_string("out"), g, rates);
+    std::printf("wrote %s: %zu tasks, %zu edges, per-task rates around "
+                "lambda=%.6g (spread %g)\n",
+                cli.get_string("out").c_str(), g.task_count(),
+                g.edge_count(), lambda, spread);
+    return 0;
+  }
+
   graph::save_taskgraph(cli.get_string("out"), g);
   std::printf("wrote %s: %zu tasks, %zu edges\n",
               cli.get_string("out").c_str(), g.task_count(), g.edge_count());
@@ -92,50 +157,71 @@ int cmd_estimate(int argc, const char* const* argv) {
   util::Cli cli("expmk_cli estimate", "Expected-makespan estimates");
   cli.add_string("graph", "graph.tg", "input task graph");
   cli.add_double("pfail", 0.001, "per-average-task failure probability");
-  cli.add_string("method", "all", "all|fo|so|dodin|sculli|corlca|mc");
-  cli.add_int("trials", 100'000, "Monte-Carlo trials (method mc/all)");
+  cli.add_flag("use-rates",
+               "heterogeneous scenario from the file's per-task rates "
+               "(version-2 graph file) instead of --pfail");
+  cli.add_string("method", "all",
+                 "all | a registry method (fo, so, dodin, sculli, corlca, "
+                 "clark, mc, cmc, exact, ...)");
+  cli.add_string("retry", "twostate",
+                 "twostate|geometric (one scenario, one retry model; "
+                 "two-state-only methods gate under geometric)");
+  cli.add_int("trials", 100'000, "Monte-Carlo trials (mc/cmc)");
   cli.add_int("dodin-atoms", 128, "Dodin atom budget");
   cli.parse(argc, argv);
 
-  const auto g = graph::load_taskgraph(cli.get_string("graph"));
-  const auto model = core::calibrate(g, cli.get_double("pfail"));
-  const std::string method = cli.get_string("method");
+  const std::string retry_name = cli.get_string("retry");
+  core::RetryModel retry;
+  if (retry_name == "twostate") {
+    retry = core::RetryModel::TwoState;
+  } else if (retry_name == "geometric") {
+    retry = core::RetryModel::Geometric;
+  } else {
+    std::fprintf(stderr, "unknown retry model '%s'\n", retry_name.c_str());
+    return 2;
+  }
 
-  std::printf("graph: %zu tasks, %zu edges, d(G)=%.6f, lambda=%.6g\n",
-              g.task_count(), g.edge_count(),
-              graph::critical_path_length(g), model.lambda);
-  const bool all = method == "all";
-  if (all || method == "fo") {
-    std::printf("first-order : %.6f\n",
-                core::first_order(g, model).expected_makespan());
+  const auto file = graph::load_taskgraph_file(cli.get_string("graph"));
+  const scenario::Scenario sc = scenario_from_file(
+      file, cli.get_flag("use-rates"), cli.get_double("pfail"), retry);
+
+  std::printf("graph: %zu tasks, %zu edges, d(G)=%.6f, %s\n",
+              sc.task_count(), sc.dag().edge_count(), sc.critical_path(),
+              sc.heterogeneous()
+                  ? "heterogeneous per-task rates"
+                  : ("lambda=" + std::to_string(sc.uniform_model().lambda))
+                        .c_str());
+
+  exp::EvalOptions opt;
+  opt.mc_trials = static_cast<std::uint64_t>(cli.get_int("trials"));
+  opt.dodin_atoms = static_cast<std::size_t>(cli.get_int("dodin-atoms"));
+
+  const std::string method = cli.get_string("method");
+  const std::vector<std::string> all = {"fo",     "so",     "dodin",
+                                        "sculli", "corlca", "mc"};
+  const auto& reg = exp::EvaluatorRegistry::builtin();
+  std::vector<std::string> names;
+  if (method == "all") {
+    names = all;
+  } else if (reg.find(method) != nullptr) {
+    names = {method};
+  } else {
+    std::fprintf(stderr, "unknown method '%s' (see expmk_sweep --list)\n",
+                 method.c_str());
+    return 2;
   }
-  if (all || method == "so") {
-    std::printf("second-order: %.6f\n",
-                core::second_order(g, model, core::RetryModel::Geometric)
-                    .expected_makespan);
-  }
-  if (all || method == "dodin") {
-    const auto r = sp::dodin_two_state(
-        g, model,
-        {.max_atoms = static_cast<std::size_t>(cli.get_int("dodin-atoms"))});
-    std::printf("dodin       : %.6f (%zu duplications)\n",
-                r.expected_makespan(), r.duplications);
-  }
-  if (all || method == "sculli") {
-    std::printf("sculli      : %.6f\n",
-                normal::sculli(g, model).expected_makespan());
-  }
-  if (all || method == "corlca") {
-    std::printf("corlca      : %.6f\n",
-                normal::corlca(g, model).expected_makespan());
-  }
-  if (all || method == "mc") {
-    mc::McConfig cfg;
-    cfg.trials = static_cast<std::uint64_t>(cli.get_int("trials"));
-    const auto r = mc::run_monte_carlo(g, model, cfg);
-    std::printf("monte-carlo : %.6f +/- %.6f (95%%, %llu trials)\n", r.mean,
-                r.ci95_half_width,
-                static_cast<unsigned long long>(r.trials));
+
+  for (const std::string& name : names) {
+    const auto r = reg.find(name)->evaluate(sc, opt);
+    if (!r.supported) {
+      std::printf("%-12s: unsupported (%s)\n", name.c_str(),
+                  r.note.c_str());
+    } else if (r.std_error > 0.0) {
+      std::printf("%-12s: %.6f +/- %.6f\n", name.c_str(), r.mean,
+                  1.96 * r.std_error);
+    } else {
+      std::printf("%-12s: %.6f\n", name.c_str(), r.mean);
+    }
   }
   return 0;
 }
@@ -160,19 +246,31 @@ int cmd_schedule(int argc, const char* const* argv) {
   cli.add_string("graph", "graph.tg", "input task graph");
   cli.add_int("p", 4, "processors");
   cli.add_double("pfail", 0.01, "per-average-task failure probability");
+  cli.add_flag("use-rates",
+               "heterogeneous scenario from the file's per-task rates");
   cli.add_int("runs", 1000, "fault-injection runs");
   cli.parse(argc, argv);
 
-  const auto g = graph::load_taskgraph(cli.get_string("graph"));
-  const auto model = core::calibrate(g, cli.get_double("pfail"));
+  const auto file = graph::load_taskgraph_file(cli.get_string("graph"));
+  const scenario::Scenario sc = scenario_from_file(
+      file, cli.get_flag("use-rates"), cli.get_double("pfail"),
+      core::RetryModel::Geometric);
+  const graph::Dag& g = sc.dag();
+  // Priority computation needs a uniform model; heterogeneous scenarios
+  // use the mean rate for the failure-aware priorities (the simulation
+  // itself samples each task's own rate).
+  double mean_rate = 0.0;
+  for (const double r : sc.rates()) mean_rate += r;
+  mean_rate /= static_cast<double>(sc.task_count());
+  const core::FailureModel prio_model{mean_rate};
   const sched::Machine machine(static_cast<std::size_t>(cli.get_int("p")));
   sched::FaultSimConfig cfg;
   cfg.runs = static_cast<std::uint64_t>(cli.get_int("runs"));
 
   for (const auto kind : {sched::PriorityKind::BottomLevel,
                           sched::PriorityKind::FailureAwareBottomLevel}) {
-    const auto prio = sched::priorities(g, kind, model);
-    const auto r = sched::simulate_with_faults(g, prio, machine, model, cfg);
+    const auto prio = sched::priorities(g, kind, prio_model);
+    const auto r = sched::simulate_with_faults(sc, prio, machine, cfg);
     std::printf("%-24s failure-free %.5f, under faults mean %.5f (max "
                 "%.5f)\n",
                 kind == sched::PriorityKind::BottomLevel
@@ -202,15 +300,20 @@ int cmd_critical(int argc, const char* const* argv) {
   util::Cli cli("expmk_cli critical", "Criticality analysis");
   cli.add_string("graph", "graph.tg", "input task graph");
   cli.add_double("pfail", 0.01, "per-average-task failure probability");
+  cli.add_flag("use-rates",
+               "heterogeneous scenario from the file's per-task rates");
   cli.add_int("trials", 10'000, "Monte-Carlo trials");
   cli.add_int("top", 10, "how many tasks to list");
   cli.parse(argc, argv);
 
-  const auto g = graph::load_taskgraph(cli.get_string("graph"));
-  const auto model = core::calibrate(g, cli.get_double("pfail"));
+  const auto file = graph::load_taskgraph_file(cli.get_string("graph"));
+  const scenario::Scenario sc = scenario_from_file(
+      file, cli.get_flag("use-rates"), cli.get_double("pfail"),
+      core::RetryModel::Geometric);
+  const graph::Dag& g = sc.dag();
   core::CriticalityConfig cfg;
   cfg.trials = static_cast<std::uint64_t>(cli.get_int("trials"));
-  const auto prob = core::criticality_probabilities(g, model, cfg);
+  const auto prob = core::criticality_probabilities(sc, cfg);
   const auto slack = core::slacks(g);
 
   std::vector<graph::TaskId> order(g.task_count());
@@ -237,11 +340,16 @@ int main(int argc, char** argv) {
   // Shift argv so each sub-Cli sees its own option list.
   const int sub_argc = argc - 1;
   const char* const* sub_argv = argv + 1;
-  if (command == "generate") return cmd_generate(sub_argc, sub_argv);
-  if (command == "estimate") return cmd_estimate(sub_argc, sub_argv);
-  if (command == "dot") return cmd_dot(sub_argc, sub_argv);
-  if (command == "schedule") return cmd_schedule(sub_argc, sub_argv);
-  if (command == "validate") return cmd_validate(sub_argc, sub_argv);
-  if (command == "critical") return cmd_critical(sub_argc, sub_argv);
+  try {
+    if (command == "generate") return cmd_generate(sub_argc, sub_argv);
+    if (command == "estimate") return cmd_estimate(sub_argc, sub_argv);
+    if (command == "dot") return cmd_dot(sub_argc, sub_argv);
+    if (command == "schedule") return cmd_schedule(sub_argc, sub_argv);
+    if (command == "validate") return cmd_validate(sub_argc, sub_argv);
+    if (command == "critical") return cmd_critical(sub_argc, sub_argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "expmk_cli %s: %s\n", command.c_str(), e.what());
+    return 1;
+  }
   return usage();
 }

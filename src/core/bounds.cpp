@@ -1,5 +1,6 @@
 #include "core/bounds.hpp"
 
+#include <span>
 #include <vector>
 
 #include "graph/longest_path.hpp"
@@ -9,18 +10,34 @@
 
 namespace expmk::core {
 
-MakespanBounds makespan_bounds(const graph::Dag& g,
-                               const FailureModel& model) {
+namespace {
+
+/// Shared body over per-task success probabilities. With the uniform
+/// p_i = e^{-lambda a_i} this performs the exact arithmetic of the
+/// pre-Scenario implementation (a_i (2 - p_i) is FailureModel's 2-state
+/// expected duration), so the two entry points agree bitwise.
+/// `expected_two_state` is an optional cache of exactly those values
+/// (Scenario::expected_durations() of a TwoState scenario); empty means
+/// compute them here.
+MakespanBounds bounds_impl(const graph::Dag& g,
+                           std::span<const graph::TaskId> topo,
+                           std::span<const double> p,
+                           std::span<const double> expected_two_state) {
   MakespanBounds out;
-  const auto topo = graph::topological_order(g);
   out.failure_free = graph::critical_path_length(g, g.weights(), topo);
 
-  // Jensen: longest path on expected durations.
-  std::vector<double> expected(g.task_count());
-  for (graph::TaskId i = 0; i < g.task_count(); ++i) {
-    expected[i] = model.expected_duration(g.weight(i), RetryModel::TwoState);
+  // Jensen: longest path on expected durations (always the 2-state law —
+  // the bounds are statements about the 2-state model).
+  std::vector<double> expected_storage;
+  if (expected_two_state.empty()) {
+    expected_storage.resize(g.task_count());
+    for (graph::TaskId i = 0; i < g.task_count(); ++i) {
+      expected_storage[i] = g.weight(i) * (2.0 - p[i]);
+    }
+    expected_two_state = expected_storage;
   }
-  out.jensen_lower = graph::critical_path_length(g, expected, topo);
+  out.jensen_lower =
+      graph::critical_path_length(g, expected_two_state, topo);
 
   // Level decomposition: E[ sum_l max_{i in L_l} X_i ].
   const auto levels = graph::level_partition(g);
@@ -31,13 +48,31 @@ MakespanBounds makespan_bounds(const graph::Dag& g,
       const double a = g.weight(i);
       if (a <= 0.0) continue;
       level_max = prob::DiscreteDistribution::max_of(
-          level_max, prob::DiscreteDistribution::two_state(
-                         a, model.p_success(a)));
+          level_max, prob::DiscreteDistribution::two_state(a, p[i]));
     }
     upper += level_max.mean();
   }
   out.level_upper = upper;
   return out;
+}
+
+}  // namespace
+
+MakespanBounds makespan_bounds(const graph::Dag& g,
+                               const FailureModel& model) {
+  const auto topo = graph::topological_order(g);
+  const auto p = success_probabilities(g, model);
+  return bounds_impl(g, topo, p, {});
+}
+
+MakespanBounds makespan_bounds(const scenario::Scenario& sc) {
+  // A TwoState scenario already caches the 2-state expected durations;
+  // under Geometric retry the cache holds the geometric ones, so the
+  // impl recomputes the (always 2-state) Jensen weights itself.
+  const std::span<const double> expected =
+      sc.retry() == RetryModel::TwoState ? sc.expected_durations()
+                                         : std::span<const double>{};
+  return bounds_impl(sc.dag(), sc.topo(), sc.p_success(), expected);
 }
 
 }  // namespace expmk::core

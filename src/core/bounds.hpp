@@ -21,6 +21,7 @@
 
 #include "core/failure_model.hpp"
 #include "graph/dag.hpp"
+#include "scenario/scenario.hpp"
 
 namespace expmk::core {
 
@@ -35,5 +36,11 @@ struct MakespanBounds {
 /// per-level max distributions (atom count bounded by level width + 1).
 [[nodiscard]] MakespanBounds makespan_bounds(const graph::Dag& g,
                                              const FailureModel& model);
+
+/// Scenario-based entry point. Both bounds are built from per-task
+/// success probabilities, so heterogeneous rates are supported: Jensen
+/// uses E[X_i] = a_i (2 - p_i), the level bound each task's own 2-state
+/// law.
+[[nodiscard]] MakespanBounds makespan_bounds(const scenario::Scenario& sc);
 
 }  // namespace expmk::core

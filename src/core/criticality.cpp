@@ -29,10 +29,11 @@ std::vector<graph::TaskId> critical_tasks(const graph::Dag& g,
   return out;
 }
 
-std::vector<double> criticality_probabilities(
-    const graph::Dag& g, const FailureModel& model,
-    const CriticalityConfig& config) {
-  const mc::TrialContext ctx(g, model, config.retry);
+namespace {
+
+std::vector<double> criticality_impl(const graph::Dag& g,
+                                     const mc::TrialContext& ctx,
+                                     const CriticalityConfig& config) {
   const std::size_t n = g.task_count();
   std::vector<std::uint64_t> hits(n, 0);
   std::vector<double> durations(n);
@@ -43,7 +44,7 @@ std::vector<double> criticality_probabilities(
     // Sample durations (ignore the returned makespan; we recompute levels
     // to identify all tasks with zero slack this trial).
     (void)mc::run_trial(ctx, rng, durations);
-    const auto levels = graph::compute_levels(g, durations, ctx.topo);
+    const auto levels = graph::compute_levels(g, durations, ctx.topo());
     for (graph::TaskId i = 0; i < n; ++i) {
       const double through = levels.top[i] + levels.bottom[i];
       if (through >= levels.critical_path * (1.0 - 1e-12)) ++hits[i];
@@ -56,6 +57,20 @@ std::vector<double> criticality_probabilities(
     out[i] = static_cast<double>(hits[i]) / total;
   }
   return out;
+}
+
+}  // namespace
+
+std::vector<double> criticality_probabilities(
+    const graph::Dag& g, const FailureModel& model,
+    const CriticalityConfig& config) {
+  const mc::TrialContext ctx(g, model, config.retry);
+  return criticality_impl(g, ctx, config);
+}
+
+std::vector<double> criticality_probabilities(
+    const scenario::Scenario& sc, const CriticalityConfig& config) {
+  return criticality_impl(sc.dag(), mc::TrialContext(sc), config);
 }
 
 }  // namespace expmk::core

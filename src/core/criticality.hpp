@@ -19,6 +19,7 @@
 
 #include "core/failure_model.hpp"
 #include "graph/dag.hpp"
+#include "scenario/scenario.hpp"
 
 namespace expmk::core {
 
@@ -42,5 +43,11 @@ struct CriticalityConfig {
 [[nodiscard]] std::vector<double> criticality_probabilities(
     const graph::Dag& g, const FailureModel& model,
     const CriticalityConfig& config = {});
+
+/// Scenario-based entry point (no CSR rebuild; heterogeneous per-task
+/// rates supported). `config.retry` is ignored — the scenario's retry
+/// model governs sampling.
+[[nodiscard]] std::vector<double> criticality_probabilities(
+    const scenario::Scenario& sc, const CriticalityConfig& config = {});
 
 }  // namespace expmk::core

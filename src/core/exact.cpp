@@ -1,6 +1,7 @@
 #include "core/exact.hpp"
 
 #include <cmath>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
@@ -22,14 +23,17 @@ void check_size(const graph::Dag& g, std::size_t limit) {
   }
 }
 
-}  // namespace
+// The enumeration bodies are parameterized on the per-task success
+// probabilities (and an arbitrary valid topological order), so the uniform
+// and heterogeneous entry points share one implementation. The critical-
+// path values are order-invariant across topological orders (each
+// finish[v] is uniquely determined by the graph), so Dag-order and
+// CSR-order callers produce bit-identical expectations.
 
-double exact_two_state(const graph::Dag& g, const FailureModel& model) {
-  check_size(g, kMaxExactTasks);
+double two_state_expectation(const graph::Dag& g,
+                             std::span<const graph::TaskId> topo,
+                             std::span<const double> p) {
   const std::size_t n = g.task_count();
-  const auto topo = graph::topological_order(g);
-  const auto p = success_probabilities(g, model);
-
   std::vector<double> weights = g.weights();
   double expectation = 0.0;
   for (std::uint64_t mask = 0; mask < (1ULL << n); ++mask) {
@@ -45,13 +49,10 @@ double exact_two_state(const graph::Dag& g, const FailureModel& model) {
   return expectation;
 }
 
-prob::DiscreteDistribution exact_two_state_distribution(
-    const graph::Dag& g, const FailureModel& model) {
-  check_size(g, kMaxExactTasks);
+prob::DiscreteDistribution two_state_distribution(
+    const graph::Dag& g, std::span<const graph::TaskId> topo,
+    std::span<const double> p) {
   const std::size_t n = g.task_count();
-  const auto topo = graph::topological_order(g);
-  const auto p = success_probabilities(g, model);
-
   std::vector<double> weights = g.weights();
   std::vector<prob::Atom> atoms;
   atoms.reserve(std::size_t{1} << n);
@@ -68,8 +69,10 @@ prob::DiscreteDistribution exact_two_state_distribution(
   return prob::DiscreteDistribution::from_atoms(std::move(atoms));
 }
 
-double exact_geometric(const graph::Dag& g, const FailureModel& model,
-                       int max_executions) {
+double geometric_expectation(const graph::Dag& g,
+                             std::span<const graph::TaskId> topo,
+                             std::span<const double> p,
+                             int max_executions) {
   if (max_executions < 1) {
     throw std::invalid_argument("exact_geometric: max_executions >= 1");
   }
@@ -84,9 +87,6 @@ double exact_geometric(const graph::Dag& g, const FailureModel& model,
     }
   }
   check_size(g, 64);
-
-  const auto topo = graph::topological_order(g);
-  const auto p = success_probabilities(g, model);
 
   // Per-task state probabilities: P(executions = e) = p (1-p)^{e-1} for
   // e < max, remaining tail mass on e = max (truncated geometric).
@@ -124,6 +124,50 @@ double exact_geometric(const graph::Dag& g, const FailureModel& model,
     if (pos == n) break;
   }
   return expectation;
+}
+
+}  // namespace
+
+double exact_two_state(const graph::Dag& g, const FailureModel& model) {
+  check_size(g, kMaxExactTasks);
+  const auto topo = graph::topological_order(g);
+  const auto p = success_probabilities(g, model);
+  return two_state_expectation(g, topo, p);
+}
+
+double exact_two_state(const scenario::Scenario& sc) {
+  check_size(sc.dag(), kMaxExactTasks);
+  return two_state_expectation(sc.dag(), sc.topo(), sc.p_success());
+}
+
+prob::DiscreteDistribution exact_two_state_distribution(
+    const graph::Dag& g, const FailureModel& model) {
+  check_size(g, kMaxExactTasks);
+  const auto topo = graph::topological_order(g);
+  const auto p = success_probabilities(g, model);
+  return two_state_distribution(g, topo, p);
+}
+
+prob::DiscreteDistribution exact_two_state_distribution(
+    const scenario::Scenario& sc) {
+  check_size(sc.dag(), kMaxExactTasks);
+  return two_state_distribution(sc.dag(), sc.topo(), sc.p_success());
+}
+
+double exact_geometric(const graph::Dag& g, const FailureModel& model,
+                       int max_executions) {
+  const auto topo = graph::topological_order(g);
+  const auto p = success_probabilities(g, model);
+  return geometric_expectation(g, topo, p, max_executions);
+}
+
+double exact_geometric(const scenario::Scenario& sc, int max_executions) {
+  if (sc.heterogeneous()) {
+    throw std::invalid_argument(
+        "exact_geometric: per-task failure rates not supported");
+  }
+  return geometric_expectation(sc.dag(), sc.topo(), sc.p_success(),
+                               max_executions);
 }
 
 }  // namespace expmk::core

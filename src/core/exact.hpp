@@ -13,6 +13,7 @@
 #include "core/failure_model.hpp"
 #include "graph/dag.hpp"
 #include "prob/discrete_distribution.hpp"
+#include "scenario/scenario.hpp"
 
 namespace expmk::core {
 
@@ -25,9 +26,17 @@ inline constexpr std::size_t kMaxExactTasks = 24;
 [[nodiscard]] double exact_two_state(const graph::Dag& g,
                                      const FailureModel& model);
 
+/// Scenario-based entry point (no per-call preprocessing). The oracle is
+/// per-task throughout, so heterogeneous per-task rates are exact too.
+[[nodiscard]] double exact_two_state(const scenario::Scenario& sc);
+
 /// Exact full makespan distribution of the 2-state DAG (same complexity).
 [[nodiscard]] prob::DiscreteDistribution exact_two_state_distribution(
     const graph::Dag& g, const FailureModel& model);
+
+/// Scenario-based entry point (heterogeneous rates supported).
+[[nodiscard]] prob::DiscreteDistribution exact_two_state_distribution(
+    const scenario::Scenario& sc);
 
 /// Exact E[makespan] under the geometric model truncated at
 /// `max_executions` executions per task (the tail probability mass is
@@ -36,6 +45,12 @@ inline constexpr std::size_t kMaxExactTasks = 24;
 /// one). O(max_executions^V (V + E)).
 [[nodiscard]] double exact_geometric(const graph::Dag& g,
                                      const FailureModel& model,
+                                     int max_executions);
+
+/// Scenario-based entry point. Uniform scenarios only: throws
+/// std::invalid_argument on heterogeneous rates (the exp::Capabilities
+/// gate reports supported == false before this is reached in a sweep).
+[[nodiscard]] double exact_geometric(const scenario::Scenario& sc,
                                      int max_executions);
 
 }  // namespace expmk::core

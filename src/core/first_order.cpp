@@ -30,6 +30,33 @@ FirstOrderResult first_order(const graph::CsrDag& csr,
   return out;
 }
 
+FirstOrderResult first_order(const scenario::Scenario& sc) {
+  // Uniform scenarios go through the exact code path the pre-Scenario
+  // library ran (sum the deltas, multiply by lambda once), keeping the
+  // result bit-identical to first_order(Dag, FailureModel).
+  if (!sc.heterogeneous()) {
+    return first_order(sc.csr(), sc.uniform_model());
+  }
+  const graph::CsrDag& csr = sc.csr();
+  const std::size_t n = csr.task_count();
+  const std::span<const double> w = csr.weights();
+  const std::span<const double> rates = sc.rates_csr();
+  std::vector<double> top(n), bottom(n);
+  const double d = graph::compute_levels(csr, w, top, bottom);
+
+  FirstOrderResult out;
+  out.critical_path = d;
+  double correction = 0.0;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const double through_doubled = top[v] + bottom[v] + w[v];
+    const double delta = std::max(0.0, through_doubled - d);
+    // lambda_i folds into the sum per task instead of scaling it once.
+    correction += rates[v] * w[v] * delta;
+  }
+  out.correction = correction;
+  return out;
+}
+
 FirstOrderResult first_order(const graph::Dag& g, const FailureModel& model,
                              std::span<const graph::TaskId> topo) {
   // Honors the caller's precomputed order (callers like core::dvfs_sweep

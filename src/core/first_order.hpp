@@ -24,6 +24,7 @@
 #include "core/failure_model.hpp"
 #include "graph/csr.hpp"
 #include "graph/dag.hpp"
+#include "scenario/scenario.hpp"
 
 namespace expmk::core {
 
@@ -45,6 +46,12 @@ struct FirstOrderResult {
 /// directly and skip the rebuild.
 [[nodiscard]] FirstOrderResult first_order(const graph::CsrDag& csr,
                                            const FailureModel& model);
+
+/// Scenario-based entry point: reuses the compiled CSR view (no per-call
+/// preprocessing). Under heterogeneous per-task rates the correction
+/// generalizes term-by-term — P(task i fails) ~ lambda_i a_i, so
+///   E(G) ~ d(G) + sum_i lambda_i a_i (d(G_i) - d(G)) + O(max lambda^2).
+[[nodiscard]] FirstOrderResult first_order(const scenario::Scenario& sc);
 
 /// Closed-form first-order approximation, O(|V| + |E|).
 /// `topo` must be a topological order of `g` (see graph::topological_order).

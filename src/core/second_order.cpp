@@ -93,6 +93,92 @@ SecondOrderResult second_order(const graph::CsrDag& csr,
   return out;
 }
 
+SecondOrderResult second_order(const scenario::Scenario& sc) {
+  // Uniform scenarios run the pre-Scenario code path verbatim (bit-
+  // identical results); heterogeneous rates use the generalized expansion
+  // from the header comment with l_i = lambda_i a_i.
+  if (!sc.heterogeneous()) {
+    return second_order(sc.csr(), sc.uniform_model(), sc.retry());
+  }
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  const RetryModel model_kind = sc.retry();
+  const graph::CsrDag& csr = sc.csr();
+  const std::size_t n = csr.task_count();
+  const std::span<const double> w = csr.weights();
+  const std::span<const double> rates = sc.rates_csr();
+
+  std::vector<double> top(n), bottom(n);
+  const double d = graph::compute_levels(csr, w, top, bottom);
+
+  // l_i = lambda_i a_i: the per-task first-order failure mass. L replaces
+  // the uniform lambda * A everywhere.
+  std::vector<double> l(n);
+  double L = 0.0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    l[i] = rates[i] * w[i];
+    L += l[i];
+  }
+
+  std::vector<double> d_single(n);
+  double fo_correction = 0.0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const double thr2 = top[i] + bottom[i] + w[i];
+    d_single[i] = std::max(d, thr2);
+    fo_correction += l[i] * (d_single[i] - d);
+  }
+
+  // Pair terms sum_{i<j} l_i l_j d(G_ij); same forward-only streaming
+  // sweep as the uniform implementation (see comments there).
+  std::vector<double> dist(n);
+  double pair_sum = 0.0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    longest_from(csr, i, w, dist);  // fills dist[i..n)
+    for (std::uint32_t j = i + 1; j < n; ++j) {
+      double dij = std::max(d_single[i], d_single[j]);
+      if (dist[j] != kNegInf) {
+        const double cross =
+            top[i] + dist[j] + w[i] + w[j] + (bottom[j] - w[j]);
+        dij = std::max(dij, cross);
+      }
+      pair_sum += l[i] * l[j] * dij;
+    }
+  }
+
+  double e2 = d * (1.0 - L + L * L / 2.0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    double coeff1;  // second-order coefficient on d(G_i)
+    switch (model_kind) {
+      case RetryModel::TwoState:
+        coeff1 = l[i] * (l[i] / 2.0 - L);
+        break;
+      case RetryModel::Geometric:
+        coeff1 = -l[i] * (L + l[i] / 2.0);
+        break;
+      default:
+        coeff1 = 0.0;
+    }
+    e2 += (l[i] + coeff1) * d_single[i];
+  }
+  e2 += pair_sum;
+
+  if (model_kind == RetryModel::Geometric) {
+    // Triple execution of a single task: weight 3 a_i with prob
+    // (lambda_i a_i)^2 + O(lambda^3).
+    double triple = 0.0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const double thr3 = top[i] + bottom[i] + 2.0 * w[i];
+      triple += l[i] * l[i] * std::max(d, thr3);
+    }
+    e2 += triple;
+  }
+
+  SecondOrderResult out;
+  out.critical_path = d;
+  out.first_order = d + fo_correction;
+  out.expected_makespan = e2;
+  return out;
+}
+
 SecondOrderResult second_order(const graph::Dag& g, const FailureModel& model,
                                RetryModel model_kind,
                                std::span<const graph::TaskId> topo) {

@@ -33,6 +33,7 @@
 #include "core/failure_model.hpp"
 #include "graph/csr.hpp"
 #include "graph/dag.hpp"
+#include "scenario/scenario.hpp"
 
 namespace expmk::core {
 
@@ -51,6 +52,17 @@ struct SecondOrderResult {
 [[nodiscard]] SecondOrderResult second_order(
     const graph::CsrDag& csr, const FailureModel& model,
     RetryModel model_kind = RetryModel::TwoState);
+
+/// Scenario-based entry point: reuses the compiled CSR view and takes the
+/// retry model from the scenario. Under heterogeneous per-task rates the
+/// expansion generalizes with l_i = lambda_i a_i and L = sum l_i:
+///   E2 = d(G) (1 - L + L^2/2)
+///      + sum_i [ l_i + l_i (l_i/2 - L) ] d(G_i)        (2-state)
+///      + sum_{i<j} l_i l_j d(G_ij),
+/// with the geometric single-failure coefficient -l_i (L + l_i/2) and
+/// triple term + sum_i l_i^2 d(G_i+) — setting lambda_i = lambda recovers
+/// the uniform formulas in the file comment verbatim.
+[[nodiscard]] SecondOrderResult second_order(const scenario::Scenario& sc);
 
 /// Second-order approximation. `model_kind` selects the 2-state or
 /// geometric coefficient set (see file comment). O(|V| (|V| + |E|)).

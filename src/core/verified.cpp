@@ -57,4 +57,33 @@ FirstOrderResult first_order_verified(const graph::Dag& g,
   return out;
 }
 
+FirstOrderResult first_order_verified(const scenario::Scenario& sc,
+                                      const VerificationCosts& costs) {
+  const graph::Dag& g = sc.dag();
+  if (!sc.heterogeneous()) {
+    return first_order_verified(g, sc.uniform_model(), costs);
+  }
+  const auto v = costs.resolve(g);
+  std::vector<double> w(g.task_count());
+  for (graph::TaskId i = 0; i < g.task_count(); ++i) {
+    w[i] = g.weight(i) + v[i];
+  }
+  const auto levels = graph::compute_levels(g, w, sc.topo());
+
+  FirstOrderResult out;
+  out.critical_path = levels.critical_path;
+  double correction = 0.0;
+  const std::span<const double> rates = sc.rates();
+  for (graph::TaskId i = 0; i < g.task_count(); ++i) {
+    const double through_doubled = levels.top[i] + levels.bottom[i] + w[i];
+    const double delta =
+        std::max(0.0, through_doubled - levels.critical_path);
+    // Failure mass lambda_i a_i: only the compute part a_i accumulates
+    // error risk, at task i's own rate.
+    correction += rates[i] * g.weight(i) * delta;
+  }
+  out.correction = correction;
+  return out;
+}
+
 }  // namespace expmk::core

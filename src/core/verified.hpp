@@ -25,6 +25,7 @@
 #include "core/failure_model.hpp"
 #include "core/first_order.hpp"
 #include "graph/dag.hpp"
+#include "scenario/scenario.hpp"
 
 namespace expmk::core {
 
@@ -45,5 +46,13 @@ struct VerificationCosts {
 [[nodiscard]] FirstOrderResult first_order_verified(
     const graph::Dag& g, const FailureModel& model,
     const VerificationCosts& costs);
+
+/// Scenario-based entry point. Heterogeneous rates generalize the
+/// correction term-by-term (failure mass lambda_i a_i per task, like
+/// first_order(Scenario)). Note the verified weights w_i = a_i + v_i
+/// differ from the scenario's cached weights, so the level pass runs on
+/// its own weight vector either way.
+[[nodiscard]] FirstOrderResult first_order_verified(
+    const scenario::Scenario& sc, const VerificationCosts& costs);
 
 }  // namespace expmk::core

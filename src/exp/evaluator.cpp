@@ -25,11 +25,10 @@ Evaluator::Evaluator(std::string name, std::string description,
       caps_(caps),
       fn_(std::move(fn)) {}
 
-EvalResult Evaluator::evaluate(const graph::Dag& g,
-                               const core::FailureModel& model,
-                               core::RetryModel retry,
+EvalResult Evaluator::evaluate(const scenario::Scenario& sc,
                                const EvalOptions& options) const {
   EvalResult result;
+  const core::RetryModel retry = sc.retry();
   if ((retry == core::RetryModel::TwoState && !caps_.two_state) ||
       (retry == core::RetryModel::Geometric && !caps_.geometric)) {
     result.supported = false;
@@ -38,7 +37,12 @@ EvalResult Evaluator::evaluate(const graph::Dag& g,
                       : "geometric retry model not supported";
     return result;
   }
-  if (g.task_count() > caps_.max_tasks) {
+  if (sc.heterogeneous() && !caps_.heterogeneous) {
+    result.supported = false;
+    result.note = "per-task failure rates not supported";
+    return result;
+  }
+  if (sc.task_count() > caps_.max_tasks) {
     result.supported = false;
     result.note = "graph exceeds " + std::to_string(caps_.max_tasks) +
                   "-task method limit";
@@ -46,7 +50,7 @@ EvalResult Evaluator::evaluate(const graph::Dag& g,
   }
   const util::Timer timer;
   try {
-    fn_(g, model, retry, options, result);
+    fn_(sc, options, result);
   } catch (const std::exception& e) {
     result = EvalResult{};
     result.supported = false;
@@ -54,6 +58,26 @@ EvalResult Evaluator::evaluate(const graph::Dag& g,
   }
   result.seconds = timer.seconds();
   return result;
+}
+
+EvalResult Evaluator::evaluate(const graph::Dag& g,
+                               const core::FailureModel& model,
+                               core::RetryModel retry,
+                               const EvalOptions& options) const {
+  // Compile outside evaluate()'s own try/catch so its wall-clock stays
+  // the time spent inside the method, as before — but still convert
+  // compile failures (cycle, bad lambda) into supported == false: a
+  // sweep cell must never crash the grid.
+  try {
+    const scenario::Scenario sc =
+        scenario::Scenario::compile(g, scenario::FailureSpec(model), retry);
+    return evaluate(sc, options);
+  } catch (const std::exception& e) {
+    EvalResult result;
+    result.supported = false;
+    result.note = e.what();
+    return result;
+  }
 }
 
 void EvaluatorRegistry::add(Evaluator evaluator) {
@@ -90,13 +114,14 @@ EvaluatorRegistry make_builtin() {
       "Exact E[M] of the 2-state DAG by subset enumeration, O(2^V (V+E))",
       {.two_state = true,
        .geometric = false,
+       .heterogeneous = true,
        .max_tasks = core::kMaxExactTasks,
        .rel_tolerance = 1e-12},
-      [](const graph::Dag& g, const core::FailureModel& m, core::RetryModel,
-         const EvalOptions& opt, EvalResult& r) {
-        r.mean = core::exact_two_state(g, m);
+      [](const scenario::Scenario& sc, const EvalOptions& opt,
+         EvalResult& r) {
+        r.mean = core::exact_two_state(sc);
         if (opt.capture_distribution) {
-          r.distribution = core::exact_two_state_distribution(g, m);
+          r.distribution = core::exact_two_state_distribution(sc);
         }
       }));
 
@@ -107,13 +132,15 @@ EvaluatorRegistry make_builtin() {
       "model, converging exponentially)",
       {.two_state = false,
        .geometric = true,
+       // Uniform-rate truncation analysis only; per-task rates are gated.
+       .heterogeneous = false,
        // max_executions^V states: 3^12 ~ 5e5 keeps a cell sub-second.
        .max_tasks = 12,
        .kind = EstimateKind::Estimate,
        .rel_tolerance = 1e-6},
-      [](const graph::Dag& g, const core::FailureModel& m, core::RetryModel,
-         const EvalOptions& opt, EvalResult& r) {
-        r.mean = core::exact_geometric(g, m, opt.geometric_max_executions);
+      [](const scenario::Scenario& sc, const EvalOptions& opt,
+         EvalResult& r) {
+        r.mean = core::exact_geometric(sc, opt.geometric_max_executions);
       }));
 
   // -------------------------------------- the paper's closed-form family
@@ -121,20 +148,24 @@ EvaluatorRegistry make_builtin() {
       "fo",
       "First-order approximation (the paper, Section IV), O(V+E); "
       "model-independent to O(lambda^2)",
-      {.two_state = true, .geometric = true, .rel_tolerance = 5e-3},
-      [](const graph::Dag& g, const core::FailureModel& m, core::RetryModel,
-         const EvalOptions&, EvalResult& r) {
-        r.mean = core::first_order(g, m).expected_makespan();
+      {.two_state = true,
+       .geometric = true,
+       .heterogeneous = true,
+       .rel_tolerance = 5e-3},
+      [](const scenario::Scenario& sc, const EvalOptions&, EvalResult& r) {
+        r.mean = core::first_order(sc).expected_makespan();
       }));
 
   reg.add(Evaluator(
       "so",
       "Second-order approximation (paper's conclusion, our extension), "
       "O(V (V+E))",
-      {.two_state = true, .geometric = true, .rel_tolerance = 1e-3},
-      [](const graph::Dag& g, const core::FailureModel& m,
-         core::RetryModel retry, const EvalOptions&, EvalResult& r) {
-        r.mean = core::second_order(g, m, retry).expected_makespan;
+      {.two_state = true,
+       .geometric = true,
+       .heterogeneous = true,
+       .rel_tolerance = 1e-3},
+      [](const scenario::Scenario& sc, const EvalOptions&, EvalResult& r) {
+        r.mean = core::second_order(sc).expected_makespan;
       }));
 
   // ------------------------------------------- series-parallel / Dodin
@@ -142,18 +173,13 @@ EvaluatorRegistry make_builtin() {
       "sp",
       "Exact series-parallel reduction (Valdes-Tarjan-Lawler rewrite); "
       "supported only when the AoA network is two-terminal SP",
-      {.two_state = true, .geometric = false, .rel_tolerance = 1e-9},
-      [](const graph::Dag& g, const core::FailureModel& m, core::RetryModel,
-         const EvalOptions& opt, EvalResult& r) {
-        std::vector<prob::DiscreteDistribution> dists;
-        dists.reserve(g.task_count());
-        for (graph::TaskId i = 0; i < g.task_count(); ++i) {
-          const double a = g.weight(i);
-          dists.push_back(
-              prob::DiscreteDistribution::two_state(a, m.p_success(a)));
-        }
-        auto eval = sp::evaluate_sp(
-            sp::ArcNetwork::from_dag(g, std::move(dists)), opt.sp_max_atoms);
+      {.two_state = true,
+       .geometric = false,
+       .heterogeneous = true,
+       .rel_tolerance = 1e-9},
+      [](const scenario::Scenario& sc, const EvalOptions& opt,
+         EvalResult& r) {
+        auto eval = sp::evaluate_sp(sc, opt.sp_max_atoms);
         if (!eval.is_series_parallel) {
           r.supported = false;
           r.note = "graph is not series-parallel";
@@ -169,10 +195,13 @@ EvaluatorRegistry make_builtin() {
       "dodin",
       "Dodin's series-parallelization bound (Dodin 1985) — the paper's "
       "first competitor",
-      {.two_state = true, .geometric = false, .rel_tolerance = 0.05},
-      [](const graph::Dag& g, const core::FailureModel& m, core::RetryModel,
-         const EvalOptions& opt, EvalResult& r) {
-        auto d = sp::dodin_two_state(g, m, {.max_atoms = opt.dodin_atoms});
+      {.two_state = true,
+       .geometric = false,
+       .heterogeneous = false,
+       .rel_tolerance = 0.05},
+      [](const scenario::Scenario& sc, const EvalOptions& opt,
+         EvalResult& r) {
+        auto d = sp::dodin_two_state(sc, {.max_atoms = opt.dodin_atoms});
         r.mean = d.expected_makespan();
         if (opt.capture_distribution) {
           r.distribution = std::move(d.makespan);
@@ -184,20 +213,24 @@ EvaluatorRegistry make_builtin() {
       "sculli",
       "Sculli's normal propagation (Sculli 1983) — the paper's 'Normal' "
       "competitor, O(V+E)",
-      {.two_state = true, .geometric = true, .rel_tolerance = 0.05},
-      [](const graph::Dag& g, const core::FailureModel& m,
-         core::RetryModel retry, const EvalOptions&, EvalResult& r) {
-        r.mean = normal::sculli(g, m, retry).expected_makespan();
+      {.two_state = true,
+       .geometric = true,
+       .heterogeneous = true,
+       .rel_tolerance = 0.05},
+      [](const scenario::Scenario& sc, const EvalOptions&, EvalResult& r) {
+        r.mean = normal::sculli(sc).expected_makespan();
       }));
 
   reg.add(Evaluator(
       "corlca",
       "CorLCA correlation-tree normal propagation (Canon & Jeannot 2016), "
       "O(E depth)",
-      {.two_state = true, .geometric = true, .rel_tolerance = 0.05},
-      [](const graph::Dag& g, const core::FailureModel& m,
-         core::RetryModel retry, const EvalOptions&, EvalResult& r) {
-        r.mean = normal::corlca(g, m, retry).expected_makespan();
+      {.two_state = true,
+       .geometric = true,
+       .heterogeneous = true,
+       .rel_tolerance = 0.05},
+      [](const scenario::Scenario& sc, const EvalOptions&, EvalResult& r) {
+        r.mean = normal::corlca(sc).expected_makespan();
       }));
 
   reg.add(Evaluator(
@@ -206,30 +239,34 @@ EvaluatorRegistry make_builtin() {
       "O(V^2) memory",
       {.two_state = true,
        .geometric = true,
+       .heterogeneous = true,
        .max_tasks = normal::kClarkFullMaxTasks,
        .rel_tolerance = 0.05},
-      [](const graph::Dag& g, const core::FailureModel& m,
-         core::RetryModel retry, const EvalOptions&, EvalResult& r) {
-        r.mean = normal::clark_full(g, m, retry).expected_makespan();
+      [](const scenario::Scenario& sc, const EvalOptions&, EvalResult& r) {
+        r.mean = normal::clark_full(sc).expected_makespan();
       }));
 
   // -------------------------------------------------- analytic bounds
   reg.add(Evaluator(
       "bounds.lower",
       "Jensen lower bound: d(G) with expected durations, O(V+E)",
-      {.two_state = true, .geometric = false, .kind = EstimateKind::LowerBound},
-      [](const graph::Dag& g, const core::FailureModel& m, core::RetryModel,
-         const EvalOptions&, EvalResult& r) {
-        r.mean = core::makespan_bounds(g, m).jensen_lower;
+      {.two_state = true,
+       .geometric = false,
+       .heterogeneous = true,
+       .kind = EstimateKind::LowerBound},
+      [](const scenario::Scenario& sc, const EvalOptions&, EvalResult& r) {
+        r.mean = core::makespan_bounds(sc).jensen_lower;
       }));
 
   reg.add(Evaluator(
       "bounds.upper",
       "Level-decomposition upper bound: sum of per-level expected maxima",
-      {.two_state = true, .geometric = false, .kind = EstimateKind::UpperBound},
-      [](const graph::Dag& g, const core::FailureModel& m, core::RetryModel,
-         const EvalOptions&, EvalResult& r) {
-        r.mean = core::makespan_bounds(g, m).level_upper;
+      {.two_state = true,
+       .geometric = false,
+       .heterogeneous = true,
+       .kind = EstimateKind::UpperBound},
+      [](const scenario::Scenario& sc, const EvalOptions&, EvalResult& r) {
+        r.mean = core::makespan_bounds(sc).level_upper;
       }));
 
   // -------------------------------------------------------- Monte-Carlo
@@ -239,17 +276,17 @@ EvaluatorRegistry make_builtin() {
       "across thread counts)",
       {.two_state = true,
        .geometric = true,
+       .heterogeneous = true,
        .stochastic = true,
        .rel_tolerance = 0.02},
-      [](const graph::Dag& g, const core::FailureModel& m,
-         core::RetryModel retry, const EvalOptions& opt, EvalResult& r) {
+      [](const scenario::Scenario& sc, const EvalOptions& opt,
+         EvalResult& r) {
         mc::McConfig cfg;
         cfg.trials = opt.mc_trials;
         cfg.seed = opt.seed;
         cfg.threads = opt.threads;
-        cfg.retry = retry;
         cfg.control_variate = opt.mc_control_variate;
-        const auto mc = mc::run_monte_carlo(g, m, cfg);
+        const auto mc = mc::run_monte_carlo(sc, cfg);
         r.mean = mc.mean;
         r.std_error = mc.std_error;
       }));
@@ -260,20 +297,19 @@ EvaluatorRegistry make_builtin() {
       "E[M | >=1 failure] sampled",
       {.two_state = true,
        .geometric = false,
+       .heterogeneous = true,
        .stochastic = true,
        .rel_tolerance = 0.02},
-      [](const graph::Dag& g, const core::FailureModel& m, core::RetryModel,
-         const EvalOptions& opt, EvalResult& r) {
+      [](const scenario::Scenario& sc, const EvalOptions& opt,
+         EvalResult& r) {
         mc::ConditionalMcConfig cfg;
         cfg.trials = opt.mc_trials;
         cfg.seed = opt.seed;
         cfg.threads = opt.threads;
-        const auto mc = mc::run_conditional_monte_carlo(g, m, cfg);
+        const auto mc = mc::run_conditional_monte_carlo(sc, cfg);
         r.mean = mc.mean;
         r.std_error = mc.std_error;
-        if (mc.censored_trials != 0) {
-          r.note = std::to_string(mc.censored_trials) + " censored trials";
-        }
+        r.censored_trials = mc.censored_trials;
       }));
 
   return reg;

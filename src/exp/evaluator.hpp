@@ -10,14 +10,22 @@
 // its own namespace with its own signature; an Evaluator wraps one method
 // behind a single call
 //
-//     evaluate(dag, failure_model, retry_model, options) -> EvalResult
+//     evaluate(scenario, options) -> EvalResult
 //
-// plus a Capabilities record stating what the method can do (which retry
-// models, how large a graph, whether it is stochastic, and its documented
-// accuracy contract). Capability violations and method-specific failures
-// (a non-SP graph handed to the SP evaluator, a Dodin duplication blow-up)
-// are reported as `supported == false` with a note, never as a crash — a
-// sweep cell must not take down a 10,000-cell grid.
+// where `scenario` is the compile-once scenario::Scenario handle carrying
+// the DAG, the (possibly per-task) failure rates, the retry model and all
+// cached preprocessing — compiled ONCE per (DAG, rates, retry) cell and
+// shared by every method evaluated on that cell. The legacy
+// (Dag, FailureModel, RetryModel) overload remains as a thin
+// compile-and-forward adapter and returns bit-identical results.
+//
+// A Capabilities record states what the method can do (which retry
+// models, how large a graph, uniform-only vs per-task rates, whether it
+// is stochastic, and its documented accuracy contract). Capability
+// violations and method-specific failures (a non-SP graph handed to the
+// SP evaluator, a Dodin duplication blow-up) are reported as
+// `supported == false` with a note, never as a crash — a sweep cell must
+// not take down a 10,000-cell grid.
 
 #pragma once
 
@@ -32,6 +40,7 @@
 #include "core/failure_model.hpp"
 #include "graph/dag.hpp"
 #include "prob/discrete_distribution.hpp"
+#include "scenario/scenario.hpp"
 
 namespace expmk::exp {
 
@@ -64,9 +73,13 @@ struct EvalResult {
   /// Approximate makespan distribution when the method computes one and
   /// EvalOptions::capture_distribution was set.
   std::optional<prob::DiscreteDistribution> distribution;
+  /// Conditional-MC trials whose rejection loop hit the cap without
+  /// drawing a failure (excluded from the conditional statistics; see
+  /// mc/conditional.hpp). Zero for every other method.
+  std::uint64_t censored_trials = 0;
   double seconds = 0.0;  ///< wall-clock spent inside the method
-  /// False when the method cannot handle this (graph, retry model) cell;
-  /// `note` says why and `mean` is NaN.
+  /// False when the method cannot handle this scenario (graph size, retry
+  /// model, per-task rates); `note` says why and `mean` is NaN.
   bool supported = true;
   std::string note;
 };
@@ -83,6 +96,9 @@ enum class EstimateKind {
 struct Capabilities {
   bool two_state = true;    ///< handles RetryModel::TwoState
   bool geometric = false;   ///< handles RetryModel::Geometric
+  /// Handles heterogeneous per-task failure rates; scenarios with a
+  /// per-task FailureSpec are gated (supported == false) otherwise.
+  bool heterogeneous = false;
   /// Hard task-count ceiling (enumeration oracles, dense covariance);
   /// larger graphs yield supported == false.
   std::size_t max_tasks = std::numeric_limits<std::size_t>::max();
@@ -98,13 +114,12 @@ struct Capabilities {
 /// One registered expected-makespan method.
 class Evaluator {
  public:
-  /// The wrapped computation: fills mean / std_error / distribution of the
-  /// result in-place (seconds and capability gating are handled by
-  /// evaluate()). May throw; evaluate() converts exceptions into
-  /// supported == false.
-  using Fn = std::function<void(const graph::Dag&, const core::FailureModel&,
-                                core::RetryModel, const EvalOptions&,
-                                EvalResult&)>;
+  /// The wrapped computation: fills mean / std_error / distribution /
+  /// censored_trials of the result in-place (seconds and capability
+  /// gating are handled by evaluate()). May throw; evaluate() converts
+  /// exceptions into supported == false.
+  using Fn = std::function<void(const scenario::Scenario&,
+                                const EvalOptions&, EvalResult&)>;
 
   Evaluator(std::string name, std::string description, Capabilities caps,
             Fn fn);
@@ -117,9 +132,18 @@ class Evaluator {
     return caps_;
   }
 
-  /// Runs the method. Capability violations (retry model, graph size) and
-  /// exceptions thrown by the method surface as supported == false with a
-  /// note; `seconds` is always the wall-clock spent inside the call.
+  /// Runs the method on a compiled scenario. Capability violations (retry
+  /// model, graph size, heterogeneous rates) and exceptions thrown by the
+  /// method surface as supported == false with a note; `seconds` is
+  /// always the wall-clock spent inside the call.
+  [[nodiscard]] EvalResult evaluate(const scenario::Scenario& sc,
+                                    const EvalOptions& options = {}) const;
+
+  /// Legacy adapter: compiles a uniform-rate scenario for (g, model,
+  /// retry) and forwards — bit-identical to the Scenario overload.
+  /// Compilation failures (e.g. a cyclic graph) also surface as
+  /// supported == false. Prefer compiling once when evaluating several
+  /// methods on the same cell.
   [[nodiscard]] EvalResult evaluate(const graph::Dag& g,
                                     const core::FailureModel& model,
                                     core::RetryModel retry,

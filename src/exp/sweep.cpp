@@ -13,6 +13,7 @@
 #include "gen/qr.hpp"
 #include "gen/random_dags.hpp"
 #include "prob/rng.hpp"
+#include "scenario/scenario.hpp"
 #include "util/json_writer.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -154,6 +155,12 @@ SweepResult SweepRunner::run(const SweepGrid& grid,
 
     const graph::Dag dag = build_dag(generator, size, graph_seed);
     const core::FailureModel model = core::calibrate(dag, pfail);
+    // The compile-once contract: ONE scenario per (generator, size,
+    // pfail, retry) cell, shared by every method in the row — the CSR
+    // view, topological order and per-task constants are derived here and
+    // never again (tests/test_scenario.cpp pins the compile count).
+    const scenario::Scenario compiled = scenario::Scenario::compile(
+        dag, scenario::FailureSpec(model), grid.retry);
 
     EvalOptions options = grid.options;
     options.seed = scenario_seed;
@@ -171,8 +178,7 @@ SweepResult SweepRunner::run(const SweepGrid& grid,
       cell.method = name;
       cell.seed = scenario_seed;
 
-      cell.result =
-          registry_->find(name)->evaluate(dag, model, grid.retry, options);
+      cell.result = registry_->find(name)->evaluate(compiled, options);
       if (name == grid.reference && cell.result.supported) {
         reference_mean = cell.result.mean;
       }
@@ -218,12 +224,15 @@ std::string SweepResult::json(bool include_timing) const {
         .field("std_error", cell.result.std_error)
         .field("reference_mean", cell.reference_mean)
         .field("relative_error", cell.relative_error)
+        // v2: conditional-MC censoring is structural, not string-encoded
+        // in `note` (see mc/conditional.hpp).
+        .field("censored_trials", cell.result.censored_trials)
         .field("note", cell.result.note);
     if (include_timing) w.field("seconds", cell.result.seconds);
     rows.push_back(std::move(w));
   }
   util::JsonWriter top;
-  top.field("schema", "expmk-sweep-v1")
+  top.field("schema", "expmk-sweep-v2")
       .field("retry", retry_name(retry))
       .field("reference", reference)
       .field("base_seed", base_seed)
@@ -237,7 +246,8 @@ std::string SweepResult::json(bool include_timing) const {
 std::string SweepResult::csv() const {
   std::string out =
       "generator,size,tasks,edges,pfail,lambda,method,seed,supported,mean,"
-      "std_error,reference_mean,relative_error,seconds,note\n";
+      "std_error,reference_mean,relative_error,censored_trials,seconds,"
+      "note\n";
   for (const SweepCell& cell : cells) {
     out += cell.generator + ',' + std::to_string(cell.size) + ',' +
            std::to_string(cell.tasks) + ',' + std::to_string(cell.edges) +
@@ -245,8 +255,9 @@ std::string SweepResult::csv() const {
            cell.method + ',' + std::to_string(cell.seed) + ',' +
            (cell.result.supported ? "1" : "0") + ',' + num(cell.result.mean) +
            ',' + num(cell.result.std_error) + ',' + num(cell.reference_mean) +
-           ',' + num(cell.relative_error) + ',' + num(cell.result.seconds) +
-           ',';
+           ',' + num(cell.relative_error) + ',' +
+           std::to_string(cell.result.censored_trials) + ',' +
+           num(cell.result.seconds) + ',';
     // Notes are free text (exception messages): strip the CSV-hostile
     // characters rather than introduce quoting into a schema consumers
     // already parse naively.

@@ -79,7 +79,7 @@ struct SweepResult {
   std::uint64_t mc_trials = 0;
   double seconds = 0.0;  ///< wall-clock for the whole sweep
 
-  /// JSON artifact (schema "expmk-sweep-v1"; see DESIGN.md). Timings are
+  /// JSON artifact (schema "expmk-sweep-v2"; see DESIGN.md). Timings are
   /// excluded unless `include_timing` — the default artifact is the
   /// deterministic record, byte-identical across thread counts.
   [[nodiscard]] std::string json(bool include_timing = false) const;

@@ -1,5 +1,6 @@
 #include "graph/serialize.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <limits>
 #include <map>
@@ -17,28 +18,53 @@ namespace {
 
 std::string auto_name(TaskId id) { return "t" + std::to_string(id); }
 
-}  // namespace
+std::string display_name(const Dag& g, TaskId id) {
+  const std::string_view name = g.name(id);
+  return name.empty() ? auto_name(id) : std::string(name);
+}
 
-void write_taskgraph(std::ostream& os, const Dag& g) {
-  // max_digits10 so that weight round-trips are bit-exact.
+/// Shared writer; `rates` empty selects version 1 (the historical format,
+/// byte-stable for graphs without rates).
+void write_impl(std::ostream& os, const Dag& g,
+                std::span<const double> rates) {
+  // max_digits10 so that weight/rate round-trips are bit-exact.
   const auto old_precision =
       os.precision(std::numeric_limits<double>::max_digits10);
-  os << "expmk-taskgraph 1\n";
+  const int version = rates.empty() ? 1 : 2;
+  os << "expmk-taskgraph " << version << '\n';
   for (TaskId v = 0; v < g.task_count(); ++v) {
-    const std::string_view name = g.name(v);
-    os << "task " << (name.empty() ? auto_name(v) : std::string(name)) << ' '
-       << g.weight(v) << '\n';
+    os << "task " << display_name(g, v) << ' ' << g.weight(v);
+    if (version == 2) os << ' ' << rates[v];
+    os << '\n';
   }
   for (TaskId u = 0; u < g.task_count(); ++u) {
-    const std::string_view uname = g.name(u);
     for (const TaskId v : g.successors(u)) {
-      const std::string_view vname = g.name(v);
-      os << "edge " << (uname.empty() ? auto_name(u) : std::string(uname))
-         << ' ' << (vname.empty() ? auto_name(v) : std::string(vname))
+      os << "edge " << display_name(g, u) << ' ' << display_name(g, v)
          << '\n';
     }
   }
   os.precision(old_precision);
+}
+
+}  // namespace
+
+void write_taskgraph(std::ostream& os, const Dag& g) {
+  write_impl(os, g, {});
+}
+
+void write_taskgraph(std::ostream& os, const Dag& g,
+                     std::span<const double> rates) {
+  if (rates.size() != g.task_count()) {
+    throw std::invalid_argument(
+        "write_taskgraph: rates size mismatch with task count");
+  }
+  for (const double r : rates) {
+    if (!(r >= 0.0) || !std::isfinite(r)) {
+      throw std::invalid_argument(
+          "write_taskgraph: rates must be finite and >= 0");
+    }
+  }
+  write_impl(os, g, rates);
 }
 
 std::string to_taskgraph(const Dag& g) {
@@ -47,12 +73,20 @@ std::string to_taskgraph(const Dag& g) {
   return os.str();
 }
 
-Dag read_taskgraph(std::istream& is) {
-  Dag g;
+std::string to_taskgraph(const Dag& g, std::span<const double> rates) {
+  std::ostringstream os;
+  write_taskgraph(os, g, rates);
+  return os.str();
+}
+
+TaskGraphFile read_taskgraph_file(std::istream& is) {
+  TaskGraphFile out;
+  Dag& g = out.dag;
   std::map<std::string, TaskId> ids;
   std::string line;
   std::size_t line_no = 0;
   bool header_seen = false;
+  int version = 0;
 
   while (std::getline(is, line)) {
     ++line_no;
@@ -65,11 +99,10 @@ Dag read_taskgraph(std::istream& is) {
     if (!(ls >> word)) continue;  // blank line
 
     if (!header_seen) {
-      int version = 0;
       if (word != "expmk-taskgraph" || !(ls >> version)) {
-        parse_error(line_no, "expected header 'expmk-taskgraph 1'");
+        parse_error(line_no, "expected header 'expmk-taskgraph <1|2>'");
       }
-      if (version != 1) {
+      if (version != 1 && version != 2) {
         parse_error(line_no,
                     "unsupported version " + std::to_string(version));
       }
@@ -81,10 +114,22 @@ Dag read_taskgraph(std::istream& is) {
       std::string name;
       double weight = 0.0;
       if (!(ls >> name >> weight)) {
-        parse_error(line_no, "expected 'task <name> <weight>'");
+        parse_error(line_no, version == 2
+                                 ? "expected 'task <name> <weight> <rate>'"
+                                 : "expected 'task <name> <weight>'");
       }
       if (ids.count(name)) parse_error(line_no, "duplicate task '" + name + "'");
       if (weight < 0.0) parse_error(line_no, "negative weight");
+      if (version == 2) {
+        double rate = 0.0;
+        if (!(ls >> rate)) {
+          parse_error(line_no, "expected 'task <name> <weight> <rate>'");
+        }
+        if (!(rate >= 0.0) || !std::isfinite(rate)) {
+          parse_error(line_no, "rate must be finite and >= 0");
+        }
+        out.rates.push_back(rate);
+      }
       ids[name] = g.add_task(name, weight);
     } else if (word == "edge") {
       std::string from, to;
@@ -104,12 +149,21 @@ Dag read_taskgraph(std::istream& is) {
   if (!header_seen) {
     throw std::invalid_argument("taskgraph parse error: empty input");
   }
-  return g;
+  return out;
+}
+
+Dag read_taskgraph(std::istream& is) {
+  return read_taskgraph_file(is).dag;
 }
 
 Dag taskgraph_from_string(const std::string& text) {
   std::istringstream is(text);
   return read_taskgraph(is);
+}
+
+TaskGraphFile taskgraph_file_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_taskgraph_file(is);
 }
 
 void save_taskgraph(const std::string& path, const Dag& g) {
@@ -119,10 +173,24 @@ void save_taskgraph(const std::string& path, const Dag& g) {
   if (!os) throw std::runtime_error("write failed: " + path);
 }
 
+void save_taskgraph(const std::string& path, const Dag& g,
+                    std::span<const double> rates) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  write_taskgraph(os, g, rates);
+  if (!os) throw std::runtime_error("write failed: " + path);
+}
+
 Dag load_taskgraph(const std::string& path) {
   std::ifstream is(path);
   if (!is) throw std::runtime_error("cannot open for reading: " + path);
   return read_taskgraph(is);
+}
+
+TaskGraphFile load_taskgraph_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open for reading: " + path);
+  return read_taskgraph_file(is);
 }
 
 }  // namespace expmk::graph

@@ -7,35 +7,78 @@
 //   task <name> <weight>
 //   edge <from-name> <to-name>
 //
+// Version 2 additionally round-trips per-task silent-error rates (the
+// heterogeneous scenario input, scenario/scenario.hpp):
+//
+//   expmk-taskgraph 2
+//   task <name> <weight> <rate>
+//   edge <from-name> <to-name>
+//
 // Names must be unique and whitespace-free; tasks must be declared before
 // edges referencing them. The writer emits tasks in id order, so
-// write->read round-trips preserve TaskIds.
+// write->read round-trips preserve TaskIds (and rates, bit-exactly: both
+// columns are printed with max_digits10). Graphs without rates are always
+// written as version 1, keeping existing artifacts byte-stable.
 
 #pragma once
 
 #include <iosfwd>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "graph/dag.hpp"
 
 namespace expmk::graph {
 
-/// Writes `g` in the expmk-taskgraph format.
+/// A parsed task-graph file: the DAG plus the optional per-task failure
+/// rates a version-2 file carries.
+struct TaskGraphFile {
+  Dag dag;
+  /// rates[i] = task i's silent-error rate lambda_i; empty for a
+  /// version-1 file.
+  std::vector<double> rates;
+
+  [[nodiscard]] bool has_rates() const noexcept { return !rates.empty(); }
+};
+
+/// Writes `g` in the version-1 expmk-taskgraph format.
 void write_taskgraph(std::ostream& os, const Dag& g);
 
-/// Serializes to a string.
+/// Writes `g` with per-task rates in the version-2 format. `rates` must
+/// have task_count() entries, each finite and >= 0 (std::invalid_argument
+/// otherwise).
+void write_taskgraph(std::ostream& os, const Dag& g,
+                     std::span<const double> rates);
+
+/// Serializes to a string (version 1).
 [[nodiscard]] std::string to_taskgraph(const Dag& g);
 
-/// Parses the format; throws std::invalid_argument with a line number on
-/// malformed input (bad header, unknown directive, duplicate name,
-/// unknown endpoint, non-numeric weight).
+/// Serializes to a string with per-task rates (version 2).
+[[nodiscard]] std::string to_taskgraph(const Dag& g,
+                                       std::span<const double> rates);
+
+/// Parses either format version; throws std::invalid_argument with a line
+/// number on malformed input (bad header, unknown directive, duplicate
+/// name, unknown endpoint, non-numeric weight, missing/negative rate).
+[[nodiscard]] TaskGraphFile read_taskgraph_file(std::istream& is);
+
+/// Parses the format, discarding any rates; throws like
+/// read_taskgraph_file.
 [[nodiscard]] Dag read_taskgraph(std::istream& is);
 
 /// Parses from a string.
 [[nodiscard]] Dag taskgraph_from_string(const std::string& text);
 
+/// Parses from a string, keeping rates.
+[[nodiscard]] TaskGraphFile taskgraph_file_from_string(
+    const std::string& text);
+
 /// Convenience file helpers; throw std::runtime_error on I/O failure.
 void save_taskgraph(const std::string& path, const Dag& g);
+void save_taskgraph(const std::string& path, const Dag& g,
+                    std::span<const double> rates);
 [[nodiscard]] Dag load_taskgraph(const std::string& path);
+[[nodiscard]] TaskGraphFile load_taskgraph_file(const std::string& path);
 
 }  // namespace expmk::graph

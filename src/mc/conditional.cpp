@@ -27,6 +27,19 @@ struct Accum {
 ConditionalMcResult run_conditional_monte_carlo(
     const graph::Dag& g, const core::FailureModel& model,
     const ConditionalMcConfig& config) {
+  return run_conditional_monte_carlo(
+      scenario::Scenario::compile(g, scenario::FailureSpec(model),
+                                  core::RetryModel::TwoState),
+      config);
+}
+
+ConditionalMcResult run_conditional_monte_carlo(
+    const scenario::Scenario& sc, const ConditionalMcConfig& config) {
+  if (sc.retry() != core::RetryModel::TwoState) {
+    throw std::invalid_argument(
+        "run_conditional_monte_carlo: scenario must be compiled with the "
+        "TwoState retry model");
+  }
   if (config.trials == 0) {
     throw std::invalid_argument(
         "run_conditional_monte_carlo: trials must be >= 1");
@@ -36,21 +49,14 @@ ConditionalMcResult run_conditional_monte_carlo(
         "run_conditional_monte_carlo: max_rejections_per_trial must be >= 1");
   }
   const util::Timer timer;
-  const graph::CsrDag csr(g);
-  const std::size_t n = g.task_count();
+  const graph::CsrDag& csr = sc.csr();
+  const std::size_t n = sc.task_count();
   // Success probabilities in CSR position order: the sampling loop below
   // walks positions, so every per-task array it touches is sequential.
-  const auto p_by_id = core::success_probabilities(g, model);
-  std::vector<double> p(n);
-  for (std::uint32_t pos = 0; pos < n; ++pos) {
-    p[pos] = p_by_id[csr.original_id(pos)];
-  }
+  const std::span<const double> p = sc.p_success_csr();
 
   ConditionalMcResult result;
-  {
-    std::vector<double> finish(n);
-    result.critical_path = graph::critical_path_length(csr, csr.weights(), finish);
-  }
+  result.critical_path = sc.critical_path();
 
   double p0 = 1.0;
   for (const double pi : p) p0 *= pi;

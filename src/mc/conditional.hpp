@@ -58,9 +58,19 @@ struct ConditionalMcResult {
   double seconds = 0.0;
 };
 
-/// Runs the conditional estimator (TwoState model).
+/// Runs the conditional estimator (TwoState model; compiles a scenario
+/// internally — prefer the Scenario overload for repeated evaluation).
 [[nodiscard]] ConditionalMcResult run_conditional_monte_carlo(
     const graph::Dag& g, const core::FailureModel& model,
     const ConditionalMcConfig& config = {});
+
+/// Scenario-based entry point: reuses the compiled CSR view and success
+/// probabilities (zero per-call preprocessing); heterogeneous per-task
+/// rates are supported transparently — p0 and the rejection sampler are
+/// per-task either way. The scenario's retry model must be TwoState
+/// (std::invalid_argument otherwise; conditioning on the failure pattern
+/// is not a finite object under the geometric model).
+[[nodiscard]] ConditionalMcResult run_conditional_monte_carlo(
+    const scenario::Scenario& sc, const ConditionalMcConfig& config = {});
 
 }  // namespace expmk::mc

@@ -24,17 +24,16 @@ struct WorkerAccum {
   std::vector<double> samples;
 };
 
-}  // namespace
-
-McResult run_monte_carlo(const graph::Dag& g, const core::FailureModel& model,
-                         const McConfig& config) {
+/// The engine body, over a prebuilt context (scenario-backed or legacy).
+McResult run_monte_carlo_impl(const TrialContext& ctx,
+                              const McConfig& config) {
   // A zero trial count is a misconfiguration (an estimate from nothing),
   // not a request to round up: fail loudly instead of silently clamping.
   if (config.trials == 0) {
     throw std::invalid_argument("run_monte_carlo: trials must be >= 1");
   }
   const util::Timer timer;
-  const TrialContext ctx(g, model, config.retry);
+  const std::size_t n = ctx.csr().task_count();
 
   std::size_t threads = config.threads;
   if (threads == 0) {
@@ -52,7 +51,7 @@ McResult run_monte_carlo(const graph::Dag& g, const core::FailureModel& model,
     if (config.capture_samples) acc.samples.reserve(end - begin);
     // Per-worker scratch, sized once per chunk: the CSR kernel allocates
     // nothing per trial.
-    std::vector<double> finish(g.task_count());
+    std::vector<double> finish(n);
     for (std::uint64_t t = begin; t < end; ++t) {
       prob::Xoshiro256pp rng(config.seed, t);
       const TrialObservation obs =
@@ -116,6 +115,18 @@ McResult run_monte_carlo(const graph::Dag& g, const core::FailureModel& model,
   result.samples = std::move(samples);
   result.seconds = timer.seconds();
   return result;
+}
+
+}  // namespace
+
+McResult run_monte_carlo(const graph::Dag& g, const core::FailureModel& model,
+                         const McConfig& config) {
+  return run_monte_carlo_impl(TrialContext(g, model, config.retry), config);
+}
+
+McResult run_monte_carlo(const scenario::Scenario& sc,
+                         const McConfig& config) {
+  return run_monte_carlo_impl(TrialContext(sc), config);
 }
 
 }  // namespace expmk::mc

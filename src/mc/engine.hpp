@@ -72,9 +72,17 @@ struct McResult {
   std::vector<double> samples;
 };
 
-/// Runs the Monte-Carlo estimation.
+/// Runs the Monte-Carlo estimation (compiles a scenario internally; for
+/// repeated evaluation of one cell, prefer the Scenario overload).
 [[nodiscard]] McResult run_monte_carlo(const graph::Dag& g,
                                        const core::FailureModel& model,
+                                       const McConfig& config = {});
+
+/// Scenario-based entry point: zero per-call preprocessing (the trial
+/// context is a view of the compiled scenario; heterogeneous per-task
+/// rates are supported transparently). `config.retry` is IGNORED — the
+/// retry model the scenario was compiled with governs sampling.
+[[nodiscard]] McResult run_monte_carlo(const scenario::Scenario& sc,
                                        const McConfig& config = {});
 
 }  // namespace expmk::mc

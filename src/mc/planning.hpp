@@ -57,4 +57,13 @@ struct PilotPlan {
                                         const McConfig& pilot_config = {
                                             .trials = 2000});
 
+/// Scenario-based entry point: the pilot runs on the compiled scenario
+/// (no CSR rebuild; heterogeneous rates supported; pilot_config.retry is
+/// ignored in favor of the scenario's retry model).
+[[nodiscard]] PilotPlan plan_with_pilot(const scenario::Scenario& sc,
+                                        double relative_error,
+                                        double confidence,
+                                        const McConfig& pilot_config = {
+                                            .trials = 2000});
+
 }  // namespace expmk::mc

@@ -9,26 +9,26 @@ namespace expmk::mc {
 TrialContext::TrialContext(const graph::Dag& g,
                            const core::FailureModel& model,
                            core::RetryModel retry_model)
-    : dag(&g),
-      csr(g),
-      topo(csr.order().begin(), csr.order().end()),
-      p_success(core::success_probabilities(g, model)),
-      retry(retry_model) {
-  const std::size_t n = g.task_count();
-  p_success_csr.resize(n);
-  q_fail_csr.resize(n);
-  inv_log_q_csr.resize(n);
-  for (std::uint32_t pos = 0; pos < n; ++pos) {
-    const double p = p_success[csr.original_id(pos)];
-    p_success_csr[pos] = p;
-    // q_fail <= 0 (p >= 1) makes the fast path unconditional: u > 0 always.
-    q_fail_csr[pos] = 1.0 - p;
-    // Only read on the slow path, where q_fail > 0 implies p < 1 and the
-    // log is finite and negative. (p == 0 gives -0.0/-inf artifacts that
-    // the cap in the sampler absorbs, matching the pre-CSR behaviour.)
-    inv_log_q_csr[pos] = 1.0 / std::log1p(-p);
-  }
+    : owned_(std::make_shared<const scenario::Scenario>(
+          scenario::Scenario::compile(g, scenario::FailureSpec(model),
+                                      retry_model))) {
+  dag_ = &owned_->dag();
+  csr_ = &owned_->csr();
+  p_success_ = owned_->p_success();
+  p_success_csr_ = owned_->p_success_csr();
+  q_fail_csr_ = owned_->q_fail_csr();
+  inv_log_q_csr_ = owned_->inv_log_q_csr();
+  retry_ = retry_model;
 }
+
+TrialContext::TrialContext(const scenario::Scenario& sc)
+    : dag_(&sc.dag()),
+      csr_(&sc.csr()),
+      p_success_(sc.p_success()),
+      p_success_csr_(sc.p_success_csr()),
+      q_fail_csr_(sc.q_fail_csr()),
+      inv_log_q_csr_(sc.inv_log_q_csr()),
+      retry_(sc.retry()) {}
 
 namespace {
 
@@ -59,16 +59,17 @@ inline TrialObservation trial_sweep(const TrialContext& ctx,
                                     prob::Xoshiro256pp& rng,
                                     std::span<double> finish,
                                     double* durations_out) {
-  const std::size_t n = ctx.csr.task_count();
+  const graph::CsrDag& csr = ctx.csr();
+  const std::size_t n = csr.task_count();
   assert(finish.size() == n);
-  const std::span<const std::uint32_t> off = ctx.csr.pred_offsets();
-  const std::span<const std::uint32_t> pred = ctx.csr.pred_index();
-  const std::span<const graph::TaskId> order = ctx.csr.order();
-  const double* const w = ctx.csr.weights().data();
-  const double* const p = ctx.p_success_csr.data();
-  const double* const qf = ctx.q_fail_csr.data();
-  const double* const inv_log_q = ctx.inv_log_q_csr.data();
-  const bool two_state = ctx.retry == core::RetryModel::TwoState;
+  const std::span<const std::uint32_t> off = csr.pred_offsets();
+  const std::span<const std::uint32_t> pred = csr.pred_index();
+  const std::span<const graph::TaskId> order = csr.order();
+  const double* const w = csr.weights().data();
+  const double* const p = ctx.p_success_csr().data();
+  const double* const qf = ctx.q_fail_csr().data();
+  const double* const inv_log_q = ctx.inv_log_q_csr().data();
+  const bool two_state = ctx.retry() == core::RetryModel::TwoState;
 
   double best = 0.0;
   double control = 0.0;
@@ -114,7 +115,7 @@ std::span<double> adapter_scratch(std::size_t n) {
 /// undersized buffer would otherwise be an out-of-bounds scatter.
 void check_durations(const TrialContext& ctx,
                      const std::vector<double>& durations) {
-  if (durations.size() != ctx.dag->task_count()) {
+  if (durations.size() != ctx.dag().task_count()) {
     throw std::invalid_argument(
         "run_trial: durations must be pre-sized to task_count(); size the "
         "buffer once, outside the trial loop");
@@ -124,7 +125,7 @@ void check_durations(const TrialContext& ctx,
 /// Same Release-mode enforcement for the public CSR kernels (one branch
 /// per trial, consistent with the graph:: CSR kernels' check_scratch).
 void check_finish(const TrialContext& ctx, std::span<const double> finish) {
-  if (finish.size() != ctx.csr.task_count()) {
+  if (finish.size() != ctx.csr().task_count()) {
     throw std::invalid_argument(
         "run_trial_csr: finish scratch must have size task_count()");
   }
@@ -162,13 +163,14 @@ TrialObservation run_trial_with_control(const TrialContext& ctx,
 }
 
 double control_variate_mean(const TrialContext& ctx) {
-  const graph::Dag& g = *ctx.dag;
+  const graph::Dag& g = ctx.dag();
+  const std::span<const double> p_success = ctx.p_success();
   double mean = 0.0;
   for (std::size_t i = 0; i < g.task_count(); ++i) {
     const double a = g.weights()[i];
-    const double p = ctx.p_success[i];
+    const double p = p_success[i];
     if (p >= 1.0) continue;
-    if (ctx.retry == core::RetryModel::TwoState) {
+    if (ctx.retry() == core::RetryModel::TwoState) {
       mean += a * (1.0 - p);
     } else {
       // E[executions - 1] for the capped geometric: the cap's truncation

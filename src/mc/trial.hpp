@@ -5,20 +5,28 @@
 // truth (Section V-C) samples a time-to-next-failure ~ Exp(lambda) per
 // attempt; an attempt fails iff that time is shorter than the task length,
 // which is exactly a Bernoulli(1 - e^{-lambda a_i}) draw — so sampling the
-// failure indicator directly is equivalent and faster.
+// failure indicator directly is equivalent and faster. Per-task rates
+// (heterogeneous scenarios) change nothing here: the kernel reads per-task
+// constant arrays either way.
 //
-// Hot-path layout (see DESIGN.md). The context precomputes a CsrDag —
-// flattened adjacency, vertices renumbered into topological order — plus
-// per-task sampling constants in that position order:
-//   q_fail      = 1 - e^{-lambda a_i}   (fast-path threshold)
+// Hot-path layout (see DESIGN.md). The constants live in CSR position
+// order:
+//   q_fail      = 1 - e^{-lambda_i a_i} (fast-path threshold)
 //   inv_log_q   = 1 / log1p(-p_success) (slow-path geometric inversion)
 // so the geometric sampler pays ZERO transcendental calls on the (common)
 // no-failure path and exactly one log() when a failure did occur, instead
 // of the naive two logs per task. The CSR kernels fuse sampling with the
 // longest-path sweep — one forward pass, no allocation, caller scratch.
+//
+// Since the Scenario redesign, TrialContext is a VIEW: built from a
+// compiled scenario::Scenario it borrows the CSR and the constant arrays
+// and performs no per-construction preprocessing at all. The legacy
+// (Dag, FailureModel, RetryModel) constructor compiles and owns a private
+// scenario, so old call sites keep working (and stay bit-identical).
 
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -26,30 +34,60 @@
 #include "graph/csr.hpp"
 #include "graph/dag.hpp"
 #include "prob/rng.hpp"
+#include "scenario/scenario.hpp"
 
 namespace expmk::mc {
 
-/// Precomputed per-task sampling constants, shared across trials.
+/// Per-task sampling constants plus the CSR view, shared across trials.
+/// Copyable and cheap to copy: all heavy state is borrowed from (or
+/// shared with) a scenario::Scenario, which the context must not outlive.
 struct TrialContext {
-  const graph::Dag* dag = nullptr;
-  /// Flattened topologically renumbered view; the trial kernels run on it.
-  graph::CsrDag csr;
-  /// The CSR position order as a Dag topological order (== csr.order());
-  /// kept for consumers that still walk the Dag (e.g. core::criticality).
-  std::vector<graph::TaskId> topo;
-  std::vector<double> p_success;  ///< e^{-lambda a_i}, Dag id order
-  // Sampling constants in CSR *position* order (weights live in csr):
-  std::vector<double> p_success_csr;  ///< e^{-lambda a_i}
-  std::vector<double> q_fail_csr;     ///< 1 - e^{-lambda a_i}
-  std::vector<double> inv_log_q_csr;  ///< 1 / log1p(-p_success)
-  core::RetryModel retry = core::RetryModel::Geometric;
-  /// Executions cap in Geometric mode (guards pathological lambda; the
-  /// truncation probability is (1-p)^{cap}, i.e. astronomically small for
-  /// any sane configuration).
-  int max_executions = 64;
-
+  /// Legacy path: compiles (and owns) a scenario for (g, model, retry).
+  /// Prefer the Scenario constructor when evaluating one cell repeatedly.
   TrialContext(const graph::Dag& g, const core::FailureModel& model,
                core::RetryModel retry_model);
+
+  /// Zero-preprocessing view of a compiled scenario. The context (and
+  /// every kernel call made with it) must not outlive `sc`.
+  explicit TrialContext(const scenario::Scenario& sc);
+
+  [[nodiscard]] const graph::Dag& dag() const noexcept { return *dag_; }
+  [[nodiscard]] const graph::CsrDag& csr() const noexcept { return *csr_; }
+  /// The CSR position order as a Dag topological order (== csr().order()).
+  [[nodiscard]] std::span<const graph::TaskId> topo() const noexcept {
+    return csr_->order();
+  }
+  /// e^{-lambda_i a_i} in Dag id order.
+  [[nodiscard]] std::span<const double> p_success() const noexcept {
+    return p_success_;
+  }
+  // Sampling constants in CSR *position* order (weights live in csr()):
+  [[nodiscard]] std::span<const double> p_success_csr() const noexcept {
+    return p_success_csr_;
+  }
+  [[nodiscard]] std::span<const double> q_fail_csr() const noexcept {
+    return q_fail_csr_;
+  }
+  [[nodiscard]] std::span<const double> inv_log_q_csr() const noexcept {
+    return inv_log_q_csr_;
+  }
+  [[nodiscard]] core::RetryModel retry() const noexcept { return retry_; }
+
+  /// Executions cap in Geometric mode (guards pathological lambda; the
+  /// truncation probability is (1-p)^{cap}, i.e. astronomically small for
+  /// any sane configuration). Mutable: tests/benches tighten it.
+  int max_executions = 64;
+
+ private:
+  const graph::Dag* dag_ = nullptr;
+  const graph::CsrDag* csr_ = nullptr;
+  std::span<const double> p_success_;
+  std::span<const double> p_success_csr_;
+  std::span<const double> q_fail_csr_;
+  std::span<const double> inv_log_q_csr_;
+  core::RetryModel retry_ = core::RetryModel::Geometric;
+  /// Set only by the legacy constructor; shared so copies stay valid.
+  std::shared_ptr<const scenario::Scenario> owned_;
 };
 
 /// Allocation-free CSR trial kernel: samples every task (one RNG draw per

@@ -16,11 +16,13 @@ double safe_rho(double cov, double var_x, double var_y) {
   return cov / denom;
 }
 
-}  // namespace
-
-NormalEstimate clark_full(const graph::Dag& g, const core::FailureModel& model,
-                          core::RetryModel kind,
-                          std::span<const graph::TaskId> topo) {
+/// Shared traversal over per-task success probabilities (the fold is pure
+/// dataflow over ancestors, so the topological order does not perturb the
+/// values).
+NormalEstimate clark_full_impl(const graph::Dag& g,
+                               std::span<const graph::TaskId> topo,
+                               std::span<const double> p,
+                               core::RetryModel kind) {
   const std::size_t n = g.task_count();
   if (n == 0) throw std::invalid_argument("clark_full: empty graph");
   if (n > kClarkFullMaxTasks) {
@@ -58,8 +60,8 @@ NormalEstimate clark_full(const graph::Dag& g, const core::FailureModel& model,
       m = fold.moments;
     }
     // C_v = M + X_v with X_v independent of everything before it.
-    completion[v] =
-        prob::sum_independent(m, duration_moments(g.weight(v), model, kind));
+    completion[v] = prob::sum_independent(
+        m, duration_moments_p(g.weight(v), p[v], kind));
     for (std::size_t z = 0; z < n; ++z) {
       cov_at(v, static_cast<graph::TaskId>(z)) = row[z];
       cov_at(static_cast<graph::TaskId>(z), v) = row[z];
@@ -91,10 +93,23 @@ NormalEstimate clark_full(const graph::Dag& g, const core::FailureModel& model,
   return NormalEstimate{makespan};
 }
 
+}  // namespace
+
+NormalEstimate clark_full(const graph::Dag& g, const core::FailureModel& model,
+                          core::RetryModel kind,
+                          std::span<const graph::TaskId> topo) {
+  const auto p = core::success_probabilities(g, model);
+  return clark_full_impl(g, topo, p, kind);
+}
+
 NormalEstimate clark_full(const graph::Dag& g, const core::FailureModel& model,
                           core::RetryModel kind) {
   const auto topo = graph::topological_order(g);
   return clark_full(g, model, kind, topo);
+}
+
+NormalEstimate clark_full(const scenario::Scenario& sc) {
+  return clark_full_impl(sc.dag(), sc.topo(), sc.p_success(), sc.retry());
 }
 
 }  // namespace expmk::normal

@@ -38,4 +38,8 @@ inline constexpr std::size_t kClarkFullMaxTasks = 8192;
                                         core::RetryModel kind,
                                         std::span<const graph::TaskId> topo);
 
+/// Scenario-based entry point: cached order and success probabilities,
+/// retry model from the scenario; heterogeneous rates supported.
+[[nodiscard]] NormalEstimate clark_full(const scenario::Scenario& sc);
+
 }  // namespace expmk::normal

@@ -41,9 +41,15 @@ struct CorrelationTree {
 
 }  // namespace
 
-NormalEstimate corlca(const graph::Dag& g, const core::FailureModel& model,
-                      core::RetryModel kind,
-                      std::span<const graph::TaskId> topo) {
+namespace {
+
+/// Shared traversal over per-task success probabilities (see sculli.cpp:
+/// the fold is pure dataflow, so the topological order does not perturb
+/// the values).
+NormalEstimate corlca_impl(const graph::Dag& g,
+                           std::span<const graph::TaskId> topo,
+                           std::span<const double> p,
+                           core::RetryModel kind) {
   const std::size_t n = g.task_count();
   if (n == 0) throw std::invalid_argument("corlca: empty graph");
 
@@ -73,7 +79,7 @@ NormalEstimate corlca(const graph::Dag& g, const core::FailureModel& model,
       ready = fold.moments;
     }
     completion[v] = prob::sum_independent(
-        ready, duration_moments(g.weight(v), model, kind));
+        ready, duration_moments_p(g.weight(v), p[v], kind));
     tree.parent[v] = dominant;
     tree.depth[v] = dominant == kRootless ? 0 : tree.depth[dominant] + 1;
     tree.variance[v] = completion[v].var;
@@ -100,10 +106,23 @@ NormalEstimate corlca(const graph::Dag& g, const core::FailureModel& model,
   return NormalEstimate{makespan};
 }
 
+}  // namespace
+
+NormalEstimate corlca(const graph::Dag& g, const core::FailureModel& model,
+                      core::RetryModel kind,
+                      std::span<const graph::TaskId> topo) {
+  const auto p = core::success_probabilities(g, model);
+  return corlca_impl(g, topo, p, kind);
+}
+
 NormalEstimate corlca(const graph::Dag& g, const core::FailureModel& model,
                       core::RetryModel kind) {
   const auto topo = graph::topological_order(g);
   return corlca(g, model, kind, topo);
+}
+
+NormalEstimate corlca(const scenario::Scenario& sc) {
+  return corlca_impl(sc.dag(), sc.topo(), sc.p_success(), sc.retry());
 }
 
 }  // namespace expmk::normal

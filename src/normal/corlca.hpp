@@ -33,4 +33,8 @@ namespace expmk::normal {
                                     core::RetryModel kind,
                                     std::span<const graph::TaskId> topo);
 
+/// Scenario-based entry point: cached order and success probabilities,
+/// retry model from the scenario; heterogeneous rates supported.
+[[nodiscard]] NormalEstimate corlca(const scenario::Scenario& sc);
+
 }  // namespace expmk::normal

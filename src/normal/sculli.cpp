@@ -7,12 +7,10 @@
 
 namespace expmk::normal {
 
-prob::NormalMoments duration_moments(double a,
-                                     const core::FailureModel& model,
-                                     core::RetryModel kind) {
+prob::NormalMoments duration_moments_p(double a, double p,
+                                       core::RetryModel kind) {
   if (a < 0.0) throw std::invalid_argument("duration_moments: a >= 0");
   if (a == 0.0) return {0.0, 0.0};
-  const double p = model.p_success(a);
   switch (kind) {
     case core::RetryModel::TwoState:
       return {a * (2.0 - p), a * a * p * (1.0 - p)};
@@ -22,9 +20,23 @@ prob::NormalMoments duration_moments(double a,
   return {a, 0.0};
 }
 
-NormalEstimate sculli(const graph::Dag& g, const core::FailureModel& model,
-                      core::RetryModel kind,
-                      std::span<const graph::TaskId> topo) {
+prob::NormalMoments duration_moments(double a,
+                                     const core::FailureModel& model,
+                                     core::RetryModel kind) {
+  if (a < 0.0) throw std::invalid_argument("duration_moments: a >= 0");
+  if (a == 0.0) return {0.0, 0.0};
+  return duration_moments_p(a, model.p_success(a), kind);
+}
+
+namespace {
+
+/// Shared traversal over per-task success probabilities. The completion
+/// moments are pure dataflow over the graph (each fold reads only
+/// ancestors), so any valid topological order yields identical values.
+NormalEstimate sculli_impl(const graph::Dag& g,
+                           std::span<const graph::TaskId> topo,
+                           std::span<const double> p,
+                           core::RetryModel kind) {
   if (g.task_count() == 0) {
     throw std::invalid_argument("sculli: empty graph");
   }
@@ -41,7 +53,7 @@ NormalEstimate sculli(const graph::Dag& g, const core::FailureModel& model,
       }
     }
     completion[v] = prob::sum_independent(
-        ready, duration_moments(g.weight(v), model, kind));
+        ready, duration_moments_p(g.weight(v), p[v], kind));
   }
 
   prob::NormalMoments makespan{0.0, 0.0};
@@ -57,10 +69,23 @@ NormalEstimate sculli(const graph::Dag& g, const core::FailureModel& model,
   return NormalEstimate{makespan};
 }
 
+}  // namespace
+
+NormalEstimate sculli(const graph::Dag& g, const core::FailureModel& model,
+                      core::RetryModel kind,
+                      std::span<const graph::TaskId> topo) {
+  const auto p = core::success_probabilities(g, model);
+  return sculli_impl(g, topo, p, kind);
+}
+
 NormalEstimate sculli(const graph::Dag& g, const core::FailureModel& model,
                       core::RetryModel kind) {
   const auto topo = graph::topological_order(g);
   return sculli(g, model, kind, topo);
+}
+
+NormalEstimate sculli(const scenario::Scenario& sc) {
+  return sculli_impl(sc.dag(), sc.topo(), sc.p_success(), sc.retry());
 }
 
 }  // namespace expmk::normal

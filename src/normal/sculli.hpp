@@ -19,6 +19,7 @@
 #include "core/failure_model.hpp"
 #include "graph/dag.hpp"
 #include "prob/normal.hpp"
+#include "scenario/scenario.hpp"
 
 namespace expmk::normal {
 
@@ -28,6 +29,12 @@ namespace expmk::normal {
 [[nodiscard]] prob::NormalMoments duration_moments(
     double a, const core::FailureModel& model,
     core::RetryModel kind = core::RetryModel::TwoState);
+
+/// Same moments from the task's own success probability p = e^{-lambda_i
+/// a} — the per-task form every Scenario-based Normal estimator uses
+/// (heterogeneous rates differ only in where p comes from).
+[[nodiscard]] prob::NormalMoments duration_moments_p(double a, double p,
+                                                     core::RetryModel kind);
 
 /// Result of a normal-approximation traversal.
 struct NormalEstimate {
@@ -45,5 +52,9 @@ struct NormalEstimate {
                                     const core::FailureModel& model,
                                     core::RetryModel kind,
                                     std::span<const graph::TaskId> topo);
+
+/// Scenario-based entry point: cached order and success probabilities,
+/// retry model from the scenario; heterogeneous rates supported.
+[[nodiscard]] NormalEstimate sculli(const scenario::Scenario& sc);
 
 }  // namespace expmk::normal

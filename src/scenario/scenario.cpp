@@ -1,0 +1,133 @@
+#include "scenario/scenario.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace expmk::scenario {
+
+namespace {
+
+/// Process-wide compile counter (relaxed: a metrics hook, not a fence).
+std::atomic<std::uint64_t> g_compiled{0};
+
+}  // namespace
+
+FailureSpec FailureSpec::per_task(std::vector<double> rates) {
+  FailureSpec spec;
+  spec.rates_ = std::move(rates);
+  if (spec.rates_.empty()) {
+    throw std::invalid_argument(
+        "FailureSpec::per_task: empty rate vector (use uniform() for the "
+        "single-rate model)");
+  }
+  return spec;
+}
+
+double FailureSpec::uniform_lambda() const {
+  if (heterogeneous()) {
+    throw std::logic_error(
+        "FailureSpec: uniform_lambda() on a heterogeneous spec — check "
+        "heterogeneous() or use Scenario::rates()");
+  }
+  return lambda_;
+}
+
+Scenario Scenario::compile(const graph::Dag& dag, FailureSpec failure,
+                           core::RetryModel retry) {
+  return Scenario(dag, std::move(failure), retry);
+}
+
+Scenario Scenario::calibrated(const graph::Dag& dag, double pfail,
+                              core::RetryModel retry) {
+  return compile(dag, FailureSpec(core::calibrate(dag, pfail)), retry);
+}
+
+std::uint64_t Scenario::compiled_count() noexcept {
+  return g_compiled.load(std::memory_order_relaxed);
+}
+
+Scenario::Scenario(graph::Dag dag, FailureSpec failure,
+                   core::RetryModel retry)
+    : dag_(std::move(dag)),
+      csr_(dag_),
+      failure_(std::move(failure)),
+      retry_(retry) {
+  const std::size_t n = dag_.task_count();
+
+  // Validate the spec against this DAG before deriving anything from it.
+  if (failure_.heterogeneous()) {
+    const auto& rates = failure_.per_task_rates();
+    if (rates.size() != n) {
+      throw std::invalid_argument(
+          "Scenario: per-task rate vector size " +
+          std::to_string(rates.size()) + " != task count " +
+          std::to_string(n));
+    }
+    for (const double r : rates) {
+      if (!(r >= 0.0) || !std::isfinite(r)) {
+        throw std::invalid_argument(
+            "Scenario: per-task rates must be finite and >= 0");
+      }
+    }
+  } else if (!(failure_.uniform_lambda() >= 0.0) ||
+             !std::isfinite(failure_.uniform_lambda())) {
+    // Mirrors FailureModel::p_success's negative-lambda rejection, but
+    // at compile time instead of deep inside the first estimator call.
+    throw std::invalid_argument("Scenario: lambda must be finite and >= 0");
+  }
+
+  rates_.resize(n);
+  p_success_.resize(n);
+  expected_durations_.resize(n);
+  failure_free_ = true;
+  const bool geometric = retry_ == core::RetryModel::Geometric;
+  for (graph::TaskId i = 0; i < n; ++i) {
+    const double lambda = failure_.heterogeneous()
+                              ? failure_.per_task_rates()[i]
+                              : failure_.uniform_lambda();
+    const double a = dag_.weight(i);
+    // Same expressions as FailureModel::p_success / expected_duration so
+    // the uniform path stays bit-identical to the pre-Scenario code.
+    const double p = std::exp(-lambda * a);
+    rates_[i] = lambda;
+    p_success_[i] = p;
+    expected_durations_[i] =
+        geometric ? a * std::exp(lambda * a) : a * (2.0 - p);
+    failure_free_ = failure_free_ && lambda <= 0.0;
+  }
+
+  // Sampler constants in CSR position order — the layout mc/trial.hpp's
+  // fused kernel consumes directly (see that header for the fast/slow
+  // path split the three arrays encode).
+  rates_csr_.resize(n);
+  p_success_csr_.resize(n);
+  q_fail_csr_.resize(n);
+  inv_log_q_csr_.resize(n);
+  for (std::uint32_t pos = 0; pos < n; ++pos) {
+    const graph::TaskId id = csr_.original_id(pos);
+    const double p = p_success_[id];
+    rates_csr_[pos] = rates_[id];
+    p_success_csr_[pos] = p;
+    // q_fail <= 0 (p >= 1) makes the sampler fast path unconditional.
+    q_fail_csr_[pos] = 1.0 - p;
+    // Only read on the slow path, where q_fail > 0 implies p < 1 and the
+    // log is finite and negative (p == 0 artifacts are absorbed by the
+    // sampler's execution cap).
+    inv_log_q_csr_[pos] = 1.0 / std::log1p(-p);
+  }
+
+  {
+    std::vector<double> finish(n);
+    critical_path_ =
+        n == 0 ? 0.0
+               : graph::critical_path_length(csr_, csr_.weights(), finish);
+  }
+  mean_weight_ = n == 0 ? 0.0 : dag_.mean_weight();
+  total_weight_ = dag_.total_weight();
+
+  g_compiled.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace expmk::scenario

@@ -1,0 +1,224 @@
+// scenario/scenario.hpp
+//
+// The compile-once evaluation handle. The paper's protocol — and every
+// serving workload built on this library — evaluates MANY methods on the
+// SAME (DAG, failure-rate, retry-model) cell. Before this layer existed,
+// each of the 13 evaluators re-derived the per-cell state on every call:
+// the CSR view, a topological order, the per-task e^{-lambda a_i}
+// constants, the geometric-sampler log1p inverses, the mean weight and the
+// failure-free critical path. `Scenario` hoists all of that into a single
+// immutable object built once by `Scenario::compile(dag, FailureSpec,
+// RetryModel)` and then shared — by const reference, across threads, for
+// the lifetime of the cell — by every estimator entry point in the
+// library (core::, mc::, normal::, sp::, sched::, exp::).
+//
+// `FailureSpec` is the second half of the redesign: the silent-error rate
+// is either the classic uniform lambda (core::FailureModel, Section III of
+// the paper) or a per-task rate vector — the heterogeneous-error input
+// that the scheduling-under-uncertainty literature (Malewicz; Lin &
+// Rajaraman) treats as primary. All cached constants are per-task anyway
+// (p_i = e^{-lambda_i a_i}), so most estimators handle heterogeneity for
+// free; the few that cannot declare it via exp::Capabilities and are gated
+// with supported == false, never a crash.
+//
+// Contract:
+//  * Immutability. A compiled Scenario never changes; every accessor is
+//    const and returns views into storage owned by the Scenario. It is
+//    safe to share one instance across any number of threads without
+//    synchronization (the MC engines do exactly that).
+//  * Lifetime. Views (spans, mc::TrialContext instances built from a
+//    scenario) must not outlive the Scenario. The Scenario owns a private
+//    COPY of the Dag, so the caller's graph may die after compile().
+//  * Move-only. A Scenario is a handle, not a value: copying one would
+//    silently duplicate O(V + E) state, so copies are deleted. Wrap it in
+//    a shared_ptr<const Scenario> to share ownership.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/failure_model.hpp"
+#include "graph/csr.hpp"
+#include "graph/dag.hpp"
+
+namespace expmk::scenario {
+
+/// The failure-rate input of a scenario: either one uniform exponential
+/// rate for every task (the paper's model) or an explicit per-task rate
+/// vector (heterogeneous silent errors). Validation of the rates against
+/// a concrete DAG happens in Scenario::compile.
+class FailureSpec {
+ public:
+  /// Uniform, failure-free (lambda == 0).
+  FailureSpec() = default;
+
+  /// Uniform rate taken from the classic model (implicit on purpose:
+  /// every legacy `(Dag&, FailureModel)` call site forwards through this).
+  FailureSpec(const core::FailureModel& model) : lambda_(model.lambda) {}
+
+  /// Uniform rate `lambda` (errors per second of execution).
+  [[nodiscard]] static FailureSpec uniform(double lambda) {
+    return FailureSpec(core::FailureModel{lambda});
+  }
+
+  /// Heterogeneous per-task rates; rates[i] is task i's lambda_i. The
+  /// vector size must match the DAG handed to Scenario::compile.
+  [[nodiscard]] static FailureSpec per_task(std::vector<double> rates);
+
+  [[nodiscard]] bool heterogeneous() const noexcept {
+    return !rates_.empty();
+  }
+
+  /// The uniform rate; throws std::logic_error when heterogeneous —
+  /// callers must check heterogeneous() (or use Scenario::rates(), which
+  /// is always valid).
+  [[nodiscard]] double uniform_lambda() const;
+
+  /// The uniform rate as the classic model (same throwing contract).
+  [[nodiscard]] core::FailureModel uniform_model() const {
+    return core::FailureModel{uniform_lambda()};
+  }
+
+  /// Per-task vector; empty when uniform.
+  [[nodiscard]] const std::vector<double>& per_task_rates() const noexcept {
+    return rates_;
+  }
+
+ private:
+  double lambda_ = 0.0;
+  std::vector<double> rates_;
+};
+
+/// Immutable compile-once handle: one (DAG, failure rates, retry model)
+/// cell plus everything every estimator would otherwise re-derive per
+/// call. See the file comment for the immutability/lifetime contract.
+class Scenario {
+ public:
+  /// Builds the handle; O(V + E) plus one exp/log1p pair per task — paid
+  /// exactly once per cell instead of once per evaluator call. Throws
+  /// std::invalid_argument on a cyclic graph, a rate-vector size mismatch,
+  /// or a negative/non-finite rate.
+  [[nodiscard]] static Scenario compile(
+      const graph::Dag& dag, FailureSpec failure,
+      core::RetryModel retry = core::RetryModel::TwoState);
+
+  /// Convenience: Section V-C calibration (pfail on the mean task weight)
+  /// straight to a compiled scenario.
+  [[nodiscard]] static Scenario calibrated(
+      const graph::Dag& dag, double pfail,
+      core::RetryModel retry = core::RetryModel::TwoState);
+
+  Scenario(Scenario&&) noexcept = default;
+  Scenario& operator=(Scenario&&) noexcept = default;
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  /// Total Scenario::compile calls in this process — the metrics hook the
+  /// compile-once contract is pinned with (tests/test_scenario.cpp asserts
+  /// a sweep row compiles one scenario per cell; bench_scenario reports
+  /// the per-call vs compiled delta).
+  [[nodiscard]] static std::uint64_t compiled_count() noexcept;
+
+  // ------------------------------------------------------------ identity
+  [[nodiscard]] const graph::Dag& dag() const noexcept { return dag_; }
+  [[nodiscard]] const graph::CsrDag& csr() const noexcept { return csr_; }
+  [[nodiscard]] std::size_t task_count() const noexcept {
+    return dag_.task_count();
+  }
+  [[nodiscard]] core::RetryModel retry() const noexcept { return retry_; }
+  [[nodiscard]] const FailureSpec& failure() const noexcept {
+    return failure_;
+  }
+  [[nodiscard]] bool heterogeneous() const noexcept {
+    return failure_.heterogeneous();
+  }
+  /// True when no task can ever fail (all rates are zero).
+  [[nodiscard]] bool failure_free() const noexcept { return failure_free_; }
+  /// Uniform-lambda view; throws std::logic_error when heterogeneous.
+  [[nodiscard]] core::FailureModel uniform_model() const {
+    return failure_.uniform_model();
+  }
+
+  /// A topological order of the Dag (== csr().order()).
+  [[nodiscard]] std::span<const graph::TaskId> topo() const noexcept {
+    return csr_.order();
+  }
+
+  // ------------------------------------------- cached per-task constants
+  // "Dag id order" = indexed by TaskId; "position order" = indexed by CSR
+  // position (csr().order() translates). All spans have task_count()
+  // entries.
+
+  /// lambda_i in Dag id order (filled with the uniform rate when uniform).
+  [[nodiscard]] std::span<const double> rates() const noexcept {
+    return rates_;
+  }
+  /// e^{-lambda_i a_i} in Dag id order.
+  [[nodiscard]] std::span<const double> p_success() const noexcept {
+    return p_success_;
+  }
+  /// Expected task duration under the scenario's retry model, Dag id
+  /// order: TwoState a_i (2 - p_i); Geometric a_i e^{lambda_i a_i}.
+  [[nodiscard]] std::span<const double> expected_durations() const noexcept {
+    return expected_durations_;
+  }
+
+  /// Task weights in position order (== csr().weights()).
+  [[nodiscard]] std::span<const double> weights_csr() const noexcept {
+    return csr_.weights();
+  }
+  /// lambda_i in position order.
+  [[nodiscard]] std::span<const double> rates_csr() const noexcept {
+    return rates_csr_;
+  }
+  /// e^{-lambda_i a_i} in position order.
+  [[nodiscard]] std::span<const double> p_success_csr() const noexcept {
+    return p_success_csr_;
+  }
+  /// 1 - p_i in position order — the sampler's fast-path threshold.
+  [[nodiscard]] std::span<const double> q_fail_csr() const noexcept {
+    return q_fail_csr_;
+  }
+  /// 1 / log1p(-p_i) in position order — the geometric-sampler inversion
+  /// constant (only meaningful where q_fail > 0; see mc/trial.hpp).
+  [[nodiscard]] std::span<const double> inv_log_q_csr() const noexcept {
+    return inv_log_q_csr_;
+  }
+
+  // ------------------------------------------------------ cached scalars
+  /// d(G): the failure-free critical-path length.
+  [[nodiscard]] double critical_path() const noexcept {
+    return critical_path_;
+  }
+  /// Mean task weight a-bar (the calibration denominator).
+  [[nodiscard]] double mean_weight() const noexcept { return mean_weight_; }
+  /// A = sum_i a_i.
+  [[nodiscard]] double total_weight() const noexcept {
+    return total_weight_;
+  }
+
+ private:
+  Scenario(graph::Dag dag, FailureSpec failure, core::RetryModel retry);
+
+  graph::Dag dag_;
+  graph::CsrDag csr_;  // depends on dag_: declaration order matters
+  FailureSpec failure_;
+  core::RetryModel retry_ = core::RetryModel::TwoState;
+  bool failure_free_ = true;
+
+  std::vector<double> rates_;               // Dag id order
+  std::vector<double> p_success_;           // Dag id order
+  std::vector<double> expected_durations_;  // Dag id order
+  std::vector<double> rates_csr_;           // position order
+  std::vector<double> p_success_csr_;       // position order
+  std::vector<double> q_fail_csr_;          // position order
+  std::vector<double> inv_log_q_csr_;       // position order
+
+  double critical_path_ = 0.0;
+  double mean_weight_ = 0.0;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace expmk::scenario

@@ -4,16 +4,17 @@
 
 namespace expmk::sched {
 
-FaultSimResult simulate_with_faults(const graph::Dag& g,
-                                    std::span<const double> priority,
-                                    const Machine& machine,
-                                    const core::FailureModel& model,
-                                    const FaultSimConfig& config) {
+namespace {
+
+FaultSimResult fault_sim_impl(const graph::Dag& g,
+                              std::span<const double> priority,
+                              const Machine& machine,
+                              const mc::TrialContext& ctx,
+                              const FaultSimConfig& config) {
   FaultSimResult result;
   result.failure_free_makespan =
       list_schedule(g, g.weights(), priority, machine).makespan;
 
-  const mc::TrialContext ctx(g, model, config.retry);
   // Sized once; run_trial asserts the size instead of resizing per run.
   std::vector<double> durations(g.task_count());
   for (std::uint64_t r = 0; r < config.runs; ++r) {
@@ -25,6 +26,25 @@ FaultSimResult simulate_with_faults(const graph::Dag& g,
     result.makespan.push(s.makespan);
   }
   return result;
+}
+
+}  // namespace
+
+FaultSimResult simulate_with_faults(const graph::Dag& g,
+                                    std::span<const double> priority,
+                                    const Machine& machine,
+                                    const core::FailureModel& model,
+                                    const FaultSimConfig& config) {
+  const mc::TrialContext ctx(g, model, config.retry);
+  return fault_sim_impl(g, priority, machine, ctx, config);
+}
+
+FaultSimResult simulate_with_faults(const scenario::Scenario& sc,
+                                    std::span<const double> priority,
+                                    const Machine& machine,
+                                    const FaultSimConfig& config) {
+  return fault_sim_impl(sc.dag(), priority, machine, mc::TrialContext(sc),
+                        config);
 }
 
 }  // namespace expmk::sched

@@ -38,4 +38,11 @@ struct FaultSimResult {
     const Machine& machine, const core::FailureModel& model,
     const FaultSimConfig& config = {});
 
+/// Scenario-based entry point (no CSR rebuild; heterogeneous per-task
+/// rates supported). `config.retry` is ignored — the scenario's retry
+/// model governs sampling.
+[[nodiscard]] FaultSimResult simulate_with_faults(
+    const scenario::Scenario& sc, std::span<const double> priority,
+    const Machine& machine, const FaultSimConfig& config = {});
+
 }  // namespace expmk::sched

@@ -122,4 +122,18 @@ DodinResult dodin_two_state(const graph::Dag& g,
   return dodin(ArcNetwork::from_dag(g, std::move(dist)), options);
 }
 
+DodinResult dodin_two_state(const scenario::Scenario& sc,
+                            const DodinOptions& options) {
+  if (sc.heterogeneous()) {
+    throw std::invalid_argument(
+        "dodin_two_state: per-task failure rates not supported");
+  }
+  if (sc.retry() != core::RetryModel::TwoState) {
+    throw std::invalid_argument(
+        "dodin_two_state: scenario must be compiled with the TwoState "
+        "retry model");
+  }
+  return dodin_two_state(sc.dag(), sc.uniform_model(), options);
+}
+
 }  // namespace expmk::sp

@@ -36,6 +36,7 @@
 #include "core/failure_model.hpp"
 #include "graph/dag.hpp"
 #include "prob/discrete_distribution.hpp"
+#include "scenario/scenario.hpp"
 #include "spgraph/arc_network.hpp"
 
 namespace expmk::sp {
@@ -68,6 +69,12 @@ struct DodinResult {
 /// the expected makespan of `g`.
 [[nodiscard]] DodinResult dodin_two_state(const graph::Dag& g,
                                           const core::FailureModel& model,
+                                          const DodinOptions& options = {});
+
+/// Scenario-based entry point. Uniform scenarios only for now: throws
+/// std::invalid_argument on heterogeneous rates (the exp::Capabilities
+/// gate reports supported == false before this is reached in a sweep).
+[[nodiscard]] DodinResult dodin_two_state(const scenario::Scenario& sc,
                                           const DodinOptions& options = {});
 
 }  // namespace expmk::sp

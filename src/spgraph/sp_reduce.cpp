@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <map>
+#include <span>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 namespace expmk::sp {
@@ -96,6 +99,27 @@ SpEvaluation evaluate_sp(ArcNetwork net, std::size_t max_atoms) {
     out.makespan = net.arc(net.out_arcs(net.source())[0]).dist;
   }
   return out;
+}
+
+SpEvaluation evaluate_sp(const scenario::Scenario& sc,
+                         std::size_t max_atoms) {
+  if (sc.retry() != core::RetryModel::TwoState) {
+    throw std::invalid_argument(
+        "evaluate_sp: scenario must be compiled with the TwoState retry "
+        "model");
+  }
+  const graph::Dag& g = sc.dag();
+  const std::span<const double> p = sc.p_success();
+  std::vector<prob::DiscreteDistribution> dists;
+  dists.reserve(g.task_count());
+  for (graph::TaskId i = 0; i < g.task_count(); ++i) {
+    const double a = g.weight(i);
+    // Zero-weight (virtual) tasks cannot fail; same treatment as Dodin's.
+    dists.push_back(a <= 0.0
+                        ? prob::DiscreteDistribution::point(0.0)
+                        : prob::DiscreteDistribution::two_state(a, p[i]));
+  }
+  return evaluate_sp(ArcNetwork::from_dag(g, std::move(dists)), max_atoms);
 }
 
 }  // namespace expmk::sp

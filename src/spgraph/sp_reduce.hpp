@@ -20,6 +20,7 @@
 
 #include <cstddef>
 
+#include "scenario/scenario.hpp"
 #include "spgraph/arc_network.hpp"
 
 namespace expmk::sp {
@@ -54,5 +55,12 @@ struct SpEvaluation {
 /// whether it was SP, together with the exact makespan distribution
 /// (task durations = 2-state laws for the given failure model's lambda).
 SpEvaluation evaluate_sp(ArcNetwork net, std::size_t max_atoms = 0);
+
+/// Scenario-based entry point: builds the AoA network with each task's
+/// own 2-state law (a_i w.p. p_i, else 2 a_i) from the scenario's cached
+/// success probabilities — heterogeneous per-task rates supported — and
+/// reduces it. The scenario's retry model must be TwoState.
+SpEvaluation evaluate_sp(const scenario::Scenario& sc,
+                         std::size_t max_atoms = 0);
 
 }  // namespace expmk::sp

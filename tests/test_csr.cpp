@@ -142,17 +142,17 @@ TEST(CsrKernels, DagScratchOverloadsMatchAllocatingOnes) {
 /// kernel must reproduce it bit for bit.
 double reference_trial(const TrialContext& ctx, expmk::prob::Xoshiro256pp& rng,
                        std::vector<double>& durations) {
-  const Dag& g = *ctx.dag;
+  const Dag& g = ctx.dag();
   const std::size_t n = g.task_count();
   durations.resize(n);
   for (std::uint32_t v = 0; v < n; ++v) {
     int executions = 1;
-    if (ctx.retry == RetryModel::TwoState) {
-      executions = rng.uniform() < ctx.p_success_csr[v] ? 1 : 2;
+    if (ctx.retry() == RetryModel::TwoState) {
+      executions = rng.uniform() < ctx.p_success_csr()[v] ? 1 : 2;
     } else {
       const double u = rng.uniform_positive();
-      if (u <= ctx.q_fail_csr[v]) {
-        const double f = std::floor(std::log(u) * ctx.inv_log_q_csr[v]);
+      if (u <= ctx.q_fail_csr()[v]) {
+        const double f = std::floor(std::log(u) * ctx.inv_log_q_csr()[v]);
         if (!(f < static_cast<double>(ctx.max_executions))) {
           executions = ctx.max_executions;
         } else {
@@ -162,10 +162,10 @@ double reference_trial(const TrialContext& ctx, expmk::prob::Xoshiro256pp& rng,
       }
     }
     const double duration =
-        ctx.csr.weights()[v] * static_cast<double>(executions);
-    durations[ctx.csr.original_id(v)] = duration;
+        ctx.csr().weights()[v] * static_cast<double>(executions);
+    durations[ctx.csr().original_id(v)] = duration;
   }
-  return expmk::graph::critical_path_length(g, durations, ctx.topo);
+  return expmk::graph::critical_path_length(g, durations, ctx.topo());
 }
 
 TEST(CsrTrialKernel, BitIdenticalToReferenceScalarLoop) {

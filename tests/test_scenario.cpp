@@ -1,0 +1,437 @@
+// Tests for src/scenario and the Scenario-based evaluation API:
+//
+//  * FailureSpec / Scenario::compile validation and cached-state checks;
+//  * the adapter property: every legacy (Dag&, FailureModel) evaluator
+//    call is BIT-identical to its Scenario-based overload, across all 13
+//    registered evaluators, both retry models and a spread of DAGs;
+//  * heterogeneous per-task rates end-to-end: validated against the exact
+//    oracle on <= 10-task DAGs (fo/so/mc/cmc and the rest of the
+//    heterogeneous-capable catalogue), uniform-equivalence when the rate
+//    vector is constant, and clean capability gating for the methods that
+//    remain uniform-only;
+//  * the compile-once contract: a sweep compiles exactly one Scenario per
+//    (generator, size, pfail) cell, however many methods run on it;
+//  * conditional-MC censoring surfaced structurally (EvalResult and the
+//    expmk-sweep-v2 artifact schema).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/exact.hpp"
+#include "core/failure_model.hpp"
+#include "core/first_order.hpp"
+#include "core/second_order.hpp"
+#include "exp/evaluator.hpp"
+#include "exp/sweep.hpp"
+#include "gen/random_dags.hpp"
+#include "graph/longest_path.hpp"
+#include "graph/topological.hpp"
+#include "mc/engine.hpp"
+#include "mc/trial.hpp"
+#include "scenario/scenario.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using expmk::core::calibrate;
+using expmk::core::FailureModel;
+using expmk::core::RetryModel;
+using expmk::exp::EstimateKind;
+using expmk::exp::EvalOptions;
+using expmk::exp::EvalResult;
+using expmk::exp::Evaluator;
+using expmk::exp::EvaluatorRegistry;
+using expmk::graph::Dag;
+using expmk::graph::TaskId;
+using expmk::scenario::FailureSpec;
+using expmk::scenario::Scenario;
+
+/// Deterministic per-task rate vector around the calibrated uniform
+/// lambda: multipliers cycle through a fixed spread so every DAG gets
+/// genuinely heterogeneous (but moderate) rates.
+std::vector<double> spread_rates(const Dag& g, double pfail) {
+  const double lambda = calibrate(g, pfail).lambda;
+  const double mult[] = {0.3, 1.0, 2.0, 0.6, 1.4, 0.1};
+  std::vector<double> rates(g.task_count());
+  for (TaskId i = 0; i < g.task_count(); ++i) {
+    rates[i] = lambda * mult[i % 6];
+  }
+  return rates;
+}
+
+std::vector<std::pair<std::string, Dag>> fixture_dags() {
+  std::vector<std::pair<std::string, Dag>> dags;
+  dags.emplace_back("diamond", expmk::test::diamond(0.4, 0.3, 0.5, 0.2));
+  dags.emplace_back("n_graph", expmk::test::n_graph(0.2, 0.3, 0.25, 0.15));
+  dags.emplace_back("chain6", expmk::gen::chain_dag(6, 7));
+  dags.emplace_back("forkjoin", expmk::gen::fork_join_dag(5, 11));
+  dags.emplace_back("sp6", expmk::gen::random_series_parallel(6, 3));
+  dags.emplace_back("erdos10", expmk::gen::erdos_dag(10, 0.3, 5));
+  return dags;
+}
+
+// --------------------------------------------------------------- compile
+
+TEST(FailureSpec, ValidationAndAccessors) {
+  EXPECT_THROW((void)FailureSpec::per_task({}), std::invalid_argument);
+
+  const FailureSpec het = FailureSpec::per_task({0.1, 0.2});
+  EXPECT_TRUE(het.heterogeneous());
+  EXPECT_THROW((void)het.uniform_lambda(), std::logic_error);
+  EXPECT_THROW((void)het.uniform_model(), std::logic_error);
+
+  const FailureSpec uni = FailureSpec::uniform(0.5);
+  EXPECT_FALSE(uni.heterogeneous());
+  EXPECT_DOUBLE_EQ(uni.uniform_lambda(), 0.5);
+  EXPECT_DOUBLE_EQ(uni.uniform_model().lambda, 0.5);
+}
+
+TEST(ScenarioCompile, RejectsBadSpecs) {
+  const Dag g = expmk::test::diamond();
+  // Rate vector size must match the DAG.
+  EXPECT_THROW(
+      (void)Scenario::compile(g, FailureSpec::per_task({0.1, 0.2})),
+      std::invalid_argument);
+  // Negative / non-finite rates.
+  EXPECT_THROW((void)Scenario::compile(
+                   g, FailureSpec::per_task({0.1, -0.2, 0.1, 0.1})),
+               std::invalid_argument);
+  EXPECT_THROW((void)Scenario::compile(
+                   g, FailureSpec::per_task({0.1, std::nan(""), 0.1, 0.1})),
+               std::invalid_argument);
+  // Negative / non-finite uniform lambda.
+  EXPECT_THROW((void)Scenario::compile(g, FailureSpec::uniform(-1.0)),
+               std::invalid_argument);
+  // A cyclic graph fails at the CSR build.
+  Dag cyclic;
+  const auto a = cyclic.add_task(1.0);
+  const auto b = cyclic.add_task(1.0);
+  cyclic.add_edge(a, b);
+  cyclic.add_edge(b, a);
+  EXPECT_THROW((void)Scenario::compile(cyclic, FailureSpec::uniform(0.1)),
+               std::invalid_argument);
+}
+
+TEST(ScenarioCompile, CachedStateMatchesTheLibraryPrimitives) {
+  const Dag g = expmk::gen::erdos_dag(12, 0.3, 17);
+  const FailureModel model = calibrate(g, 0.01);
+  const Scenario sc =
+      Scenario::compile(g, FailureSpec(model), RetryModel::TwoState);
+
+  EXPECT_EQ(sc.task_count(), g.task_count());
+  EXPECT_FALSE(sc.heterogeneous());
+  EXPECT_FALSE(sc.failure_free());
+  EXPECT_DOUBLE_EQ(sc.uniform_model().lambda, model.lambda);
+  EXPECT_EQ(sc.critical_path(), expmk::graph::critical_path_length(g));
+  EXPECT_EQ(sc.mean_weight(), g.mean_weight());
+  EXPECT_EQ(sc.total_weight(), g.total_weight());
+
+  // Per-task constants, bit-identical to the primitives they cache.
+  const auto p_ref = expmk::core::success_probabilities(g, model);
+  ASSERT_EQ(sc.p_success().size(), g.task_count());
+  for (TaskId i = 0; i < g.task_count(); ++i) {
+    EXPECT_EQ(sc.p_success()[i], p_ref[i]) << i;
+    EXPECT_EQ(sc.rates()[i], model.lambda) << i;
+    EXPECT_EQ(sc.expected_durations()[i],
+              model.expected_duration(g.weight(i), RetryModel::TwoState))
+        << i;
+  }
+  // Position-order views are the Dag-order views permuted by the CSR.
+  for (std::uint32_t pos = 0; pos < g.task_count(); ++pos) {
+    const TaskId id = sc.csr().original_id(pos);
+    EXPECT_EQ(sc.p_success_csr()[pos], p_ref[id]) << pos;
+    EXPECT_EQ(sc.q_fail_csr()[pos], 1.0 - p_ref[id]) << pos;
+    EXPECT_EQ(sc.weights_csr()[pos], g.weight(id)) << pos;
+  }
+  // topo() is a valid topological order of the Dag.
+  std::vector<std::uint32_t> position(g.task_count());
+  for (std::uint32_t pos = 0; pos < g.task_count(); ++pos) {
+    position[sc.topo()[pos]] = pos;
+  }
+  for (TaskId u = 0; u < g.task_count(); ++u) {
+    for (const TaskId v : g.successors(u)) {
+      EXPECT_LT(position[u], position[v]);
+    }
+  }
+
+  // The geometric expected duration is cached per the scenario's retry.
+  const Scenario sc_geo =
+      Scenario::compile(g, FailureSpec(model), RetryModel::Geometric);
+  for (TaskId i = 0; i < g.task_count(); ++i) {
+    EXPECT_EQ(sc_geo.expected_durations()[i],
+              model.expected_duration(g.weight(i), RetryModel::Geometric))
+        << i;
+  }
+}
+
+TEST(ScenarioCompile, TrialContextIsAZeroCopyView) {
+  const Dag g = expmk::test::diamond();
+  const Scenario sc = Scenario::compile(g, FailureSpec::uniform(0.3),
+                                        RetryModel::Geometric);
+  const expmk::mc::TrialContext ctx(sc);
+  // The context borrows the scenario's CSR and constant arrays — no
+  // rebuild, no copies.
+  EXPECT_EQ(&ctx.csr(), &sc.csr());
+  EXPECT_EQ(ctx.p_success_csr().data(), sc.p_success_csr().data());
+  EXPECT_EQ(ctx.q_fail_csr().data(), sc.q_fail_csr().data());
+  EXPECT_EQ(ctx.inv_log_q_csr().data(), sc.inv_log_q_csr().data());
+  EXPECT_EQ(ctx.retry(), RetryModel::Geometric);
+}
+
+// ---------------------------------------------------- adapter property
+
+/// Bitwise result equality (NaN == NaN for the unsupported case).
+void expect_bit_identical(const EvalResult& a, const EvalResult& b,
+                          const std::string& where) {
+  EXPECT_EQ(a.supported, b.supported) << where;
+  EXPECT_EQ(a.note, b.note) << where;
+  EXPECT_EQ(a.censored_trials, b.censored_trials) << where;
+  if (std::isnan(a.mean) || std::isnan(b.mean)) {
+    EXPECT_TRUE(std::isnan(a.mean) && std::isnan(b.mean)) << where;
+  } else {
+    EXPECT_EQ(a.mean, b.mean) << where;
+  }
+  EXPECT_EQ(a.std_error, b.std_error) << where;
+}
+
+// Every legacy (Dag&, FailureModel, RetryModel) adapter must return
+// BIT-identical results to its Scenario-based overload — the adapters are
+// compile-and-forward, and the Scenario caches reproduce the pre-Scenario
+// arithmetic exactly. All 13 evaluators, both retry models, uniform rates.
+TEST(AdapterProperty, LegacyCallsBitIdenticalToScenarioCalls) {
+  EvalOptions opt;
+  opt.mc_trials = 2'000;
+  opt.seed = 77;
+  opt.threads = 1;
+  opt.capture_distribution = false;
+
+  const auto& reg = EvaluatorRegistry::builtin();
+  ASSERT_EQ(reg.size(), 13u);
+  for (const auto& [label, g] : fixture_dags()) {
+    const FailureModel model = calibrate(g, 0.01);
+    for (const RetryModel retry :
+         {RetryModel::TwoState, RetryModel::Geometric}) {
+      const Scenario sc =
+          Scenario::compile(g, FailureSpec(model), retry);
+      for (const Evaluator& e : reg.evaluators()) {
+        const std::string where =
+            label + " / " + std::string(e.name()) + " / " +
+            (retry == RetryModel::TwoState ? "two_state" : "geometric");
+        const EvalResult legacy = e.evaluate(g, model, retry, opt);
+        const EvalResult scen = e.evaluate(sc, opt);
+        expect_bit_identical(legacy, scen, where);
+      }
+    }
+  }
+}
+
+// ------------------------------------------------- heterogeneous rates
+
+// Constant per-task rates must agree with the uniform spec (different
+// code path, same model) to float-noise precision.
+TEST(Heterogeneous, ConstantRateVectorMatchesUniform) {
+  const Dag g = expmk::gen::erdos_dag(10, 0.3, 5);
+  const FailureModel model = calibrate(g, 0.01);
+  const std::vector<double> rates(g.task_count(), model.lambda);
+
+  const Scenario uni =
+      Scenario::compile(g, FailureSpec(model), RetryModel::TwoState);
+  const Scenario het = Scenario::compile(g, FailureSpec::per_task(rates),
+                                         RetryModel::TwoState);
+  ASSERT_TRUE(het.heterogeneous());
+
+  const double exact_u = expmk::core::exact_two_state(uni);
+  const double exact_h = expmk::core::exact_two_state(het);
+  // Same p_success vector => identical enumeration.
+  EXPECT_EQ(exact_u, exact_h);
+
+  const double fo_u = expmk::core::first_order(uni).expected_makespan();
+  const double fo_h = expmk::core::first_order(het).expected_makespan();
+  EXPECT_NEAR(fo_h, fo_u, 1e-12 * fo_u);
+
+  const double so_u = expmk::core::second_order(uni).expected_makespan;
+  const double so_h = expmk::core::second_order(het).expected_makespan;
+  EXPECT_NEAR(so_h, so_u, 1e-12 * so_u);
+
+  // The MC kernel consumes per-task constant arrays either way: with an
+  // identical p table the sampled stream is identical.
+  expmk::mc::McConfig cfg;
+  cfg.trials = 1'000;
+  cfg.seed = 5;
+  cfg.threads = 1;
+  EXPECT_EQ(expmk::mc::run_monte_carlo(uni, cfg).mean,
+            expmk::mc::run_monte_carlo(het, cfg).mean);
+}
+
+// Heterogeneous rates end-to-end against the exact oracle on <= 10-task
+// DAGs: every heterogeneous-capable two-state evaluator must respect its
+// accuracy contract (with margin: the spread pushes some per-task rates
+// to 2x the calibrated lambda, scaling the closed-form error terms).
+TEST(Heterogeneous, CatalogueValidatedAgainstExactOracle) {
+  EvalOptions opt;
+  opt.mc_trials = 60'000;
+  opt.seed = 913;
+  opt.threads = 1;
+
+  const auto& reg = EvaluatorRegistry::builtin();
+  for (const auto& [label, g] : fixture_dags()) {
+    ASSERT_LE(g.task_count(), 10u) << label;
+    const Scenario sc = Scenario::compile(
+        g, FailureSpec::per_task(spread_rates(g, 0.01)),
+        RetryModel::TwoState);
+    const double exact = expmk::core::exact_two_state(sc);
+    ASSERT_GT(exact, 0.0) << label;
+
+    for (const Evaluator& e : reg.evaluators()) {
+      const auto& caps = e.capabilities();
+      if (!caps.two_state || !caps.heterogeneous) continue;
+      const auto r = e.evaluate(sc, opt);
+      const std::string where = label + " / " + std::string(e.name());
+      if (!r.supported) {
+        EXPECT_EQ(e.name(), "sp") << where << ": " << r.note;
+        continue;
+      }
+      switch (caps.kind) {
+        case EstimateKind::Estimate: {
+          const double tol = 8.0 * caps.rel_tolerance * exact +
+                             (caps.stochastic ? 6.0 * r.std_error : 0.0);
+          EXPECT_NEAR(r.mean, exact, tol) << where;
+          break;
+        }
+        case EstimateKind::LowerBound:
+          EXPECT_LE(r.mean, exact * (1.0 + 1e-9)) << where;
+          break;
+        case EstimateKind::UpperBound:
+          EXPECT_GE(r.mean, exact * (1.0 - 1e-9)) << where;
+          break;
+      }
+    }
+  }
+}
+
+// The SP evaluator is EXACT on series-parallel graphs — also under
+// heterogeneous rates (its per-task 2-state laws carry each task's own
+// p_i), which pins the heterogeneous plumbing end to end with zero
+// statistical slack.
+TEST(Heterogeneous, SpEvaluatorExactOnSpGraphs) {
+  const Dag g = expmk::gen::random_series_parallel(8, 21);
+  ASSERT_LE(g.task_count(), 10u);
+  const Scenario sc = Scenario::compile(
+      g, FailureSpec::per_task(spread_rates(g, 0.02)),
+      RetryModel::TwoState);
+  const auto r =
+      EvaluatorRegistry::builtin().find("sp")->evaluate(sc, {});
+  ASSERT_TRUE(r.supported) << r.note;
+  EXPECT_NEAR(r.mean, expmk::core::exact_two_state(sc), 1e-9);
+}
+
+// Heterogeneous rates actually matter: doubling one task's rate moves the
+// first-order estimate by that task's own sensitivity term.
+TEST(Heterogeneous, RatesAreNotCollapsedToTheirMean) {
+  const Dag g = expmk::test::diamond(0.4, 0.3, 0.5, 0.2);
+  const FailureModel model = calibrate(g, 0.01);
+  std::vector<double> rates(g.task_count(), model.lambda);
+  rates[2] *= 8.0;  // task C sits on the critical path A-C-D
+
+  const Scenario het = Scenario::compile(g, FailureSpec::per_task(rates),
+                                         RetryModel::TwoState);
+  const Scenario uni =
+      Scenario::compile(g, FailureSpec(model), RetryModel::TwoState);
+  EXPECT_GT(expmk::core::first_order(het).expected_makespan(),
+            expmk::core::first_order(uni).expected_makespan());
+  EXPECT_GT(expmk::core::exact_two_state(het),
+            expmk::core::exact_two_state(uni));
+}
+
+// Methods that cannot handle per-task rates gate cleanly: supported ==
+// false with a note, never an exception escaping the evaluator.
+TEST(Heterogeneous, UniformOnlyMethodsGateCleanly) {
+  const Dag g = expmk::test::diamond();
+  const std::vector<double> rates = {0.1, 0.2, 0.3, 0.1};
+
+  const Scenario het_geo = Scenario::compile(
+      g, FailureSpec::per_task(rates), RetryModel::Geometric);
+  const auto geo = EvaluatorRegistry::builtin().find("exact.geo")->evaluate(
+      het_geo, {});
+  EXPECT_FALSE(geo.supported);
+  EXPECT_NE(geo.note.find("per-task failure rates"), std::string::npos);
+  EXPECT_TRUE(std::isnan(geo.mean));
+
+  const Scenario het_ts = Scenario::compile(
+      g, FailureSpec::per_task(rates), RetryModel::TwoState);
+  const auto dodin =
+      EvaluatorRegistry::builtin().find("dodin")->evaluate(het_ts, {});
+  EXPECT_FALSE(dodin.supported);
+  EXPECT_NE(dodin.note.find("per-task failure rates"), std::string::npos);
+}
+
+// ---------------------------------------------------- compile-once sweep
+
+// The sweep contract the redesign exists for: one Scenario::compile per
+// (generator, size, pfail) cell, no matter how many methods run on it.
+TEST(CompileOnce, SweepCompilesOneScenarioPerCell) {
+  expmk::exp::SweepGrid grid;
+  grid.generators = {"lu", "chain"};
+  grid.sizes = {3};
+  grid.pfails = {0.001, 0.01};
+  grid.methods = {"fo", "so", "sculli", "bounds.lower", "bounds.upper"};
+  grid.reference = "exact";
+  grid.options.mc_trials = 100;
+
+  const std::uint64_t before = Scenario::compiled_count();
+  const auto result = expmk::exp::SweepRunner().run(grid, 2);
+  const std::uint64_t compiled = Scenario::compiled_count() - before;
+
+  const std::size_t cells = 2 * 1 * 2;  // generators x sizes x pfails
+  EXPECT_EQ(compiled, cells);
+  // 6 methods ran per cell (reference prepended): without the compile-
+  // once scenario this would have been 24 compiles.
+  ASSERT_EQ(result.cells.size(), cells * 6);
+  for (const auto& cell : result.cells) {
+    EXPECT_TRUE(cell.result.supported) << cell.method;
+  }
+}
+
+// ------------------------------------------------- structural censoring
+
+// Conditional-MC censoring is a structural field now, not a string note:
+// at a microscopic 1 - p0 the rejection cap binds, censored_trials lands
+// in EvalResult (and from there in the v2 sweep schema), and the note
+// stays free for real diagnostics.
+TEST(CensoredTrials, SurfacedStructurallyThroughEvaluatorAndArtifact) {
+  const Dag g = expmk::test::diamond(0.3, 0.3, 0.3, 0.3);
+  // 1 - p0 ~ 1.2e-9: a rejection loop capped at 1e6 draws practically
+  // never sees a failure, so every trial is censored (deterministic under
+  // the fixed seed).
+  const Scenario sc = Scenario::compile(g, FailureSpec::uniform(1e-9),
+                                        RetryModel::TwoState);
+  EvalOptions opt;
+  opt.mc_trials = 2;
+  opt.seed = 3;
+  opt.threads = 1;
+  const auto r = EvaluatorRegistry::builtin().find("cmc")->evaluate(sc, opt);
+  ASSERT_TRUE(r.supported) << r.note;
+  EXPECT_EQ(r.censored_trials, 2u);
+  EXPECT_EQ(r.note.find("censored"), std::string::npos)
+      << "censoring must not be string-encoded anymore: " << r.note;
+
+  // The v2 artifact schema carries the field for every cell.
+  expmk::exp::SweepGrid grid;
+  grid.generators = {"chain"};
+  grid.sizes = {3};
+  grid.pfails = {0.01};
+  grid.methods = {"fo"};
+  grid.reference = "";
+  const auto sweep = expmk::exp::SweepRunner().run(grid);
+  const std::string json = sweep.json();
+  EXPECT_NE(json.find("\"schema\": \"expmk-sweep-v2\""), std::string::npos);
+  EXPECT_NE(json.find("\"censored_trials\": 0"), std::string::npos);
+  const std::string csv = sweep.csv();
+  EXPECT_NE(csv.find(",censored_trials,"), std::string::npos);
+}
+
+}  // namespace

@@ -108,4 +108,51 @@ TEST(Serialize, LargeGraphRoundTripIsExact) {
   EXPECT_DOUBLE_EQ(parsed.total_weight(), g.total_weight());
 }
 
+// Version-2 files round-trip per-task failure rates bit-exactly alongside
+// the weights, so heterogeneous scenarios can be saved and reloaded.
+TEST(Serialize, RatesRoundTripBitExactly) {
+  const auto g = expmk::gen::erdos_dag(12, 0.25, 9);
+  std::vector<double> rates(g.task_count());
+  for (expmk::graph::TaskId i = 0; i < g.task_count(); ++i) {
+    // Awkward doubles on purpose: max_digits10 must round-trip them.
+    rates[i] = 0.0137 * (static_cast<double>(i) + 1.0) / 3.0;
+  }
+
+  const std::string text = to_taskgraph(g, rates);
+  EXPECT_EQ(text.rfind("expmk-taskgraph 2", 0), 0u);
+  const auto file = expmk::graph::taskgraph_file_from_string(text);
+  ASSERT_TRUE(file.has_rates());
+  ASSERT_EQ(file.rates.size(), g.task_count());
+  for (expmk::graph::TaskId i = 0; i < g.task_count(); ++i) {
+    EXPECT_EQ(file.rates[i], rates[i]) << i;
+    EXPECT_EQ(file.dag.weight(i), g.weight(i)) << i;
+  }
+  EXPECT_EQ(file.dag.edge_count(), g.edge_count());
+
+  // The rate-less reader accepts v2 files and just drops the rates.
+  const auto dag_only = taskgraph_from_string(text);
+  EXPECT_EQ(dag_only.task_count(), g.task_count());
+
+  // Rate-less graphs still write the historical v1 format, byte-stable.
+  EXPECT_EQ(to_taskgraph(g).rfind("expmk-taskgraph 1", 0), 0u);
+
+  // Writer validation: size mismatch and bad rates fail loudly.
+  EXPECT_THROW((void)to_taskgraph(g, std::vector<double>{0.1}),
+               std::invalid_argument);
+  std::vector<double> negative(g.task_count(), -1.0);
+  EXPECT_THROW((void)to_taskgraph(g, negative), std::invalid_argument);
+
+  // A v2 file whose task lines lack the rate column is malformed.
+  EXPECT_THROW((void)taskgraph_from_string("expmk-taskgraph 2\ntask a 1\n"),
+               std::invalid_argument);
+
+  // File helpers with rates.
+  const std::string path = "/tmp/expmk_serialize_rates_test.tg";
+  expmk::graph::save_taskgraph(path, g, rates);
+  const auto loaded = expmk::graph::load_taskgraph_file(path);
+  ASSERT_TRUE(loaded.has_rates());
+  EXPECT_EQ(loaded.rates, file.rates);
+  std::remove(path.c_str());
+}
+
 }  // namespace

@@ -48,8 +48,7 @@ TEST(Registry, CatalogueIsComplete) {
 
 TEST(Registry, DuplicateNamesRejected) {
   EvaluatorRegistry reg;
-  const auto fn = [](const expmk::graph::Dag&, const FailureModel&,
-                     RetryModel, const EvalOptions&,
+  const auto fn = [](const expmk::scenario::Scenario&, const EvalOptions&,
                      expmk::exp::EvalResult& r) { r.mean = 1.0; };
   reg.add(Evaluator("x", "", {}, fn));
   EXPECT_THROW(reg.add(Evaluator("x", "", {}, fn)), std::invalid_argument);
@@ -267,7 +266,7 @@ TEST(Sweep, JsonArtifactBitIdenticalAcrossThreadCounts) {
   // already listed, so it is not prepended a second time).
   EXPECT_EQ(a.cells.size(), 2u * 2u * 7u);
   // The artifact embeds the determinism-relevant metadata.
-  EXPECT_NE(json.find("\"schema\": \"expmk-sweep-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"expmk-sweep-v2\""), std::string::npos);
   EXPECT_NE(json.find("\"reference\": \"fo\""), std::string::npos);
 }
 

@@ -1,5 +1,6 @@
 #include "core/criticality.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "graph/levels.hpp"
@@ -31,23 +32,32 @@ std::vector<graph::TaskId> critical_tasks(const graph::Dag& g,
 
 namespace {
 
-std::vector<double> criticality_impl(const graph::Dag& g,
-                                     const mc::TrialContext& ctx,
-                                     const CriticalityConfig& config) {
-  const std::size_t n = g.task_count();
-  std::vector<std::uint64_t> hits(n, 0);
-  std::vector<double> durations(n);
-  std::vector<double> top(n), bottom(n);
+std::vector<double> criticality_impl(const mc::TrialContext& ctx,
+                                     const CriticalityConfig& config,
+                                     exp::Workspace& ws) {
+  const exp::Workspace::Frame frame(ws);
+  const graph::CsrDag& csr = ctx.csr();
+  const std::size_t n = csr.task_count();
+  const std::span<const graph::TaskId> order = csr.order();
+  const std::span<std::uint64_t> hits = ws.u64(n);
+  std::fill(hits.begin(), hits.end(), std::uint64_t{0});
+  const std::span<double> dur_pos = ws.doubles(n);  // position order
+  const std::span<double> finish = ws.doubles(n);
+  const std::span<double> top = ws.doubles(n);
+  const std::span<double> bottom = ws.doubles(n);
 
   for (std::uint64_t t = 0; t < config.trials; ++t) {
     prob::Xoshiro256pp rng(config.seed, t);
-    // Sample durations (ignore the returned makespan; we recompute levels
-    // to identify all tasks with zero slack this trial).
-    (void)mc::run_trial(ctx, rng, durations);
-    const auto levels = graph::compute_levels(g, durations, ctx.topo());
-    for (graph::TaskId i = 0; i < n; ++i) {
-      const double through = levels.top[i] + levels.bottom[i];
-      if (through >= levels.critical_path * (1.0 - 1e-12)) ++hits[i];
+    // Sample durations straight in position order (ignore the returned
+    // makespan; we recompute levels to identify all tasks with zero
+    // slack this trial). Level values are graph-determined, so the CSR
+    // sweep matches the Dag-order sweep the pre-workspace implementation
+    // ran, bit for bit.
+    (void)mc::run_trial_durations_csr(ctx, rng, finish, dur_pos);
+    const double d = graph::compute_levels(csr, dur_pos, top, bottom);
+    for (std::uint32_t pos = 0; pos < n; ++pos) {
+      const double through = top[pos] + bottom[pos];
+      if (through >= d * (1.0 - 1e-12)) ++hits[order[pos]];
     }
   }
 
@@ -65,12 +75,20 @@ std::vector<double> criticality_probabilities(
     const graph::Dag& g, const FailureModel& model,
     const CriticalityConfig& config) {
   const mc::TrialContext ctx(g, model, config.retry);
-  return criticality_impl(g, ctx, config);
+  exp::Workspace ws;
+  return criticality_impl(ctx, config, ws);
+}
+
+std::vector<double> criticality_probabilities(
+    const scenario::Scenario& sc, const CriticalityConfig& config,
+    exp::Workspace& ws) {
+  return criticality_impl(mc::TrialContext(sc), config, ws);
 }
 
 std::vector<double> criticality_probabilities(
     const scenario::Scenario& sc, const CriticalityConfig& config) {
-  return criticality_impl(sc.dag(), mc::TrialContext(sc), config);
+  exp::Workspace ws;  // lease-a-temporary adapter; bit-identical
+  return criticality_probabilities(sc, config, ws);
 }
 
 }  // namespace expmk::core

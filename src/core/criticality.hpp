@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/failure_model.hpp"
+#include "exp/workspace.hpp"
 #include "graph/dag.hpp"
 #include "scenario/scenario.hpp"
 
@@ -44,9 +45,17 @@ struct CriticalityConfig {
     const graph::Dag& g, const FailureModel& model,
     const CriticalityConfig& config = {});
 
+/// Workspace kernel: every per-trial buffer (sampled durations, the CSR
+/// level arrays, the hit counters) is leased from `ws`, so the only heap
+/// allocation per call is the returned probability vector itself.
+[[nodiscard]] std::vector<double> criticality_probabilities(
+    const scenario::Scenario& sc, const CriticalityConfig& config,
+    exp::Workspace& ws);
+
 /// Scenario-based entry point (no CSR rebuild; heterogeneous per-task
 /// rates supported). `config.retry` is ignored — the scenario's retry
-/// model governs sampling.
+/// model governs sampling. Lease-a-temporary adapter over the workspace
+/// kernel.
 [[nodiscard]] std::vector<double> criticality_probabilities(
     const scenario::Scenario& sc, const CriticalityConfig& config = {});
 

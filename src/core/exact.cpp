@@ -1,5 +1,6 @@
 #include "core/exact.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <span>
 #include <stdexcept>
@@ -32,9 +33,10 @@ void check_size(const graph::Dag& g, std::size_t limit) {
 
 double two_state_expectation(const graph::Dag& g,
                              std::span<const graph::TaskId> topo,
-                             std::span<const double> p) {
+                             std::span<const double> p,
+                             std::span<double> weights,
+                             std::span<double> finish) {
   const std::size_t n = g.task_count();
-  std::vector<double> weights = g.weights();
   double expectation = 0.0;
   for (std::uint64_t mask = 0; mask < (1ULL << n); ++mask) {
     double prob = 1.0;
@@ -44,9 +46,18 @@ double two_state_expectation(const graph::Dag& g,
       weights[i] = failed ? 2.0 * g.weight(i) : g.weight(i);
     }
     if (prob == 0.0) continue;
-    expectation += prob * graph::critical_path_length(g, weights, topo);
+    expectation +=
+        prob * graph::critical_path_length(g, weights, topo, finish);
   }
   return expectation;
+}
+
+double two_state_expectation(const graph::Dag& g,
+                             std::span<const graph::TaskId> topo,
+                             std::span<const double> p) {
+  std::vector<double> weights(g.task_count());
+  std::vector<double> finish(g.task_count());
+  return two_state_expectation(g, topo, p, weights, finish);
 }
 
 prob::DiscreteDistribution two_state_distribution(
@@ -71,11 +82,12 @@ prob::DiscreteDistribution two_state_distribution(
 
 double geometric_expectation(const graph::Dag& g,
                              std::span<const graph::TaskId> topo,
-                             std::span<const double> p,
-                             int max_executions) {
+                             std::span<const double> p, int max_executions,
+                             exp::Workspace& ws) {
   if (max_executions < 1) {
     throw std::invalid_argument("exact_geometric: max_executions >= 1");
   }
+  const exp::Workspace::Frame frame(ws);
   const std::size_t n = g.task_count();
   // states^n enumerations: keep the total under ~2^24.
   double combos = 1.0;
@@ -88,31 +100,35 @@ double geometric_expectation(const graph::Dag& g,
   }
   check_size(g, 64);
 
-  // Per-task state probabilities: P(executions = e) = p (1-p)^{e-1} for
-  // e < max, remaining tail mass on e = max (truncated geometric).
-  std::vector<std::vector<double>> state_prob(n);
+  // Per-task state probabilities, flattened row-major [task][state]:
+  // P(executions = e) = p (1-p)^{e-1} for e < max, remaining tail mass on
+  // e = max (truncated geometric).
+  const auto states = static_cast<std::size_t>(max_executions);
+  const std::span<double> state_prob = ws.doubles(n * states);
   for (std::size_t i = 0; i < n; ++i) {
-    state_prob[i].resize(static_cast<std::size_t>(max_executions));
     double tail = 1.0;
     for (int e = 1; e < max_executions; ++e) {
       const double pe = tail * p[i];
-      state_prob[i][static_cast<std::size_t>(e - 1)] = pe;
+      state_prob[i * states + static_cast<std::size_t>(e - 1)] = pe;
       tail -= pe;
     }
-    state_prob[i][static_cast<std::size_t>(max_executions - 1)] = tail;
+    state_prob[i * states + states - 1] = tail;
   }
 
-  std::vector<int> state(n, 0);  // executions - 1 per task
-  std::vector<double> weights(n);
+  const std::span<int> state = ws.ints(n);  // executions - 1 per task
+  std::fill(state.begin(), state.end(), 0);
+  const std::span<double> weights = ws.doubles(n);
+  const std::span<double> finish = ws.doubles(n);
   double expectation = 0.0;
   for (;;) {
     double prob = 1.0;
     for (std::size_t i = 0; i < n; ++i) {
-      prob *= state_prob[i][static_cast<std::size_t>(state[i])];
+      prob *= state_prob[i * states + static_cast<std::size_t>(state[i])];
       weights[i] = g.weight(i) * static_cast<double>(state[i] + 1);
     }
     if (prob > 0.0) {
-      expectation += prob * graph::critical_path_length(g, weights, topo);
+      expectation +=
+          prob * graph::critical_path_length(g, weights, topo, finish);
     }
     // Odometer increment.
     std::size_t pos = 0;
@@ -135,9 +151,17 @@ double exact_two_state(const graph::Dag& g, const FailureModel& model) {
   return two_state_expectation(g, topo, p);
 }
 
-double exact_two_state(const scenario::Scenario& sc) {
+double exact_two_state(const scenario::Scenario& sc, exp::Workspace& ws) {
   check_size(sc.dag(), kMaxExactTasks);
-  return two_state_expectation(sc.dag(), sc.topo(), sc.p_success());
+  const exp::Workspace::Frame frame(ws);
+  const std::size_t n = sc.task_count();
+  return two_state_expectation(sc.dag(), sc.topo(), sc.p_success(),
+                               ws.doubles(n), ws.doubles(n));
+}
+
+double exact_two_state(const scenario::Scenario& sc) {
+  exp::Workspace ws;  // lease-a-temporary adapter; bit-identical
+  return exact_two_state(sc, ws);
 }
 
 prob::DiscreteDistribution exact_two_state_distribution(
@@ -158,16 +182,23 @@ double exact_geometric(const graph::Dag& g, const FailureModel& model,
                        int max_executions) {
   const auto topo = graph::topological_order(g);
   const auto p = success_probabilities(g, model);
-  return geometric_expectation(g, topo, p, max_executions);
+  exp::Workspace ws;
+  return geometric_expectation(g, topo, p, max_executions, ws);
 }
 
-double exact_geometric(const scenario::Scenario& sc, int max_executions) {
+double exact_geometric(const scenario::Scenario& sc, int max_executions,
+                       exp::Workspace& ws) {
   if (sc.heterogeneous()) {
     throw std::invalid_argument(
         "exact_geometric: per-task failure rates not supported");
   }
   return geometric_expectation(sc.dag(), sc.topo(), sc.p_success(),
-                               max_executions);
+                               max_executions, ws);
+}
+
+double exact_geometric(const scenario::Scenario& sc, int max_executions) {
+  exp::Workspace ws;  // lease-a-temporary adapter; bit-identical
+  return exact_geometric(sc, max_executions, ws);
 }
 
 }  // namespace expmk::core

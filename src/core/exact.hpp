@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "core/failure_model.hpp"
+#include "exp/workspace.hpp"
 #include "graph/dag.hpp"
 #include "prob/discrete_distribution.hpp"
 #include "scenario/scenario.hpp"
@@ -26,8 +27,16 @@ inline constexpr std::size_t kMaxExactTasks = 24;
 [[nodiscard]] double exact_two_state(const graph::Dag& g,
                                      const FailureModel& model);
 
+/// Workspace kernel: the perturbed-weight and longest-path scratch of the
+/// enumeration (previously one vector per call, one more per mask through
+/// the allocating critical_path_length overload) is leased from `ws` —
+/// zero heap allocations on a warm workspace, even for the oracle.
+[[nodiscard]] double exact_two_state(const scenario::Scenario& sc,
+                                     exp::Workspace& ws);
+
 /// Scenario-based entry point (no per-call preprocessing). The oracle is
 /// per-task throughout, so heterogeneous per-task rates are exact too.
+/// Lease-a-temporary adapter over the workspace kernel.
 [[nodiscard]] double exact_two_state(const scenario::Scenario& sc);
 
 /// Exact full makespan distribution of the 2-state DAG (same complexity).
@@ -47,9 +56,15 @@ inline constexpr std::size_t kMaxExactTasks = 24;
                                      const FailureModel& model,
                                      int max_executions);
 
+/// Workspace kernel (flattened truncated-geometric state table + odometer
+/// + weight/finish scratch all leased from `ws`).
+[[nodiscard]] double exact_geometric(const scenario::Scenario& sc,
+                                     int max_executions, exp::Workspace& ws);
+
 /// Scenario-based entry point. Uniform scenarios only: throws
 /// std::invalid_argument on heterogeneous rates (the exp::Capabilities
 /// gate reports supported == false before this is reached in a sweep).
+/// Lease-a-temporary adapter over the workspace kernel.
 [[nodiscard]] double exact_geometric(const scenario::Scenario& sc,
                                      int max_executions);
 

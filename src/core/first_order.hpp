@@ -22,6 +22,7 @@
 #include <span>
 
 #include "core/failure_model.hpp"
+#include "exp/workspace.hpp"
 #include "graph/csr.hpp"
 #include "graph/dag.hpp"
 #include "scenario/scenario.hpp"
@@ -47,10 +48,19 @@ struct FirstOrderResult {
 [[nodiscard]] FirstOrderResult first_order(const graph::CsrDag& csr,
                                            const FailureModel& model);
 
-/// Scenario-based entry point: reuses the compiled CSR view (no per-call
-/// preprocessing). Under heterogeneous per-task rates the correction
-/// generalizes term-by-term — P(task i fails) ~ lambda_i a_i, so
+/// Workspace kernel — the implementation every Scenario entry point
+/// forwards to. Leases the two level buffers from `ws` (one frame, two
+/// O(V) spans): ZERO heap allocations on a warm workspace. Under
+/// heterogeneous per-task rates the correction generalizes term-by-term —
+/// P(task i fails) ~ lambda_i a_i, so
 ///   E(G) ~ d(G) + sum_i lambda_i a_i (d(G_i) - d(G)) + O(max lambda^2).
+[[nodiscard]] FirstOrderResult first_order(const scenario::Scenario& sc,
+                                           exp::Workspace& ws);
+
+/// Scenario-based entry point: reuses the compiled CSR view (no per-call
+/// preprocessing). Lease-a-temporary adapter over the workspace kernel
+/// (bit-identical); prefer passing a pooled Workspace when evaluating
+/// repeatedly.
 [[nodiscard]] FirstOrderResult first_order(const scenario::Scenario& sc);
 
 /// Closed-form first-order approximation, O(|V| + |E|).

@@ -4,42 +4,63 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <vector>
 
 #include "graph/csr.hpp"
 
 namespace expmk::core {
 
-SecondOrderResult second_order(const graph::CsrDag& csr,
-                               const FailureModel& model,
-                               RetryModel model_kind) {
+namespace {
+
+/// The single copy of the second-order expansion, over caller scratch.
+/// `rates_csr` empty selects the uniform path, which keeps the exact
+/// pre-Scenario factoring (sum a_i, scale by lambda where the original
+/// scaled) so uniform results stay bit-identical to the historical
+/// second_order(CsrDag, FailureModel, RetryModel); non-empty rates run
+/// the generalized expansion with l_i = lambda_i a_i written into `l`
+/// (same size as the graph, unused when uniform). All spans have
+/// task_count() entries and are fully overwritten.
+SecondOrderResult second_order_impl(
+    const graph::CsrDag& csr, RetryModel model_kind, double lambda,
+    std::span<const double> rates_csr, std::span<double> top,
+    std::span<double> bottom, std::span<double> d_single,
+    std::span<double> dist, std::span<double> l) {
   constexpr double kNegInf = -std::numeric_limits<double>::infinity();
-  const double lambda = model.lambda;
   const std::size_t n = csr.task_count();
   const std::span<const double> w = csr.weights();
+  const bool het = !rates_csr.empty();
 
   // Levels over the renumbered positions (one forward, one backward pass).
-  std::vector<double> top(n), bottom(n);
   const double d = graph::compute_levels(csr, w, top, bottom);
 
-  double A = 0.0;
-  for (const double a : w) A += a;
+  // l_i = lambda_i a_i: the per-task first-order failure mass. L replaces
+  // the uniform lambda * A everywhere in the heterogeneous expansion.
+  double A = 0.0;  // uniform: sum a_i
+  double L = 0.0;  // heterogeneous: sum l_i
+  if (het) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      l[i] = rates_csr[i] * w[i];
+      L += l[i];
+    }
+  } else {
+    for (const double a : w) A += a;
+  }
 
   // d(G_i) for every i, plus the first-order correction for reporting.
-  std::vector<double> d_single(n);
   double fo_correction = 0.0;
   for (std::uint32_t i = 0; i < n; ++i) {
     const double thr2 = top[i] + bottom[i] + w[i];
     d_single[i] = std::max(d, thr2);
-    fo_correction += w[i] * (d_single[i] - d);
+    fo_correction += (het ? l[i] : w[i]) * (d_single[i] - d);
   }
 
-  // Pair terms sum_{i<j} a_i a_j d(G_ij), streaming one single-source
-  // longest path per i into a reused scratch buffer. Because positions
-  // are topologically renumbered, j at a later position can NEVER reach i
-  // — so one forward suffix sweep per i covers every unordered pair, and
-  // the reverse patch-up sweep the Dag-order implementation needed
-  // disappears entirely (half the work, zero allocations in the loop).
-  std::vector<double> dist(n);
+  // Pair terms sum_{i<j} m_i m_j d(G_ij) (m = a uniform, l het),
+  // streaming one single-source longest path per i into a reused scratch
+  // buffer. Because positions are topologically renumbered, j at a later
+  // position can NEVER reach i — so one forward suffix sweep per i
+  // covers every unordered pair, and the reverse patch-up sweep the
+  // Dag-order implementation needed disappears entirely (half the work,
+  // zero allocations in the loop).
   double pair_sum = 0.0;
   for (std::uint32_t i = 0; i < n; ++i) {
     longest_from(csr, i, w, dist);  // fills dist[i..n)
@@ -52,114 +73,44 @@ SecondOrderResult second_order(const graph::CsrDag& csr,
             top[i] + dist[j] + w[i] + w[j] + (bottom[j] - w[j]);
         dij = std::max(dij, cross);
       }
-      pair_sum += w[i] * w[j] * dij;
+      pair_sum += (het ? l[i] * l[j] : w[i] * w[j]) * dij;
     }
   }
 
   // Assemble per the expansion in the header comment.
-  double e2 = d * (1.0 - lambda * A + lambda * lambda * A * A / 2.0);
+  double e2 = het ? d * (1.0 - L + L * L / 2.0)
+                  : d * (1.0 - lambda * A + lambda * lambda * A * A / 2.0);
   for (std::uint32_t i = 0; i < n; ++i) {
-    const double a = w[i];
-    double coeff1;  // coefficient of lambda^2 on d(G_i)
-    switch (model_kind) {
-      case RetryModel::TwoState:
-        coeff1 = a * (a / 2.0 - A);
-        break;
-      case RetryModel::Geometric:
-        coeff1 = -a * (A + a / 2.0);
-        break;
-      default:
-        coeff1 = 0.0;
-    }
-    e2 += (lambda * a + lambda * lambda * coeff1) * d_single[i];
-  }
-  e2 += lambda * lambda * pair_sum;
-
-  if (model_kind == RetryModel::Geometric) {
-    // Triple execution of a single task: weight 3 a_i with prob
-    // (lambda a_i)^2 + O(lambda^3).
-    double triple = 0.0;
-    for (std::uint32_t i = 0; i < n; ++i) {
-      const double thr3 = top[i] + bottom[i] + 2.0 * w[i];
-      triple += w[i] * w[i] * std::max(d, thr3);
-    }
-    e2 += lambda * lambda * triple;
-  }
-
-  SecondOrderResult out;
-  out.critical_path = d;
-  out.first_order = d + lambda * fo_correction;
-  out.expected_makespan = e2;
-  return out;
-}
-
-SecondOrderResult second_order(const scenario::Scenario& sc) {
-  // Uniform scenarios run the pre-Scenario code path verbatim (bit-
-  // identical results); heterogeneous rates use the generalized expansion
-  // from the header comment with l_i = lambda_i a_i.
-  if (!sc.heterogeneous()) {
-    return second_order(sc.csr(), sc.uniform_model(), sc.retry());
-  }
-  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
-  const RetryModel model_kind = sc.retry();
-  const graph::CsrDag& csr = sc.csr();
-  const std::size_t n = csr.task_count();
-  const std::span<const double> w = csr.weights();
-  const std::span<const double> rates = sc.rates_csr();
-
-  std::vector<double> top(n), bottom(n);
-  const double d = graph::compute_levels(csr, w, top, bottom);
-
-  // l_i = lambda_i a_i: the per-task first-order failure mass. L replaces
-  // the uniform lambda * A everywhere.
-  std::vector<double> l(n);
-  double L = 0.0;
-  for (std::uint32_t i = 0; i < n; ++i) {
-    l[i] = rates[i] * w[i];
-    L += l[i];
-  }
-
-  std::vector<double> d_single(n);
-  double fo_correction = 0.0;
-  for (std::uint32_t i = 0; i < n; ++i) {
-    const double thr2 = top[i] + bottom[i] + w[i];
-    d_single[i] = std::max(d, thr2);
-    fo_correction += l[i] * (d_single[i] - d);
-  }
-
-  // Pair terms sum_{i<j} l_i l_j d(G_ij); same forward-only streaming
-  // sweep as the uniform implementation (see comments there).
-  std::vector<double> dist(n);
-  double pair_sum = 0.0;
-  for (std::uint32_t i = 0; i < n; ++i) {
-    longest_from(csr, i, w, dist);  // fills dist[i..n)
-    for (std::uint32_t j = i + 1; j < n; ++j) {
-      double dij = std::max(d_single[i], d_single[j]);
-      if (dist[j] != kNegInf) {
-        const double cross =
-            top[i] + dist[j] + w[i] + w[j] + (bottom[j] - w[j]);
-        dij = std::max(dij, cross);
+    if (het) {
+      double coeff1;  // second-order coefficient on d(G_i)
+      switch (model_kind) {
+        case RetryModel::TwoState:
+          coeff1 = l[i] * (l[i] / 2.0 - L);
+          break;
+        case RetryModel::Geometric:
+          coeff1 = -l[i] * (L + l[i] / 2.0);
+          break;
+        default:
+          coeff1 = 0.0;
       }
-      pair_sum += l[i] * l[j] * dij;
+      e2 += (l[i] + coeff1) * d_single[i];
+    } else {
+      const double a = w[i];
+      double coeff1;  // coefficient of lambda^2 on d(G_i)
+      switch (model_kind) {
+        case RetryModel::TwoState:
+          coeff1 = a * (a / 2.0 - A);
+          break;
+        case RetryModel::Geometric:
+          coeff1 = -a * (A + a / 2.0);
+          break;
+        default:
+          coeff1 = 0.0;
+      }
+      e2 += (lambda * a + lambda * lambda * coeff1) * d_single[i];
     }
   }
-
-  double e2 = d * (1.0 - L + L * L / 2.0);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    double coeff1;  // second-order coefficient on d(G_i)
-    switch (model_kind) {
-      case RetryModel::TwoState:
-        coeff1 = l[i] * (l[i] / 2.0 - L);
-        break;
-      case RetryModel::Geometric:
-        coeff1 = -l[i] * (L + l[i] / 2.0);
-        break;
-      default:
-        coeff1 = 0.0;
-    }
-    e2 += (l[i] + coeff1) * d_single[i];
-  }
-  e2 += pair_sum;
+  e2 += het ? pair_sum : lambda * lambda * pair_sum;
 
   if (model_kind == RetryModel::Geometric) {
     // Triple execution of a single task: weight 3 a_i with prob
@@ -167,16 +118,45 @@ SecondOrderResult second_order(const scenario::Scenario& sc) {
     double triple = 0.0;
     for (std::uint32_t i = 0; i < n; ++i) {
       const double thr3 = top[i] + bottom[i] + 2.0 * w[i];
-      triple += l[i] * l[i] * std::max(d, thr3);
+      triple += (het ? l[i] * l[i] : w[i] * w[i]) * std::max(d, thr3);
     }
-    e2 += triple;
+    e2 += het ? triple : lambda * lambda * triple;
   }
 
   SecondOrderResult out;
   out.critical_path = d;
-  out.first_order = d + fo_correction;
+  out.first_order = het ? d + fo_correction : d + lambda * fo_correction;
   out.expected_makespan = e2;
   return out;
+}
+
+}  // namespace
+
+SecondOrderResult second_order(const graph::CsrDag& csr,
+                               const FailureModel& model,
+                               RetryModel model_kind) {
+  const std::size_t n = csr.task_count();
+  std::vector<double> top(n), bottom(n), d_single(n), dist(n);
+  return second_order_impl(csr, model_kind, model.lambda, {}, top, bottom,
+                           d_single, dist, {});
+}
+
+SecondOrderResult second_order(const scenario::Scenario& sc,
+                               exp::Workspace& ws) {
+  const exp::Workspace::Frame frame(ws);
+  const graph::CsrDag& csr = sc.csr();
+  const std::size_t n = csr.task_count();
+  const bool het = sc.heterogeneous();
+  return second_order_impl(
+      csr, sc.retry(), het ? 0.0 : sc.uniform_model().lambda,
+      het ? sc.rates_csr() : std::span<const double>{}, ws.doubles(n),
+      ws.doubles(n), ws.doubles(n), ws.doubles(n),
+      het ? ws.doubles(n) : std::span<double>{});
+}
+
+SecondOrderResult second_order(const scenario::Scenario& sc) {
+  exp::Workspace ws;  // lease-a-temporary adapter; bit-identical
+  return second_order(sc, ws);
 }
 
 SecondOrderResult second_order(const graph::Dag& g, const FailureModel& model,

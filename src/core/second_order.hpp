@@ -31,6 +31,7 @@
 #include <span>
 
 #include "core/failure_model.hpp"
+#include "exp/workspace.hpp"
 #include "graph/csr.hpp"
 #include "graph/dag.hpp"
 #include "scenario/scenario.hpp"
@@ -53,9 +54,20 @@ struct SecondOrderResult {
     const graph::CsrDag& csr, const FailureModel& model,
     RetryModel model_kind = RetryModel::TwoState);
 
+/// Workspace kernel — the implementation the Scenario entry point
+/// forwards to. All O(V) scratch (levels, d(G_i), the streaming longest-
+/// path buffer, the heterogeneous l_i vector) is leased from `ws`: ZERO
+/// heap allocations on a warm workspace, including inside the O(|V|^2)
+/// pair sweep. Under heterogeneous per-task rates the expansion
+/// generalizes with l_i = lambda_i a_i and L = sum l_i (see the Scenario
+/// overload below).
+[[nodiscard]] SecondOrderResult second_order(const scenario::Scenario& sc,
+                                             exp::Workspace& ws);
+
 /// Scenario-based entry point: reuses the compiled CSR view and takes the
-/// retry model from the scenario. Under heterogeneous per-task rates the
-/// expansion generalizes with l_i = lambda_i a_i and L = sum l_i:
+/// retry model from the scenario. Lease-a-temporary adapter over the
+/// workspace kernel (bit-identical). Under heterogeneous per-task rates
+/// the expansion generalizes with l_i = lambda_i a_i and L = sum l_i:
 ///   E2 = d(G) (1 - L + L^2/2)
 ///      + sum_i [ l_i + l_i (l_i/2 - L) ] d(G_i)        (2-state)
 ///      + sum_{i<j} l_i l_j d(G_ij),

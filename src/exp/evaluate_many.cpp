@@ -1,0 +1,73 @@
+#include "exp/evaluate_many.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+#include "exp/seeds.hpp"
+#include "exp/workspace.hpp"
+#include "util/thread_pool.hpp"
+
+namespace expmk::exp {
+
+std::vector<EvalResult> evaluate_many(const scenario::Scenario& sc,
+                                      std::span<const EvalRequest> requests,
+                                      std::size_t threads,
+                                      const EvaluatorRegistry& registry) {
+  // Resolve every method upfront: a batch fails loudly on a typo before
+  // any cell burns compute (same policy as SweepRunner::run).
+  std::vector<const Evaluator*> evaluators;
+  evaluators.reserve(requests.size());
+  for (const EvalRequest& req : requests) {
+    const Evaluator* e = registry.find(req.method);
+    if (e == nullptr) {
+      throw std::invalid_argument("evaluate_many: unknown method '" +
+                                  req.method + "'");
+    }
+    evaluators.push_back(e);
+  }
+
+  std::vector<EvalResult> results(requests.size());
+  if (requests.empty()) return results;
+
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  // No point spinning up workers that would never see a request.
+  threads = std::min(threads, requests.size());
+
+  // One queued task per CONTIGUOUS INDEX RANGE, not per request: a batch
+  // of cheap analytic requests (~1 us each pooled) must not pay a
+  // packaged_task + future + mutex round-trip per request. Several
+  // ranges per worker (4x) keep mixed-cost batches load-balanced — a run
+  // of expensive MC requests lands in a few ranges other workers steal
+  // around, instead of pinning one worker while the rest idle. Each
+  // result is a pure function of (scenario, request, index) written to
+  // its own slot, so the partition does not affect the output.
+  util::ThreadPool pool(threads);
+  const std::size_t chunk_count = std::min(requests.size(), threads * 4);
+  const std::size_t per_chunk =
+      (requests.size() + chunk_count - 1) / chunk_count;
+  pool.parallel_for_chunks(chunk_count, [&](std::size_t chunk) {
+    const std::size_t begin = chunk * per_chunk;
+    const std::size_t end = std::min(begin + per_chunk, requests.size());
+    // One pooled workspace per worker thread: every analytic request
+    // this worker serves after its first leases warm arenas.
+    Workspace& ws = Workspace::local();
+    for (std::size_t i = begin; i < end; ++i) {
+      // Deterministic per-request seed: a pure function of (request seed
+      // base, batch index) — duplicate requests decorrelate, and nothing
+      // depends on which worker the request landed on.
+      EvalOptions options = requests[i].options;
+      options.seed = derive_seed(requests[i].options.seed, i);
+      // Batch parallelism comes from the fan-out; nested engine threads
+      // would oversubscribe the pool (and options.threads == 1 keeps
+      // each MC evaluation's chunk merge on the one worker).
+      options.threads = 1;
+      results[i] = evaluators[i]->evaluate(sc, options, ws);
+    }
+  });
+  return results;
+}
+
+}  // namespace expmk::exp

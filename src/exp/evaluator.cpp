@@ -26,7 +26,8 @@ Evaluator::Evaluator(std::string name, std::string description,
       fn_(std::move(fn)) {}
 
 EvalResult Evaluator::evaluate(const scenario::Scenario& sc,
-                               const EvalOptions& options) const {
+                               const EvalOptions& options,
+                               Workspace& ws) const {
   EvalResult result;
   const core::RetryModel retry = sc.retry();
   if ((retry == core::RetryModel::TwoState && !caps_.two_state) ||
@@ -50,7 +51,7 @@ EvalResult Evaluator::evaluate(const scenario::Scenario& sc,
   }
   const util::Timer timer;
   try {
-    fn_(sc, options, result);
+    fn_(sc, options, ws, result);
   } catch (const std::exception& e) {
     result = EvalResult{};
     result.supported = false;
@@ -58,6 +59,11 @@ EvalResult Evaluator::evaluate(const scenario::Scenario& sc,
   }
   result.seconds = timer.seconds();
   return result;
+}
+
+EvalResult Evaluator::evaluate(const scenario::Scenario& sc,
+                               const EvalOptions& options) const {
+  return evaluate(sc, options, Workspace::local());
 }
 
 EvalResult Evaluator::evaluate(const graph::Dag& g,
@@ -118,8 +124,8 @@ EvaluatorRegistry make_builtin() {
        .max_tasks = core::kMaxExactTasks,
        .rel_tolerance = 1e-12},
       [](const scenario::Scenario& sc, const EvalOptions& opt,
-         EvalResult& r) {
-        r.mean = core::exact_two_state(sc);
+         Workspace& ws, EvalResult& r) {
+        r.mean = core::exact_two_state(sc, ws);
         if (opt.capture_distribution) {
           r.distribution = core::exact_two_state_distribution(sc);
         }
@@ -139,8 +145,8 @@ EvaluatorRegistry make_builtin() {
        .kind = EstimateKind::Estimate,
        .rel_tolerance = 1e-6},
       [](const scenario::Scenario& sc, const EvalOptions& opt,
-         EvalResult& r) {
-        r.mean = core::exact_geometric(sc, opt.geometric_max_executions);
+         Workspace& ws, EvalResult& r) {
+        r.mean = core::exact_geometric(sc, opt.geometric_max_executions, ws);
       }));
 
   // -------------------------------------- the paper's closed-form family
@@ -152,8 +158,9 @@ EvaluatorRegistry make_builtin() {
        .geometric = true,
        .heterogeneous = true,
        .rel_tolerance = 5e-3},
-      [](const scenario::Scenario& sc, const EvalOptions&, EvalResult& r) {
-        r.mean = core::first_order(sc).expected_makespan();
+      [](const scenario::Scenario& sc, const EvalOptions&, Workspace& ws,
+         EvalResult& r) {
+        r.mean = core::first_order(sc, ws).expected_makespan();
       }));
 
   reg.add(Evaluator(
@@ -164,8 +171,9 @@ EvaluatorRegistry make_builtin() {
        .geometric = true,
        .heterogeneous = true,
        .rel_tolerance = 1e-3},
-      [](const scenario::Scenario& sc, const EvalOptions&, EvalResult& r) {
-        r.mean = core::second_order(sc).expected_makespan;
+      [](const scenario::Scenario& sc, const EvalOptions&, Workspace& ws,
+         EvalResult& r) {
+        r.mean = core::second_order(sc, ws).expected_makespan;
       }));
 
   // ------------------------------------------- series-parallel / Dodin
@@ -178,8 +186,8 @@ EvaluatorRegistry make_builtin() {
        .heterogeneous = true,
        .rel_tolerance = 1e-9},
       [](const scenario::Scenario& sc, const EvalOptions& opt,
-         EvalResult& r) {
-        auto eval = sp::evaluate_sp(sc, opt.sp_max_atoms);
+         Workspace& ws, EvalResult& r) {
+        auto eval = sp::evaluate_sp(sc, opt.sp_max_atoms, ws);
         if (!eval.is_series_parallel) {
           r.supported = false;
           r.note = "graph is not series-parallel";
@@ -200,8 +208,8 @@ EvaluatorRegistry make_builtin() {
        .heterogeneous = false,
        .rel_tolerance = 0.05},
       [](const scenario::Scenario& sc, const EvalOptions& opt,
-         EvalResult& r) {
-        auto d = sp::dodin_two_state(sc, {.max_atoms = opt.dodin_atoms});
+         Workspace& ws, EvalResult& r) {
+        auto d = sp::dodin_two_state(sc, {.max_atoms = opt.dodin_atoms}, ws);
         r.mean = d.expected_makespan();
         if (opt.capture_distribution) {
           r.distribution = std::move(d.makespan);
@@ -217,8 +225,9 @@ EvaluatorRegistry make_builtin() {
        .geometric = true,
        .heterogeneous = true,
        .rel_tolerance = 0.05},
-      [](const scenario::Scenario& sc, const EvalOptions&, EvalResult& r) {
-        r.mean = normal::sculli(sc).expected_makespan();
+      [](const scenario::Scenario& sc, const EvalOptions&, Workspace& ws,
+         EvalResult& r) {
+        r.mean = normal::sculli(sc, ws).expected_makespan();
       }));
 
   reg.add(Evaluator(
@@ -229,8 +238,9 @@ EvaluatorRegistry make_builtin() {
        .geometric = true,
        .heterogeneous = true,
        .rel_tolerance = 0.05},
-      [](const scenario::Scenario& sc, const EvalOptions&, EvalResult& r) {
-        r.mean = normal::corlca(sc).expected_makespan();
+      [](const scenario::Scenario& sc, const EvalOptions&, Workspace& ws,
+         EvalResult& r) {
+        r.mean = normal::corlca(sc, ws).expected_makespan();
       }));
 
   reg.add(Evaluator(
@@ -242,8 +252,9 @@ EvaluatorRegistry make_builtin() {
        .heterogeneous = true,
        .max_tasks = normal::kClarkFullMaxTasks,
        .rel_tolerance = 0.05},
-      [](const scenario::Scenario& sc, const EvalOptions&, EvalResult& r) {
-        r.mean = normal::clark_full(sc).expected_makespan();
+      [](const scenario::Scenario& sc, const EvalOptions&, Workspace& ws,
+         EvalResult& r) {
+        r.mean = normal::clark_full(sc, ws).expected_makespan();
       }));
 
   // -------------------------------------------------- analytic bounds
@@ -254,8 +265,9 @@ EvaluatorRegistry make_builtin() {
        .geometric = false,
        .heterogeneous = true,
        .kind = EstimateKind::LowerBound},
-      [](const scenario::Scenario& sc, const EvalOptions&, EvalResult& r) {
-        r.mean = core::makespan_bounds(sc).jensen_lower;
+      [](const scenario::Scenario& sc, const EvalOptions&, Workspace& ws,
+         EvalResult& r) {
+        r.mean = core::makespan_bounds(sc, ws).jensen_lower;
       }));
 
   reg.add(Evaluator(
@@ -265,8 +277,9 @@ EvaluatorRegistry make_builtin() {
        .geometric = false,
        .heterogeneous = true,
        .kind = EstimateKind::UpperBound},
-      [](const scenario::Scenario& sc, const EvalOptions&, EvalResult& r) {
-        r.mean = core::makespan_bounds(sc).level_upper;
+      [](const scenario::Scenario& sc, const EvalOptions&, Workspace& ws,
+         EvalResult& r) {
+        r.mean = core::makespan_bounds(sc, ws).level_upper;
       }));
 
   // -------------------------------------------------------- Monte-Carlo
@@ -280,7 +293,10 @@ EvaluatorRegistry make_builtin() {
        .stochastic = true,
        .rel_tolerance = 0.02},
       [](const scenario::Scenario& sc, const EvalOptions& opt,
-         EvalResult& r) {
+         Workspace&, EvalResult& r) {
+        // The MC engine's per-thread trial buffers are already pooled
+        // internally (and the engine is multi-threaded, while a Workspace
+        // is single-thread affine), so the workspace goes unused here.
         mc::McConfig cfg;
         cfg.trials = opt.mc_trials;
         cfg.seed = opt.seed;
@@ -301,7 +317,7 @@ EvaluatorRegistry make_builtin() {
        .stochastic = true,
        .rel_tolerance = 0.02},
       [](const scenario::Scenario& sc, const EvalOptions& opt,
-         EvalResult& r) {
+         Workspace&, EvalResult& r) {
         mc::ConditionalMcConfig cfg;
         cfg.trials = opt.mc_trials;
         cfg.seed = opt.seed;

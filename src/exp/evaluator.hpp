@@ -15,9 +15,16 @@
 // where `scenario` is the compile-once scenario::Scenario handle carrying
 // the DAG, the (possibly per-task) failure rates, the retry model and all
 // cached preprocessing — compiled ONCE per (DAG, rates, retry) cell and
-// shared by every method evaluated on that cell. The legacy
+// shared by every method evaluated on that cell — and every wrapped
+// method is a `(Scenario, EvalOptions, Workspace, EvalResult)` kernel:
+// its scratch is leased from an exp::Workspace, so steady-state repeated
+// evaluation on a warm workspace performs ZERO heap allocations for the
+// analytic methods (MC trial buffers were already pooled; the
+// distribution methods sp/dodin are documented exceptions). The
+// workspace-less evaluate(scenario, options) overload leases from the
+// calling thread's pooled Workspace::local(); the legacy
 // (Dag, FailureModel, RetryModel) overload remains as a thin
-// compile-and-forward adapter and returns bit-identical results.
+// compile-and-forward adapter. Both return bit-identical results.
 //
 // A Capabilities record states what the method can do (which retry
 // models, how large a graph, uniform-only vs per-task rates, whether it
@@ -38,6 +45,7 @@
 #include <vector>
 
 #include "core/failure_model.hpp"
+#include "exp/workspace.hpp"
 #include "graph/dag.hpp"
 #include "prob/discrete_distribution.hpp"
 #include "scenario/scenario.hpp"
@@ -116,10 +124,12 @@ class Evaluator {
  public:
   /// The wrapped computation: fills mean / std_error / distribution /
   /// censored_trials of the result in-place (seconds and capability
-  /// gating are handled by evaluate()). May throw; evaluate() converts
-  /// exceptions into supported == false.
+  /// gating are handled by evaluate()). Scratch is leased from the given
+  /// Workspace — the kernel must not retain spans past the call. May
+  /// throw; evaluate() converts exceptions into supported == false.
   using Fn = std::function<void(const scenario::Scenario&,
-                                const EvalOptions&, EvalResult&)>;
+                                const EvalOptions&, Workspace&,
+                                EvalResult&)>;
 
   Evaluator(std::string name, std::string description, Capabilities caps,
             Fn fn);
@@ -132,10 +142,20 @@ class Evaluator {
     return caps_;
   }
 
-  /// Runs the method on a compiled scenario. Capability violations (retry
-  /// model, graph size, heterogeneous rates) and exceptions thrown by the
-  /// method surface as supported == false with a note; `seconds` is
-  /// always the wall-clock spent inside the call.
+  /// Runs the method on a compiled scenario with an explicit workspace —
+  /// the serving hot path: on a warm `ws` the analytic methods perform
+  /// zero heap allocations. Capability violations (retry model, graph
+  /// size, heterogeneous rates) and exceptions thrown by the method
+  /// surface as supported == false with a note; `seconds` is always the
+  /// wall-clock spent inside the call. The workspace must not be used by
+  /// another thread for the duration of the call.
+  [[nodiscard]] EvalResult evaluate(const scenario::Scenario& sc,
+                                    const EvalOptions& options,
+                                    Workspace& ws) const;
+
+  /// Workspace-less convenience overload: leases from the calling
+  /// thread's pooled Workspace::local(), so repeated calls from one
+  /// thread are just as allocation-free as the explicit form.
   [[nodiscard]] EvalResult evaluate(const scenario::Scenario& sc,
                                     const EvalOptions& options = {}) const;
 

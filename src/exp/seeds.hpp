@@ -1,0 +1,25 @@
+// exp/seeds.hpp
+//
+// Deterministic (parent, index) -> seed derivation shared by the sweep
+// runner and the evaluate_many batch front door — the same splitmix
+// construction the MC engine uses for per-trial streams: nearby indices
+// yield unrelated seeds, and nothing depends on thread scheduling.
+// Historically a file-local helper in sweep.cpp; hoisted here unchanged
+// so batch evaluation derives per-request seeds with the identical
+// function (the sweep JSON artifact stays byte-identical).
+
+#pragma once
+
+#include <cstdint>
+
+#include "prob/rng.hpp"
+
+namespace expmk::exp {
+
+[[nodiscard]] inline std::uint64_t derive_seed(std::uint64_t parent,
+                                               std::uint64_t index) {
+  prob::SplitMix64 sm(parent ^ (0x9e3779b97f4a7c15ULL * (index + 1)));
+  return sm.next();
+}
+
+}  // namespace expmk::exp

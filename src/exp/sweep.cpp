@@ -8,6 +8,8 @@
 #include <thread>
 #include <utility>
 
+#include "exp/seeds.hpp"
+#include "exp/workspace.hpp"
 #include "gen/cholesky.hpp"
 #include "gen/lu.hpp"
 #include "gen/qr.hpp"
@@ -22,13 +24,8 @@ namespace expmk::exp {
 
 namespace {
 
-/// Deterministic (parent, index) -> seed derivation, the same splitmix
-/// construction the MC engine uses for per-trial streams: nearby indices
-/// yield unrelated seeds, and nothing depends on thread scheduling.
-std::uint64_t derive_seed(std::uint64_t parent, std::uint64_t index) {
-  prob::SplitMix64 sm(parent ^ (0x9e3779b97f4a7c15ULL * (index + 1)));
-  return sm.next();
-}
+// derive_seed moved to exp/seeds.hpp (shared with evaluate_many),
+// unchanged — the JSON artifact stays byte-identical.
 
 std::string retry_name(core::RetryModel retry) {
   return retry == core::RetryModel::TwoState ? "two_state" : "geometric";
@@ -178,7 +175,12 @@ SweepResult SweepRunner::run(const SweepGrid& grid,
       cell.method = name;
       cell.seed = scenario_seed;
 
-      cell.result = registry_->find(name)->evaluate(compiled, options);
+      // One pooled workspace per WORKER THREAD (not per cell): every
+      // method this worker runs, on this cell and all later ones, leases
+      // from the same warm arenas — the steady-state zero-allocation
+      // regime for the whole analytic part of the grid.
+      cell.result = registry_->find(name)->evaluate(compiled, options,
+                                                    Workspace::local());
       if (name == grid.reference && cell.result.supported) {
         reference_mean = cell.result.mean;
       }

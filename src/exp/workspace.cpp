@@ -1,0 +1,45 @@
+#include "exp/workspace.hpp"
+
+#include <atomic>
+
+namespace expmk::exp {
+
+namespace {
+
+/// Process-wide construction counter (relaxed: a metrics hook, not a
+/// fence), mirroring Scenario::compiled_count().
+std::atomic<std::uint64_t> g_created{0};
+
+}  // namespace
+
+Workspace::Workspace() { g_created.fetch_add(1, std::memory_order_relaxed); }
+
+void Workspace::release() noexcept {
+  pool_d_.buffers.clear();
+  pool_d_.buffers.shrink_to_fit();
+  pool_u32_.buffers.clear();
+  pool_u32_.buffers.shrink_to_fit();
+  pool_u64_.buffers.clear();
+  pool_u64_.buffers.shrink_to_fit();
+  pool_m_.buffers.clear();
+  pool_m_.buffers.shrink_to_fit();
+  pool_i_.buffers.clear();
+  pool_i_.buffers.shrink_to_fit();
+  cursors_ = {};
+}
+
+std::size_t Workspace::bytes_reserved() const noexcept {
+  return pool_d_.bytes() + pool_u32_.bytes() + pool_u64_.bytes() +
+         pool_m_.bytes() + pool_i_.bytes();
+}
+
+Workspace& Workspace::local() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+std::uint64_t Workspace::created_count() noexcept {
+  return g_created.load(std::memory_order_relaxed);
+}
+
+}  // namespace expmk::exp

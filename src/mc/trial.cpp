@@ -50,11 +50,13 @@ inline int geometric_executions_slow(double u, double inv_log_q,
 
 /// Fused sample-and-longest-path sweep over the CSR view. One RNG draw per
 /// task in position order; finish[] written strictly left to right. When
-/// `durations_out` is non-null, per-task durations are scattered into Dag
-/// id order through csr.order(). The duration is computed as a separate
+/// `durations_out` is non-null, per-task durations are written either
+/// scattered into Dag id order through csr.order() (kDagOrderOut, the
+/// adapter-facing form) or directly in position order (the form the CSR
+/// level kernels consume). The duration is computed as a separate
 /// statement from the finish update so the plain and scattering variants
 /// perform bit-identical arithmetic.
-template <bool kWithControl>
+template <bool kWithControl, bool kDagOrderOut = true>
 inline TrialObservation trial_sweep(const TrialContext& ctx,
                                     prob::Xoshiro256pp& rng,
                                     std::span<double> finish,
@@ -88,7 +90,9 @@ inline TrialObservation trial_sweep(const TrialContext& ctx,
     if constexpr (kWithControl) {
       control += w[v] * static_cast<double>(executions - 1);
     }
-    if (durations_out != nullptr) durations_out[order[v]] = duration;
+    if (durations_out != nullptr) {
+      durations_out[kDagOrderOut ? order[v] : v] = duration;
+    }
 
     double start = 0.0;
     for (std::uint32_t e = off[v]; e < off[v + 1]; ++e) {
@@ -144,6 +148,31 @@ TrialObservation run_trial_with_control_csr(const TrialContext& ctx,
                                             std::span<double> finish) {
   check_finish(ctx, finish);
   return trial_sweep<true>(ctx, rng, finish, nullptr);
+}
+
+double run_trial_scatter_csr(const TrialContext& ctx, prob::Xoshiro256pp& rng,
+                             std::span<double> finish,
+                             std::span<double> durations) {
+  check_finish(ctx, finish);
+  if (durations.size() != ctx.dag().task_count()) {
+    throw std::invalid_argument(
+        "run_trial_scatter_csr: durations must have size task_count()");
+  }
+  return trial_sweep<false>(ctx, rng, finish, durations.data()).makespan;
+}
+
+double run_trial_durations_csr(const TrialContext& ctx,
+                               prob::Xoshiro256pp& rng,
+                               std::span<double> finish,
+                               std::span<double> durations_pos) {
+  check_finish(ctx, finish);
+  if (durations_pos.size() != ctx.csr().task_count()) {
+    throw std::invalid_argument(
+        "run_trial_durations_csr: durations must have size task_count()");
+  }
+  return trial_sweep<false, /*kDagOrderOut=*/false>(ctx, rng, finish,
+                                                    durations_pos.data())
+      .makespan;
 }
 
 double run_trial(const TrialContext& ctx, prob::Xoshiro256pp& rng,

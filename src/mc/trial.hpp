@@ -114,6 +114,25 @@ struct TrialObservation {
     const TrialContext& ctx, prob::Xoshiro256pp& rng,
     std::span<double> finish);
 
+/// As run_trial_csr, additionally scattering the sampled per-task
+/// durations into `durations` in Dag id order — the all-spans form of
+/// run_trial below, for workspace-based consumers (core::criticality,
+/// sched::fault_sim) that lease BOTH buffers instead of owning a vector.
+/// Both spans must have size task_count(); bit-identical to run_trial.
+double run_trial_scatter_csr(const TrialContext& ctx, prob::Xoshiro256pp& rng,
+                             std::span<double> finish,
+                             std::span<double> durations);
+
+/// As run_trial_scatter_csr but writes the sampled durations in CSR
+/// POSITION order (durations_pos[v] = duration of the task at position
+/// v) — the layout the CSR level/longest-path kernels consume directly,
+/// saving consumers like core::criticality a per-trial permutation.
+/// Identical RNG stream and makespans.
+double run_trial_durations_csr(const TrialContext& ctx,
+                               prob::Xoshiro256pp& rng,
+                               std::span<double> finish,
+                               std::span<double> durations_pos);
+
 /// Dag-facing adapter over the CSR kernel: additionally scatters the
 /// sampled per-task durations into `durations` in Dag id order (for
 /// consumers that re-schedule with them, e.g. sched::fault_sim).

@@ -1,5 +1,6 @@
 #include "normal/clark_full.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <vector>
@@ -22,7 +23,10 @@ double safe_rho(double cov, double var_x, double var_y) {
 NormalEstimate clark_full_impl(const graph::Dag& g,
                                std::span<const graph::TaskId> topo,
                                std::span<const double> p,
-                               core::RetryModel kind) {
+                               core::RetryModel kind,
+                               std::span<prob::NormalMoments> completion,
+                               std::span<double> cov, std::span<double> row,
+                               std::span<const graph::TaskId> exits) {
   const std::size_t n = g.task_count();
   if (n == 0) throw std::invalid_argument("clark_full: empty graph");
   if (n > kClarkFullMaxTasks) {
@@ -30,14 +34,15 @@ NormalEstimate clark_full_impl(const graph::Dag& g,
         "clark_full: task count exceeds the dense covariance limit");
   }
 
-  std::vector<prob::NormalMoments> completion(n);
-  // Dense symmetric covariance of completion times, row-major.
-  std::vector<double> cov(n * n, 0.0);
+  // Dense symmetric covariance of completion times, row-major; the
+  // algorithm reads unwritten entries of ancestors' rows, so the whole
+  // matrix starts at zero whatever storage backs it.
+  std::fill(cov.begin(), cov.end(), 0.0);
   const auto cov_at = [&](graph::TaskId a, graph::TaskId b) -> double& {
     return cov[static_cast<std::size_t>(a) * n + b];
   };
 
-  std::vector<double> row(n);  // Cov(M, C_z) for the running max M
+  // row = Cov(M, C_z) for the running max M
   for (const graph::TaskId v : topo) {
     prob::NormalMoments m{0.0, 0.0};
     std::fill(row.begin(), row.end(), 0.0);
@@ -73,7 +78,7 @@ NormalEstimate clark_full_impl(const graph::Dag& g,
   prob::NormalMoments makespan{0.0, 0.0};
   std::fill(row.begin(), row.end(), 0.0);
   bool first = true;
-  for (const graph::TaskId v : g.exit_tasks()) {
+  for (const graph::TaskId v : exits) {
     if (first) {
       makespan = completion[v];
       for (std::size_t z = 0; z < n; ++z) {
@@ -99,7 +104,12 @@ NormalEstimate clark_full(const graph::Dag& g, const core::FailureModel& model,
                           core::RetryModel kind,
                           std::span<const graph::TaskId> topo) {
   const auto p = core::success_probabilities(g, model);
-  return clark_full_impl(g, topo, p, kind);
+  const std::size_t n = g.task_count();
+  std::vector<prob::NormalMoments> completion(n);
+  std::vector<double> cov(n * n);
+  std::vector<double> row(n);
+  return clark_full_impl(g, topo, p, kind, completion, cov, row,
+                         g.exit_tasks());
 }
 
 NormalEstimate clark_full(const graph::Dag& g, const core::FailureModel& model,
@@ -108,8 +118,23 @@ NormalEstimate clark_full(const graph::Dag& g, const core::FailureModel& model,
   return clark_full(g, model, kind, topo);
 }
 
+NormalEstimate clark_full(const scenario::Scenario& sc, exp::Workspace& ws) {
+  const std::size_t n = sc.task_count();
+  if (n > kClarkFullMaxTasks) {
+    // Same guard as the impl, but BEFORE the O(V^2) lease would grow the
+    // workspace arena for a call that is going to throw anyway.
+    throw std::invalid_argument(
+        "clark_full: task count exceeds the dense covariance limit");
+  }
+  const exp::Workspace::Frame frame(ws);
+  return clark_full_impl(sc.dag(), sc.topo(), sc.p_success(), sc.retry(),
+                         ws.moments(n), ws.doubles(n * n), ws.doubles(n),
+                         sc.exits());
+}
+
 NormalEstimate clark_full(const scenario::Scenario& sc) {
-  return clark_full_impl(sc.dag(), sc.topo(), sc.p_success(), sc.retry());
+  exp::Workspace ws;  // lease-a-temporary adapter; bit-identical
+  return clark_full(sc, ws);
 }
 
 }  // namespace expmk::normal

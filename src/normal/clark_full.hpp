@@ -38,8 +38,16 @@ inline constexpr std::size_t kClarkFullMaxTasks = 8192;
                                         core::RetryModel kind,
                                         std::span<const graph::TaskId> topo);
 
+/// Workspace kernel — the dense V x V covariance matrix, the linkage row
+/// and the completion moments are leased from `ws` (the matrix is the
+/// single largest per-call allocation in the library): ZERO heap
+/// allocations on a warm workspace.
+[[nodiscard]] NormalEstimate clark_full(const scenario::Scenario& sc,
+                                        exp::Workspace& ws);
+
 /// Scenario-based entry point: cached order and success probabilities,
 /// retry model from the scenario; heterogeneous rates supported.
+/// Lease-a-temporary adapter over the workspace kernel.
 [[nodiscard]] NormalEstimate clark_full(const scenario::Scenario& sc);
 
 }  // namespace expmk::normal

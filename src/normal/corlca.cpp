@@ -1,5 +1,6 @@
 #include "normal/corlca.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <vector>
@@ -13,14 +14,19 @@ namespace {
 constexpr graph::TaskId kRootless = graph::kNoTask;
 
 /// Correlation-tree state: parent pointers, depths, and the variance of
-/// each node's completion time.
+/// each node's completion time. A view over caller-provided storage
+/// (fresh vectors or workspace leases); init() reproduces the fills the
+/// old owning constructor performed.
 struct CorrelationTree {
-  std::vector<graph::TaskId> parent;
-  std::vector<std::uint32_t> depth;
-  std::vector<double> variance;
+  std::span<graph::TaskId> parent;
+  std::span<std::uint32_t> depth;
+  std::span<double> variance;
 
-  explicit CorrelationTree(std::size_t n)
-      : parent(n, kRootless), depth(n, 0), variance(n, 0.0) {}
+  void init() const {
+    std::fill(parent.begin(), parent.end(), kRootless);
+    std::fill(depth.begin(), depth.end(), 0u);
+    std::fill(variance.begin(), variance.end(), 0.0);
+  }
 
   /// Lowest common ancestor by depth-aligned walk; kRootless when the two
   /// lineages never meet (independent subtrees).
@@ -48,13 +54,13 @@ namespace {
 /// the values).
 NormalEstimate corlca_impl(const graph::Dag& g,
                            std::span<const graph::TaskId> topo,
-                           std::span<const double> p,
-                           core::RetryModel kind) {
+                           std::span<const double> p, core::RetryModel kind,
+                           std::span<prob::NormalMoments> completion,
+                           const CorrelationTree& tree,
+                           std::span<const graph::TaskId> exits) {
   const std::size_t n = g.task_count();
   if (n == 0) throw std::invalid_argument("corlca: empty graph");
-
-  std::vector<prob::NormalMoments> completion(n);
-  CorrelationTree tree(n);
+  tree.init();
 
   for (const graph::TaskId v : topo) {
     prob::NormalMoments ready{0.0, 0.0};
@@ -88,7 +94,7 @@ NormalEstimate corlca_impl(const graph::Dag& g,
   prob::NormalMoments makespan{0.0, 0.0};
   graph::TaskId dominant = kRootless;
   bool first = true;
-  for (const graph::TaskId v : g.exit_tasks()) {
+  for (const graph::TaskId v : exits) {
     if (first) {
       makespan = completion[v];
       dominant = v;
@@ -112,7 +118,14 @@ NormalEstimate corlca(const graph::Dag& g, const core::FailureModel& model,
                       core::RetryModel kind,
                       std::span<const graph::TaskId> topo) {
   const auto p = core::success_probabilities(g, model);
-  return corlca_impl(g, topo, p, kind);
+  const std::size_t n = g.task_count();
+  std::vector<prob::NormalMoments> completion(n);
+  std::vector<graph::TaskId> parent(n);
+  std::vector<std::uint32_t> depth(n);
+  std::vector<double> variance(n);
+  return corlca_impl(g, topo, p, kind, completion,
+                     CorrelationTree{parent, depth, variance},
+                     g.exit_tasks());
 }
 
 NormalEstimate corlca(const graph::Dag& g, const core::FailureModel& model,
@@ -121,8 +134,18 @@ NormalEstimate corlca(const graph::Dag& g, const core::FailureModel& model,
   return corlca(g, model, kind, topo);
 }
 
+NormalEstimate corlca(const scenario::Scenario& sc, exp::Workspace& ws) {
+  const exp::Workspace::Frame frame(ws);
+  const std::size_t n = sc.task_count();
+  return corlca_impl(sc.dag(), sc.topo(), sc.p_success(), sc.retry(),
+                     ws.moments(n),
+                     CorrelationTree{ws.u32(n), ws.u32(n), ws.doubles(n)},
+                     sc.exits());
+}
+
 NormalEstimate corlca(const scenario::Scenario& sc) {
-  return corlca_impl(sc.dag(), sc.topo(), sc.p_success(), sc.retry());
+  exp::Workspace ws;  // lease-a-temporary adapter; bit-identical
+  return corlca(sc, ws);
 }
 
 }  // namespace expmk::normal

@@ -33,8 +33,15 @@ namespace expmk::normal {
                                     core::RetryModel kind,
                                     std::span<const graph::TaskId> topo);
 
+/// Workspace kernel — the correlation tree (parent/depth/variance) and
+/// the completion-moment array are leased from `ws`: ZERO heap
+/// allocations on a warm workspace.
+[[nodiscard]] NormalEstimate corlca(const scenario::Scenario& sc,
+                                    exp::Workspace& ws);
+
 /// Scenario-based entry point: cached order and success probabilities,
 /// retry model from the scenario; heterogeneous rates supported.
+/// Lease-a-temporary adapter over the workspace kernel.
 [[nodiscard]] NormalEstimate corlca(const scenario::Scenario& sc);
 
 }  // namespace expmk::normal

@@ -30,17 +30,20 @@ prob::NormalMoments duration_moments(double a,
 
 namespace {
 
-/// Shared traversal over per-task success probabilities. The completion
-/// moments are pure dataflow over the graph (each fold reads only
-/// ancestors), so any valid topological order yields identical values.
+/// Shared traversal over per-task success probabilities, writing into
+/// caller scratch. The completion moments are pure dataflow over the
+/// graph (each fold reads only ancestors), so any valid topological order
+/// yields identical values — and so does any source of the `completion`
+/// buffer (fresh vector or workspace lease; every entry is written before
+/// it is read).
 NormalEstimate sculli_impl(const graph::Dag& g,
                            std::span<const graph::TaskId> topo,
-                           std::span<const double> p,
-                           core::RetryModel kind) {
+                           std::span<const double> p, core::RetryModel kind,
+                           std::span<prob::NormalMoments> completion,
+                           std::span<const graph::TaskId> exits) {
   if (g.task_count() == 0) {
     throw std::invalid_argument("sculli: empty graph");
   }
-  std::vector<prob::NormalMoments> completion(g.task_count());
   for (const graph::TaskId v : topo) {
     prob::NormalMoments ready{0.0, 0.0};
     bool first = true;
@@ -58,7 +61,7 @@ NormalEstimate sculli_impl(const graph::Dag& g,
 
   prob::NormalMoments makespan{0.0, 0.0};
   bool first = true;
-  for (const graph::TaskId v : g.exit_tasks()) {
+  for (const graph::TaskId v : exits) {
     if (first) {
       makespan = completion[v];
       first = false;
@@ -75,7 +78,8 @@ NormalEstimate sculli(const graph::Dag& g, const core::FailureModel& model,
                       core::RetryModel kind,
                       std::span<const graph::TaskId> topo) {
   const auto p = core::success_probabilities(g, model);
-  return sculli_impl(g, topo, p, kind);
+  std::vector<prob::NormalMoments> completion(g.task_count());
+  return sculli_impl(g, topo, p, kind, completion, g.exit_tasks());
 }
 
 NormalEstimate sculli(const graph::Dag& g, const core::FailureModel& model,
@@ -84,8 +88,15 @@ NormalEstimate sculli(const graph::Dag& g, const core::FailureModel& model,
   return sculli(g, model, kind, topo);
 }
 
+NormalEstimate sculli(const scenario::Scenario& sc, exp::Workspace& ws) {
+  const exp::Workspace::Frame frame(ws);
+  return sculli_impl(sc.dag(), sc.topo(), sc.p_success(), sc.retry(),
+                     ws.moments(sc.task_count()), sc.exits());
+}
+
 NormalEstimate sculli(const scenario::Scenario& sc) {
-  return sculli_impl(sc.dag(), sc.topo(), sc.p_success(), sc.retry());
+  exp::Workspace ws;  // lease-a-temporary adapter; bit-identical
+  return sculli(sc, ws);
 }
 
 }  // namespace expmk::normal

@@ -17,6 +17,7 @@
 #include <span>
 
 #include "core/failure_model.hpp"
+#include "exp/workspace.hpp"
 #include "graph/dag.hpp"
 #include "prob/normal.hpp"
 #include "scenario/scenario.hpp"
@@ -53,8 +54,15 @@ struct NormalEstimate {
                                     core::RetryModel kind,
                                     std::span<const graph::TaskId> topo);
 
+/// Workspace kernel — the completion-moment array (the method's only
+/// O(V) scratch) is leased from `ws`, and the exit fold reads the
+/// scenario's cached exits(): ZERO heap allocations on a warm workspace.
+[[nodiscard]] NormalEstimate sculli(const scenario::Scenario& sc,
+                                    exp::Workspace& ws);
+
 /// Scenario-based entry point: cached order and success probabilities,
 /// retry model from the scenario; heterogeneous rates supported.
+/// Lease-a-temporary adapter over the workspace kernel.
 [[nodiscard]] NormalEstimate sculli(const scenario::Scenario& sc);
 
 }  // namespace expmk::normal

@@ -7,9 +7,9 @@
 
 namespace expmk::prob {
 
-namespace {
-constexpr double kValueMergeEps = 1e-12;  // relative gap treated as equal
-}
+// kValueMergeEps (the relative gap treated as equal during
+// consolidation) moved to the header: the workspace bounds fold mirrors
+// consolidate() and must share the constant.
 
 DiscreteDistribution::DiscreteDistribution() : atoms_{{0.0, 1.0}} {}
 

@@ -24,6 +24,12 @@ struct Atom {
   double prob;
 };
 
+/// Relative value gap below which two atoms are merged during
+/// consolidation (from_atoms and every operation built on it). Public
+/// because core::makespan_bounds' flat workspace fold mirrors the
+/// consolidation arithmetic bit-for-bit and must use the SAME constant.
+inline constexpr double kValueMergeEps = 1e-12;
+
 /// An immutable-after-construction finite distribution. Invariants:
 /// atoms sorted strictly increasing by value, probabilities positive,
 /// total mass 1 within ~1e-9 (renormalized on construction).

@@ -56,6 +56,20 @@ Scenario::Scenario(graph::Dag dag, FailureSpec failure,
       retry_(retry) {
   const std::size_t n = dag_.task_count();
 
+  // Validate the task weights before deriving anything from them: the Dag
+  // API rejects negatives but `weight < 0.0` is false for NaN, so a NaN
+  // (or inf) weight would otherwise flow silently into every method's
+  // p_success/duration arithmetic. Compile is the one choke point every
+  // evaluator passes.
+  for (graph::TaskId i = 0; i < n; ++i) {
+    const double a = dag_.weight(i);
+    if (!(a >= 0.0) || !std::isfinite(a)) {
+      throw std::invalid_argument(
+          "Scenario: task weights must be finite and >= 0 (task " +
+          std::to_string(i) + ")");
+    }
+  }
+
   // Validate the spec against this DAG before deriving anything from it.
   if (failure_.heterogeneous()) {
     const auto& rates = failure_.per_task_rates();
@@ -116,6 +130,10 @@ Scenario::Scenario(graph::Dag dag, FailureSpec failure,
     // log is finite and negative (p == 0 artifacts are absorbed by the
     // sampler's execution cap).
     inv_log_q_csr_[pos] = 1.0 / std::log1p(-p);
+  }
+
+  for (graph::TaskId i = 0; i < n; ++i) {
+    if (dag_.successors(i).empty()) exits_.push_back(i);
   }
 
   {

@@ -99,7 +99,11 @@ class Scenario {
   /// Builds the handle; O(V + E) plus one exp/log1p pair per task — paid
   /// exactly once per cell instead of once per evaluator call. Throws
   /// std::invalid_argument on a cyclic graph, a rate-vector size mismatch,
-  /// or a negative/non-finite rate.
+  /// a negative/non-finite rate, or a negative/non-finite task weight
+  /// (Dag::add_task rejects negatives but NaN/inf slip through its
+  /// comparison — compile is the choke point every evaluator passes, so a
+  /// poisoned weight fails HERE instead of silently corrupting every
+  /// estimate downstream).
   [[nodiscard]] static Scenario compile(
       const graph::Dag& dag, FailureSpec failure,
       core::RetryModel retry = core::RetryModel::TwoState);
@@ -144,6 +148,14 @@ class Scenario {
   /// A topological order of the Dag (== csr().order()).
   [[nodiscard]] std::span<const graph::TaskId> topo() const noexcept {
     return csr_.order();
+  }
+
+  /// Tasks with no successor, ascending Dag id — a cached copy of
+  /// Dag::exit_tasks(), which allocates per call. The Normal-family
+  /// folds read this on every evaluation; caching it here is what lets
+  /// those kernels run allocation-free.
+  [[nodiscard]] std::span<const graph::TaskId> exits() const noexcept {
+    return exits_;
   }
 
   // ------------------------------------------- cached per-task constants
@@ -208,6 +220,7 @@ class Scenario {
   core::RetryModel retry_ = core::RetryModel::TwoState;
   bool failure_free_ = true;
 
+  std::vector<graph::TaskId> exits_;        // ascending Dag id
   std::vector<double> rates_;               // Dag id order
   std::vector<double> p_success_;           // Dag id order
   std::vector<double> expected_durations_;  // Dag id order

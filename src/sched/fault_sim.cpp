@@ -10,18 +10,22 @@ FaultSimResult fault_sim_impl(const graph::Dag& g,
                               std::span<const double> priority,
                               const Machine& machine,
                               const mc::TrialContext& ctx,
-                              const FaultSimConfig& config) {
+                              const FaultSimConfig& config,
+                              exp::Workspace& ws) {
+  const exp::Workspace::Frame frame(ws);
   FaultSimResult result;
   result.failure_free_makespan =
       list_schedule(g, g.weights(), priority, machine).makespan;
 
-  // Sized once; run_trial asserts the size instead of resizing per run.
-  std::vector<double> durations(g.task_count());
+  // Leased once per campaign; the trial kernel asserts sizes instead of
+  // resizing per run.
+  const std::span<double> durations = ws.doubles(g.task_count());
+  const std::span<double> finish = ws.doubles(g.task_count());
   for (std::uint64_t r = 0; r < config.runs; ++r) {
     prob::Xoshiro256pp rng(config.seed, r);
     // Sample per-task total execution time (attempts x weight), then
     // schedule with those durations.
-    (void)mc::run_trial(ctx, rng, durations);
+    (void)mc::run_trial_scatter_csr(ctx, rng, finish, durations);
     const Schedule s = list_schedule(g, durations, priority, machine);
     result.makespan.push(s.makespan);
   }
@@ -36,15 +40,25 @@ FaultSimResult simulate_with_faults(const graph::Dag& g,
                                     const core::FailureModel& model,
                                     const FaultSimConfig& config) {
   const mc::TrialContext ctx(g, model, config.retry);
-  return fault_sim_impl(g, priority, machine, ctx, config);
+  exp::Workspace ws;
+  return fault_sim_impl(g, priority, machine, ctx, config, ws);
+}
+
+FaultSimResult simulate_with_faults(const scenario::Scenario& sc,
+                                    std::span<const double> priority,
+                                    const Machine& machine,
+                                    const FaultSimConfig& config,
+                                    exp::Workspace& ws) {
+  return fault_sim_impl(sc.dag(), priority, machine, mc::TrialContext(sc),
+                        config, ws);
 }
 
 FaultSimResult simulate_with_faults(const scenario::Scenario& sc,
                                     std::span<const double> priority,
                                     const Machine& machine,
                                     const FaultSimConfig& config) {
-  return fault_sim_impl(sc.dag(), priority, machine, mc::TrialContext(sc),
-                        config);
+  exp::Workspace ws;  // lease-a-temporary adapter; bit-identical
+  return simulate_with_faults(sc, priority, machine, config, ws);
 }
 
 }  // namespace expmk::sched

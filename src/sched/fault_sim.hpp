@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "core/failure_model.hpp"
+#include "exp/workspace.hpp"
 #include "mc/trial.hpp"
 #include "prob/statistics.hpp"
 #include "sched/list_scheduler.hpp"
@@ -38,9 +39,19 @@ struct FaultSimResult {
     const Machine& machine, const core::FailureModel& model,
     const FaultSimConfig& config = {});
 
+/// Workspace kernel: the per-run duration and trial-sweep buffers are
+/// leased from `ws`. (The list scheduler itself still builds its Schedule
+/// per run — the simulation is a Monte-Carlo campaign, not one of the
+/// allocation-pinned analytic paths.)
+[[nodiscard]] FaultSimResult simulate_with_faults(
+    const scenario::Scenario& sc, std::span<const double> priority,
+    const Machine& machine, const FaultSimConfig& config,
+    exp::Workspace& ws);
+
 /// Scenario-based entry point (no CSR rebuild; heterogeneous per-task
 /// rates supported). `config.retry` is ignored — the scenario's retry
-/// model governs sampling.
+/// model governs sampling. Lease-a-temporary adapter over the workspace
+/// kernel.
 [[nodiscard]] FaultSimResult simulate_with_faults(
     const scenario::Scenario& sc, std::span<const double> priority,
     const Machine& machine, const FaultSimConfig& config = {});

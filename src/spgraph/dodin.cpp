@@ -136,4 +136,10 @@ DodinResult dodin_two_state(const scenario::Scenario& sc,
   return dodin_two_state(sc.dag(), sc.uniform_model(), options);
 }
 
+DodinResult dodin_two_state(const scenario::Scenario& sc,
+                            const DodinOptions& options, exp::Workspace& ws) {
+  (void)ws;  // see the header: Dodin is not an arena-friendly method
+  return dodin_two_state(sc, options);
+}
+
 }  // namespace expmk::sp

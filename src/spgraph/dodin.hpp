@@ -34,6 +34,7 @@
 #include <cstddef>
 
 #include "core/failure_model.hpp"
+#include "exp/workspace.hpp"
 #include "graph/dag.hpp"
 #include "prob/discrete_distribution.hpp"
 #include "scenario/scenario.hpp"
@@ -76,5 +77,13 @@ struct DodinResult {
 /// gate reports supported == false before this is reached in a sweep).
 [[nodiscard]] DodinResult dodin_two_state(const scenario::Scenario& sc,
                                           const DodinOptions& options = {});
+
+/// Workspace-signature overload so the evaluator registry treats every
+/// method uniformly; like the SP reduction, Dodin's duplication loop works
+/// on data-dependent distribution supports, so the workspace is accepted
+/// but not consumed (exempt from the zero-allocation contract).
+[[nodiscard]] DodinResult dodin_two_state(const scenario::Scenario& sc,
+                                          const DodinOptions& options,
+                                          exp::Workspace& ws);
 
 }  // namespace expmk::sp

@@ -122,4 +122,10 @@ SpEvaluation evaluate_sp(const scenario::Scenario& sc,
   return evaluate_sp(ArcNetwork::from_dag(g, std::move(dists)), max_atoms);
 }
 
+SpEvaluation evaluate_sp(const scenario::Scenario& sc, std::size_t max_atoms,
+                         exp::Workspace& ws) {
+  (void)ws;  // see the header: SP reduction is not an arena-friendly method
+  return evaluate_sp(sc, max_atoms);
+}
+
 }  // namespace expmk::sp

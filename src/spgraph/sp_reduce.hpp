@@ -20,6 +20,7 @@
 
 #include <cstddef>
 
+#include "exp/workspace.hpp"
 #include "scenario/scenario.hpp"
 #include "spgraph/arc_network.hpp"
 
@@ -62,5 +63,13 @@ SpEvaluation evaluate_sp(ArcNetwork net, std::size_t max_atoms = 0);
 /// reduces it. The scenario's retry model must be TwoState.
 SpEvaluation evaluate_sp(const scenario::Scenario& sc,
                          std::size_t max_atoms = 0);
+
+/// Workspace-signature overload so the evaluator registry treats every
+/// method uniformly. The reduction's intermediate distributions have
+/// data-dependent, a-priori-unbounded atom counts, so they stay on the
+/// heap — the workspace is accepted but not consumed (the distribution
+/// methods are exempt from the zero-allocation contract; see DESIGN.md).
+SpEvaluation evaluate_sp(const scenario::Scenario& sc, std::size_t max_atoms,
+                         exp::Workspace& ws);
 
 }  // namespace expmk::sp

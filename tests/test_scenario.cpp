@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <string>
 #include <utility>
 #include <vector>
@@ -114,6 +115,39 @@ TEST(ScenarioCompile, RejectsBadSpecs) {
   cyclic.add_edge(b, a);
   EXPECT_THROW((void)Scenario::compile(cyclic, FailureSpec::uniform(0.1)),
                std::invalid_argument);
+}
+
+// Dag::add_task rejects negative weights but its `weight < 0.0` check is
+// false for NaN (and +inf passes), so a poisoned weight used to flow
+// silently into every method. Compile is the choke point: it must throw.
+TEST(ScenarioCompile, RejectsNonFiniteTaskWeights) {
+  for (const double bad :
+       {std::nan(""), std::numeric_limits<double>::infinity()}) {
+    Dag g = expmk::test::diamond();
+    g.set_weight(2, bad);
+    EXPECT_THROW((void)Scenario::compile(g, FailureSpec::uniform(0.1)),
+                 std::invalid_argument)
+        << bad;
+    // Heterogeneous specs hit the same weight validation.
+    EXPECT_THROW((void)Scenario::compile(
+                     g, FailureSpec::per_task({0.1, 0.1, 0.1, 0.1})),
+                 std::invalid_argument)
+        << bad;
+  }
+  // Zero weights (virtual source/sink nodes) remain legal.
+  Dag g = expmk::test::diamond();
+  g.set_weight(0, 0.0);
+  EXPECT_NO_THROW((void)Scenario::compile(g, FailureSpec::uniform(0.1)));
+}
+
+TEST(ScenarioCompile, CachesExitTasks) {
+  const Dag g = expmk::gen::erdos_dag(12, 0.3, 17);
+  const Scenario sc = Scenario::compile(g, FailureSpec::uniform(0.05));
+  const auto exits = g.exit_tasks();
+  ASSERT_EQ(sc.exits().size(), exits.size());
+  for (std::size_t i = 0; i < exits.size(); ++i) {
+    EXPECT_EQ(sc.exits()[i], exits[i]) << i;
+  }
 }
 
 TEST(ScenarioCompile, CachedStateMatchesTheLibraryPrimitives) {

@@ -49,6 +49,7 @@ TEST(Registry, CatalogueIsComplete) {
 TEST(Registry, DuplicateNamesRejected) {
   EvaluatorRegistry reg;
   const auto fn = [](const expmk::scenario::Scenario&, const EvalOptions&,
+                     expmk::exp::Workspace&,
                      expmk::exp::EvalResult& r) { r.mean = 1.0; };
   reg.add(Evaluator("x", "", {}, fn));
   EXPECT_THROW(reg.add(Evaluator("x", "", {}, fn)), std::invalid_argument);

@@ -1,0 +1,408 @@
+// Tests for exp::Workspace and the workspace-kernel refactor:
+//
+//  * lease/frame semantics: slot reuse across frames, monotonic growth,
+//    release(), the per-thread local() pool;
+//  * the ALLOCATION REGRESSION satellite: a counting global operator new
+//    pins ZERO steady-state heap allocations for the six analytic
+//    methods (fo, so, bounds.lower/upper, sculli, corlca, clark) when
+//    evaluated on a warm workspace — the tentpole contract of the
+//    workspace-pooled evaluation engine;
+//  * the adapter bit-identity property: for all 13 evaluators x both
+//    retry models x a spread of DAGs, the explicit-workspace path (cold
+//    AND warm) returns results bitwise identical to the workspace-less
+//    PR-3 Scenario path — a warm arena must never leak state between
+//    evaluations;
+//  * the sweep pooling contract: one workspace per worker thread, not
+//    one per cell;
+//  * run_trial_scatter_csr (the all-spans trial form the workspace
+//    kernels consume) draws the same stream as the vector-based
+//    run_trial.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "core/failure_model.hpp"
+#include "exp/evaluator.hpp"
+#include "exp/sweep.hpp"
+#include "exp/workspace.hpp"
+#include "gen/random_dags.hpp"
+#include "mc/trial.hpp"
+#include "prob/rng.hpp"
+#include "scenario/scenario.hpp"
+#include "test_helpers.hpp"
+
+// ---------------------------------------------------------------------
+// Counting global operator new. Replacing the global allocation functions
+// in any TU of the test binary installs them binary-wide; the counter is
+// always on (one relaxed atomic increment per allocation) and tests read
+// deltas around the region of interest.
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  // aligned_alloc requires size to be a multiple of the alignment (some
+  // platforms enforce it by returning NULL).
+  const auto a = static_cast<std::size_t>(align);
+  const std::size_t rounded = ((size ? size : 1) + a - 1) / a * a;
+  if (void* p = std::aligned_alloc(a, rounded)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using expmk::core::calibrate;
+using expmk::core::FailureModel;
+using expmk::core::RetryModel;
+using expmk::exp::EvalOptions;
+using expmk::exp::EvalResult;
+using expmk::exp::Evaluator;
+using expmk::exp::EvaluatorRegistry;
+using expmk::exp::Workspace;
+using expmk::graph::Dag;
+using expmk::graph::TaskId;
+using expmk::scenario::FailureSpec;
+using expmk::scenario::Scenario;
+
+// ----------------------------------------------------- lease mechanics
+
+TEST(Workspace, FramesReuseSlotsAndGrowthIsMonotonic) {
+  Workspace ws;
+  const double* first_slot = nullptr;
+  {
+    const Workspace::Frame frame(ws);
+    const auto a = ws.doubles(64);
+    const auto b = ws.doubles(16);
+    ASSERT_EQ(a.size(), 64u);
+    ASSERT_EQ(b.size(), 16u);
+    EXPECT_NE(a.data(), b.data());
+    first_slot = a.data();
+  }
+  {
+    // Same checkout sequence, smaller first request: the slot serves the
+    // lease from its existing (never-shrunk) buffer.
+    const Workspace::Frame frame(ws);
+    const auto a = ws.doubles(32);
+    EXPECT_EQ(a.data(), first_slot);
+  }
+  const std::size_t warm = ws.bytes_reserved();
+  EXPECT_GE(warm, (64 + 16) * sizeof(double));
+  {
+    // A larger request may grow the slot, but capacity never shrinks.
+    const Workspace::Frame frame(ws);
+    (void)ws.doubles(128);
+  }
+  EXPECT_GE(ws.bytes_reserved(), warm);
+
+  ws.release();
+  EXPECT_EQ(ws.bytes_reserved(), 0u);
+}
+
+TEST(Workspace, TypedPoolsAreIndependent) {
+  Workspace ws;
+  const Workspace::Frame frame(ws);
+  const auto d = ws.doubles(8);
+  const auto u = ws.u32(8);
+  const auto c = ws.u64(8);
+  const auto m = ws.moments(8);
+  const auto i = ws.ints(8);
+  // All leases are live simultaneously and fully writable.
+  d[7] = 1.0;
+  u[7] = 2;
+  c[7] = 3;
+  m[7] = {4.0, 5.0};
+  i[7] = 6;
+  EXPECT_EQ(d[7] + m[7].mean, 5.0);
+  EXPECT_EQ(u[7] + c[7] + static_cast<std::uint64_t>(i[7]), 11u);
+}
+
+TEST(Workspace, LocalIsOnePoolPerThread) {
+  Workspace& a = Workspace::local();
+  EXPECT_EQ(&a, &Workspace::local());
+  Workspace* other = nullptr;
+  std::thread t([&] { other = &Workspace::local(); });
+  t.join();
+  EXPECT_NE(other, nullptr);
+  EXPECT_NE(other, &a);
+}
+
+// ------------------------------------------------ allocation regression
+
+/// Evaluates `method` `reps` times on a warm `ws` and returns the number
+/// of heap allocations the steady-state loop performed.
+std::uint64_t steady_state_allocs(const Evaluator& e, const Scenario& sc,
+                                  const EvalOptions& opt, Workspace& ws,
+                                  int reps = 8) {
+  double guard = 0.0;
+  // Warm-up: grows the arenas to this method's high-water mark.
+  guard += e.evaluate(sc, opt, ws).mean;
+  guard += e.evaluate(sc, opt, ws).mean;
+  const std::uint64_t before = g_alloc_count.load();
+  for (int r = 0; r < reps; ++r) guard += e.evaluate(sc, opt, ws).mean;
+  const std::uint64_t after = g_alloc_count.load();
+  EXPECT_FALSE(std::isnan(guard));
+  return after - before;
+}
+
+// The tentpole contract: on a warm workspace the six analytic methods
+// perform ZERO steady-state heap allocations — per call, per rep, at all.
+TEST(AllocationRegression, AnalyticMethodsAreAllocationFreeWhenWarm) {
+  const Dag g = expmk::gen::erdos_dag(60, 0.2, 42);
+  const FailureModel model = calibrate(g, 0.01);
+  const auto& reg = EvaluatorRegistry::builtin();
+  EvalOptions opt;
+  Workspace ws;
+
+  for (const RetryModel retry :
+       {RetryModel::TwoState, RetryModel::Geometric}) {
+    const Scenario sc = Scenario::compile(g, FailureSpec(model), retry);
+    for (const char* name :
+         {"fo", "so", "bounds.lower", "bounds.upper", "sculli", "corlca",
+          "clark"}) {
+      const Evaluator* e = reg.find(name);
+      ASSERT_NE(e, nullptr) << name;
+      if (retry == RetryModel::Geometric &&
+          !e->capabilities().geometric) {
+        continue;  // bounds are two-state statements; gated under geometric
+      }
+      EXPECT_EQ(steady_state_allocs(*e, sc, opt, ws), 0u)
+          << name << (retry == RetryModel::TwoState ? " / two_state"
+                                                    : " / geometric");
+    }
+  }
+}
+
+// Heterogeneous per-task rates run the same kernels on different cached
+// constants — the zero-allocation contract must hold there too.
+TEST(AllocationRegression, HeterogeneousScenarioIsAllocationFreeToo) {
+  const Dag g = expmk::gen::layered_random(8, 8, 0.3, 7);
+  const double lambda = calibrate(g, 0.01).lambda;
+  std::vector<double> rates(g.task_count());
+  for (TaskId i = 0; i < g.task_count(); ++i) {
+    rates[i] = lambda * (0.25 + static_cast<double>(i % 7) * 0.5);
+  }
+  const Scenario sc = Scenario::compile(g, FailureSpec::per_task(rates),
+                                        RetryModel::TwoState);
+  const auto& reg = EvaluatorRegistry::builtin();
+  EvalOptions opt;
+  Workspace ws;
+  for (const char* name :
+       {"fo", "so", "bounds.lower", "bounds.upper", "sculli", "corlca",
+        "clark"}) {
+    EXPECT_EQ(steady_state_allocs(*reg.find(name), sc, opt, ws), 0u) << name;
+  }
+}
+
+// The exact oracle rides the same arenas (its 2^V enumeration used to
+// allocate per call); pin it as well, on a small graph.
+TEST(AllocationRegression, ExactOracleIsAllocationFreeWhenWarm) {
+  const Dag g = expmk::gen::erdos_dag(10, 0.3, 5);
+  const Scenario sc = Scenario::compile(
+      g, FailureSpec(calibrate(g, 0.01)), RetryModel::TwoState);
+  Workspace ws;
+  EXPECT_EQ(steady_state_allocs(*EvaluatorRegistry::builtin().find("exact"),
+                                sc, {}, ws, 3),
+            0u);
+}
+
+// --------------------------------------------- adapter property (x13)
+
+std::vector<std::pair<std::string, Dag>> property_dags() {
+  std::vector<std::pair<std::string, Dag>> dags;
+  dags.emplace_back("diamond", expmk::test::diamond(0.4, 0.3, 0.5, 0.2));
+  dags.emplace_back("chain6", expmk::gen::chain_dag(6, 7));
+  dags.emplace_back("forkjoin", expmk::gen::fork_join_dag(5, 11));
+  dags.emplace_back("sp6", expmk::gen::random_series_parallel(6, 3));
+  dags.emplace_back("erdos10", expmk::gen::erdos_dag(10, 0.3, 5));
+  return dags;
+}
+
+void expect_bit_identical(const EvalResult& a, const EvalResult& b,
+                          const std::string& where) {
+  EXPECT_EQ(a.supported, b.supported) << where;
+  EXPECT_EQ(a.note, b.note) << where;
+  EXPECT_EQ(a.censored_trials, b.censored_trials) << where;
+  if (std::isnan(a.mean) || std::isnan(b.mean)) {
+    EXPECT_TRUE(std::isnan(a.mean) && std::isnan(b.mean)) << where;
+  } else {
+    EXPECT_EQ(a.mean, b.mean) << where;
+  }
+  EXPECT_EQ(a.std_error, b.std_error) << where;
+}
+
+// Workspace path vs the PR-3 Scenario path: all 13 evaluators, both retry
+// models, cold workspace AND warm (second call on a reused workspace) —
+// the warm arm is the one that catches kernels reading stale arena state.
+TEST(WorkspaceAdapterProperty, ColdAndWarmWorkspaceBitIdenticalToDefault) {
+  EvalOptions opt;
+  opt.mc_trials = 2'000;
+  opt.seed = 77;
+  opt.threads = 1;
+
+  const auto& reg = EvaluatorRegistry::builtin();
+  ASSERT_EQ(reg.size(), 13u);
+  Workspace warm;
+  for (const auto& [label, g] : property_dags()) {
+    const FailureModel model = calibrate(g, 0.01);
+    for (const RetryModel retry :
+         {RetryModel::TwoState, RetryModel::Geometric}) {
+      const Scenario sc = Scenario::compile(g, FailureSpec(model), retry);
+      for (const Evaluator& e : reg.evaluators()) {
+        const std::string where =
+            label + " / " + std::string(e.name()) + " / " +
+            (retry == RetryModel::TwoState ? "two_state" : "geometric");
+        const EvalResult reference = e.evaluate(sc, opt);
+        Workspace cold;
+        expect_bit_identical(e.evaluate(sc, opt, cold), reference,
+                             where + " / cold");
+        (void)e.evaluate(sc, opt, warm);  // dirty the arenas
+        expect_bit_identical(e.evaluate(sc, opt, warm), reference,
+                             where + " / warm");
+      }
+    }
+  }
+}
+
+// Same property under heterogeneous rates for the het-capable catalogue.
+TEST(WorkspaceAdapterProperty, HeterogeneousWarmBitIdenticalToDefault) {
+  EvalOptions opt;
+  opt.mc_trials = 1'000;
+  opt.threads = 1;
+
+  const auto& reg = EvaluatorRegistry::builtin();
+  Workspace warm;
+  for (const auto& [label, g] : property_dags()) {
+    const double lambda = calibrate(g, 0.01).lambda;
+    std::vector<double> rates(g.task_count());
+    for (TaskId i = 0; i < g.task_count(); ++i) {
+      rates[i] = lambda * (0.3 + static_cast<double>(i % 5) * 0.6);
+    }
+    const Scenario sc = Scenario::compile(g, FailureSpec::per_task(rates),
+                                          RetryModel::TwoState);
+    for (const Evaluator& e : reg.evaluators()) {
+      const EvalResult reference = e.evaluate(sc, opt);
+      (void)e.evaluate(sc, opt, warm);
+      expect_bit_identical(e.evaluate(sc, opt, warm), reference,
+                           label + " / " + std::string(e.name()));
+    }
+  }
+}
+
+// The flat atom fold in the bounds workspace kernel claims to mirror the
+// DiscreteDistribution object fold bit for bit; the Dag-path entry point
+// still RUNS the object fold, so comparing the two pins the claim (and
+// any future drift in prob::kValueMergeEps / consolidate /
+// renormalization arithmetic) exactly.
+TEST(WorkspaceAdapterProperty, BoundsFlatFoldBitIdenticalToObjectFold) {
+  for (const auto& [label, g] : property_dags()) {
+    for (const double pfail : {0.0, 0.001, 0.05, 0.4}) {
+      const FailureModel model = calibrate(g, pfail);
+      const auto via_objects = expmk::core::makespan_bounds(g, model);
+      const Scenario sc =
+          Scenario::compile(g, FailureSpec(model), RetryModel::TwoState);
+      Workspace ws;
+      const auto via_kernel = expmk::core::makespan_bounds(sc, ws);
+      const std::string where = label + " / pfail " + std::to_string(pfail);
+      EXPECT_EQ(via_kernel.failure_free, via_objects.failure_free) << where;
+      EXPECT_EQ(via_kernel.jensen_lower, via_objects.jensen_lower) << where;
+      EXPECT_EQ(via_kernel.level_upper, via_objects.level_upper) << where;
+    }
+  }
+}
+
+// ------------------------------------------------- sweep pooling pin
+
+// The sweep contract the refactor exists for: workspaces are pooled per
+// WORKER THREAD — a grid of many cells x methods must not create more
+// workspaces than workers (pre-refactor equivalent state was rebuilt per
+// method call).
+TEST(SweepPooling, OneWorkspacePerWorkerThread) {
+  expmk::exp::SweepGrid grid;
+  grid.generators = {"lu", "chain"};
+  grid.sizes = {3, 4};
+  grid.pfails = {0.001, 0.01};
+  grid.methods = {"fo", "so", "sculli", "corlca", "bounds.upper"};
+  grid.reference = "";
+  grid.options.mc_trials = 100;
+
+  const std::size_t threads = 2;
+  const std::uint64_t before = Workspace::created_count();
+  const auto result = expmk::exp::SweepRunner().run(grid, threads);
+  const std::uint64_t created = Workspace::created_count() - before;
+
+  ASSERT_EQ(result.cells.size(), 2u * 2u * 2u * 5u);
+  EXPECT_GE(created, 1u);
+  EXPECT_LE(created, threads);
+}
+
+// ----------------------------------------- span trial form equivalence
+
+TEST(TrialScatter, SpanFormDrawsTheSameStreamAsVectorForm) {
+  const Dag g = expmk::gen::erdos_dag(12, 0.3, 9);
+  const Scenario sc = Scenario::compile(
+      g, FailureSpec(calibrate(g, 0.02)), RetryModel::Geometric);
+  const expmk::mc::TrialContext ctx(sc);
+
+  std::vector<double> durations_vec(g.task_count());
+  std::vector<double> durations_span(g.task_count());
+  std::vector<double> finish(g.task_count());
+  for (std::uint64_t t = 0; t < 50; ++t) {
+    expmk::prob::Xoshiro256pp rng_a(123, t);
+    expmk::prob::Xoshiro256pp rng_b(123, t);
+    const double m_vec = expmk::mc::run_trial(ctx, rng_a, durations_vec);
+    const double m_span = expmk::mc::run_trial_scatter_csr(
+        ctx, rng_b, finish, durations_span);
+    EXPECT_EQ(m_vec, m_span) << t;
+    EXPECT_EQ(durations_vec, durations_span) << t;
+  }
+
+  expmk::prob::Xoshiro256pp rng(1, 1);
+  EXPECT_THROW((void)expmk::mc::run_trial_scatter_csr(
+                   ctx, rng, std::span<double>(finish.data(), 2),
+                   durations_span),
+               std::invalid_argument);
+}
+
+}  // namespace

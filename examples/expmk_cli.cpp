@@ -57,7 +57,7 @@ int usage() {
                "[--seed S] [--pfail P --rate-spread F] --out FILE\n"
                "  estimate  --graph FILE (--pfail P | --use-rates) "
                "[--method all|<registry name>] [--retry twostate|geometric] "
-               "[--trials N] [--repeat N]\n"
+               "[--trials N] [--repeat N] [--max-atoms N]\n"
                "  dot       --graph FILE --out FILE\n"
                "  schedule  --graph FILE --p N (--pfail P | --use-rates) "
                "[--runs N]\n"
@@ -170,6 +170,11 @@ int cmd_estimate(int argc, const char* const* argv) {
                  "two-state-only methods gate under geometric)");
   cli.add_int("trials", 100'000, "Monte-Carlo trials (mc/cmc)");
   cli.add_int("dodin-atoms", 128, "Dodin atom budget");
+  cli.add_int("max-atoms", 0,
+              "atom budget for every distribution method (0 = exact for "
+              "sp; a positive value also overrides --dodin-atoms). When "
+              "the cap fires, the certified [mean_lo, mean_hi] envelope "
+              "is printed");
   cli.add_int("repeat", 1,
               "evaluate each method N times on one warm workspace and "
               "report amortized throughput (first-call vs steady-state)");
@@ -200,6 +205,10 @@ int cmd_estimate(int argc, const char* const* argv) {
   exp::EvalOptions opt;
   opt.mc_trials = static_cast<std::uint64_t>(cli.get_int("trials"));
   opt.dodin_atoms = static_cast<std::size_t>(cli.get_int("dodin-atoms"));
+  const auto max_atoms =
+      static_cast<std::size_t>(std::max<std::int64_t>(0, cli.get_int("max-atoms")));
+  opt.sp_max_atoms = max_atoms;
+  if (max_atoms > 0) opt.dodin_atoms = max_atoms;
 
   const std::string method = cli.get_string("method");
   const std::vector<std::string> all = {"fo",     "so",     "dodin",
@@ -221,16 +230,37 @@ int cmd_estimate(int argc, const char* const* argv) {
   for (const std::string& name : names) {
     const exp::Evaluator* e = reg.find(name);
     if (repeat == 1) {
-      const auto r = e->evaluate(sc, opt);
+      // Capture the makespan law for the distribution methods, whose law
+      // falls out of the evaluation for free, so the report can show tail
+      // quantiles next to the mean. (exact could also capture, but its
+      // distribution costs a SECOND full 2^V enumeration — not worth an
+      // incidental quantile line.)
+      exp::EvalOptions capture_opt = opt;
+      capture_opt.capture_distribution = name == "sp" || name == "dodin";
+      const auto r = e->evaluate(sc, capture_opt);
       if (!r.supported) {
         std::printf("%-12s: unsupported (%s)\n", name.c_str(),
                     r.note.c_str());
-      } else if (r.std_error > 0.0) {
-        std::printf("%-12s: %.6f +/- %.6f\n", name.c_str(), r.mean,
+        continue;
+      }
+      if (r.std_error > 0.0) {
+        std::printf("%-12s: %.6f +/- %.6f", name.c_str(), r.mean,
                     1.96 * r.std_error);
       } else {
-        std::printf("%-12s: %.6f\n", name.c_str(), r.mean);
+        std::printf("%-12s: %.6f", name.c_str(), r.mean);
       }
+      if (r.mean_lo < r.mean_hi) {
+        // The atom cap fired: report the certified envelope the
+        // untruncated computation is guaranteed to lie in.
+        std::printf("  certified [%.6f, %.6f]", r.mean_lo, r.mean_hi);
+      }
+      if (r.distribution.has_value()) {
+        std::printf("  p50=%.6f p95=%.6f p99=%.6f",
+                    r.distribution->quantile(0.50),
+                    r.distribution->quantile(0.95),
+                    r.distribution->quantile(0.99));
+      }
+      std::printf("\n");
       continue;
     }
 

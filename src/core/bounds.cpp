@@ -9,6 +9,7 @@
 #include "graph/metrics.hpp"
 #include "graph/topological.hpp"
 #include "prob/discrete_distribution.hpp"
+#include "prob/dist_kernels.hpp"
 
 namespace expmk::core {
 
@@ -56,90 +57,6 @@ MakespanBounds bounds_impl(const graph::Dag& g,
   }
   out.level_upper = upper;
   return out;
-}
-
-// ------------------------------------------------------------------------
-// Flat (allocation-free) max-of-independent-two-state fold, the workspace
-// kernel's replacement for the DiscreteDistribution object fold above. It
-// mirrors DiscreteDistribution::max_of + from_atoms OPERATION FOR
-// OPERATION — support union, product-CDF differencing, the
-// prob::kValueMergeEps value merge, the renormalizing division — so the
-// level bound it produces is bitwise the value the object fold produces
-// (pinned by tests/test_workspace.cpp's Dag-path-vs-kernel equality
-// test); it just works in caller spans instead of freshly allocated
-// atom vectors.
-
-/// Atom list in parallel arrays (values strictly increasing, probs > 0).
-struct FlatAtoms {
-  std::span<double> vals;
-  std::span<double> probs;
-  std::size_t count = 0;
-};
-
-/// Folds max(X, Y) for X = `x`, Y the <= 2-atom two-state law of one task
-/// (already materialized in yv/yp ascending), writing the consolidated,
-/// renormalized result into `out` (capacity >= x.count + yn).
-/// `support` is scratch of the same capacity.
-void fold_max_two_state(const FlatAtoms& x, const double* yv,
-                        const double* yp, std::size_t yn,
-                        std::span<double> support, FlatAtoms& out) {
-  // Support union: both inputs are sorted, so a merge with exact-equality
-  // skip reproduces sort(concat) + unique from max_of.
-  std::size_t ns = 0;
-  {
-    std::size_t i = 0, j = 0;
-    while (i < x.count || j < yn) {
-      double v;
-      if (j >= yn || (i < x.count && x.vals[i] <= yv[j])) {
-        v = x.vals[i++];
-      } else {
-        v = yv[j++];
-      }
-      if (ns == 0 || support[ns - 1] != v) support[ns++] = v;
-    }
-  }
-
-  // Product-CDF differencing: F_max(v) = F_x(v) * F_y(v).
-  std::size_t m = 0;
-  {
-    double prev_cdf = 0.0;
-    std::size_t ix = 0, iy = 0;
-    double fx = 0.0, fy = 0.0;
-    for (std::size_t s = 0; s < ns; ++s) {
-      const double v = support[s];
-      while (ix < x.count && x.vals[ix] <= v) fx += x.probs[ix++];
-      while (iy < yn && yv[iy] <= v) fy += yp[iy++];
-      const double f = fx * fy;
-      if (f > prev_cdf) {
-        out.vals[m] = v;
-        out.probs[m] = f - prev_cdf;
-        ++m;
-      }
-      prev_cdf = f;
-    }
-  }
-
-  // from_atoms: consolidate (values within a relative eps merge into the
-  // first atom's value) ...
-  std::size_t w = 0;
-  for (std::size_t t = 0; t < m; ++t) {
-    if (w > 0) {
-      const double scale = std::max(
-          {std::fabs(out.vals[w - 1]), std::fabs(out.vals[t]), 1.0});
-      if (out.vals[t] - out.vals[w - 1] <= prob::kValueMergeEps * scale) {
-        out.probs[w - 1] += out.probs[t];
-        continue;
-      }
-    }
-    out.vals[w] = out.vals[t];
-    out.probs[w] = out.probs[t];
-    ++w;
-  }
-  // ... then renormalize.
-  double total = 0.0;
-  for (std::size_t t = 0; t < w; ++t) total += out.probs[t];
-  for (std::size_t t = 0; t < w; ++t) out.probs[t] /= total;
-  out.count = w;
 }
 
 }  // namespace
@@ -208,52 +125,32 @@ MakespanBounds makespan_bounds(const scenario::Scenario& sc,
     for (graph::TaskId v = 0; v < n; ++v) by_level[cursor[level[v]]++] = v;
   }
 
-  // E[ sum_l max_{i in L_l} X_i ] via the flat fold. Atom capacity: the
-  // support of a max of k two-state laws is a subset of {a_i, 2 a_i}
-  // union {0}, i.e. at most 2k + 1 values.
+  // E[ sum_l max_{i in L_l} X_i ] via the shared flat kernels
+  // (prob/dist_kernels.hpp) — the same max_of arithmetic the
+  // DiscreteDistribution object fold of the Dag entry point runs, on
+  // leased Atom arenas instead of freshly allocated vectors, so the two
+  // paths agree bitwise (pinned by tests/test_workspace.cpp). Atom
+  // capacity: the support of a max of k two-state laws is a subset of
+  // {a_i, 2 a_i} union {0}, i.e. at most 2k + 1 values.
+  namespace dk = prob::dist_kernels;
   const std::size_t cap = 2 * n + 2;
-  FlatAtoms cur{ws.doubles(cap), ws.doubles(cap), 0};
-  FlatAtoms next{ws.doubles(cap), ws.doubles(cap), 0};
+  std::span<prob::Atom> cur = ws.atoms(cap);
+  std::span<prob::Atom> next = ws.atoms(cap);
   const std::span<double> support = ws.doubles(cap);
   double upper = 0.0;
   for (std::size_t l = 0; l < depth; ++l) {
     // point(0.0), the fold's identity.
-    cur.vals[0] = 0.0;
-    cur.probs[0] = 1.0;
-    cur.count = 1;
+    std::size_t cur_n = dk::point(0.0, cur);
     for (std::uint32_t t = offsets[l]; t < offsets[l + 1]; ++t) {
       const graph::TaskId i = by_level[t];
       const double a = g.weight(i);
       if (a <= 0.0) continue;
-      // two_state(a, p_i): degenerates to a point mass at the boundary
-      // probabilities, exactly like DiscreteDistribution::two_state.
-      double yv[2];
-      double yp[2];
-      std::size_t yn;
-      if (p[i] >= 1.0) {
-        yv[0] = a;
-        yp[0] = 1.0;
-        yn = 1;
-      } else if (p[i] <= 0.0) {
-        yv[0] = 2.0 * a;
-        yp[0] = 1.0;
-        yn = 1;
-      } else {
-        yv[0] = a;
-        yp[0] = p[i];
-        yv[1] = 2.0 * a;
-        yp[1] = 1.0 - p[i];
-        yn = 2;
-      }
-      fold_max_two_state(cur, yv, yp, yn, support, next);
+      prob::Atom y[2];
+      const std::size_t yn = dk::two_state(a, p[i], y);
+      cur_n = dk::max_of(cur.subspan(0, cur_n), {y, yn}, next, support);
       std::swap(cur, next);
     }
-    // DiscreteDistribution::mean — atoms ascending.
-    double mean = 0.0;
-    for (std::size_t t = 0; t < cur.count; ++t) {
-      mean += cur.vals[t] * cur.probs[t];
-    }
-    upper += mean;
+    upper += dk::mean(cur.subspan(0, cur_n));
   }
   out.level_upper = upper;
   return out;

@@ -188,10 +188,9 @@ double exact_geometric(const graph::Dag& g, const FailureModel& model,
 
 double exact_geometric(const scenario::Scenario& sc, int max_executions,
                        exp::Workspace& ws) {
-  if (sc.heterogeneous()) {
-    throw std::invalid_argument(
-        "exact_geometric: per-task failure rates not supported");
-  }
+  // The enumeration is per-task throughout (each task's truncated
+  // geometric state table is built from its own cached p_i), so
+  // heterogeneous per-task rates are exact too.
   return geometric_expectation(sc.dag(), sc.topo(), sc.p_success(),
                                max_executions, ws);
 }

@@ -57,13 +57,14 @@ inline constexpr std::size_t kMaxExactTasks = 24;
                                      int max_executions);
 
 /// Workspace kernel (flattened truncated-geometric state table + odometer
-/// + weight/finish scratch all leased from `ws`).
+/// + weight/finish scratch all leased from `ws`). The enumeration is
+/// per-task throughout, so heterogeneous per-task rates are exact too
+/// (validated against a hand-built DiscreteDistribution oracle in
+/// tests/test_flat_spgraph.cpp).
 [[nodiscard]] double exact_geometric(const scenario::Scenario& sc,
                                      int max_executions, exp::Workspace& ws);
 
-/// Scenario-based entry point. Uniform scenarios only: throws
-/// std::invalid_argument on heterogeneous rates (the exp::Capabilities
-/// gate reports supported == false before this is reached in a sweep).
+/// Scenario-based entry point (heterogeneous rates supported).
 /// Lease-a-temporary adapter over the workspace kernel.
 [[nodiscard]] double exact_geometric(const scenario::Scenario& sc,
                                      int max_executions);

@@ -1,5 +1,6 @@
 #include "exp/evaluator.hpp"
 
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -57,6 +58,12 @@ EvalResult Evaluator::evaluate(const scenario::Scenario& sc,
     result.supported = false;
     result.note = e.what();
   }
+  if (result.supported) {
+    // Methods that never truncate (or did not truncate this time) carry
+    // the degenerate certified envelope.
+    if (std::isnan(result.mean_lo)) result.mean_lo = result.mean;
+    if (std::isnan(result.mean_hi)) result.mean_hi = result.mean;
+  }
   result.seconds = timer.seconds();
   return result;
 }
@@ -111,6 +118,29 @@ std::vector<std::string_view> EvaluatorRegistry::names() const {
 
 namespace {
 
+/// Fills the certified truncation envelope of a distribution method from
+/// its accumulated ReduceStats-style accounting, and surfaces a nonzero
+/// truncation count through `note` so silent accuracy loss is visible in
+/// sweep artifacts. The envelope is widened by a relative slack (covering
+/// the floating-point divergence between the truncated and untruncated
+/// pipelines) only when truncation actually fired — the no-truncation
+/// envelope stays exactly degenerate. The note assignment allocates, so
+/// the zero-allocation steady-state contract holds whenever the atom
+/// budget is not being hit (which is also when nothing needs reporting).
+void set_certified(EvalResult& r,
+                   const prob::dist_kernels::TruncationCert& cert) {
+  if (cert.events == 0) {
+    r.mean_lo = r.mean;
+    r.mean_hi = r.mean;
+    return;
+  }
+  const double slack = 1e-9 * std::max(1.0, std::fabs(r.mean));
+  r.mean_lo = r.mean - cert.up - slack;
+  r.mean_hi = r.mean + cert.down + slack;
+  r.note = "atom-cap truncation: " + std::to_string(cert.events) + " ops, " +
+           std::to_string(cert.merges) + " merges";
+}
+
 EvaluatorRegistry make_builtin() {
   EvaluatorRegistry reg;
 
@@ -138,8 +168,10 @@ EvaluatorRegistry make_builtin() {
       "model, converging exponentially)",
       {.two_state = false,
        .geometric = true,
-       // Uniform-rate truncation analysis only; per-task rates are gated.
-       .heterogeneous = false,
+       // The enumeration is per-task throughout (each task's truncated
+       // geometric state table uses its own p_i), so per-task rates are
+       // exact too.
+       .heterogeneous = true,
        // max_executions^V states: 3^12 ~ 5e5 keeps a cell sub-second.
        .max_tasks = 12,
        .kind = EstimateKind::Estimate,
@@ -187,16 +219,19 @@ EvaluatorRegistry make_builtin() {
        .rel_tolerance = 1e-9},
       [](const scenario::Scenario& sc, const EvalOptions& opt,
          Workspace& ws, EvalResult& r) {
-        auto eval = sp::evaluate_sp(sc, opt.sp_max_atoms, ws);
+        // Flat engine: zero steady-state allocations on a warm workspace
+        // (the distribution object is materialized only on capture).
+        prob::DiscreteDistribution* cap =
+            opt.capture_distribution ? &r.distribution.emplace() : nullptr;
+        const auto eval = sp::evaluate_sp_flat(sc, opt.sp_max_atoms, ws, cap);
         if (!eval.is_series_parallel) {
+          r.distribution.reset();
           r.supported = false;
           r.note = "graph is not series-parallel";
           return;
         }
-        r.mean = eval.makespan.mean();
-        if (opt.capture_distribution) {
-          r.distribution = std::move(eval.makespan);
-        }
+        r.mean = eval.mean;
+        set_certified(r, eval.stats.truncation);
       }));
 
   reg.add(Evaluator(
@@ -205,15 +240,22 @@ EvaluatorRegistry make_builtin() {
       "first competitor",
       {.two_state = true,
        .geometric = false,
-       .heterogeneous = false,
+       // Each task's 2-state law carries its own cached p_i, so the
+       // transformation is per-task throughout — heterogeneous rates
+       // supported (validated vs the exact oracle on SP DAGs, where the
+       // untruncated transformation is exact).
+       .heterogeneous = true,
        .rel_tolerance = 0.05},
       [](const scenario::Scenario& sc, const EvalOptions& opt,
          Workspace& ws, EvalResult& r) {
-        auto d = sp::dodin_two_state(sc, {.max_atoms = opt.dodin_atoms}, ws);
-        r.mean = d.expected_makespan();
-        if (opt.capture_distribution) {
-          r.distribution = std::move(d.makespan);
-        }
+        // Flat engine: zero steady-state allocations on a warm workspace
+        // (the distribution object is materialized only on capture).
+        prob::DiscreteDistribution* cap =
+            opt.capture_distribution ? &r.distribution.emplace() : nullptr;
+        const auto d = sp::dodin_two_state_flat(
+            sc, {.max_atoms = opt.dodin_atoms}, ws, cap);
+        r.mean = d.mean;
+        set_certified(r, d.truncation);
       }));
 
   // ----------------------------------------------------- Normal family

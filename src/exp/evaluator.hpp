@@ -19,8 +19,9 @@
 // method is a `(Scenario, EvalOptions, Workspace, EvalResult)` kernel:
 // its scratch is leased from an exp::Workspace, so steady-state repeated
 // evaluation on a warm workspace performs ZERO heap allocations for the
-// analytic methods (MC trial buffers were already pooled; the
-// distribution methods sp/dodin are documented exceptions). The
+// analytic methods — since the flat-distribution-engine refactor this
+// includes sp and dodin, whose networks and atom arithmetic run entirely
+// on leased arenas (MC trial buffers were already pooled). The
 // workspace-less evaluate(scenario, options) overload leases from the
 // calling thread's pooled Workspace::local(); the legacy
 // (Dag, FailureModel, RetryModel) overload remains as a thin
@@ -75,6 +76,16 @@ struct EvalOptions {
 struct EvalResult {
   /// Expected-makespan estimate; NaN when !supported.
   double mean = std::numeric_limits<double>::quiet_NaN();
+  /// Certified truncation envelope around `mean`: the same computation
+  /// run with NO atom-cap truncation would produce a mean inside
+  /// [mean_lo, mean_hi] (see prob/dist_kernels.hpp for the displacement
+  /// math). Degenerate — lo == hi == mean exactly — whenever no
+  /// truncation fired, which includes every method that never truncates;
+  /// evaluate() fills the degenerate envelope for methods that do not set
+  /// one. NaN when !supported. The envelope certifies the atom-budget
+  /// error ONLY, never a method's own modeling bias or sampling noise.
+  double mean_lo = std::numeric_limits<double>::quiet_NaN();
+  double mean_hi = std::numeric_limits<double>::quiet_NaN();
   /// Standard error of `mean` for stochastic methods, 0 for deterministic
   /// ones.
   double std_error = 0.0;

@@ -223,6 +223,11 @@ std::string SweepResult::json(bool include_timing) const {
         .field("seed", cell.seed)
         .field("supported", cell.result.supported)
         .field("mean", cell.result.mean)
+        // v3: the certified truncation envelope around `mean` (degenerate
+        // lo == hi == mean when no atom-cap truncation fired; see
+        // exp/evaluator.hpp).
+        .field("mean_lo", cell.result.mean_lo)
+        .field("mean_hi", cell.result.mean_hi)
         .field("std_error", cell.result.std_error)
         .field("reference_mean", cell.reference_mean)
         .field("relative_error", cell.relative_error)
@@ -234,7 +239,7 @@ std::string SweepResult::json(bool include_timing) const {
     rows.push_back(std::move(w));
   }
   util::JsonWriter top;
-  top.field("schema", "expmk-sweep-v2")
+  top.field("schema", "expmk-sweep-v3")
       .field("retry", retry_name(retry))
       .field("reference", reference)
       .field("base_seed", base_seed)
@@ -248,14 +253,15 @@ std::string SweepResult::json(bool include_timing) const {
 std::string SweepResult::csv() const {
   std::string out =
       "generator,size,tasks,edges,pfail,lambda,method,seed,supported,mean,"
-      "std_error,reference_mean,relative_error,censored_trials,seconds,"
-      "note\n";
+      "mean_lo,mean_hi,std_error,reference_mean,relative_error,"
+      "censored_trials,seconds,note\n";
   for (const SweepCell& cell : cells) {
     out += cell.generator + ',' + std::to_string(cell.size) + ',' +
            std::to_string(cell.tasks) + ',' + std::to_string(cell.edges) +
            ',' + num(cell.pfail) + ',' + num(cell.lambda) + ',' +
            cell.method + ',' + std::to_string(cell.seed) + ',' +
            (cell.result.supported ? "1" : "0") + ',' + num(cell.result.mean) +
+           ',' + num(cell.result.mean_lo) + ',' + num(cell.result.mean_hi) +
            ',' + num(cell.result.std_error) + ',' + num(cell.reference_mean) +
            ',' + num(cell.relative_error) + ',' +
            std::to_string(cell.result.censored_trials) + ',' +

@@ -79,7 +79,8 @@ struct SweepResult {
   std::uint64_t mc_trials = 0;
   double seconds = 0.0;  ///< wall-clock for the whole sweep
 
-  /// JSON artifact (schema "expmk-sweep-v2"; see DESIGN.md). Timings are
+  /// JSON artifact (schema "expmk-sweep-v3"; see DESIGN.md — v3 adds the
+  /// certified truncation envelope mean_lo/mean_hi per cell). Timings are
   /// excluded unless `include_timing` — the default artifact is the
   /// deterministic record, byte-identical across thread counts.
   [[nodiscard]] std::string json(bool include_timing = false) const;

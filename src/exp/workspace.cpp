@@ -25,12 +25,14 @@ void Workspace::release() noexcept {
   pool_m_.buffers.shrink_to_fit();
   pool_i_.buffers.clear();
   pool_i_.buffers.shrink_to_fit();
+  pool_a_.buffers.clear();
+  pool_a_.buffers.shrink_to_fit();
   cursors_ = {};
 }
 
 std::size_t Workspace::bytes_reserved() const noexcept {
   return pool_d_.bytes() + pool_u32_.bytes() + pool_u64_.bytes() +
-         pool_m_.bytes() + pool_i_.bytes();
+         pool_m_.bytes() + pool_i_.bytes() + pool_a_.bytes();
 }
 
 Workspace& Workspace::local() {

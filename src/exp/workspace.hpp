@@ -42,6 +42,7 @@
 #include <span>
 #include <vector>
 
+#include "prob/atom.hpp"
 #include "prob/normal.hpp"
 
 namespace expmk::exp {
@@ -69,7 +70,7 @@ class Workspace {
     friend class Workspace;
     Workspace& ws_;
     struct Cursors {
-      std::size_t d = 0, u32 = 0, u64 = 0, m = 0, i = 0;
+      std::size_t d = 0, u32 = 0, u64 = 0, m = 0, i = 0, a = 0;
     } saved_;
   };
 
@@ -90,6 +91,9 @@ class Workspace {
   }
   [[nodiscard]] std::span<int> ints(std::size_t n) {
     return pool_i_.lease(cursors_.i++, n);
+  }
+  [[nodiscard]] std::span<prob::Atom> atoms(std::size_t n) {
+    return pool_a_.lease(cursors_.a++, n);
   }
 
   /// Returns every lease (cursors to zero) but keeps all capacity — the
@@ -142,6 +146,7 @@ class Workspace {
   Pool<std::uint64_t> pool_u64_;
   Pool<prob::NormalMoments> pool_m_;
   Pool<int> pool_i_;
+  Pool<prob::Atom> pool_a_;
   Frame::Cursors cursors_;
 };
 

@@ -1,0 +1,26 @@
+// prob/atom.hpp
+//
+// The one probability atom shared by the whole distribution layer: the
+// flat kernels (dist_kernels.hpp) operate on spans of Atom, the
+// DiscreteDistribution object wraps a vector of them, and exp::Workspace
+// leases Atom arenas for the allocation-free evaluators. Split out of
+// discrete_distribution.hpp so the kernels and the workspace do not pull
+// in the object API.
+
+#pragma once
+
+namespace expmk::prob {
+
+/// One probability atom: P(X = value) = prob.
+struct Atom {
+  double value;
+  double prob;
+};
+
+/// Relative value gap below which two atoms are merged during
+/// consolidation (from_atoms and every operation built on it). One
+/// constant for the whole library: the flat kernels and the
+/// DiscreteDistribution object share the merge semantics bit for bit.
+inline constexpr double kValueMergeEps = 1e-12;
+
+}  // namespace expmk::prob

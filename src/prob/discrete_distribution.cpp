@@ -1,15 +1,42 @@
 #include "prob/discrete_distribution.hpp"
 
-#include <algorithm>
 #include <cmath>
+#include <memory>
 #include <ostream>
 #include <stdexcept>
 
+#include "prob/dist_kernels.hpp"
+
 namespace expmk::prob {
 
-// kValueMergeEps (the relative gap treated as equal during
-// consolidation) moved to the header: the workspace bounds fold mirrors
-// consolidate() and must share the constant.
+namespace dk = dist_kernels;
+
+namespace {
+
+/// Uninitialized kernel scratch: the span kernels fully overwrite what
+/// they read, so worst-case-sized buffers must not pay a zeroing pass
+/// (vector's value-initialization) the pre-kernel code never performed.
+template <typename T>
+struct Scratch {
+  std::unique_ptr<T[]> data;
+  std::size_t size;
+
+  explicit Scratch(std::size_t n)
+      : data(std::make_unique_for_overwrite<T[]>(n)), size(n) {}
+  [[nodiscard]] std::span<T> span() { return {data.get(), size}; }
+  /// The final (consolidated, usually far smaller) result as a vector.
+  [[nodiscard]] std::vector<T> take(std::size_t n) const {
+    return std::vector<T>(data.get(), data.get() + n);
+  }
+};
+
+}  // namespace
+
+// All arithmetic lives in prob/dist_kernels.cpp; the methods here lease
+// vectors, call the span kernels and wrap the canonical result. The
+// kernels mirror the pre-refactor object code operation for operation, so
+// this file's behavior is byte-identical to what it replaced (pinned by
+// tests/test_dist_kernels.cpp).
 
 DiscreteDistribution::DiscreteDistribution() : atoms_{{0.0, 1.0}} {}
 
@@ -26,9 +53,9 @@ DiscreteDistribution DiscreteDistribution::two_state(double a,
   if (p_success < 0.0 || p_success > 1.0) {
     throw std::invalid_argument("two_state: p_success must be in [0,1]");
   }
-  if (p_success >= 1.0) return point(a);
-  if (p_success <= 0.0) return point(2.0 * a);
-  return DiscreteDistribution({{a, p_success}, {2.0 * a, 1.0 - p_success}});
+  std::vector<Atom> atoms(2);
+  atoms.resize(dk::two_state(a, p_success, atoms));
+  return DiscreteDistribution(std::move(atoms));
 }
 
 DiscreteDistribution DiscreteDistribution::geometric_reexec(double a,
@@ -56,40 +83,25 @@ DiscreteDistribution DiscreteDistribution::geometric_reexec(double a,
 }
 
 void DiscreteDistribution::consolidate(std::vector<Atom>& atoms) {
-  std::erase_if(atoms, [](const Atom& at) { return at.prob <= 0.0; });
-  std::sort(atoms.begin(), atoms.end(),
-            [](const Atom& x, const Atom& y) { return x.value < y.value; });
-  std::vector<Atom> merged;
-  merged.reserve(atoms.size());
-  for (const Atom& at : atoms) {
-    if (!merged.empty()) {
-      const double scale =
-          std::max({std::fabs(merged.back().value), std::fabs(at.value), 1.0});
-      if (at.value - merged.back().value <= kValueMergeEps * scale) {
-        merged.back().prob += at.prob;
-        continue;
-      }
-    }
-    merged.push_back(at);
-  }
-  atoms = std::move(merged);
+  atoms.resize(dk::consolidate(atoms));
 }
 
 DiscreteDistribution DiscreteDistribution::from_atoms(std::vector<Atom> atoms) {
   consolidate(atoms);
-  double total = 0.0;
-  for (const Atom& at : atoms) total += at.prob;
-  if (atoms.empty() || total <= 0.0) {
-    throw std::invalid_argument("from_atoms: no positive probability mass");
+  dk::normalize(atoms);  // throws on empty / non-positive total mass
+  return DiscreteDistribution(std::move(atoms));
+}
+
+DiscreteDistribution DiscreteDistribution::from_canonical(
+    std::vector<Atom> atoms) {
+  if (atoms.empty()) {
+    throw std::invalid_argument("from_canonical: empty atom list");
   }
-  for (Atom& at : atoms) at.prob /= total;
   return DiscreteDistribution(std::move(atoms));
 }
 
 double DiscreteDistribution::mean() const noexcept {
-  double m = 0.0;
-  for (const Atom& at : atoms_) m += at.value * at.prob;
-  return m;
+  return dk::mean(atoms_);
 }
 
 double DiscreteDistribution::variance() const noexcept {
@@ -112,128 +124,59 @@ double DiscreteDistribution::cdf(double x) const noexcept {
 }
 
 double DiscreteDistribution::quantile(double q) const {
-  if (q <= 0.0 || q > 1.0) {
-    throw std::invalid_argument("quantile: q must be in (0,1]");
-  }
-  double acc = 0.0;
-  for (const Atom& at : atoms_) {
-    acc += at.prob;
-    if (acc >= q - 1e-15) return at.value;
-  }
-  return atoms_.back().value;
+  return dk::quantile(atoms_, q);
 }
 
 DiscreteDistribution DiscreteDistribution::shifted(double c) const {
   std::vector<Atom> atoms = atoms_;
-  for (Atom& at : atoms) at.value += c;
+  dk::shift(atoms, c);
   return DiscreteDistribution(std::move(atoms));
 }
 
 DiscreteDistribution DiscreteDistribution::convolve(
     const DiscreteDistribution& x, const DiscreteDistribution& y,
-    std::size_t max_atoms) {
-  std::vector<Atom> atoms;
-  atoms.reserve(x.size() * y.size());
-  for (const Atom& ax : x.atoms_) {
-    for (const Atom& ay : y.atoms_) {
-      atoms.push_back({ax.value + ay.value, ax.prob * ay.prob});
-    }
-  }
-  auto result = from_atoms(std::move(atoms));
+    std::size_t max_atoms, dk::TruncationCert* cert) {
+  Scratch<Atom> out(x.size() * y.size());
+  const std::size_t m = dk::convolve(x.atoms_, y.atoms_, out.span());
+  auto result = DiscreteDistribution(out.take(m));
   if (max_atoms != 0 && result.size() > max_atoms) {
-    result = result.truncated(max_atoms);
+    result = result.truncated(max_atoms, cert);
   }
   return result;
 }
 
 DiscreteDistribution DiscreteDistribution::max_of(
     const DiscreteDistribution& x, const DiscreteDistribution& y,
-    std::size_t max_atoms) {
-  // P(max = v) computed by merging supports and differencing the product
-  // CDF: F_max(v) = F_x(v) * F_y(v).
-  std::vector<double> support;
-  support.reserve(x.size() + y.size());
-  for (const Atom& at : x.atoms_) support.push_back(at.value);
-  for (const Atom& at : y.atoms_) support.push_back(at.value);
-  std::sort(support.begin(), support.end());
-  support.erase(std::unique(support.begin(), support.end()), support.end());
-
-  std::vector<Atom> atoms;
-  atoms.reserve(support.size());
-  double prev_cdf = 0.0;
-  std::size_t ix = 0, iy = 0;
-  double fx = 0.0, fy = 0.0;
-  for (const double v : support) {
-    while (ix < x.size() && x.atoms_[ix].value <= v) fx += x.atoms_[ix++].prob;
-    while (iy < y.size() && y.atoms_[iy].value <= v) fy += y.atoms_[iy++].prob;
-    const double f = fx * fy;
-    if (f > prev_cdf) atoms.push_back({v, f - prev_cdf});
-    prev_cdf = f;
-  }
-  auto result = from_atoms(std::move(atoms));
+    std::size_t max_atoms, dk::TruncationCert* cert) {
+  Scratch<Atom> out(x.size() + y.size());
+  Scratch<double> support(x.size() + y.size());
+  const std::size_t m =
+      dk::max_of(x.atoms_, y.atoms_, out.span(), support.span());
+  auto result = DiscreteDistribution(out.take(m));
   if (max_atoms != 0 && result.size() > max_atoms) {
-    result = result.truncated(max_atoms);
+    result = result.truncated(max_atoms, cert);
   }
   return result;
 }
 
 DiscreteDistribution DiscreteDistribution::mixture(
     const DiscreteDistribution& x, double w, const DiscreteDistribution& y) {
-  if (w < 0.0 || w > 1.0) {
-    throw std::invalid_argument("mixture: weight must be in [0,1]");
-  }
-  std::vector<Atom> atoms;
-  atoms.reserve(x.size() + y.size());
-  for (const Atom& at : x.atoms_) atoms.push_back({at.value, w * at.prob});
-  for (const Atom& at : y.atoms_) {
-    atoms.push_back({at.value, (1.0 - w) * at.prob});
-  }
-  return from_atoms(std::move(atoms));
+  Scratch<Atom> out(x.size() + y.size());
+  const std::size_t m = dk::mixture(x.atoms_, w, y.atoms_, out.span());
+  return DiscreteDistribution(out.take(m));
 }
 
 DiscreteDistribution DiscreteDistribution::truncated(
-    std::size_t max_atoms) const {
+    std::size_t max_atoms, dk::TruncationCert* cert) const {
   if (max_atoms == 0 || size() <= max_atoms) return *this;
-  // Greedy pass merging nearest-by-value adjacent atoms. Each round removes
-  // roughly half the overshoot; repeated until within budget. A heap-based
-  // exact nearest-pair scheme would be O(n log n) as well but the simple
-  // pass keeps atoms balanced and is what Dodin-style discretizations do.
   std::vector<Atom> atoms = atoms_;
-  while (atoms.size() > max_atoms) {
-    const std::size_t excess = atoms.size() - max_atoms;
-    // Collect gaps, pick a threshold so we merge ~excess pairs this pass.
-    std::vector<double> gaps;
-    gaps.reserve(atoms.size() - 1);
-    for (std::size_t i = 0; i + 1 < atoms.size(); ++i) {
-      gaps.push_back(atoms[i + 1].value - atoms[i].value);
-    }
-    std::vector<double> sorted_gaps = gaps;
-    const std::size_t kth = std::min(excess, sorted_gaps.size()) - 1;
-    std::nth_element(sorted_gaps.begin(), sorted_gaps.begin() + kth,
-                     sorted_gaps.end());
-    const double threshold = sorted_gaps[kth];
-
-    std::vector<Atom> next;
-    next.reserve(atoms.size());
-    std::size_t i = 0;
-    std::size_t budget = excess;  // pairs we may merge this pass
-    while (i < atoms.size()) {
-      if (budget > 0 && i + 1 < atoms.size() && gaps[i] <= threshold) {
-        const Atom& a = atoms[i];
-        const Atom& b = atoms[i + 1];
-        const double p = a.prob + b.prob;
-        next.push_back({(a.value * a.prob + b.value * b.prob) / p, p});
-        i += 2;
-        --budget;
-      } else {
-        next.push_back(atoms[i]);
-        ++i;
-      }
-    }
-    if (next.size() == atoms.size()) break;  // no progress (defensive)
-    atoms = std::move(next);
-  }
-  return from_atoms(std::move(atoms));
+  Scratch<double> gap_scratch(2 * (atoms.size() - 1));
+  Scratch<Atom> atom_scratch(atoms.size());
+  dk::TruncationCert local;
+  atoms.resize(dk::truncate(atoms, max_atoms, local, gap_scratch.span(),
+                            atom_scratch.span()));
+  if (cert != nullptr) cert->accumulate(local);
+  return DiscreteDistribution(std::move(atoms));
 }
 
 bool DiscreteDistribution::approx_equals(const DiscreteDistribution& other,

@@ -9,6 +9,12 @@
 // "atom budget": when a result exceeds `max_atoms`, adjacent atoms are
 // merged pairwise with a mean-preserving rule. The budget is a knob of the
 // Dodin implementation and is swept by bench/ablation_dodin_atoms.
+//
+// Since the flat-distribution-engine refactor, every operation here is a
+// thin allocating wrapper over the span kernels in prob/dist_kernels.hpp —
+// the library has exactly ONE copy of the consolidation / convolve /
+// max-of / truncation arithmetic, shared bit-for-bit with the
+// workspace-backed flat evaluators (sp/dodin/bounds).
 
 #pragma once
 
@@ -16,19 +22,13 @@
 #include <iosfwd>
 #include <vector>
 
+#include "prob/atom.hpp"
+
 namespace expmk::prob {
 
-/// One probability atom: P(X = value) = prob.
-struct Atom {
-  double value;
-  double prob;
-};
-
-/// Relative value gap below which two atoms are merged during
-/// consolidation (from_atoms and every operation built on it). Public
-/// because core::makespan_bounds' flat workspace fold mirrors the
-/// consolidation arithmetic bit-for-bit and must use the SAME constant.
-inline constexpr double kValueMergeEps = 1e-12;
+namespace dist_kernels {
+struct TruncationCert;
+}  // namespace dist_kernels
 
 /// An immutable-after-construction finite distribution. Invariants:
 /// atoms sorted strictly increasing by value, probabilities positive,
@@ -56,6 +56,13 @@ class DiscreteDistribution {
   /// positive.
   static DiscreteDistribution from_atoms(std::vector<Atom> atoms);
 
+  /// Trusted constructor for the flat engine's exports: `atoms` must
+  /// already be canonical (dist_kernels::canonicalize output — strictly
+  /// ascending, positive, normalized). Skips the re-consolidation and
+  /// re-normalization of from_atoms so an exported distribution is
+  /// byte-identical to the arena slice it came from.
+  static DiscreteDistribution from_canonical(std::vector<Atom> atoms);
+
   [[nodiscard]] const std::vector<Atom>& atoms() const noexcept {
     return atoms_;
   }
@@ -75,15 +82,19 @@ class DiscreteDistribution {
   [[nodiscard]] DiscreteDistribution shifted(double c) const;
 
   /// Distribution of X + Y for independent X, Y; result capped at
-  /// `max_atoms` (0 = unlimited).
+  /// `max_atoms` (0 = unlimited). When a cap fires and `cert` is given,
+  /// the certified expectation-shift envelope accumulates into it.
   [[nodiscard]] static DiscreteDistribution convolve(
       const DiscreteDistribution& x, const DiscreteDistribution& y,
-      std::size_t max_atoms = 0);
+      std::size_t max_atoms = 0,
+      dist_kernels::TruncationCert* cert = nullptr);
 
-  /// Distribution of max(X, Y) for independent X, Y; capped at `max_atoms`.
+  /// Distribution of max(X, Y) for independent X, Y; capped at `max_atoms`
+  /// (same certification hook as convolve).
   [[nodiscard]] static DiscreteDistribution max_of(
       const DiscreteDistribution& x, const DiscreteDistribution& y,
-      std::size_t max_atoms = 0);
+      std::size_t max_atoms = 0,
+      dist_kernels::TruncationCert* cert = nullptr);
 
   /// Mixture: with probability w take X, else Y. Used by tests.
   [[nodiscard]] static DiscreteDistribution mixture(
@@ -92,8 +103,12 @@ class DiscreteDistribution {
   /// Returns a copy reduced to at most `max_atoms` atoms by repeatedly
   /// merging the pair of adjacent atoms with the smallest value gap into a
   /// single atom at their probability-weighted mean (preserves the overall
-  /// mean exactly; variance shrinks by at most gap² per merge).
-  [[nodiscard]] DiscreteDistribution truncated(std::size_t max_atoms) const;
+  /// mean exactly; variance shrinks by at most gap² per merge). With
+  /// `cert`, the per-merge displacement envelope accumulates into it (see
+  /// dist_kernels.hpp for the certified-truncation math).
+  [[nodiscard]] DiscreteDistribution truncated(
+      std::size_t max_atoms,
+      dist_kernels::TruncationCert* cert = nullptr) const;
 
   /// Structural equality within `tol` on values and probabilities.
   [[nodiscard]] bool approx_equals(const DiscreteDistribution& other,

@@ -1,0 +1,214 @@
+#include "prob/dist_kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace expmk::prob::dist_kernels {
+
+// Every kernel here is the executable definition of one
+// DiscreteDistribution operation: the object methods forward to these, so
+// any change below changes both paths together (and the bit-identity
+// property in tests/test_dist_kernels.cpp holds by construction).
+
+std::size_t consolidate(std::span<Atom> atoms) {
+  // erase_if(prob <= 0), order-preserving.
+  std::size_t n = 0;
+  for (const Atom& at : atoms) {
+    if (at.prob > 0.0) atoms[n++] = at;
+  }
+  std::sort(atoms.begin(), atoms.begin() + static_cast<std::ptrdiff_t>(n),
+            [](const Atom& x, const Atom& y) { return x.value < y.value; });
+  // Adjacent eps-merge into the first atom's value (mirrors the object
+  // consolidate's merged-vector loop; w <= t always, so in place is safe).
+  std::size_t w = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    if (w > 0) {
+      const double scale = std::max(
+          {std::fabs(atoms[w - 1].value), std::fabs(atoms[t].value), 1.0});
+      if (atoms[t].value - atoms[w - 1].value <= kValueMergeEps * scale) {
+        atoms[w - 1].prob += atoms[t].prob;
+        continue;
+      }
+    }
+    atoms[w++] = atoms[t];
+  }
+  return w;
+}
+
+void normalize(std::span<Atom> atoms) {
+  double total = 0.0;
+  for (const Atom& at : atoms) total += at.prob;
+  if (atoms.empty() || total <= 0.0) {
+    throw std::invalid_argument("from_atoms: no positive probability mass");
+  }
+  for (Atom& at : atoms) at.prob /= total;
+}
+
+std::size_t canonicalize(std::span<Atom> atoms) {
+  const std::size_t n = consolidate(atoms);
+  normalize(atoms.subspan(0, n));
+  return n;
+}
+
+double mean(std::span<const Atom> atoms) noexcept {
+  double m = 0.0;
+  for (const Atom& at : atoms) m += at.value * at.prob;
+  return m;
+}
+
+double quantile(std::span<const Atom> atoms, double q) {
+  if (q <= 0.0 || q > 1.0) {
+    throw std::invalid_argument("quantile: q must be in (0,1]");
+  }
+  double acc = 0.0;
+  for (const Atom& at : atoms) {
+    acc += at.prob;
+    if (acc >= q - 1e-15) return at.value;
+  }
+  return atoms.back().value;
+}
+
+std::size_t point(double value, std::span<Atom> out) {
+  out[0] = {value, 1.0};
+  return 1;
+}
+
+std::size_t two_state(double a, double p_success, std::span<Atom> out) {
+  if (p_success >= 1.0) return point(a, out);
+  if (p_success <= 0.0) return point(2.0 * a, out);
+  out[0] = {a, p_success};
+  out[1] = {2.0 * a, 1.0 - p_success};
+  return 2;
+}
+
+void shift(std::span<Atom> atoms, double c) noexcept {
+  for (Atom& at : atoms) at.value += c;
+}
+
+std::size_t convolve(std::span<const Atom> x, std::span<const Atom> y,
+                     std::span<Atom> out) {
+  std::size_t k = 0;
+  for (const Atom& ax : x) {
+    for (const Atom& ay : y) {
+      out[k++] = {ax.value + ay.value, ax.prob * ay.prob};
+    }
+  }
+  return canonicalize(out.subspan(0, k));
+}
+
+std::size_t max_of(std::span<const Atom> x, std::span<const Atom> y,
+                   std::span<Atom> out, std::span<double> support_scratch) {
+  // Support union. Both inputs are canonical (strictly ascending), so a
+  // two-way merge with an exact-equality skip reproduces the object
+  // path's sort(concat) + unique.
+  std::size_t ns = 0;
+  {
+    std::size_t i = 0, j = 0;
+    while (i < x.size() || j < y.size()) {
+      double v;
+      if (j >= y.size() || (i < x.size() && x[i].value <= y[j].value)) {
+        v = x[i++].value;
+      } else {
+        v = y[j++].value;
+      }
+      if (ns == 0 || support_scratch[ns - 1] != v) support_scratch[ns++] = v;
+    }
+  }
+
+  // Product-CDF differencing: F_max(v) = F_x(v) * F_y(v).
+  std::size_t m = 0;
+  {
+    double prev_cdf = 0.0;
+    std::size_t ix = 0, iy = 0;
+    double fx = 0.0, fy = 0.0;
+    for (std::size_t s = 0; s < ns; ++s) {
+      const double v = support_scratch[s];
+      while (ix < x.size() && x[ix].value <= v) fx += x[ix++].prob;
+      while (iy < y.size() && y[iy].value <= v) fy += y[iy++].prob;
+      const double f = fx * fy;
+      if (f > prev_cdf) out[m++] = {v, f - prev_cdf};
+      prev_cdf = f;
+    }
+  }
+  return canonicalize(out.subspan(0, m));
+}
+
+std::size_t mixture(std::span<const Atom> x, double w,
+                    std::span<const Atom> y, std::span<Atom> out) {
+  if (w < 0.0 || w > 1.0) {
+    throw std::invalid_argument("mixture: weight must be in [0,1]");
+  }
+  std::size_t k = 0;
+  for (const Atom& at : x) out[k++] = {at.value, w * at.prob};
+  for (const Atom& at : y) out[k++] = {at.value, (1.0 - w) * at.prob};
+  return canonicalize(out.subspan(0, k));
+}
+
+std::size_t truncate(std::span<Atom> atoms, std::size_t max_atoms,
+                     TruncationCert& cert, std::span<double> gap_scratch,
+                     std::span<Atom> atom_scratch) {
+  std::size_t n = atoms.size();
+  if (max_atoms == 0 || n <= max_atoms) return n;
+
+  std::size_t local_merges = 0;
+  // Greedy pass merging nearest-by-value adjacent atoms; each round
+  // removes roughly half the overshoot (the object truncated()'s exact
+  // scheme, with the merge displacements additionally accounted).
+  while (n > max_atoms) {
+    const std::size_t excess = n - max_atoms;
+    // Collect gaps, pick a threshold so we merge ~excess pairs this pass.
+    const std::span<double> gaps = gap_scratch.subspan(0, n - 1);
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      gaps[i] = atoms[i + 1].value - atoms[i].value;
+    }
+    const std::span<double> sorted = gap_scratch.subspan(n - 1, n - 1);
+    std::copy(gaps.begin(), gaps.end(), sorted.begin());
+    const std::size_t kth = std::min(excess, sorted.size()) - 1;
+    std::nth_element(sorted.begin(),
+                     sorted.begin() + static_cast<std::ptrdiff_t>(kth),
+                     sorted.end());
+    const double threshold = sorted[kth];
+
+    std::size_t m = 0;
+    std::size_t i = 0;
+    std::size_t budget = excess;  // pairs we may merge this pass
+    while (i < n) {
+      if (budget > 0 && i + 1 < n && gaps[i] <= threshold) {
+        const Atom& a = atoms[i];
+        const Atom& b = atoms[i + 1];
+        const double p = a.prob + b.prob;
+        const double v = (a.value * a.prob + b.value * b.prob) / p;
+        // Mass p_a moved up to the weighted mean, mass p_b moved down:
+        // the certified expectation-shift envelope of this merge.
+        cert.up += a.prob * (v - a.value);
+        cert.down += b.prob * (b.value - v);
+        ++local_merges;
+        atom_scratch[m++] = {v, p};
+        i += 2;
+        --budget;
+      } else {
+        atom_scratch[m++] = atoms[i++];
+      }
+    }
+    if (m == n) {  // no progress (defensive, as in the object path)
+      std::copy(atom_scratch.begin(),
+                atom_scratch.begin() + static_cast<std::ptrdiff_t>(m),
+                atoms.begin());
+      break;
+    }
+    std::copy(atom_scratch.begin(),
+              atom_scratch.begin() + static_cast<std::ptrdiff_t>(m),
+              atoms.begin());
+    n = m;
+  }
+  if (local_merges > 0) {
+    ++cert.events;
+    cert.merges += local_merges;
+  }
+  // The object path ends with from_atoms: re-consolidate (merged values
+  // may have landed within the eps window) and renormalize.
+  return canonicalize(atoms.subspan(0, n));
+}
+
+}  // namespace expmk::prob::dist_kernels

@@ -1,0 +1,138 @@
+// prob/dist_kernels.hpp
+//
+// The flat distribution engine: every discrete-distribution operation the
+// analytic pipeline is built on (consolidate / shift / convolve / max-of /
+// mixture / truncate), expressed as kernels over caller-provided spans of
+// prob::Atom instead of freshly allocated vectors. `DiscreteDistribution`'s
+// own operations are thin allocating wrappers over these kernels, so there
+// is exactly ONE copy of the arithmetic in the library and the flat and
+// object paths are bit-identical by construction (pinned by
+// tests/test_dist_kernels.cpp). The workspace-backed evaluators (the
+// series-parallel reduction, Dodin's transformation, the level-
+// decomposition bound) call the kernels directly on exp::Workspace-leased
+// arenas and therefore run allocation-free at steady state.
+//
+// Contract shared with DiscreteDistribution:
+//  * a *canonical* atom list is sorted strictly increasing by value
+//    (beyond the prob::kValueMergeEps relative merge window), has positive
+//    probabilities, and total mass 1 (renormalized);
+//  * `consolidate` + `normalize` reproduce from_atoms() operation for
+//    operation (drop non-positive masses order-preservingly, std::sort by
+//    value, eps-merge, divide by the total) — bit for bit;
+//  * every kernel writes its result left-aligned into the output span and
+//    returns the atom count; inputs and outputs must not overlap unless a
+//    kernel is documented as in-place.
+//
+// Certified truncation. `truncate` reduces an atom list to a budget by
+// repeatedly merging the adjacent pair with the smallest value gap into
+// its probability-weighted mean — mean-preserving for the distribution at
+// hand, but NOT for the expectation of a downstream max/convolve pipeline.
+// Each merge is accounted for in a TruncationCert: merging (v_a, p_a),
+// (v_b, p_b) at v = (p_a v_a + p_b v_b)/(p_a + p_b) moves mass p_a upward
+// by (v - v_a) and mass p_b downward by (v_b - v). The makespan is a
+// monotone, 1-Lipschitz function of every intermediate duration value
+// (compositions of + and max), so by a pointwise coupling argument the
+// expectation of the *untruncated* pipeline E* is bracketed by
+//
+//     mean - cert.up  <=  E*  <=  mean + cert.down
+//
+// where `mean` is the truncated pipeline's result and up/down are the
+// probability-weighted displacement totals accumulated across every merge
+// of every truncation. This is the envelope EvalResult::mean_lo/mean_hi
+// surfaces (see exp/evaluator.hpp); it certifies the atom-cap error only,
+// not a method's own modeling bias.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "prob/atom.hpp"
+
+namespace expmk::prob::dist_kernels {
+
+/// The certified-truncation accumulator (see the file comment). Totals
+/// add across operations: pass one accumulator through a whole pipeline.
+struct TruncationCert {
+  double up = 0.0;          ///< sum of p * (merged - original) moved upward
+  double down = 0.0;        ///< sum of p * (original - merged) moved downward
+  std::size_t events = 0;   ///< truncate() calls that merged at least once
+  std::size_t merges = 0;   ///< total pair merges across all events
+
+  void accumulate(const TruncationCert& o) noexcept {
+    up += o.up;
+    down += o.down;
+    events += o.events;
+    merges += o.merges;
+  }
+};
+
+/// Mirrors DiscreteDistribution's private consolidate(): drops
+/// non-positive masses (order-preserving), sorts ascending by value, and
+/// merges atoms within the kValueMergeEps relative window into the first
+/// atom's value. In place; returns the new count.
+std::size_t consolidate(std::span<Atom> atoms);
+
+/// Mirrors from_atoms' renormalization: divides every probability by the
+/// total. Throws std::invalid_argument when the span is empty or the
+/// total mass is not positive (from_atoms' exact failure condition).
+void normalize(std::span<Atom> atoms);
+
+/// The from_atoms pipeline on a span: consolidate then normalize the
+/// surviving prefix. In place; returns the canonical count.
+std::size_t canonicalize(std::span<Atom> atoms);
+
+/// E[X] of a canonical atom list (ascending accumulation, the exact loop
+/// DiscreteDistribution::mean runs).
+[[nodiscard]] double mean(std::span<const Atom> atoms) noexcept;
+
+/// Smallest support value v with P(X <= v) >= q, q in (0,1] — mirrors
+/// DiscreteDistribution::quantile (including its 1e-15 slack).
+[[nodiscard]] double quantile(std::span<const Atom> atoms, double q);
+
+/// Point mass at `value`; writes 1 atom.
+std::size_t point(double value, std::span<Atom> out);
+
+/// The paper's 2-state task law: a w.p. p_success, else 2a — with the
+/// same boundary degeneracies as DiscreteDistribution::two_state
+/// (p >= 1 or p <= 0 collapse to a point mass). Writes <= 2 atoms;
+/// returns the count. Requires a > 0 and p in [0, 1] (unchecked: callers
+/// feed Scenario-validated inputs).
+std::size_t two_state(double a, double p_success, std::span<Atom> out);
+
+/// X + c in place.
+void shift(std::span<Atom> atoms, double c) noexcept;
+
+/// X + Y for independent canonical X, Y: cross product in x-major order
+/// then canonicalize — the exact op sequence of
+/// DiscreteDistribution::convolve before its atom cap. `out` must hold
+/// x.size() * y.size() atoms and not overlap the inputs.
+std::size_t convolve(std::span<const Atom> x, std::span<const Atom> y,
+                     std::span<Atom> out);
+
+/// max(X, Y) for independent canonical X, Y via support union and
+/// product-CDF differencing, then canonicalize — mirrors
+/// DiscreteDistribution::max_of before its atom cap. `out` must hold
+/// x.size() + y.size() atoms; `support_scratch` the same; neither may
+/// overlap the inputs.
+std::size_t max_of(std::span<const Atom> x, std::span<const Atom> y,
+                   std::span<Atom> out, std::span<double> support_scratch);
+
+/// Mixture: with probability w take X, else Y; mirrors
+/// DiscreteDistribution::mixture (throws on w outside [0,1]). `out` must
+/// hold x.size() + y.size() atoms.
+std::size_t mixture(std::span<const Atom> x, double w,
+                    std::span<const Atom> y, std::span<Atom> out);
+
+/// Reduces a canonical list of n = atoms.size() atoms to at most
+/// `max_atoms` by the nearest-adjacent-pair merge passes of
+/// DiscreteDistribution::truncated (nth_element threshold, per-pass merge
+/// budget, final canonicalize), accumulating the expectation-shift
+/// envelope into `cert`. In place; returns the new count. No-op (and no
+/// cert event) when max_atoms == 0 or n <= max_atoms. Scratch:
+/// `gap_scratch` >= 2*(n-1) doubles, `atom_scratch` >= n atoms.
+std::size_t truncate(std::span<Atom> atoms, std::size_t max_atoms,
+                     TruncationCert& cert, std::span<double> gap_scratch,
+                     std::span<Atom> atom_scratch);
+
+}  // namespace expmk::prob::dist_kernels

@@ -45,6 +45,7 @@ DodinResult dodin(ArcNetwork net, const DodinOptions& options) {
   ReduceStats first_pass = reduce_exhaustively(net, options.max_atoms);
   result.series_reductions += first_pass.series;
   result.parallel_reductions += first_pass.parallel;
+  result.truncation.accumulate(first_pass.truncation);
 
   const auto is_single_arc = [&net] {
     return net.arc_count() == 1 && net.out_degree(net.source()) == 1 &&
@@ -94,6 +95,7 @@ DodinResult dodin(ArcNetwork net, const DodinOptions& options) {
     reduce_from(net, std::move(seeds), options.max_atoms, local);
     result.series_reductions += local.series;
     result.parallel_reductions += local.parallel;
+    result.truncation.accumulate(local.truncation);
 
     if (++result.duplications > options.max_duplications) {
       throw std::runtime_error(
@@ -124,22 +126,23 @@ DodinResult dodin_two_state(const graph::Dag& g,
 
 DodinResult dodin_two_state(const scenario::Scenario& sc,
                             const DodinOptions& options) {
-  if (sc.heterogeneous()) {
-    throw std::invalid_argument(
-        "dodin_two_state: per-task failure rates not supported");
-  }
-  if (sc.retry() != core::RetryModel::TwoState) {
-    throw std::invalid_argument(
-        "dodin_two_state: scenario must be compiled with the TwoState "
-        "retry model");
-  }
-  return dodin_two_state(sc.dag(), sc.uniform_model(), options);
+  exp::Workspace ws;  // lease-a-temporary adapter; bit-identical
+  return dodin_two_state(sc, options, ws);
 }
 
 DodinResult dodin_two_state(const scenario::Scenario& sc,
                             const DodinOptions& options, exp::Workspace& ws) {
-  (void)ws;  // see the header: Dodin is not an arena-friendly method
-  return dodin_two_state(sc, options);
+  // The flat engine (flat_network.cpp) does all the work on ws-leased
+  // arenas — heterogeneous per-task rates included; this overload only
+  // materializes the distribution object.
+  DodinResult result;
+  const DodinFlatResult flat =
+      dodin_two_state_flat(sc, options, ws, &result.makespan);
+  result.duplications = flat.duplications;
+  result.series_reductions = flat.series_reductions;
+  result.parallel_reductions = flat.parallel_reductions;
+  result.truncation = flat.truncation;
+  return result;
 }
 
 }  // namespace expmk::sp

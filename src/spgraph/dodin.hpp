@@ -37,6 +37,7 @@
 #include "exp/workspace.hpp"
 #include "graph/dag.hpp"
 #include "prob/discrete_distribution.hpp"
+#include "prob/dist_kernels.hpp"
 #include "scenario/scenario.hpp"
 #include "spgraph/arc_network.hpp"
 
@@ -58,6 +59,12 @@ struct DodinResult {
   std::size_t duplications = 0;         ///< nodes cloned
   std::size_t series_reductions = 0;
   std::size_t parallel_reductions = 0;
+  /// Atom-cap truncation accounting across the first reduction pass AND
+  /// every post-duplication rewrite pass; the certified envelope puts
+  /// the untruncated Dodin mean in
+  /// [mean - truncation.up, mean + truncation.down] (see
+  /// prob/dist_kernels.hpp for the math).
+  prob::dist_kernels::TruncationCert truncation;
 
   [[nodiscard]] double expected_makespan() const { return makespan.mean(); }
 };
@@ -72,18 +79,42 @@ struct DodinResult {
                                           const core::FailureModel& model,
                                           const DodinOptions& options = {});
 
-/// Scenario-based entry point. Uniform scenarios only for now: throws
-/// std::invalid_argument on heterogeneous rates (the exp::Capabilities
-/// gate reports supported == false before this is reached in a sweep).
+/// Scenario-based entry point (lease-a-temporary adapter over the flat
+/// engine). Heterogeneous per-task rates are supported: each task's
+/// 2-state law carries its own cached p_i. The scenario's retry model
+/// must be TwoState.
 [[nodiscard]] DodinResult dodin_two_state(const scenario::Scenario& sc,
                                           const DodinOptions& options = {});
 
-/// Workspace-signature overload so the evaluator registry treats every
-/// method uniformly; like the SP reduction, Dodin's duplication loop works
-/// on data-dependent distribution supports, so the workspace is accepted
-/// but not consumed (exempt from the zero-allocation contract).
+/// Workspace overload: runs the FLAT transformation engine
+/// (flat_network.cpp) on `ws`-leased arenas and materializes the
+/// DodinResult (allocating only for the returned distribution object).
+/// Prefer dodin_two_state_flat on the serving hot path.
 [[nodiscard]] DodinResult dodin_two_state(const scenario::Scenario& sc,
                                           const DodinOptions& options,
                                           exp::Workspace& ws);
+
+/// Flat result: everything DodinResult carries except the distribution
+/// object, so the hot path stays allocation-free.
+struct DodinFlatResult {
+  double mean = 0.0;  ///< E[makespan] of the final single-arc law
+  std::size_t duplications = 0;
+  std::size_t series_reductions = 0;
+  std::size_t parallel_reductions = 0;
+  prob::dist_kernels::TruncationCert truncation;
+};
+
+/// The flat engine's entry point (the registry's `dodin` hot path):
+/// builds the AoA network from the scenario's cached per-task success
+/// probabilities (heterogeneous rates supported), runs the full Dodin
+/// transformation on `ws`-leased flat atom arenas — ZERO heap allocations
+/// at steady state on a warm workspace, bit-identical to the
+/// DiscreteDistribution-object path dodin(ArcNetwork), pinned by
+/// tests/test_flat_spgraph.cpp. When `capture` is non-null the final
+/// makespan law is materialized into it (allocates). The scenario's retry
+/// model must be TwoState.
+[[nodiscard]] DodinFlatResult dodin_two_state_flat(
+    const scenario::Scenario& sc, const DodinOptions& options,
+    exp::Workspace& ws, prob::DiscreteDistribution* capture = nullptr);
 
 }  // namespace expmk::sp

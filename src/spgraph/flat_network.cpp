@@ -1,0 +1,661 @@
+// spgraph/flat_network.cpp
+//
+// The flat series-parallel / Dodin engine: the whole AoA network — arc
+// table, adjacency lists, every intermediate duration distribution — lives
+// in exp::Workspace-leased arenas, and all distribution arithmetic runs
+// through the span kernels of prob/dist_kernels.hpp. At steady state on a
+// warm workspace an evaluation performs ZERO heap allocations (pinned by
+// tests/test_flat_spgraph.cpp's counting operator new), which removes the
+// PR-4 "sp/dodin are exempt" carve-out from the workspace contract.
+//
+// Fidelity contract. This engine replicates the DiscreteDistribution-
+// object implementation in arc_network.cpp / sp_reduce.cpp / dodin.cpp
+// OPERATION FOR OPERATION: arc insertion order (from_dag's layout),
+// worklist discipline (LIFO, touched-node reseeding), parallel-merge
+// grouping (ascending head node, per-head insertion order), series-merge
+// arc selection (first alive in/out arc), Kahn topological order and the
+// join-before-fork duplication-site rule. The object path is the
+// executable specification; tests/test_flat_spgraph.cpp pins means,
+// reduction counts and truncation certificates bitwise against it.
+//
+// Memory discipline:
+//  * The caller-facing entry points open ONE Workspace::Frame for the
+//    whole evaluation; every long-lived structure (arc table, adjacency,
+//    atom arena, worklists) leases inside that frame and is returned
+//    wholesale when the evaluation ends. A repeated evaluation re-leases
+//    the same (already grown) slots — the steady-state zero-alloc regime.
+//  * The atom arena is append-only with ping-pong compaction: when the
+//    tail cannot fit an operation's result, live arc slices are copied
+//    tightly into the spare buffer and the buffers swap (growing the
+//    spare via a fresh lease only while cold).
+//  * Sub-frames are opened ONLY around purely transient scratch (kernel
+//    truncation scratch, the topological-order arrays); never across an
+//    arena or grow-vector mutation, whose leases must live at the
+//    evaluation frame level.
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "exp/workspace.hpp"
+#include "prob/dist_kernels.hpp"
+#include "scenario/scenario.hpp"
+#include "spgraph/dodin.hpp"
+#include "spgraph/sp_reduce.hpp"
+
+namespace expmk::sp {
+
+namespace {
+
+namespace dk = prob::dist_kernels;
+using prob::Atom;
+using std::size_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+
+constexpr u32 kNil = std::numeric_limits<u32>::max();
+
+template <class T>
+std::span<T> ws_lease(exp::Workspace& ws, size_t n);
+template <>
+std::span<u32> ws_lease<u32>(exp::Workspace& ws, size_t n) {
+  return ws.u32(n);
+}
+template <>
+std::span<u64> ws_lease<u64>(exp::Workspace& ws, size_t n) {
+  return ws.u64(n);
+}
+
+/// A push-back vector over workspace leases: growth checks out a fresh
+/// (larger) slot and copies — deterministic slot sequence per evaluation,
+/// so a warm workspace serves every growth step from existing capacity.
+template <class T>
+class GrowVec {
+ public:
+  GrowVec(exp::Workspace& ws, size_t initial)
+      : ws_(ws), buf_(ws_lease<T>(ws, std::max<size_t>(initial, 8))) {}
+
+  void push(T v) {
+    if (n_ == buf_.size()) grow(n_ + 1);
+    buf_[n_++] = v;
+  }
+  T& operator[](size_t i) { return buf_[i]; }
+  const T& operator[](size_t i) const { return buf_[i]; }
+  [[nodiscard]] size_t size() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+  T back() const { return buf_[n_ - 1]; }
+  void pop_back() { --n_; }
+  void clear() { n_ = 0; }
+  [[nodiscard]] T* begin() { return buf_.data(); }
+  [[nodiscard]] T* end() { return buf_.data() + n_; }
+
+ private:
+  void grow(size_t need) {
+    const size_t cap = std::max(need, buf_.size() * 2);
+    const std::span<T> bigger = ws_lease<T>(ws_, cap);
+    std::copy(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(n_),
+              bigger.begin());
+    buf_ = bigger;
+  }
+
+  exp::Workspace& ws_;
+  std::span<T> buf_;
+  size_t n_ = 0;
+};
+
+/// The engine. Construct inside an open Workspace::Frame; everything it
+/// leases dies with that frame.
+class FlatNetwork {
+ public:
+  explicit FlatNetwork(exp::Workspace& ws, size_t tasks, size_t edges)
+      : ws_(ws),
+        from_(ws, tasks * 3 + edges + 8),
+        to_(ws, tasks * 3 + edges + 8),
+        alive_(ws, tasks * 3 + edges + 8),
+        doff_(ws, tasks * 3 + edges + 8),
+        dlen_(ws, tasks * 3 + edges + 8),
+        onext_(ws, tasks * 3 + edges + 8),
+        inext_(ws, tasks * 3 + edges + 8),
+        out_head_(ws, 2 * tasks + 2),
+        out_tail_(ws, 2 * tasks + 2),
+        in_head_(ws, 2 * tasks + 2),
+        in_tail_(ws, 2 * tasks + 2),
+        work_(ws, 4 * tasks + 8),
+        touched_(ws, 16),
+        keys_(ws, 16),
+        gids_(ws, 16),
+        arena_(ws.atoms(std::max<size_t>(4 * tasks + edges + 64, 256))) {}
+
+  // ---------------------------------------------------------- building
+
+  /// Mirrors ArcNetwork::from_dag with per-task 2-state laws (the
+  /// evaluate_sp(Scenario) construction): node layout u_i = 2i,
+  /// v_i = 2i+1, source = 2n, sink = 2n+1; task arcs first, then per
+  /// task its precedence / source / sink arcs.
+  void build_two_state(const graph::Dag& g, std::span<const double> p) {
+    const size_t n = g.task_count();
+    for (size_t v = 0; v < 2 * n + 2; ++v) add_node();
+    source_ = static_cast<u32>(2 * n);
+    sink_ = static_cast<u32>(2 * n + 1);
+    const auto u_of = [](graph::TaskId i) { return static_cast<u32>(2 * i); };
+    const auto v_of = [](graph::TaskId i) {
+      return static_cast<u32>(2 * i + 1);
+    };
+    for (graph::TaskId i = 0; i < n; ++i) {
+      const double a = g.weight(i);
+      ensure_arena(2);
+      const size_t off = used_;
+      // Zero-weight (virtual) tasks cannot fail — point mass at 0, the
+      // same special case as the object builders.
+      const size_t len = a <= 0.0
+                             ? dk::point(0.0, arena_.subspan(used_, 2))
+                             : dk::two_state(a, p[i], arena_.subspan(used_, 2));
+      used_ += len;
+      add_arc(u_of(i), v_of(i), off, len);
+    }
+    for (graph::TaskId i = 0; i < n; ++i) {
+      for (const graph::TaskId j : g.successors(i)) {
+        add_zero_arc(v_of(i), u_of(j));
+      }
+      if (g.in_degree(i) == 0) add_zero_arc(source_, u_of(i));
+      if (g.out_degree(i) == 0) add_zero_arc(v_of(i), sink_);
+    }
+  }
+
+  // --------------------------------------------------------- reduction
+
+  /// Mirrors sp::reduce_exhaustively: seed every node in id order, drain
+  /// the LIFO worklist, then record the single-arc verdict.
+  void reduce_exhaustively(size_t max_atoms) {
+    work_.clear();
+    for (u32 v = 0; v < node_count(); ++v) work_.push(v);
+    reduce_worklist(max_atoms);
+    stats_.reduced_to_single_arc =
+        alive_arcs_ == 1 && out_degree(source_) == 1 &&
+        in_degree(sink_) == 1 && to_[first_out(source_)] == sink_;
+  }
+
+  /// Mirrors sp::dodin's duplication loop (after a reduce_exhaustively
+  /// first pass). Returns the duplication count; throws std::runtime_error
+  /// past `max_duplications` and std::logic_error if no site exists.
+  size_t run_dodin(size_t max_atoms, size_t max_duplications) {
+    reduce_exhaustively(max_atoms);
+    size_t duplications = 0;
+    while (!dodin_single_arc()) {
+      const Site site = pick_duplication();
+      if (!site.found) {
+        throw std::logic_error(
+            "dodin: irreducible network with no duplication site (internal "
+            "error)");
+      }
+      const u32 v = site.node;
+      const u32 clone = add_node();
+      if (site.is_join) {
+        // Move one in-arc (u,v) to (u,clone); copy the single out-arc.
+        const u32 moved = first_in(v);
+        retarget(moved, clone);
+        const u32 out = first_out(v);
+        const size_t len = dlen_[out];
+        ensure_arena(len);
+        const size_t off = copy_slice(doff_[out], len);
+        add_arc(clone, to_[out], off, len);
+      } else {
+        // Fork: move one out-arc (v,w) to (clone,w) by remove+add (the
+        // object network only moves heads); copy the single in-arc (u,v)
+        // as (u,clone).
+        const u32 moved_out = first_out(v);
+        const u32 in = first_in(v);
+        const u32 u = from_[in];
+        const u32 w = to_[moved_out];
+        const size_t len = dlen_[moved_out];
+        ensure_arena(len);
+        const size_t off = copy_slice(doff_[moved_out], len);
+        remove_arc(moved_out);
+        add_arc(clone, w, off, len);
+        const size_t len2 = dlen_[in];
+        ensure_arena(len2);
+        const size_t off2 = copy_slice(doff_[in], len2);
+        add_arc(u, clone, off2, len2);
+      }
+      // Local rewrite around the surgery; the clone series-merges here.
+      work_.clear();
+      work_.push(v);
+      work_.push(clone);
+      for (u32 id = in_head_[clone]; id != kNil; id = inext_[id]) {
+        if (alive_[id]) work_.push(from_[id]);
+      }
+      for (u32 id = out_head_[clone]; id != kNil; id = onext_[id]) {
+        if (alive_[id]) work_.push(to_[id]);
+      }
+      reduce_worklist(max_atoms);
+
+      if (++duplications > max_duplications) {
+        throw std::runtime_error(
+            "dodin: duplication budget exhausted — network too entangled");
+      }
+    }
+    return duplications;
+  }
+
+  // --------------------------------------------------------- extraction
+
+  [[nodiscard]] ReduceStats stats() const {
+    ReduceStats out = stats_;
+    out.truncation = cert_;
+    return out;
+  }
+
+  [[nodiscard]] std::span<const Atom> final_atoms() const {
+    const u32 id = first_out(source_);
+    return std::span<const Atom>(arena_).subspan(doff_[id], dlen_[id]);
+  }
+
+ private:
+  struct Site {
+    u32 node = 0;
+    bool is_join = false;
+    bool found = false;
+  };
+
+  [[nodiscard]] u32 node_count() const {
+    return static_cast<u32>(out_head_.size());
+  }
+
+  u32 add_node() {
+    out_head_.push(kNil);
+    out_tail_.push(kNil);
+    in_head_.push(kNil);
+    in_tail_.push(kNil);
+    return node_count() - 1;
+  }
+
+  void add_arc(u32 from, u32 to, size_t off, size_t len) {
+    const u32 id = static_cast<u32>(from_.size());
+    from_.push(from);
+    to_.push(to);
+    alive_.push(1);
+    doff_.push(static_cast<u32>(off));
+    dlen_.push(static_cast<u32>(len));
+    onext_.push(kNil);
+    inext_.push(kNil);
+    if (out_head_[from] == kNil) {
+      out_head_[from] = id;
+    } else {
+      onext_[out_tail_[from]] = id;
+    }
+    out_tail_[from] = id;
+    if (in_head_[to] == kNil) {
+      in_head_[to] = id;
+    } else {
+      inext_[in_tail_[to]] = id;
+    }
+    in_tail_[to] = id;
+    ++alive_arcs_;
+  }
+
+  void add_zero_arc(u32 from, u32 to) {
+    ensure_arena(1);
+    const size_t off = used_;
+    used_ += dk::point(0.0, arena_.subspan(used_, 1));
+    add_arc(from, to, off, 1);
+  }
+
+  void remove_arc(u32 id) {
+    if (alive_[id] == 0) return;
+    alive_[id] = 0;
+    --alive_arcs_;
+  }
+
+  /// Moves an arc's head (the Dodin join surgery): physical removal from
+  /// the old head's in-list, append to the new head's — the order the
+  /// object network's retarget_arc produces.
+  void retarget(u32 id, u32 new_to) {
+    const u32 old_to = to_[id];
+    u32 prev = kNil;
+    for (u32 cur = in_head_[old_to]; cur != kNil; cur = inext_[cur]) {
+      if (cur == id) {
+        if (prev == kNil) {
+          in_head_[old_to] = inext_[cur];
+        } else {
+          inext_[prev] = inext_[cur];
+        }
+        if (in_tail_[old_to] == id) in_tail_[old_to] = prev;
+        break;
+      }
+      prev = cur;
+    }
+    to_[id] = new_to;
+    inext_[id] = kNil;
+    if (in_head_[new_to] == kNil) {
+      in_head_[new_to] = id;
+    } else {
+      inext_[in_tail_[new_to]] = id;
+    }
+    in_tail_[new_to] = id;
+  }
+
+  [[nodiscard]] u32 first_out(u32 n) const {
+    for (u32 id = out_head_[n]; id != kNil; id = onext_[id]) {
+      if (alive_[id]) return id;
+    }
+    return kNil;
+  }
+  [[nodiscard]] u32 first_in(u32 n) const {
+    for (u32 id = in_head_[n]; id != kNil; id = inext_[id]) {
+      if (alive_[id]) return id;
+    }
+    return kNil;
+  }
+  [[nodiscard]] size_t out_degree(u32 n) const {
+    size_t c = 0;
+    for (u32 id = out_head_[n]; id != kNil; id = onext_[id]) c += alive_[id];
+    return c;
+  }
+  [[nodiscard]] size_t in_degree(u32 n) const {
+    size_t c = 0;
+    for (u32 id = in_head_[n]; id != kNil; id = inext_[id]) c += alive_[id];
+    return c;
+  }
+
+  // ------------------------------------------------------- atom arena
+
+  /// Guarantees `need` free atoms at the arena tail. On overflow, live
+  /// arc slices are compacted into the spare buffer (leased larger if
+  /// necessary) and the buffers ping-pong.
+  void ensure_arena(size_t need) {
+    if (used_ + need <= arena_.size()) return;
+    size_t live = 0;
+    for (size_t id = 0; id < from_.size(); ++id) {
+      if (alive_[id]) live += dlen_[id];
+    }
+    const size_t want = std::max(2 * (live + need), arena_.size());
+    if (want > std::numeric_limits<u32>::max()) {
+      // Arc slices store u32 offsets; a support explosion past 4G atoms
+      // (tens of GB) means an unbudgeted reduction ran away.
+      throw std::runtime_error(
+          "FlatNetwork: atom arena exceeds the 2^32 offset range — set an "
+          "atom budget (max_atoms)");
+    }
+    if (spare_.size() < live + need) spare_ = ws_.atoms(want);
+    size_t w = 0;
+    for (size_t id = 0; id < from_.size(); ++id) {
+      if (!alive_[id]) continue;
+      const size_t len = dlen_[id];
+      std::copy_n(arena_.begin() + doff_[id], len,
+                  spare_.begin() + static_cast<std::ptrdiff_t>(w));
+      doff_[id] = static_cast<u32>(w);
+      w += len;
+    }
+    std::swap(arena_, spare_);
+    used_ = w;
+  }
+
+  /// Copies an existing slice to the tail (caller ran ensure_arena) and
+  /// returns its offset.
+  size_t copy_slice(size_t off, size_t len) {
+    std::copy_n(arena_.begin() + static_cast<std::ptrdiff_t>(off), len,
+                arena_.begin() + static_cast<std::ptrdiff_t>(used_));
+    const size_t at = used_;
+    used_ += len;
+    return at;
+  }
+
+  /// Applies the atom cap to a freshly written result at the tail,
+  /// accumulating the truncation certificate. Transient kernel scratch
+  /// only inside the sub-frame.
+  size_t apply_cap(size_t off, size_t m, size_t max_atoms) {
+    if (max_atoms == 0 || m <= max_atoms) return m;
+    const exp::Workspace::Frame frame(ws_);
+    const std::span<double> gaps = ws_.doubles(2 * (m - 1));
+    const std::span<Atom> scratch = ws_.atoms(m);
+    // Per-op local certificate folded into the pass certificate — the
+    // exact accumulation grouping of the object path (truncated() sums
+    // its merges locally, reduce_from sums ops per pass), so the
+    // envelope totals match it bit for bit.
+    dk::TruncationCert local;
+    const size_t out = dk::truncate(arena_.subspan(off, m), max_atoms, local,
+                                    gaps, scratch);
+    pass_cert_.accumulate(local);
+    return out;
+  }
+
+  // -------------------------------------------------------- rewriting
+
+  /// Mirrors sp_reduce.cpp's parallel_merge_at: group the alive out-arcs
+  /// of `u` by head node (ascending head, insertion order within a head —
+  /// the std::map iteration the object path performs), fold each group's
+  /// distributions with max_of into the group's first arc, and soft-
+  /// delete the rest.
+  size_t parallel_merge_at(u32 u, size_t max_atoms) {
+    keys_.clear();
+    gids_.clear();
+    u32 seq = 0;
+    for (u32 id = out_head_[u]; id != kNil; id = onext_[id]) {
+      if (!alive_[id]) continue;
+      keys_.push((static_cast<u64>(to_[id]) << 32) | seq);
+      gids_.push(id);
+      ++seq;
+    }
+    std::sort(keys_.begin(), keys_.end());
+    size_t merges = 0;
+    size_t i = 0;
+    while (i < keys_.size()) {
+      const u32 head = static_cast<u32>(keys_[i] >> 32);
+      size_t j = i;
+      while (j < keys_.size() && static_cast<u32>(keys_[j] >> 32) == head) {
+        ++j;
+      }
+      if (j - i >= 2) {
+        const u32 acc = gids_[static_cast<u32>(keys_[i])];
+        for (size_t t = i + 1; t < j; ++t) {
+          const u32 y = gids_[static_cast<u32>(keys_[t])];
+          fold_max_into(acc, y, max_atoms);
+          ++merges;
+        }
+        touched_.push(head);
+        touched_.push(u);
+      }
+      i = j;
+    }
+    return merges;
+  }
+
+  /// acc.dist = max(acc.dist, y.dist) with the atom cap; y soft-deleted.
+  void fold_max_into(u32 acc, u32 y, size_t max_atoms) {
+    const size_t nx = dlen_[acc];
+    const size_t ny = dlen_[y];
+    ensure_arena(nx + ny);
+    const std::span<const Atom> xs =
+        std::span<const Atom>(arena_).subspan(doff_[acc], nx);
+    const std::span<const Atom> ys =
+        std::span<const Atom>(arena_).subspan(doff_[y], ny);
+    const std::span<Atom> out = arena_.subspan(used_, nx + ny);
+    size_t m;
+    {
+      const exp::Workspace::Frame frame(ws_);
+      const std::span<double> support = ws_.doubles(nx + ny);
+      m = dk::max_of(xs, ys, out, support);
+    }
+    m = apply_cap(used_, m, max_atoms);
+    doff_[acc] = static_cast<u32>(used_);
+    dlen_[acc] = static_cast<u32>(m);
+    used_ += m;
+    remove_arc(y);
+  }
+
+  /// Mirrors sp_reduce.cpp's series_merge_at.
+  bool series_merge_at(u32 v, size_t max_atoms) {
+    if (v == source_ || v == sink_) return false;
+    if (in_degree(v) != 1 || out_degree(v) != 1) return false;
+    const u32 in_id = first_in(v);
+    const u32 out_id = first_out(v);
+    const u32 u = from_[in_id];
+    const u32 w = to_[out_id];
+    const size_t nx = dlen_[in_id];
+    const size_t ny = dlen_[out_id];
+    ensure_arena(nx * ny);
+    const std::span<const Atom> xs =
+        std::span<const Atom>(arena_).subspan(doff_[in_id], nx);
+    const std::span<const Atom> ys =
+        std::span<const Atom>(arena_).subspan(doff_[out_id], ny);
+    const std::span<Atom> out = arena_.subspan(used_, nx * ny);
+    size_t m = dk::convolve(xs, ys, out);
+    m = apply_cap(used_, m, max_atoms);
+    const size_t off = used_;
+    used_ += m;
+    remove_arc(in_id);
+    remove_arc(out_id);
+    add_arc(u, w, off, m);
+    touched_.push(u);
+    touched_.push(w);
+    return true;
+  }
+
+  /// Mirrors sp::reduce_from's worklist loop on `work_` (one "pass" in
+  /// the truncation-certificate accounting).
+  void reduce_worklist(size_t max_atoms) {
+    pass_cert_ = dk::TruncationCert{};
+    while (!work_.empty()) {
+      const u32 v = work_.back();
+      work_.pop_back();
+      touched_.clear();
+      const size_t p = parallel_merge_at(v, max_atoms);
+      stats_.parallel += p;
+      if (series_merge_at(v, max_atoms)) ++stats_.series;
+      for (size_t t = 0; t < touched_.size(); ++t) work_.push(touched_[t]);
+      // A parallel merge at v may enable a series merge at v itself.
+      if (p > 0) work_.push(v);
+    }
+    cert_.accumulate(pass_cert_);
+  }
+
+  // ------------------------------------------------------ Dodin pieces
+
+  [[nodiscard]] bool dodin_single_arc() const {
+    return alive_arcs_ == 1 && out_degree(source_) == 1 &&
+           to_[first_out(source_)] == sink_;
+  }
+
+  /// Mirrors dodin.cpp's pick_duplication: first join in topological
+  /// order wins; otherwise the first fork.
+  [[nodiscard]] Site pick_duplication() const {
+    const exp::Workspace::Frame frame(ws_);
+    const u32 n = node_count();
+    const std::span<u32> indeg = ws_.u32(n);
+    std::fill(indeg.begin(), indeg.end(), 0u);
+    for (size_t id = 0; id < from_.size(); ++id) {
+      if (alive_[id]) ++indeg[to_[id]];
+    }
+    const std::span<u32> order = ws_.u32(n);
+    size_t cnt = 0;
+    for (u32 v = 0; v < n; ++v) {
+      if (indeg[v] == 0) order[cnt++] = v;
+    }
+    for (size_t head = 0; head < cnt; ++head) {
+      const u32 u = order[head];
+      for (u32 id = out_head_[u]; id != kNil; id = onext_[id]) {
+        if (!alive_[id]) continue;
+        if (--indeg[to_[id]] == 0) order[cnt++] = to_[id];
+      }
+    }
+    if (cnt != n) {
+      throw std::logic_error("FlatNetwork: cycle detected (internal error)");
+    }
+    Site fork_site;
+    for (size_t i = 0; i < cnt; ++i) {
+      const u32 v = order[i];
+      if (v == source_ || v == sink_) continue;
+      const size_t in = in_degree(v);
+      const size_t out = out_degree(v);
+      if (in >= 2 && out == 1) return {v, /*is_join=*/true, true};
+      if (!fork_site.found && in == 1 && out >= 2) {
+        fork_site = {v, /*is_join=*/false, true};
+      }
+    }
+    return fork_site;
+  }
+
+  exp::Workspace& ws_;
+  // Arc table (parallel grow-vectors, indexed by arc id).
+  GrowVec<u32> from_, to_, alive_, doff_, dlen_, onext_, inext_;
+  // Per-node adjacency list heads/tails (append-ordered linked lists;
+  // dead arcs stay linked and are skipped, reproducing the object
+  // network's lazily-compacted insertion order).
+  GrowVec<u32> out_head_, out_tail_, in_head_, in_tail_;
+  // Worklists / scratch.
+  GrowVec<u32> work_, touched_;
+  GrowVec<u64> keys_;
+  GrowVec<u32> gids_;
+  // Atom arena (ping-pong).
+  std::span<Atom> arena_;
+  std::span<Atom> spare_;
+  size_t used_ = 0;
+
+  u32 source_ = 0;
+  u32 sink_ = 0;
+  size_t alive_arcs_ = 0;
+  ReduceStats stats_;
+  dk::TruncationCert cert_;       // evaluation total (sum of passes)
+  dk::TruncationCert pass_cert_;  // current reduce_worklist pass
+};
+
+void check_two_state(const scenario::Scenario& sc, const char* who) {
+  if (sc.retry() != core::RetryModel::TwoState) {
+    throw std::invalid_argument(
+        std::string(who) +
+        ": scenario must be compiled with the TwoState retry model");
+  }
+}
+
+}  // namespace
+
+SpFlatEvaluation evaluate_sp_flat(const scenario::Scenario& sc,
+                                  std::size_t max_atoms, exp::Workspace& ws,
+                                  prob::DiscreteDistribution* capture) {
+  check_two_state(sc, "evaluate_sp");
+  const exp::Workspace::Frame frame(ws);
+  FlatNetwork net(ws, sc.task_count(), sc.dag().edge_count());
+  net.build_two_state(sc.dag(), sc.p_success());
+  net.reduce_exhaustively(max_atoms);
+  SpFlatEvaluation out;
+  out.stats = net.stats();
+  out.is_series_parallel = out.stats.reduced_to_single_arc;
+  if (out.is_series_parallel) {
+    const std::span<const Atom> atoms = net.final_atoms();
+    out.mean = dk::mean(atoms);
+    if (capture != nullptr) {
+      *capture = prob::DiscreteDistribution::from_canonical(
+          std::vector<Atom>(atoms.begin(), atoms.end()));
+    }
+  }
+  return out;
+}
+
+DodinFlatResult dodin_two_state_flat(const scenario::Scenario& sc,
+                                     const DodinOptions& options,
+                                     exp::Workspace& ws,
+                                     prob::DiscreteDistribution* capture) {
+  check_two_state(sc, "dodin_two_state");
+  const exp::Workspace::Frame frame(ws);
+  FlatNetwork net(ws, sc.task_count(), sc.dag().edge_count());
+  net.build_two_state(sc.dag(), sc.p_success());
+  DodinFlatResult out;
+  out.duplications =
+      net.run_dodin(options.max_atoms, options.max_duplications);
+  const ReduceStats stats = net.stats();
+  out.series_reductions = stats.series;
+  out.parallel_reductions = stats.parallel;
+  out.truncation = stats.truncation;
+  const std::span<const Atom> atoms = net.final_atoms();
+  out.mean = dk::mean(atoms);
+  if (capture != nullptr) {
+    *capture = prob::DiscreteDistribution::from_canonical(
+        std::vector<Atom>(atoms.begin(), atoms.end()));
+  }
+  return out;
+}
+
+}  // namespace expmk::sp

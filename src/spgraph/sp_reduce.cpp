@@ -7,14 +7,19 @@
 #include <utility>
 #include <vector>
 
+#include "prob/dist_kernels.hpp"
+
 namespace expmk::sp {
 
 namespace {
 
+namespace dk = prob::dist_kernels;
+
 /// Tries to parallel-merge duplicate out-arcs of `u`. Returns merges done.
 std::size_t parallel_merge_at(ArcNetwork& net, NodeId u,
                               std::size_t max_atoms,
-                              std::vector<NodeId>& touched) {
+                              std::vector<NodeId>& touched,
+                              dk::TruncationCert& cert) {
   std::size_t merges = 0;
   // Group alive out-arcs by head node.
   std::map<NodeId, std::vector<ArcId>> groups;
@@ -26,7 +31,7 @@ std::size_t parallel_merge_at(ArcNetwork& net, NodeId u,
     prob::DiscreteDistribution acc = net.arc(ids[0]).dist;
     for (std::size_t i = 1; i < ids.size(); ++i) {
       acc = prob::DiscreteDistribution::max_of(acc, net.arc(ids[i]).dist,
-                                               max_atoms);
+                                               max_atoms, &cert);
       net.remove_arc(ids[i]);
       ++merges;
     }
@@ -39,7 +44,8 @@ std::size_t parallel_merge_at(ArcNetwork& net, NodeId u,
 
 /// Tries a series merge at internal node `v`. Returns true if applied.
 bool series_merge_at(ArcNetwork& net, NodeId v, std::size_t max_atoms,
-                     std::vector<NodeId>& touched) {
+                     std::vector<NodeId>& touched,
+                     dk::TruncationCert& cert) {
   if (v == net.source() || v == net.sink()) return false;
   if (net.in_degree(v) != 1 || net.out_degree(v) != 1) return false;
   const ArcId in_id = net.in_arcs(v)[0];
@@ -47,7 +53,7 @@ bool series_merge_at(ArcNetwork& net, NodeId v, std::size_t max_atoms,
   const NodeId u = net.arc(in_id).from;
   const NodeId w = net.arc(out_id).to;
   auto merged = prob::DiscreteDistribution::convolve(
-      net.arc(in_id).dist, net.arc(out_id).dist, max_atoms);
+      net.arc(in_id).dist, net.arc(out_id).dist, max_atoms, &cert);
   net.remove_arc(in_id);
   net.remove_arc(out_id);
   net.add_arc(u, w, std::move(merged));
@@ -62,19 +68,21 @@ void reduce_from(ArcNetwork& net, std::vector<NodeId> seeds,
                  std::size_t max_atoms, ReduceStats& stats) {
   std::vector<NodeId> work = std::move(seeds);
   std::vector<NodeId> touched;
+  dk::TruncationCert cert;
   while (!work.empty()) {
     const NodeId v = work.back();
     work.pop_back();
     touched.clear();
 
-    const std::size_t p = parallel_merge_at(net, v, max_atoms, touched);
+    const std::size_t p = parallel_merge_at(net, v, max_atoms, touched, cert);
     stats.parallel += p;
-    if (series_merge_at(net, v, max_atoms, touched)) ++stats.series;
+    if (series_merge_at(net, v, max_atoms, touched, cert)) ++stats.series;
 
     for (const NodeId t : touched) work.push_back(t);
     // A parallel merge at v may enable a series merge at v itself.
     if (p > 0) work.push_back(v);
   }
+  stats.truncation.accumulate(cert);
 }
 
 ReduceStats reduce_exhaustively(ArcNetwork& net, std::size_t max_atoms) {
@@ -103,29 +111,22 @@ SpEvaluation evaluate_sp(ArcNetwork net, std::size_t max_atoms) {
 
 SpEvaluation evaluate_sp(const scenario::Scenario& sc,
                          std::size_t max_atoms) {
-  if (sc.retry() != core::RetryModel::TwoState) {
-    throw std::invalid_argument(
-        "evaluate_sp: scenario must be compiled with the TwoState retry "
-        "model");
-  }
-  const graph::Dag& g = sc.dag();
-  const std::span<const double> p = sc.p_success();
-  std::vector<prob::DiscreteDistribution> dists;
-  dists.reserve(g.task_count());
-  for (graph::TaskId i = 0; i < g.task_count(); ++i) {
-    const double a = g.weight(i);
-    // Zero-weight (virtual) tasks cannot fail; same treatment as Dodin's.
-    dists.push_back(a <= 0.0
-                        ? prob::DiscreteDistribution::point(0.0)
-                        : prob::DiscreteDistribution::two_state(a, p[i]));
-  }
-  return evaluate_sp(ArcNetwork::from_dag(g, std::move(dists)), max_atoms);
+  exp::Workspace ws;  // lease-a-temporary adapter; bit-identical
+  return evaluate_sp(sc, max_atoms, ws);
 }
 
 SpEvaluation evaluate_sp(const scenario::Scenario& sc, std::size_t max_atoms,
                          exp::Workspace& ws) {
-  (void)ws;  // see the header: SP reduction is not an arena-friendly method
-  return evaluate_sp(sc, max_atoms);
+  // The flat engine (flat_network.cpp) does all the work on ws-leased
+  // arenas; this overload only materializes the distribution object.
+  SpEvaluation out;
+  prob::DiscreteDistribution makespan;
+  const SpFlatEvaluation flat =
+      evaluate_sp_flat(sc, max_atoms, ws, &makespan);
+  out.is_series_parallel = flat.is_series_parallel;
+  out.stats = flat.stats;
+  if (flat.is_series_parallel) out.makespan = std::move(makespan);
+  return out;
 }
 
 }  // namespace expmk::sp

@@ -19,8 +19,10 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 
 #include "exp/workspace.hpp"
+#include "prob/dist_kernels.hpp"
 #include "scenario/scenario.hpp"
 #include "spgraph/arc_network.hpp"
 
@@ -30,6 +32,12 @@ namespace expmk::sp {
 struct ReduceStats {
   std::size_t series = 0;     ///< series merges applied
   std::size_t parallel = 0;   ///< parallel merges applied
+  /// Atom-cap truncation accounting: operations that hit the cap
+  /// (`truncation.events`), individual pair merges, and the certified
+  /// expectation-shift envelope — the untruncated pipeline's mean lies
+  /// in [mean - truncation.up, mean + truncation.down] (see
+  /// prob/dist_kernels.hpp).
+  prob::dist_kernels::TruncationCert truncation;
   bool reduced_to_single_arc = false;
 };
 
@@ -64,12 +72,34 @@ SpEvaluation evaluate_sp(ArcNetwork net, std::size_t max_atoms = 0);
 SpEvaluation evaluate_sp(const scenario::Scenario& sc,
                          std::size_t max_atoms = 0);
 
-/// Workspace-signature overload so the evaluator registry treats every
-/// method uniformly. The reduction's intermediate distributions have
-/// data-dependent, a-priori-unbounded atom counts, so they stay on the
-/// heap — the workspace is accepted but not consumed (the distribution
-/// methods are exempt from the zero-allocation contract; see DESIGN.md).
+/// Workspace overload: runs the FLAT reduction engine (flat_network.cpp)
+/// on `ws`-leased arenas and materializes the SpEvaluation (allocating
+/// only for the returned distribution object). Prefer evaluate_sp_flat
+/// on the serving hot path.
 SpEvaluation evaluate_sp(const scenario::Scenario& sc, std::size_t max_atoms,
                          exp::Workspace& ws);
+
+/// Flat evaluation result: everything SpEvaluation carries except the
+/// distribution object, so the hot path stays allocation-free.
+struct SpFlatEvaluation {
+  bool is_series_parallel = false;
+  /// E[makespan]; NaN unless is_series_parallel.
+  double mean = std::numeric_limits<double>::quiet_NaN();
+  ReduceStats stats;
+};
+
+/// The flat engine's entry point (the registry's `sp` hot path): builds
+/// the AoA network with per-task 2-state laws from the scenario's cached
+/// success probabilities (heterogeneous rates supported), reduces it on
+/// `ws`-leased flat atom arenas, and returns the mean plus stats — ZERO
+/// heap allocations at steady state on a warm workspace, and bit-identical
+/// (operation order and all) to the DiscreteDistribution-object reduction
+/// of evaluate_sp(ArcNetwork), which tests/test_flat_spgraph.cpp pins.
+/// When `capture` is non-null and the network is SP, the makespan law is
+/// materialized into it (allocates). The scenario's retry model must be
+/// TwoState.
+SpFlatEvaluation evaluate_sp_flat(const scenario::Scenario& sc,
+                                  std::size_t max_atoms, exp::Workspace& ws,
+                                  prob::DiscreteDistribution* capture = nullptr);
 
 }  // namespace expmk::sp

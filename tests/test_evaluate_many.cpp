@@ -141,17 +141,20 @@ TEST(EvaluateMany, DuplicateStochasticRequestsDecorrelate) {
 }
 
 TEST(EvaluateMany, CapabilityGatingStaysInsideTheBatch) {
+  // Since the flat-distribution-engine refactor every builtin method
+  // handles heterogeneous rates, so the gating fixture is the retry
+  // model: dodin is a two-state method and must gate (not crash) on a
+  // geometric scenario while fo in the same batch still runs.
   const Dag g = expmk::test::diamond();
   const std::vector<double> rates = {0.1, 0.2, 0.3, 0.1};
-  const Scenario het = Scenario::compile(g, FailureSpec::per_task(rates),
-                                         RetryModel::TwoState);
+  const Scenario het_geo = Scenario::compile(g, FailureSpec::per_task(rates),
+                                             RetryModel::Geometric);
   std::vector<EvalRequest> requests(2);
-  requests[0].method = "dodin";  // uniform-only: gated on het scenarios
+  requests[0].method = "dodin";  // two-state only: gated under geometric
   requests[1].method = "fo";
-  const auto results = evaluate_many(het, requests, 2);
+  const auto results = evaluate_many(het_geo, requests, 2);
   EXPECT_FALSE(results[0].supported);
-  EXPECT_NE(results[0].note.find("per-task failure rates"),
-            std::string::npos);
+  EXPECT_NE(results[0].note.find("geometric retry model"), std::string::npos);
   EXPECT_TRUE(results[1].supported);
   EXPECT_GT(results[1].mean, 0.0);
 }

@@ -1,0 +1,369 @@
+// Tests for the flat spgraph engine (spgraph/flat_network.cpp) and the
+// certified-truncation / heterogeneous-rate upgrades that ride on it:
+//
+//  * the FIDELITY property: evaluate_sp_flat / dodin_two_state_flat are
+//    bit-identical — means, reduction counts, truncation certificates and
+//    captured distributions — to the DiscreteDistribution-object
+//    reduction, across DAG families, pfail values, heterogeneous rates
+//    and atom budgets (the object path is the executable specification);
+//  * the CERTIFIED INTERVAL property: whenever the atom cap fires, the
+//    untruncated computation's mean lies inside [mean_lo, mean_hi] (for
+//    sp on SP graphs that is the exact oracle itself);
+//  * the lifted heterogeneous gates: dodin validated against the exact
+//    oracle on SP DAGs, exact.geo against a hand-built distribution
+//    oracle on chains and diamonds, per-task rates throughout.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/exact.hpp"
+#include "core/failure_model.hpp"
+#include "exp/evaluator.hpp"
+#include "exp/workspace.hpp"
+#include "gen/random_dags.hpp"
+#include "prob/discrete_distribution.hpp"
+#include "scenario/scenario.hpp"
+#include "spgraph/arc_network.hpp"
+#include "spgraph/dodin.hpp"
+#include "spgraph/sp_reduce.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using expmk::core::calibrate;
+using expmk::core::RetryModel;
+using expmk::exp::EvalOptions;
+using expmk::exp::EvaluatorRegistry;
+using expmk::exp::Workspace;
+using expmk::graph::Dag;
+using expmk::graph::TaskId;
+using expmk::prob::DiscreteDistribution;
+using expmk::scenario::FailureSpec;
+using expmk::scenario::Scenario;
+
+std::vector<std::pair<std::string, Dag>> fixture_dags() {
+  std::vector<std::pair<std::string, Dag>> dags;
+  dags.emplace_back("diamond", expmk::test::diamond(0.4, 0.3, 0.5, 0.2));
+  dags.emplace_back("n_graph", expmk::test::n_graph(0.2, 0.3, 0.25, 0.15));
+  dags.emplace_back("chain6", expmk::gen::chain_dag(6, 7));
+  dags.emplace_back("sp8", expmk::gen::random_series_parallel(8, 21));
+  dags.emplace_back("sp12", expmk::gen::random_series_parallel(12, 5));
+  dags.emplace_back("wheatstone", expmk::gen::wheatstone_bridge());
+  dags.emplace_back("erdos10", expmk::gen::erdos_dag(10, 0.3, 5));
+  return dags;
+}
+
+/// The task-duration laws the scenario paths use, built object-side for
+/// the reference ArcNetwork reduction.
+std::vector<DiscreteDistribution> scenario_dists(const Scenario& sc) {
+  const Dag& g = sc.dag();
+  std::vector<DiscreteDistribution> out;
+  out.reserve(g.task_count());
+  for (TaskId i = 0; i < g.task_count(); ++i) {
+    const double a = g.weight(i);
+    out.push_back(a <= 0.0
+                      ? DiscreteDistribution::point(0.0)
+                      : DiscreteDistribution::two_state(a, sc.p_success()[i]));
+  }
+  return out;
+}
+
+std::vector<double> spread_rates(const Dag& g, double pfail) {
+  const double lambda = calibrate(g, pfail).lambda;
+  const double mult[] = {0.3, 1.0, 2.0, 0.6, 1.4, 0.1};
+  std::vector<double> rates(g.task_count());
+  for (TaskId i = 0; i < g.task_count(); ++i) {
+    rates[i] = lambda * mult[i % 6];
+  }
+  return rates;
+}
+
+void expect_dist_bit_identical(const DiscreteDistribution& a,
+                               const DiscreteDistribution& b,
+                               const std::string& where) {
+  ASSERT_EQ(a.size(), b.size()) << where;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.atoms()[i].value, b.atoms()[i].value) << where << " @" << i;
+    EXPECT_EQ(a.atoms()[i].prob, b.atoms()[i].prob) << where << " @" << i;
+  }
+}
+
+// ------------------------------------------------------ fidelity: sp
+
+// The flat engine claims to replicate the object reduction operation for
+// operation; pin means, stats, truncation certificates and the full
+// distribution bitwise, on uniform AND heterogeneous scenarios, with and
+// without the atom cap, cold and warm workspaces.
+TEST(FlatSpFidelity, BitIdenticalToObjectReduction) {
+  Workspace warm;
+  for (const auto& [label, g] : fixture_dags()) {
+    for (const double pfail : {0.001, 0.05, 0.3}) {
+      for (const bool het : {false, true}) {
+        const Scenario sc =
+            het ? Scenario::compile(g, FailureSpec::per_task(
+                                           spread_rates(g, pfail)))
+                : Scenario::compile(g, FailureSpec(calibrate(g, pfail)));
+        for (const std::size_t max_atoms : {std::size_t{0}, std::size_t{3},
+                                            std::size_t{16}}) {
+          const std::string where = label + " / pfail " +
+                                    std::to_string(pfail) +
+                                    (het ? " / het" : " / uniform") +
+                                    " / atoms " + std::to_string(max_atoms);
+          const auto object = evaluate_sp(
+              expmk::sp::ArcNetwork::from_dag(g, scenario_dists(sc)),
+              max_atoms);
+          DiscreteDistribution captured;
+          const auto flat = expmk::sp::evaluate_sp_flat(
+              sc, max_atoms, warm, &captured);
+          ASSERT_EQ(flat.is_series_parallel, object.is_series_parallel)
+              << where;
+          EXPECT_EQ(flat.stats.series, object.stats.series) << where;
+          EXPECT_EQ(flat.stats.parallel, object.stats.parallel) << where;
+          EXPECT_EQ(flat.stats.truncation.events,
+                    object.stats.truncation.events)
+              << where;
+          EXPECT_EQ(flat.stats.truncation.merges,
+                    object.stats.truncation.merges)
+              << where;
+          EXPECT_EQ(flat.stats.truncation.up, object.stats.truncation.up)
+              << where;
+          EXPECT_EQ(flat.stats.truncation.down, object.stats.truncation.down)
+              << where;
+          if (object.is_series_parallel) {
+            EXPECT_EQ(flat.mean, object.makespan.mean()) << where;
+            expect_dist_bit_identical(captured, object.makespan, where);
+          }
+        }
+      }
+    }
+  }
+}
+
+// --------------------------------------------------- fidelity: dodin
+
+TEST(FlatDodinFidelity, BitIdenticalToObjectTransformation) {
+  Workspace warm;
+  for (const auto& [label, g] : fixture_dags()) {
+    for (const double pfail : {0.01, 0.2}) {
+      for (const bool het : {false, true}) {
+        const Scenario sc =
+            het ? Scenario::compile(g, FailureSpec::per_task(
+                                           spread_rates(g, pfail)))
+                : Scenario::compile(g, FailureSpec(calibrate(g, pfail)));
+        for (const std::size_t max_atoms : {std::size_t{6},
+                                            std::size_t{64}}) {
+          const std::string where = label + " / pfail " +
+                                    std::to_string(pfail) +
+                                    (het ? " / het" : " / uniform") +
+                                    " / atoms " + std::to_string(max_atoms);
+          const expmk::sp::DodinOptions opts{.max_atoms = max_atoms};
+          const auto object = expmk::sp::dodin(
+              expmk::sp::ArcNetwork::from_dag(g, scenario_dists(sc)), opts);
+          DiscreteDistribution captured;
+          const auto flat = expmk::sp::dodin_two_state_flat(
+              sc, opts, warm, &captured);
+          EXPECT_EQ(flat.duplications, object.duplications) << where;
+          EXPECT_EQ(flat.series_reductions, object.series_reductions)
+              << where;
+          EXPECT_EQ(flat.parallel_reductions, object.parallel_reductions)
+              << where;
+          EXPECT_EQ(flat.truncation.events, object.truncation.events)
+              << where;
+          EXPECT_EQ(flat.truncation.merges, object.truncation.merges)
+              << where;
+          EXPECT_EQ(flat.truncation.up, object.truncation.up) << where;
+          EXPECT_EQ(flat.truncation.down, object.truncation.down) << where;
+          EXPECT_EQ(flat.mean, object.expected_makespan()) << where;
+          expect_dist_bit_identical(captured, object.makespan, where);
+        }
+      }
+    }
+  }
+}
+
+// The legacy uniform Dag entry point (dodin_two_state(g, model)) computes
+// its p_success table independently; the scenario cache must reproduce it
+// bitwise end to end.
+TEST(FlatDodinFidelity, UniformScenarioMatchesLegacyDagEntryPoint) {
+  const Dag g = expmk::gen::erdos_dag(12, 0.25, 11);
+  const auto model = calibrate(g, 0.02);
+  const Scenario sc = Scenario::compile(g, FailureSpec(model));
+  const expmk::sp::DodinOptions opts{.max_atoms = 32};
+  const auto legacy = expmk::sp::dodin_two_state(g, model, opts);
+  const auto scenario_based = expmk::sp::dodin_two_state(sc, opts);
+  EXPECT_EQ(scenario_based.expected_makespan(), legacy.expected_makespan());
+  EXPECT_EQ(scenario_based.duplications, legacy.duplications);
+  EXPECT_EQ(scenario_based.truncation.events, legacy.truncation.events);
+}
+
+// ------------------------------------------------- certified intervals
+
+// sp on SP graphs: the untruncated reduction IS the exact oracle, so the
+// certified envelope of any truncated run must contain it. >= 5 DAGs x 3
+// pfails, uniform and heterogeneous.
+TEST(CertifiedTruncation, SpEnvelopeContainsExactMean) {
+  const auto& reg = EvaluatorRegistry::builtin();
+  const auto* sp = reg.find("sp");
+  for (const std::uint64_t seed : {3u, 5u, 9u, 21u, 33u, 77u}) {
+    const Dag g = expmk::gen::random_series_parallel(10, seed);
+    for (const double pfail : {0.01, 0.1, 0.4}) {
+      for (const bool het : {false, true}) {
+        const Scenario sc =
+            het ? Scenario::compile(g, FailureSpec::per_task(
+                                           spread_rates(g, pfail)))
+                : Scenario::compile(g, FailureSpec(calibrate(g, pfail)));
+        const double exact = expmk::core::exact_two_state(sc);
+        for (const std::size_t budget : {std::size_t{2}, std::size_t{4},
+                                         std::size_t{8}}) {
+          EvalOptions opt;
+          opt.sp_max_atoms = budget;
+          const auto r = sp->evaluate(sc, opt);
+          ASSERT_TRUE(r.supported) << seed;
+          const std::string where = "seed " + std::to_string(seed) +
+                                    " pfail " + std::to_string(pfail) +
+                                    " budget " + std::to_string(budget) +
+                                    (het ? " het" : "");
+          EXPECT_LE(r.mean_lo, r.mean) << where;
+          EXPECT_GE(r.mean_hi, r.mean) << where;
+          EXPECT_LE(r.mean_lo, exact) << where;
+          EXPECT_GE(r.mean_hi, exact) << where;
+          if (r.mean_lo < r.mean_hi) {
+            // Truncation fired: it must be visible in the note.
+            EXPECT_NE(r.note.find("truncation"), std::string::npos) << where;
+          }
+        }
+        // No truncation -> exactly degenerate envelope.
+        EvalOptions exact_opt;
+        exact_opt.sp_max_atoms = 0;
+        const auto r0 = sp->evaluate(sc, exact_opt);
+        ASSERT_TRUE(r0.supported);
+        EXPECT_EQ(r0.mean_lo, r0.mean);
+        EXPECT_EQ(r0.mean_hi, r0.mean);
+        EXPECT_TRUE(r0.note.empty());
+      }
+    }
+  }
+}
+
+// dodin: the envelope certifies the truncation error relative to the
+// UNTRUNCATED transformation (whose own independence bias it cannot see),
+// so the untruncated dodin mean must land inside every budgeted run's
+// interval — on SP and non-SP graphs, uniform and heterogeneous.
+TEST(CertifiedTruncation, DodinEnvelopeContainsUntruncatedMean) {
+  const auto& reg = EvaluatorRegistry::builtin();
+  const auto* dodin = reg.find("dodin");
+  for (const auto& [label, g] : fixture_dags()) {
+    for (const double pfail : {0.01, 0.1, 0.3}) {
+      for (const bool het : {false, true}) {
+        const Scenario sc =
+            het ? Scenario::compile(g, FailureSpec::per_task(
+                                           spread_rates(g, pfail)))
+                : Scenario::compile(g, FailureSpec(calibrate(g, pfail)));
+        EvalOptions untruncated;
+        untruncated.dodin_atoms = 0;
+        const auto full = dodin->evaluate(sc, untruncated);
+        ASSERT_TRUE(full.supported) << label;
+        EXPECT_EQ(full.mean_lo, full.mean) << label;
+        EXPECT_EQ(full.mean_hi, full.mean) << label;
+        for (const std::size_t budget : {std::size_t{2}, std::size_t{5},
+                                         std::size_t{16}}) {
+          EvalOptions opt;
+          opt.dodin_atoms = budget;
+          const auto r = dodin->evaluate(sc, opt);
+          ASSERT_TRUE(r.supported) << label;
+          const std::string where = label + " pfail " +
+                                    std::to_string(pfail) + " budget " +
+                                    std::to_string(budget) +
+                                    (het ? " het" : "");
+          EXPECT_LE(r.mean_lo, full.mean) << where;
+          EXPECT_GE(r.mean_hi, full.mean) << where;
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------- lifted heterogeneous gates
+
+// dodin with per-task rates against the exact oracle: on SP graphs the
+// untruncated transformation is exact, with zero statistical slack.
+TEST(HeterogeneousDodin, ExactOnSpGraphsUnderPerTaskRates) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u, 6u}) {
+    const Dag g = expmk::gen::random_series_parallel(10, seed);
+    const Scenario sc = Scenario::compile(
+        g, FailureSpec::per_task(spread_rates(g, 0.05)));
+    const auto r = expmk::sp::dodin_two_state(sc, {.max_atoms = 0});
+    EXPECT_EQ(r.duplications, 0u) << seed;
+    EXPECT_NEAR(r.expected_makespan(), expmk::core::exact_two_state(sc),
+                1e-10)
+        << seed;
+  }
+}
+
+// exact.geo with per-task rates against hand-built distribution oracles:
+// a chain's makespan is the convolution of per-task truncated-geometric
+// laws, a diamond's is X0 + max(X1, X2) + X3 (independent branches).
+TEST(HeterogeneousExactGeo, MatchesDistributionOracles) {
+  const int max_exec = 4;
+  Workspace ws;
+
+  {
+    const Dag g = expmk::gen::chain_dag(5, 3);
+    const Scenario sc = Scenario::compile(
+        g, FailureSpec::per_task(spread_rates(g, 0.1)),
+        RetryModel::Geometric);
+    DiscreteDistribution sum = DiscreteDistribution::point(0.0);
+    for (TaskId i = 0; i < g.task_count(); ++i) {
+      sum = DiscreteDistribution::convolve(
+          sum, DiscreteDistribution::geometric_reexec(
+                   g.weight(i), sc.p_success()[i], max_exec));
+    }
+    EXPECT_NEAR(expmk::core::exact_geometric(sc, max_exec, ws), sum.mean(),
+                1e-12 * sum.mean());
+  }
+
+  {
+    const Dag g = expmk::test::diamond(0.4, 0.3, 0.5, 0.2);
+    const Scenario sc = Scenario::compile(
+        g, FailureSpec::per_task({0.2, 0.6, 0.1, 0.45}),
+        RetryModel::Geometric);
+    const auto law = [&](TaskId i) {
+      return DiscreteDistribution::geometric_reexec(
+          g.weight(i), sc.p_success()[i], max_exec);
+    };
+    const auto oracle =
+        DiscreteDistribution::convolve(
+            DiscreteDistribution::convolve(
+                law(0), DiscreteDistribution::max_of(law(1), law(2))),
+            law(3));
+    EXPECT_NEAR(expmk::core::exact_geometric(sc, max_exec, ws),
+                oracle.mean(), 1e-12 * oracle.mean());
+  }
+}
+
+// Constant per-task rates must reproduce the uniform path bitwise (the
+// cached p tables are identical).
+TEST(HeterogeneousExactGeo, ConstantRatesMatchUniformBitwise) {
+  const Dag g = expmk::gen::erdos_dag(8, 0.3, 5);
+  const auto model = calibrate(g, 0.02);
+  const std::vector<double> rates(g.task_count(), model.lambda);
+  const Scenario uni =
+      Scenario::compile(g, FailureSpec(model), RetryModel::Geometric);
+  const Scenario het = Scenario::compile(g, FailureSpec::per_task(rates),
+                                         RetryModel::Geometric);
+  Workspace ws;
+  EXPECT_EQ(expmk::core::exact_geometric(uni, 3, ws),
+            expmk::core::exact_geometric(het, 3, ws));
+
+  const auto& reg = EvaluatorRegistry::builtin();
+  const auto r = reg.find("exact.geo")->evaluate(het, {});
+  ASSERT_TRUE(r.supported) << r.note;
+  EXPECT_EQ(r.mean, expmk::core::exact_geometric(uni, 3, ws));
+  EXPECT_EQ(r.mean_lo, r.mean);
+  EXPECT_EQ(r.mean_hi, r.mean);
+}
+
+}  // namespace

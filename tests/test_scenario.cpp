@@ -12,7 +12,7 @@
 //  * the compile-once contract: a sweep compiles exactly one Scenario per
 //    (generator, size, pfail) cell, however many methods run on it;
 //  * conditional-MC censoring surfaced structurally (EvalResult and the
-//    expmk-sweep-v2 artifact schema).
+//    expmk-sweep-v3 artifact schema).
 
 #include <gtest/gtest.h>
 
@@ -381,26 +381,37 @@ TEST(Heterogeneous, RatesAreNotCollapsedToTheirMean) {
             expmk::core::exact_two_state(uni));
 }
 
-// Methods that cannot handle per-task rates gate cleanly: supported ==
-// false with a note, never an exception escaping the evaluator.
-TEST(Heterogeneous, UniformOnlyMethodsGateCleanly) {
+// The flat-distribution-engine refactor lifted the last two heterogeneous
+// gates: exact.geo enumerates each task's own truncated-geometric state
+// table, and dodin builds each task's own 2-state law from the scenario's
+// cached p_i. The whole builtin catalogue now accepts per-task rates; the
+// retry-model gates are still enforced.
+TEST(Heterogeneous, FormerlyGatedMethodsNowSupportPerTaskRates) {
   const Dag g = expmk::test::diamond();
   const std::vector<double> rates = {0.1, 0.2, 0.3, 0.1};
+  const auto& reg = EvaluatorRegistry::builtin();
+  for (const Evaluator& e : reg.evaluators()) {
+    EXPECT_TRUE(e.capabilities().heterogeneous) << e.name();
+  }
 
   const Scenario het_geo = Scenario::compile(
       g, FailureSpec::per_task(rates), RetryModel::Geometric);
-  const auto geo = EvaluatorRegistry::builtin().find("exact.geo")->evaluate(
-      het_geo, {});
-  EXPECT_FALSE(geo.supported);
-  EXPECT_NE(geo.note.find("per-task failure rates"), std::string::npos);
-  EXPECT_TRUE(std::isnan(geo.mean));
+  const auto geo = reg.find("exact.geo")->evaluate(het_geo, {});
+  ASSERT_TRUE(geo.supported) << geo.note;
+  EXPECT_GT(geo.mean, expmk::graph::critical_path_length(g));
 
   const Scenario het_ts = Scenario::compile(
       g, FailureSpec::per_task(rates), RetryModel::TwoState);
-  const auto dodin =
-      EvaluatorRegistry::builtin().find("dodin")->evaluate(het_ts, {});
-  EXPECT_FALSE(dodin.supported);
-  EXPECT_NE(dodin.note.find("per-task failure rates"), std::string::npos);
+  const auto dodin = reg.find("dodin")->evaluate(het_ts, {});
+  ASSERT_TRUE(dodin.supported) << dodin.note;
+  // The diamond is series-parallel, so untruncated Dodin is exact — also
+  // under heterogeneous rates (the per-task plumbing end to end).
+  EXPECT_NEAR(dodin.mean, expmk::core::exact_two_state(het_ts), 1e-12);
+
+  // Retry-model gating is unchanged: dodin is a two-state method.
+  const auto gated = reg.find("dodin")->evaluate(het_geo, {});
+  EXPECT_FALSE(gated.supported);
+  EXPECT_NE(gated.note.find("geometric retry model"), std::string::npos);
 }
 
 // ---------------------------------------------------- compile-once sweep
@@ -462,7 +473,7 @@ TEST(CensoredTrials, SurfacedStructurallyThroughEvaluatorAndArtifact) {
   grid.reference = "";
   const auto sweep = expmk::exp::SweepRunner().run(grid);
   const std::string json = sweep.json();
-  EXPECT_NE(json.find("\"schema\": \"expmk-sweep-v2\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"expmk-sweep-v3\""), std::string::npos);
   EXPECT_NE(json.find("\"censored_trials\": 0"), std::string::npos);
   const std::string csv = sweep.csv();
   EXPECT_NE(csv.find(",censored_trials,"), std::string::npos);

@@ -8,6 +8,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -267,8 +270,11 @@ TEST(Sweep, JsonArtifactBitIdenticalAcrossThreadCounts) {
   // already listed, so it is not prepended a second time).
   EXPECT_EQ(a.cells.size(), 2u * 2u * 7u);
   // The artifact embeds the determinism-relevant metadata.
-  EXPECT_NE(json.find("\"schema\": \"expmk-sweep-v2\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"expmk-sweep-v3\""), std::string::npos);
   EXPECT_NE(json.find("\"reference\": \"fo\""), std::string::npos);
+  // v3: every cell carries the certified truncation envelope.
+  EXPECT_NE(json.find("\"mean_lo\""), std::string::npos);
+  EXPECT_NE(json.find("\"mean_hi\""), std::string::npos);
 }
 
 TEST(Sweep, CsvHasOneRowPerCellPlusHeader) {
@@ -286,6 +292,48 @@ TEST(Sweep, CsvHasOneRowPerCellPlusHeader) {
   EXPECT_EQ(lines, result.cells.size() + 1);
   EXPECT_EQ(csv.rfind("generator,size,tasks,edges,pfail,lambda,method", 0),
             0u);
+}
+
+// The expmk-sweep-v3 artifact is a versioned contract: a small fully
+// deterministic grid (analytic methods only — no trial-count coupling,
+// with the atom caps forced low so the certified mean_lo/mean_hi fields
+// are exercised non-degenerately) is pinned BYTE-identical to a
+// checked-in golden file, for several sweep thread counts. Regenerate
+// after an intentional schema or estimator change with
+//   EXPMK_REGEN_GOLDEN=1 ./expmk_tests --gtest_filter='*GoldenFile*'
+// (The pin is exact for one toolchain: the cell means embed libm's exp()
+// bits, so a libm change legitimately regenerates too.)
+TEST(Sweep, V3ArtifactByteStableAgainstGoldenFileAcrossThreadCounts) {
+  SweepGrid grid;
+  grid.generators = {"chain", "sp"};
+  grid.sizes = {6};
+  grid.pfails = {0.01, 0.2};
+  grid.methods = {"fo", "so", "sp", "dodin", "bounds.lower", "bounds.upper"};
+  grid.reference = "exact";
+  grid.options.dodin_atoms = 4;
+  grid.options.sp_max_atoms = 5;
+
+  const SweepRunner runner;
+  const std::string json = runner.run(grid, 1).json();
+  EXPECT_EQ(json, runner.run(grid, 2).json());
+  EXPECT_EQ(json, runner.run(grid, 5).json());
+  // The forced caps actually fired somewhere (non-degenerate envelope).
+  EXPECT_NE(json.find("atom-cap truncation"), std::string::npos);
+
+  const std::string path =
+      std::string(EXPMK_TEST_GOLDEN_DIR) + "/sweep_v3.json";
+  if (std::getenv("EXPMK_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << path;
+    out << json << "\n";
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(json + "\n", buffer.str())
+      << "expmk-sweep-v3 artifact drifted from " << path;
 }
 
 TEST(Sweep, SameGraphInstanceAcrossPfailValues) {

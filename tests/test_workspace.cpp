@@ -3,10 +3,10 @@
 //  * lease/frame semantics: slot reuse across frames, monotonic growth,
 //    release(), the per-thread local() pool;
 //  * the ALLOCATION REGRESSION satellite: a counting global operator new
-//    pins ZERO steady-state heap allocations for the six analytic
-//    methods (fo, so, bounds.lower/upper, sculli, corlca, clark) when
-//    evaluated on a warm workspace — the tentpole contract of the
-//    workspace-pooled evaluation engine;
+//    pins ZERO steady-state heap allocations for the analytic methods
+//    (fo, so, bounds.lower/upper, sculli, corlca, clark, the exact
+//    oracles, and — since the flat distribution engine — sp and dodin)
+//    when evaluated on a warm workspace;
 //  * the adapter bit-identity property: for all 13 evaluators x both
 //    retry models x a spread of DAGs, the explicit-workspace path (cold
 //    AND warm) returns results bitwise identical to the workspace-less
@@ -245,6 +245,57 @@ TEST(AllocationRegression, ExactOracleIsAllocationFreeWhenWarm) {
   EXPECT_EQ(steady_state_allocs(*EvaluatorRegistry::builtin().find("exact"),
                                 sc, {}, ws, 3),
             0u);
+}
+
+// The flat distribution engine removed the PR-4 sp/dodin exemption: the
+// network, its adjacency, every intermediate distribution and all kernel
+// scratch lease from the workspace, so sp, dodin, exact and exact.geo are
+// allocation-free at steady state too. (A fired atom-cap truncation
+// allocates the EvalResult::note it reports by design, so the fixtures
+// run untruncated — which is also each method's default here.)
+TEST(AllocationRegression, FlatDistributionEngineIsAllocationFreeWhenWarm) {
+  const auto& reg = EvaluatorRegistry::builtin();
+  Workspace ws;
+  EvalOptions opt;
+  opt.sp_max_atoms = 0;
+  opt.dodin_atoms = 0;
+
+  std::vector<std::pair<std::string, Dag>> dags;
+  dags.emplace_back("sp12", expmk::gen::random_series_parallel(12, 3));
+  dags.emplace_back("n_graph", expmk::test::n_graph(0.2, 0.3, 0.25, 0.15));
+  dags.emplace_back("wheatstone", expmk::gen::wheatstone_bridge());
+
+  for (const auto& [label, g] : dags) {
+    for (const bool het : {false, true}) {
+      std::vector<double> rates(g.task_count());
+      const double lambda = calibrate(g, 0.02).lambda;
+      for (TaskId i = 0; i < g.task_count(); ++i) {
+        rates[i] = lambda * (0.25 + static_cast<double>(i % 5) * 0.4);
+      }
+      const Scenario sc =
+          het ? Scenario::compile(g, FailureSpec::per_task(rates),
+                                  RetryModel::TwoState)
+              : Scenario::compile(g, FailureSpec(calibrate(g, 0.02)),
+                                  RetryModel::TwoState);
+      for (const char* name : {"sp", "dodin", "exact"}) {
+        // sp's unsupported verdict on a non-SP graph heap-allocates the
+        // note it reports, so its zero-alloc pin runs on the SP fixture.
+        if (std::string(name) == "sp" && label != "sp12") continue;
+        const Evaluator* e = reg.find(name);
+        ASSERT_NE(e, nullptr);
+        EXPECT_EQ(steady_state_allocs(*e, sc, opt, ws, 4), 0u)
+            << label << " / " << name << (het ? " / het" : "");
+      }
+      const Scenario geo =
+          het ? Scenario::compile(g, FailureSpec::per_task(rates),
+                                  RetryModel::Geometric)
+              : Scenario::compile(g, FailureSpec(calibrate(g, 0.02)),
+                                  RetryModel::Geometric);
+      EXPECT_EQ(steady_state_allocs(*reg.find("exact.geo"), geo, opt, ws, 3),
+                0u)
+          << label << " / exact.geo" << (het ? " / het" : "");
+    }
+  }
 }
 
 // --------------------------------------------- adapter property (x13)

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json files and fail on timing regressions.
+
+Usage:
+    compare_bench.py BASELINE.json CANDIDATE.json [--tolerance 0.10]
+
+Walks both JSON trees in lockstep and compares every timing metric
+(keys ending in `_us`, `_ns`, `ns_per_trial`, `seconds`). A metric that
+is more than `tolerance` slower in the candidate than in the baseline is
+a regression; any regression makes the script exit 1. Rows are matched
+by their identity keys (op/size/method/tasks/...), so reordering rows or
+adding new ones (e.g. a wider convolve grid) is fine — only metrics
+present in BOTH files are compared. Throughput metrics (`*_per_sec`,
+`*trials_per_sec`, `speedup`) are reported for context but regressions
+in them are derived from the timing keys, so they don't double-fail.
+
+Exit codes: 0 ok, 1 regression found, 2 usage/parse error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+TIMING_SUFFIXES = ("_us", "_ns", "ns_per_trial", "seconds")
+IDENTITY_KEYS = ("op", "size", "method", "tasks", "dag", "k", "bench", "retry")
+
+
+def is_timing_key(key: str) -> bool:
+    return key.endswith(TIMING_SUFFIXES) or key in ("seconds", "ns_per_trial")
+
+
+def row_identity(row: dict) -> tuple:
+    return tuple((k, row[k]) for k in IDENTITY_KEYS if k in row)
+
+
+def walk(node, path, out):
+    """Collect {metric_path: value} for every timing metric in the tree."""
+    if isinstance(node, dict):
+        ident = row_identity(node) if any(k in node for k in IDENTITY_KEYS) else ()
+        for key, value in node.items():
+            sub = path
+            if ident and isinstance(value, (int, float)):
+                sub = path + (ident,)
+            walk(value, sub + (key,), out)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            # Rows carry their own identity; fall back to index for plain lists.
+            key = row_identity(value) if isinstance(value, dict) else i
+            walk(value, path + (key,), out)
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        key = path[-1]
+        if isinstance(key, str) and is_timing_key(key):
+            out[path] = float(node)
+
+
+def fmt_path(path: tuple) -> str:
+    parts = []
+    for p in path:
+        if isinstance(p, tuple):
+            parts.append("[" + " ".join(f"{k}={v}" for k, v in p) + "]")
+        else:
+            parts.append(str(p))
+    return "/".join(parts)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed fractional slowdown before failing (default 0.10 = 10%%)",
+    )
+    args = ap.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            base = json.load(f)
+        with open(args.candidate) as f:
+            cand = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"compare_bench: cannot load inputs: {exc}", file=sys.stderr)
+        return 2
+
+    base_metrics: dict = {}
+    cand_metrics: dict = {}
+    walk(base, (), base_metrics)
+    walk(cand, (), cand_metrics)
+
+    shared = sorted(set(base_metrics) & set(cand_metrics), key=fmt_path)
+    if not shared:
+        print("compare_bench: no shared timing metrics between files", file=sys.stderr)
+        return 2
+
+    regressions = []
+    improvements = 0
+    for path in shared:
+        b, c = base_metrics[path], cand_metrics[path]
+        if b <= 0.0:
+            continue
+        ratio = c / b
+        tag = ""
+        if ratio > 1.0 + args.tolerance:
+            regressions.append((path, b, c, ratio))
+            tag = "  << REGRESSION"
+        elif ratio < 1.0 - args.tolerance:
+            improvements += 1
+            tag = "  (faster)"
+        print(f"  {fmt_path(path):<80s} base {b:12.3f}  cand {c:12.3f}  x{ratio:5.2f}{tag}")
+
+    only_base = len(set(base_metrics) - set(cand_metrics))
+    only_cand = len(set(cand_metrics) - set(base_metrics))
+    print(
+        f"compare_bench: {len(shared)} metrics compared, {improvements} faster, "
+        f"{len(regressions)} regressed (>{args.tolerance:.0%}); "
+        f"{only_base} baseline-only, {only_cand} candidate-only metrics skipped"
+    )
+    if regressions:
+        print("compare_bench: FAIL — regressions:", file=sys.stderr)
+        for path, b, c, ratio in regressions:
+            print(f"  {fmt_path(path)}: {b:.3f} -> {c:.3f} ({ratio:.2f}x)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,7 @@
 #include "spgraph/arc_network.hpp"
 #include "spgraph/dodin.hpp"
 #include "spgraph/sp_reduce.hpp"
+#include "util/simd.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -180,8 +181,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(reps));
 
   std::vector<Row> rows;
+  // Convolve over a 16..1024 atom grid: small sizes show the dispatch
+  // overhead floor, large sizes the scalar/SIMD crossover.
   rows.push_back(bench_kernel_op("convolve", 16, 16, reps));
   rows.push_back(bench_kernel_op("convolve", 64, 64, reps / 4 + 1));
+  rows.push_back(bench_kernel_op("convolve", 256, 256, reps / 64 + 1));
+  rows.push_back(bench_kernel_op("convolve", 1024, 1024, reps / 1000 + 1));
   rows.push_back(bench_kernel_op("max_of", 64, 64, reps));
   rows.push_back(bench_kernel_op("max_of", 256, 256, reps / 4 + 1));
   rows.push_back(
@@ -207,7 +212,9 @@ int main(int argc, char** argv) {
     json_rows.push_back(std::move(w));
   }
   bench::JsonWriter top;
-  top.field("bench", "dist_kernels").field("reps", reps);
+  top.field("bench", "dist_kernels")
+      .field("reps", reps)
+      .field("backend", util::simd::name(util::simd::active()));
   top.array("rows", json_rows);
   std::ofstream out("BENCH_dist.json");
   out << top.str() << "\n";

@@ -40,7 +40,7 @@ double time_legacy(const graph::Dag& g, const core::FailureModel& model,
   std::vector<double> durations;
   const util::Timer timer;
   for (std::uint64_t t = 0; t < trials; ++t) {
-    prob::Xoshiro256pp rng(seed, t);
+    prob::McRng rng(seed, t);
     checksum_guard += bench::legacy_run_trial(ctx, rng, durations);
   }
   return timer.seconds();
@@ -52,7 +52,7 @@ double time_csr(const graph::Dag& g, const core::FailureModel& model,
   std::vector<double> finish(g.task_count());
   const util::Timer timer;
   for (std::uint64_t t = 0; t < trials; ++t) {
-    prob::Xoshiro256pp rng(seed, t);
+    prob::McRng rng(seed, t);
     checksum_guard += mc::run_trial_csr(ctx, rng, finish);
   }
   return timer.seconds();

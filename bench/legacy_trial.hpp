@@ -38,7 +38,7 @@ struct LegacyTrialContext {
 
 inline int legacy_sample_executions(const LegacyTrialContext& ctx,
                                     std::size_t i,
-                                    prob::Xoshiro256pp& rng) {
+                                    prob::McRng& rng) {
   const double p = ctx.p_success[i];
   if (p >= 1.0) return 1;
   if (ctx.retry == core::RetryModel::TwoState) {
@@ -57,7 +57,7 @@ inline int legacy_sample_executions(const LegacyTrialContext& ctx,
 /// One pre-CSR trial: sample durations (resize per call, as the old kernel
 /// did), then evaluate the allocating Dag longest path.
 inline double legacy_run_trial(const LegacyTrialContext& ctx,
-                               prob::Xoshiro256pp& rng,
+                               prob::McRng& rng,
                                std::vector<double>& durations) {
   const graph::Dag& g = *ctx.dag;
   durations.resize(g.task_count());

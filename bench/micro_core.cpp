@@ -77,7 +77,7 @@ void BM_McTrial(benchmark::State& state) {
   const auto g = gen::lu_dag(static_cast<int>(state.range(0)));
   const auto model = core::calibrate(g, 0.001);
   const mc::TrialContext ctx(g, model, core::RetryModel::Geometric);
-  prob::Xoshiro256pp rng(1);
+  prob::McRng rng(1);
   std::vector<double> durations(g.task_count());
   for (auto _ : state) {
     benchmark::DoNotOptimize(mc::run_trial(ctx, rng, durations));
@@ -91,7 +91,7 @@ void BM_McTrial_Csr(benchmark::State& state) {
   const auto g = gen::lu_dag(static_cast<int>(state.range(0)));
   const auto model = core::calibrate(g, 0.001);
   const mc::TrialContext ctx(g, model, core::RetryModel::Geometric);
-  prob::Xoshiro256pp rng(1);
+  prob::McRng rng(1);
   std::vector<double> finish(g.task_count());
   for (auto _ : state) {
     benchmark::DoNotOptimize(mc::run_trial_csr(ctx, rng, finish));
@@ -107,7 +107,7 @@ void BM_McTrial_Legacy(benchmark::State& state) {
   const auto g = gen::lu_dag(static_cast<int>(state.range(0)));
   const auto model = core::calibrate(g, 0.001);
   const bench::LegacyTrialContext ctx(g, model, core::RetryModel::Geometric);
-  prob::Xoshiro256pp rng(1);
+  prob::McRng rng(1);
   std::vector<double> durations(g.task_count());
   for (auto _ : state) {
     benchmark::DoNotOptimize(bench::legacy_run_trial(ctx, rng, durations));

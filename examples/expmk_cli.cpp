@@ -43,6 +43,7 @@
 #include "scenario/scenario.hpp"
 #include "sched/fault_sim.hpp"
 #include "util/cli.hpp"
+#include "util/simd.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -290,9 +291,11 @@ int cmd_estimate(int argc, const char* const* argv) {
             : 0.0;
     (void)guard;
     std::printf("%-12s: %.6f   first-call %9.1f us, steady-state %9.1f "
-                "us (%.0f evals/sec over %llu warm reps)\n",
+                "us (%.0f evals/sec over %llu warm reps) "
+                "[kernels=%s rng=philox4x32]\n",
                 name.c_str(), r.mean, first_us, steady_us, evals_per_sec,
-                static_cast<unsigned long long>(repeat - 1));
+                static_cast<unsigned long long>(repeat - 1),
+                util::simd::name(util::simd::active()));
   }
   return 0;
 }

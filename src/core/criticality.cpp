@@ -47,7 +47,7 @@ std::vector<double> criticality_impl(const mc::TrialContext& ctx,
   const std::span<double> bottom = ws.doubles(n);
 
   for (std::uint64_t t = 0; t < config.trials; ++t) {
-    prob::Xoshiro256pp rng(config.seed, t);
+    prob::McRng rng(config.seed, t);
     // Sample durations straight in position order (ignore the returned
     // makespan; we recompute levels to identify all tasks with zero
     // slack this trial). Level values are graph-determined, so the CSR

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <type_traits>
 #include <vector>
 
 #include "graph/csr.hpp"
@@ -12,6 +13,12 @@ namespace expmk::core {
 
 namespace {
 
+/// Pair-sweep block width: sources processed per longest_from_block edge
+/// pass. 8 lanes = one 64-byte cache line of doubles per vertex in the
+/// lane matrix, and enough independent arithmetic for the compiler to
+/// vectorize the inner pair loop.
+constexpr std::uint32_t kSecondOrderBlock = 8;
+
 /// The single copy of the second-order expansion, over caller scratch.
 /// `rates_csr` empty selects the uniform path, which keeps the exact
 /// pre-Scenario factoring (sum a_i, scale by lambda where the original
@@ -19,13 +26,14 @@ namespace {
 /// second_order(CsrDag, FailureModel, RetryModel); non-empty rates run
 /// the generalized expansion with l_i = lambda_i a_i written into `l`
 /// (same size as the graph, unused when uniform). All spans have
-/// task_count() entries and are fully overwritten.
+/// task_count() entries — except `dist`, the blocked sweep's lane matrix,
+/// which needs task_count() * kSecondOrderBlock — and are fully
+/// overwritten.
 SecondOrderResult second_order_impl(
     const graph::CsrDag& csr, RetryModel model_kind, double lambda,
     std::span<const double> rates_csr, std::span<double> top,
     std::span<double> bottom, std::span<double> d_single,
     std::span<double> dist, std::span<double> l) {
-  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
   const std::size_t n = csr.task_count();
   const std::span<const double> w = csr.weights();
   const bool het = !rates_csr.empty();
@@ -54,27 +62,84 @@ SecondOrderResult second_order_impl(
     fo_correction += (het ? l[i] : w[i]) * (d_single[i] - d);
   }
 
-  // Pair terms sum_{i<j} m_i m_j d(G_ij) (m = a uniform, l het),
-  // streaming one single-source longest path per i into a reused scratch
-  // buffer. Because positions are topologically renumbered, j at a later
-  // position can NEVER reach i — so one forward suffix sweep per i
-  // covers every unordered pair, and the reverse patch-up sweep the
-  // Dag-order implementation needed disappears entirely (half the work,
-  // zero allocations in the loop).
+  // Pair terms sum_{i<j} m_i m_j d(G_ij) (m = a uniform, l het), swept in
+  // blocks of kSecondOrderBlock consecutive sources: one
+  // graph::longest_from_block edge pass serves the whole block (edge
+  // traffic divided by the block width), and the inner j-loop walks the
+  // vertex-major lane matrix — one cache line per vertex covers every
+  // lane, and the per-lane body is branch-free, independent arithmetic
+  // the compiler can vectorize across lanes. Because positions are
+  // topologically renumbered, j at a later position can NEVER reach i, so
+  // the forward suffix sweep covers every unordered pair.
+  //
+  // Numerics: each lane accumulates its own partial sum in the exact
+  // per-source j-ascending order of the one-source-at-a-time sweep; the
+  // partials then fold into pair_sum in source order. That re-associates
+  // the GLOBAL sum only (one fixed, documented order — part of the same
+  // one-time re-baseline as the kernel layer's stable merge). The
+  // unreachable-pair guard is arithmetic here: dist -inf propagates
+  // through the cross term and loses the max, bit-identically to the
+  // scalar `!= -inf` branch for the finite levels/weights at hand.
   double pair_sum = 0.0;
-  for (std::uint32_t i = 0; i < n; ++i) {
-    longest_from(csr, i, w, dist);  // fills dist[i..n)
-    for (std::uint32_t j = i + 1; j < n; ++j) {
-      double dij = std::max(d_single[i], d_single[j]);
-      if (dist[j] != kNegInf) {
-        // Best path through both i and j (j reachable from i), with both
-        // weights doubled: top(i) + [lp(i,j) + a_i + a_j] + tail(j).
-        const double cross =
-            top[i] + dist[j] + w[i] + w[j] + (bottom[j] - w[j]);
-        dij = std::max(dij, cross);
-      }
-      pair_sum += (het ? l[i] * l[j] : w[i] * w[j]) * dij;
+  for (std::uint32_t i0 = 0; i0 < n; i0 += kSecondOrderBlock) {
+    const std::uint32_t nb =
+        std::min<std::uint32_t>(kSecondOrderBlock, static_cast<std::uint32_t>(n) - i0);
+    longest_from_block(csr, i0, nb, w, dist);
+    double acc[kSecondOrderBlock] = {};
+    double m_i[kSecondOrderBlock];
+    for (std::uint32_t ln = 0; ln < nb; ++ln) {
+      m_i[ln] = het ? l[i0 + ln] : w[i0 + ln];
     }
+    // Head: j inside the block — only lanes with source < j are live.
+    const std::uint32_t head_end = std::min<std::uint32_t>(
+        i0 + nb, static_cast<std::uint32_t>(n));
+    for (std::uint32_t j = i0 + 1; j < head_end; ++j) {
+      for (std::uint32_t ln = 0; ln < j - i0; ++ln) {
+        const std::uint32_t i = i0 + ln;
+        double dij = std::max(d_single[i], d_single[j]);
+        const double cross =
+            top[i] + dist[j * nb + ln] + w[i] + w[j] + (bottom[j] - w[j]);
+        dij = std::max(dij, cross);
+        acc[ln] += (m_i[ln] * (het ? l[j] : w[j])) * dij;
+      }
+    }
+    // Tail: every lane is live; no masks, no branches. Per-lane constants
+    // are gathered into dense block arrays so the lane loop is pure
+    // contiguous elementwise arithmetic; the full-width case runs with a
+    // compile-time lane count so it vectorizes.
+    double ds_i[kSecondOrderBlock];
+    double top_i[kSecondOrderBlock];
+    double w_i[kSecondOrderBlock];
+    for (std::uint32_t ln = 0; ln < nb; ++ln) {
+      ds_i[ln] = d_single[i0 + ln];
+      top_i[ln] = top[i0 + ln];
+      w_i[ln] = w[i0 + ln];
+    }
+    auto tail_sweep = [&](auto width, std::uint32_t lanes) {
+      constexpr std::uint32_t kW = decltype(width)::value;
+      const std::uint32_t nl = kW != 0 ? kW : lanes;
+      for (std::uint32_t j = head_end; j < n; ++j) {
+        const double dsj = d_single[j];
+        const double wj = w[j];
+        const double tailj = bottom[j] - wj;
+        const double mj = het ? l[j] : wj;
+        const double* dj = &dist[j * nl];
+        for (std::uint32_t ln = 0; ln < nl; ++ln) {
+          const double a = ds_i[ln];
+          double dij = a > dsj ? a : dsj;
+          const double cross = top_i[ln] + dj[ln] + w_i[ln] + wj + tailj;
+          dij = cross > dij ? cross : dij;
+          acc[ln] += (m_i[ln] * mj) * dij;
+        }
+      }
+    };
+    if (nb == kSecondOrderBlock) {
+      tail_sweep(std::integral_constant<std::uint32_t, kSecondOrderBlock>{},
+                 nb);
+    } else {
+      tail_sweep(std::integral_constant<std::uint32_t, 0>{}, nb);
+    }
+    for (std::uint32_t ln = 0; ln < nb; ++ln) pair_sum += acc[ln];
   }
 
   // Assemble per the expansion in the header comment.
@@ -136,7 +201,8 @@ SecondOrderResult second_order(const graph::CsrDag& csr,
                                const FailureModel& model,
                                RetryModel model_kind) {
   const std::size_t n = csr.task_count();
-  std::vector<double> top(n), bottom(n), d_single(n), dist(n);
+  std::vector<double> top(n), bottom(n), d_single(n);
+  std::vector<double> dist(n * kSecondOrderBlock);
   return second_order_impl(csr, model_kind, model.lambda, {}, top, bottom,
                            d_single, dist, {});
 }
@@ -150,7 +216,7 @@ SecondOrderResult second_order(const scenario::Scenario& sc,
   return second_order_impl(
       csr, sc.retry(), het ? 0.0 : sc.uniform_model().lambda,
       het ? sc.rates_csr() : std::span<const double>{}, ws.doubles(n),
-      ws.doubles(n), ws.doubles(n), ws.doubles(n),
+      ws.doubles(n), ws.doubles(n), ws.doubles(n * kSecondOrderBlock),
       het ? ws.doubles(n) : std::span<double>{});
 }
 

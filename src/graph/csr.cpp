@@ -2,6 +2,7 @@
 
 #include <limits>
 #include <stdexcept>
+#include <type_traits>
 
 #include "graph/topological.hpp"
 
@@ -99,6 +100,87 @@ void longest_from(const CsrDag& g, std::uint32_t source,
       if (d > best) best = d;
     }
     dist[v] = best == kNegInf ? kNegInf : best + weights[v];
+  }
+}
+
+void longest_from_block(const CsrDag& g, std::uint32_t base,
+                        std::uint32_t nlanes, std::span<const double> weights,
+                        std::span<double> dist) {
+  const std::size_t n = g.task_count();
+  if (weights.size() != n) {
+    throw std::invalid_argument(
+        "csr longest_from_block: weights size mismatch with task count");
+  }
+  if (nlanes == 0 || base + nlanes > n) {
+    throw std::out_of_range("csr longest_from_block: invalid source block");
+  }
+  if (dist.size() < n * static_cast<std::size_t>(nlanes)) {
+    throw std::invalid_argument(
+        "csr longest_from_block: dist scratch too small");
+  }
+  const std::span<const std::uint32_t> off = g.pred_offsets();
+  const std::span<const std::uint32_t> pred = g.pred_index();
+
+  // Head region [base, base + nlanes): lanes are still crossing their own
+  // sources, so run the exact per-lane scalar recurrence (tiny: at most
+  // nlanes^2 entries). Positions below a lane's source are seeded with
+  // -infinity — the arithmetic realization of longest_from's "skip
+  // predecessors below the source".
+  const std::uint32_t head_end = base + nlanes;
+  for (std::uint32_t v = base; v < head_end; ++v) {
+    for (std::uint32_t l = 0; l < nlanes; ++l) {
+      const std::uint32_t s = base + l;
+      double out;
+      if (v < s) {
+        out = kNegInf;
+      } else if (v == s) {
+        out = weights[v];
+      } else {
+        double best = kNegInf;
+        for (std::uint32_t e = off[v]; e < off[v + 1]; ++e) {
+          const std::uint32_t u = pred[e];
+          if (u < base) continue;  // below every lane's source
+          const double d = dist[u * nlanes + l];
+          if (d > best) best = d;
+        }
+        out = best == kNegInf ? kNegInf : best + weights[v];
+      }
+      dist[v * nlanes + l] = out;
+    }
+  }
+
+  // Tail region: every lane is past its source, so the recurrence is
+  // uniform across lanes and the edge pass is shared — one read of the
+  // predecessor list serves all nlanes sources. `best + w` with
+  // best = -inf yields -inf for finite task weights, which is bit-for-bit
+  // the scalar path's explicit unreachable check. The full-width case
+  // runs with a compile-time lane count so the per-lane max/add loops
+  // vectorize (ternary selects, not conditional stores); the generic
+  // fallback is the identical code with a runtime trip count.
+  auto tail = [&](auto width, std::uint32_t lanes) {
+    constexpr std::uint32_t kW = decltype(width)::value;
+    const std::uint32_t nl = kW != 0 ? kW : lanes;
+    for (std::uint32_t v = head_end; v < n; ++v) {
+      double* dv = &dist[v * nl];
+      for (std::uint32_t l = 0; l < nl; ++l) dv[l] = kNegInf;
+      for (std::uint32_t e = off[v]; e < off[v + 1]; ++e) {
+        const std::uint32_t u = pred[e];
+        if (u < base) continue;
+        const double* du = &dist[u * nl];
+        for (std::uint32_t l = 0; l < nl; ++l) {
+          dv[l] = du[l] > dv[l] ? du[l] : dv[l];
+        }
+      }
+      const double wv = weights[v];
+      for (std::uint32_t l = 0; l < nl; ++l) {
+        dv[l] = dv[l] == kNegInf ? kNegInf : dv[l] + wv;
+      }
+    }
+  };
+  if (nlanes == 8) {
+    tail(std::integral_constant<std::uint32_t, 8>{}, nlanes);
+  } else {
+    tail(std::integral_constant<std::uint32_t, 0>{}, nlanes);
   }
 }
 

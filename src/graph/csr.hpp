@@ -123,6 +123,23 @@ class CsrDag {
 void longest_from(const CsrDag& g, std::uint32_t source,
                   std::span<const double> weights, std::span<double> dist);
 
+/// Blocked longest paths: `nlanes` consecutive sources base, base+1, ...,
+/// base+nlanes-1 swept in ONE pass over the CSR edges, into a vertex-major
+/// lane matrix (dist[v * nlanes + l] is lane l's entry for position v; the
+/// span must hold task_count() * nlanes doubles). Lane l reproduces
+/// longest_from(g, base + l, ...) bit for bit for every v >= base + l:
+/// the per-lane "ignore predecessors below my source" rule is realized by
+/// seeding positions in [base, base+l) with -infinity, which IEEE
+/// arithmetic then propagates exactly like the scalar skip (-inf never
+/// wins a max; -inf + w stays -inf for finite w). Entries at positions
+/// below `base` are untouched; entries for v < base + l within the block
+/// read -infinity. Requires 1 <= nlanes and base + nlanes <= task_count().
+/// This is the cache-blocked engine under core::second_order's pair
+/// sweep: one edge pass serves nlanes sources instead of one.
+void longest_from_block(const CsrDag& g, std::uint32_t base,
+                        std::uint32_t nlanes, std::span<const double> weights,
+                        std::span<double> dist);
+
 /// Top and bottom levels (graph/levels.hpp conventions) over the CSR view
 /// into caller scratch, one forward and one backward sweep; returns
 /// d(G) = max_v top[v] + bottom[v]. Zero allocation. Shared by the

@@ -89,7 +89,7 @@ ConditionalMcResult run_conditional_monte_carlo(
     std::vector<double> durations(n);
     std::vector<double> finish(n);
     for (std::uint64_t t = begin; t < end; ++t) {
-      prob::Xoshiro256pp rng(config.seed, t);
+      prob::McRng rng(config.seed, t);
       // Rejection: redraw the failure pattern until at least one failure.
       // If the cap is hit first (only plausible when 1 - p0 is
       // microscopic), the trial is *censored*: it contributes nothing to

@@ -53,7 +53,7 @@ McResult run_monte_carlo_impl(const TrialContext& ctx,
     // nothing per trial.
     std::vector<double> finish(n);
     for (std::uint64_t t = begin; t < end; ++t) {
-      prob::Xoshiro256pp rng(config.seed, t);
+      prob::McRng rng(config.seed, t);
       const TrialObservation obs =
           run_trial_with_control_csr(ctx, rng, finish);
       acc.makespan.push(obs.makespan);

@@ -3,8 +3,9 @@
 // Parallel Monte-Carlo estimation of the expected makespan — the paper's
 // ground truth (300,000 trials in Section V; configurable here).
 //
-// Reproducibility: every trial seeds its own xoshiro256++ stream from
-// (seed, trial_index), and trials are partitioned into a FIXED number of
+// Reproducibility: every trial draws from its own counter-based Philox
+// stream (prob::McRng) — a pure function of (seed, trial_index) with no
+// per-trial state expansion — and trials are partitioned into a FIXED number of
 // chunks (independent of the thread count) whose Welford accumulators are
 // merged in chunk order — so the estimate is bit-identical for any thread
 // count. tests/test_csr.cpp pins this contract down to the last bit.

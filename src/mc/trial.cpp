@@ -58,7 +58,7 @@ inline int geometric_executions_slow(double u, double inv_log_q,
 /// perform bit-identical arithmetic.
 template <bool kWithControl, bool kDagOrderOut = true>
 inline TrialObservation trial_sweep(const TrialContext& ctx,
-                                    prob::Xoshiro256pp& rng,
+                                    prob::McRng& rng,
                                     std::span<double> finish,
                                     double* durations_out) {
   const graph::CsrDag& csr = ctx.csr();
@@ -137,20 +137,20 @@ void check_finish(const TrialContext& ctx, std::span<const double> finish) {
 
 }  // namespace
 
-double run_trial_csr(const TrialContext& ctx, prob::Xoshiro256pp& rng,
+double run_trial_csr(const TrialContext& ctx, prob::McRng& rng,
                      std::span<double> finish) {
   check_finish(ctx, finish);
   return trial_sweep<false>(ctx, rng, finish, nullptr).makespan;
 }
 
 TrialObservation run_trial_with_control_csr(const TrialContext& ctx,
-                                            prob::Xoshiro256pp& rng,
+                                            prob::McRng& rng,
                                             std::span<double> finish) {
   check_finish(ctx, finish);
   return trial_sweep<true>(ctx, rng, finish, nullptr);
 }
 
-double run_trial_scatter_csr(const TrialContext& ctx, prob::Xoshiro256pp& rng,
+double run_trial_scatter_csr(const TrialContext& ctx, prob::McRng& rng,
                              std::span<double> finish,
                              std::span<double> durations) {
   check_finish(ctx, finish);
@@ -162,7 +162,7 @@ double run_trial_scatter_csr(const TrialContext& ctx, prob::Xoshiro256pp& rng,
 }
 
 double run_trial_durations_csr(const TrialContext& ctx,
-                               prob::Xoshiro256pp& rng,
+                               prob::McRng& rng,
                                std::span<double> finish,
                                std::span<double> durations_pos) {
   check_finish(ctx, finish);
@@ -175,7 +175,7 @@ double run_trial_durations_csr(const TrialContext& ctx,
       .makespan;
 }
 
-double run_trial(const TrialContext& ctx, prob::Xoshiro256pp& rng,
+double run_trial(const TrialContext& ctx, prob::McRng& rng,
                  std::vector<double>& durations) {
   check_durations(ctx, durations);
   return trial_sweep<false>(ctx, rng, adapter_scratch(durations.size()),
@@ -184,7 +184,7 @@ double run_trial(const TrialContext& ctx, prob::Xoshiro256pp& rng,
 }
 
 TrialObservation run_trial_with_control(const TrialContext& ctx,
-                                        prob::Xoshiro256pp& rng,
+                                        prob::McRng& rng,
                                         std::vector<double>& durations) {
   check_durations(ctx, durations);
   return trial_sweep<true>(ctx, rng, adapter_scratch(durations.size()),

@@ -97,7 +97,7 @@ struct TrialContext {
 /// reference scalar loop (sample durations, then Dag longest path) —
 /// tests/test_csr.cpp enforces this.
 [[nodiscard]] double run_trial_csr(const TrialContext& ctx,
-                                   prob::Xoshiro256pp& rng,
+                                   prob::McRng& rng,
                                    std::span<double> finish);
 
 /// Per-trial observation: the makespan and the control-variate statistic
@@ -111,7 +111,7 @@ struct TrialObservation {
 /// As run_trial_csr, additionally accumulating the control variate. Draws
 /// the identical RNG stream as run_trial_csr (same makespans).
 [[nodiscard]] TrialObservation run_trial_with_control_csr(
-    const TrialContext& ctx, prob::Xoshiro256pp& rng,
+    const TrialContext& ctx, prob::McRng& rng,
     std::span<double> finish);
 
 /// As run_trial_csr, additionally scattering the sampled per-task
@@ -119,7 +119,7 @@ struct TrialObservation {
 /// run_trial below, for workspace-based consumers (core::criticality,
 /// sched::fault_sim) that lease BOTH buffers instead of owning a vector.
 /// Both spans must have size task_count(); bit-identical to run_trial.
-double run_trial_scatter_csr(const TrialContext& ctx, prob::Xoshiro256pp& rng,
+double run_trial_scatter_csr(const TrialContext& ctx, prob::McRng& rng,
                              std::span<double> finish,
                              std::span<double> durations);
 
@@ -129,7 +129,7 @@ double run_trial_scatter_csr(const TrialContext& ctx, prob::Xoshiro256pp& rng,
 /// saving consumers like core::criticality a per-trial permutation.
 /// Identical RNG stream and makespans.
 double run_trial_durations_csr(const TrialContext& ctx,
-                               prob::Xoshiro256pp& rng,
+                               prob::McRng& rng,
                                std::span<double> finish,
                                std::span<double> durations_pos);
 
@@ -139,12 +139,12 @@ double run_trial_durations_csr(const TrialContext& ctx,
 /// Precondition: durations.size() == task_count() — size the buffer once
 /// outside the trial loop; this function throws std::invalid_argument
 /// instead of resizing per call.
-double run_trial(const TrialContext& ctx, prob::Xoshiro256pp& rng,
+double run_trial(const TrialContext& ctx, prob::McRng& rng,
                  std::vector<double>& durations);
 
 /// As run_trial, additionally accumulating the control variate.
 TrialObservation run_trial_with_control(const TrialContext& ctx,
-                                        prob::Xoshiro256pp& rng,
+                                        prob::McRng& rng,
                                         std::vector<double>& durations);
 
 /// Exact E[Z] of the control variate under the context's retry model.

@@ -17,6 +17,26 @@ double safe_rho(double cov, double var_x, double var_y) {
   return cov / denom;
 }
 
+/// The rho-propagation row kernel: row[z] <- Cov(max, C_z) for every z via
+/// Clark's linkage, with the fold weights hoisted out of the loop. The
+/// body is prob::clark_linkage inlined — cov_xz * wx + cov_yz * wy, the
+/// identical two-multiply-one-add per element — so the results are bit
+/// for bit what the per-element call produced; hoisting just turns an
+/// opaque cross-TU call per matrix element into a branch-free elementwise
+/// loop the compiler vectorizes. Rows are cache-resident up to the dense
+/// limit (kClarkFullMaxTasks doubles), so the row itself is the cache
+/// block.
+void linkage_row(std::span<double> row, const double* cov_row,
+                 const prob::ClarkMax& fold) {
+  const double wx = fold.weight_x;
+  const double wy = fold.weight_y;
+  double* r = row.data();
+  const std::size_t n = row.size();
+  for (std::size_t z = 0; z < n; ++z) {
+    r[z] = r[z] * wx + cov_row[z] * wy;
+  }
+}
+
 /// Shared traversal over per-task success probabilities (the fold is pure
 /// dataflow over ancestors, so the topological order does not perturb the
 /// values).
@@ -58,10 +78,7 @@ NormalEstimate clark_full_impl(const graph::Dag& g,
       }
       const double rho = safe_rho(row[u], m.var, completion[u].var);
       const auto fold = prob::clark_max(m, completion[u], rho);
-      for (std::size_t z = 0; z < n; ++z) {
-        row[z] = prob::clark_linkage(
-            row[z], cov[static_cast<std::size_t>(u) * n + z], fold);
-      }
+      linkage_row(row, &cov[static_cast<std::size_t>(u) * n], fold);
       m = fold.moments;
     }
     // C_v = M + X_v with X_v independent of everything before it.
@@ -89,10 +106,7 @@ NormalEstimate clark_full_impl(const graph::Dag& g,
     }
     const double rho = safe_rho(row[v], makespan.var, completion[v].var);
     const auto fold = prob::clark_max(makespan, completion[v], rho);
-    for (std::size_t z = 0; z < n; ++z) {
-      row[z] = prob::clark_linkage(
-          row[z], cov[static_cast<std::size_t>(v) * n + z], fold);
-    }
+    linkage_row(row, &cov[static_cast<std::size_t>(v) * n], fold);
     makespan = fold.moments;
   }
   return NormalEstimate{makespan};

@@ -52,6 +52,12 @@ namespace {
 /// Shared traversal over per-task success probabilities (see sculli.cpp:
 /// the fold is pure dataflow, so the topological order does not perturb
 /// the values).
+///
+/// Unlike clark_full's dense row linkage, CorLCA's rho-propagation is a
+/// depth-aligned parent-pointer walk (lca above) — data-dependent pointer
+/// chasing with no elementwise loop to block or vectorize, and its O(V)
+/// tree state is already cache-resident. It deliberately stays scalar
+/// while clark_full and second_order got blocked/vectorized sweeps.
 NormalEstimate corlca_impl(const graph::Dag& g,
                            std::span<const graph::TaskId> topo,
                            std::span<const double> p, core::RetryModel kind,

@@ -23,6 +23,22 @@
 //    returns the atom count; inputs and outputs must not overlap unless a
 //    kernel is documented as in-place.
 //
+// SIMD backends. convolve and max_of run with a runtime-dispatched
+// backend (util::simd — AVX2 when the CPU has it, scalar otherwise,
+// EXPMK_FORCE_SCALAR=1 pins scalar). Both backends are bit-identical by
+// construction, not by tolerance: only elementwise stages are vectorized
+// (per-lane identical to the scalar loop under IEEE754), reductions keep
+// one fixed association shared by both backends, and the ordering stage —
+// a STABLE bottom-up merge of pre-sorted runs that replaces
+// canonicalize's std::sort — is a single branchless engine compiled once
+// and called by both, so its output (including the order of exact value
+// ties, resolved earlier-run-first) cannot differ between them. Two
+// spec-visible, ulp-level differences from the object from_atoms path
+// were re-baselined once when this layer landed: exact value ties combine
+// in the stable run order instead of std::sort's unspecified tie order,
+// and the final renormalize multiplies by one shared reciprocal
+// (r = 1/total) instead of dividing each probability.
+//
 // Certified truncation. `truncate` reduces an atom list to a budget by
 // repeatedly merging the adjacent pair with the smallest value gap into
 // its probability-weighted mean — mean-preserving for the distribution at
@@ -103,16 +119,20 @@ std::size_t two_state(double a, double p_success, std::span<Atom> out);
 /// X + c in place.
 void shift(std::span<Atom> atoms, double c) noexcept;
 
-/// X + Y for independent canonical X, Y: cross product in x-major order
-/// then canonicalize — the exact op sequence of
-/// DiscreteDistribution::convolve before its atom cap. `out` must hold
+/// X + Y for independent canonical X, Y: cross product laid out as one
+/// pre-sorted run per atom of the smaller input, then the canonical
+/// reduction (stable bottom-up run merge, eps-merge, renormalize) —
+/// DiscreteDistribution::convolve before its atom cap. Exact value ties
+/// combine in the stable merge order (see the file comment); dispatched
+/// scalar/AVX2, bit-identical across backends. `out` must hold
 /// x.size() * y.size() atoms and not overlap the inputs.
 std::size_t convolve(std::span<const Atom> x, std::span<const Atom> y,
                      std::span<Atom> out);
 
 /// max(X, Y) for independent canonical X, Y via support union and
 /// product-CDF differencing, then canonicalize — mirrors
-/// DiscreteDistribution::max_of before its atom cap. `out` must hold
+/// DiscreteDistribution::max_of before its atom cap. Dispatched
+/// scalar/AVX2, bit-identical across backends. `out` must hold
 /// x.size() + y.size() atoms; `support_scratch` the same; neither may
 /// overlap the inputs.
 std::size_t max_of(std::span<const Atom> x, std::span<const Atom> y,

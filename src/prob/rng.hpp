@@ -1,14 +1,23 @@
 // prob/rng.hpp
 //
-// Deterministic pseudo-random number generation for the Monte-Carlo engine.
+// Deterministic pseudo-random number generation.
 //
-// We implement xoshiro256++ (Blackman & Vigna) seeded through splitmix64,
-// rather than relying on std::mt19937_64, for two reasons:
-//   1. Stream independence: the MC engine assigns every *trial* its own
-//      counter-derived stream, so results are bit-identical regardless of
-//      how trials are distributed over threads.
-//   2. Speed: xoshiro256++ is ~2x faster than mt19937_64 and the sampler is
-//      RNG-bound on small DAGs.
+// Two generators live here, with different jobs:
+//
+//   * Philox4x32 (Salmon et al., SC'11) — the Monte-Carlo engine's
+//     generator. It is COUNTER-BASED: the stream for (seed, trial_index)
+//     is a pure function of a 128-bit counter under a 64-bit key, so a
+//     trial's randomness needs no per-trial state expansion at all and is
+//     bit-identical regardless of how trials are distributed over
+//     threads. Counter blocks are independent, which is what lets the
+//     buffered backend compute four blocks at once with AVX2 integer
+//     lanes (util::simd dispatch); integer arithmetic is exact, so the
+//     vector and scalar backends agree bit for bit by construction.
+//     McRng below is the alias the MC call graph uses.
+//
+//   * Xoshiro256pp (Blackman & Vigna) seeded through splitmix64 — kept
+//     for everything that is not the MC hot path (DAG generation,
+//     property-test drivers) and as the historical reference stream.
 //
 // Distribution helpers (uniform double, exponential, Bernoulli) are defined
 // here instead of <random> so that sampled sequences are stable across
@@ -17,6 +26,7 @@
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 namespace expmk::prob {
@@ -96,5 +106,96 @@ class Xoshiro256pp {
   }
   std::uint64_t s_[4];
 };
+
+/// Philox4x32-10: a counter-based generator. One "block" is the 10-round
+/// bijection of a 128-bit counter (four 32-bit words) under a 64-bit key
+/// (two 32-bit words), yielding 128 random bits. The MC engine keys the
+/// generator on the run seed and counts (trial_index, block_index):
+///
+///     counter = (trial_lo, trial_hi, block_lo, block_hi)
+///     key     = splitmix64(seed) split into two 32-bit words
+///
+/// so every trial's stream is a pure function of (seed, trial_index) —
+/// the reproducibility contract the engine's fixed 128-chunk partition
+/// relies on (tests/test_csr.cpp pins it for 1/2/7 threads).
+///
+/// Draws are buffered eight blocks (16 uint64) at a time; the buffer
+/// fill is dispatched through util::simd (AVX2 computes four blocks per
+/// vector state and interleaves two independent states to hide the
+/// round chain's latency, scalar computes the blocks in a loop) and the
+/// two backends are bit-identical because every operation is exact
+/// integer arithmetic. tests/test_simd_kernels.cpp holds reference
+/// stream vectors.
+class Philox4x32 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Stream for (seed, trial/stream index) — see the class comment.
+  explicit Philox4x32(std::uint64_t seed = 0xC0FFEE,
+                      std::uint64_t stream_id = 0) noexcept {
+    SplitMix64 sm(seed);
+    const std::uint64_t k = sm.next();
+    key_[0] = static_cast<std::uint32_t>(k);
+    key_[1] = static_cast<std::uint32_t>(k >> 32);
+    ctr_lo_ = stream_id;
+    block_ = 0;
+    idx_ = kBuffer;  // force a fill on the first draw
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() noexcept {
+    if (idx_ == kBuffer) refill();
+    return buf_[idx_++];
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits (same mapping as
+  /// Xoshiro256pp::uniform).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in (0, 1] — safe as a log() argument.
+  double uniform_positive() noexcept {
+    return (static_cast<double>((*this)() >> 11) + 1.0) * 0x1.0p-53;
+  }
+
+  /// Exponential variate with rate `lambda` (mean 1/lambda) by inversion.
+  double exponential(double lambda) noexcept;
+
+  /// Bernoulli trial: true with probability p.
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Uniform integer in [0, bound) by Lemire's multiply-shift rejection.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// One raw block: the 10-round Philox4x32 bijection. Public so tests
+  /// can pin the stream against the published algorithm directly.
+  [[nodiscard]] static std::array<std::uint32_t, 4> block(
+      std::array<std::uint32_t, 4> counter,
+      std::array<std::uint32_t, 2> key) noexcept;
+
+ private:
+  // Eight blocks of two uint64 per fill. The width matters: one Philox
+  // round is a serial mul -> shift -> xor chain (~7 cycles), so a single
+  // 4-block vector state is latency-bound; the AVX2 fill interleaves two
+  // independent 4-block states (the most that fits the ymm register
+  // file), and the buffer amortizes the fill's fixed costs (dispatch,
+  // counter setup) per draw.
+  static constexpr std::size_t kBuffer = 16;
+
+  void refill() noexcept;
+
+  std::uint64_t buf_[kBuffer];
+  std::uint64_t ctr_lo_ = 0;  ///< trial / stream index (counter words 0,1)
+  std::uint64_t block_ = 0;   ///< block index (counter words 2,3)
+  std::uint32_t key_[2];
+  std::uint32_t idx_ = kBuffer;
+};
+
+/// The Monte-Carlo call graph's generator (engine, trial kernels,
+/// conditional MC, criticality, fault_sim).
+using McRng = Philox4x32;
 
 }  // namespace expmk::prob

@@ -22,7 +22,7 @@ FaultSimResult fault_sim_impl(const graph::Dag& g,
   const std::span<double> durations = ws.doubles(g.task_count());
   const std::span<double> finish = ws.doubles(g.task_count());
   for (std::uint64_t r = 0; r < config.runs; ++r) {
-    prob::Xoshiro256pp rng(config.seed, r);
+    prob::McRng rng(config.seed, r);
     // Sample per-task total execution time (attempts x weight), then
     // schedule with those durations.
     (void)mc::run_trial_scatter_csr(ctx, rng, finish, durations);

@@ -140,7 +140,7 @@ TEST(CsrKernels, DagScratchOverloadsMatchAllocatingOnes) {
 /// law), scatter durations into Dag id order, then evaluate the makespan
 /// with the allocating vector-of-vectors Dag longest path. The fused CSR
 /// kernel must reproduce it bit for bit.
-double reference_trial(const TrialContext& ctx, expmk::prob::Xoshiro256pp& rng,
+double reference_trial(const TrialContext& ctx, expmk::prob::McRng& rng,
                        std::vector<double>& durations) {
   const Dag& g = ctx.dag();
   const std::size_t n = g.task_count();
@@ -177,8 +177,8 @@ TEST(CsrTrialKernel, BitIdenticalToReferenceScalarLoop) {
       std::vector<double> finish(g.task_count());
       std::vector<double> durations;
       for (std::uint64_t t = 0; t < 500; ++t) {
-        expmk::prob::Xoshiro256pp rng_csr(99, t);
-        expmk::prob::Xoshiro256pp rng_ref(99, t);
+        expmk::prob::McRng rng_csr(99, t);
+        expmk::prob::McRng rng_ref(99, t);
         const double csr_makespan =
             expmk::mc::run_trial_csr(ctx, rng_csr, finish);
         const double ref_makespan = reference_trial(ctx, rng_ref, durations);
@@ -195,8 +195,8 @@ TEST(CsrTrialKernel, AdapterScattersDurationsInDagOrder) {
   std::vector<double> durations(g.task_count());
   std::vector<double> ref_durations;
   for (std::uint64_t t = 0; t < 100; ++t) {
-    expmk::prob::Xoshiro256pp rng_a(5, t);
-    expmk::prob::Xoshiro256pp rng_b(5, t);
+    expmk::prob::McRng rng_a(5, t);
+    expmk::prob::McRng rng_b(5, t);
     const double makespan = expmk::mc::run_trial(ctx, rng_a, durations);
     const double ref = reference_trial(ctx, rng_b, ref_durations);
     ASSERT_EQ(makespan, ref);
@@ -210,7 +210,7 @@ TEST(CsrTrialKernel, AdapterRejectsUndersizedBuffer) {
   const Dag g = expmk::gen::lu_dag(3);
   const auto model = expmk::core::calibrate(g, 0.01);
   const TrialContext ctx(g, model, RetryModel::Geometric);
-  expmk::prob::Xoshiro256pp rng(1);
+  expmk::prob::McRng rng(1);
   std::vector<double> too_small;  // the pre-CSR adapter would resize this
   EXPECT_THROW((void)expmk::mc::run_trial(ctx, rng, too_small),
                std::invalid_argument);
@@ -224,8 +224,8 @@ TEST(CsrTrialKernel, ControlVariantDrawsIdenticalStream) {
   const TrialContext ctx(g, model, RetryModel::Geometric);
   std::vector<double> finish(g.task_count());
   for (std::uint64_t t = 0; t < 200; ++t) {
-    expmk::prob::Xoshiro256pp rng_a(13, t);
-    expmk::prob::Xoshiro256pp rng_b(13, t);
+    expmk::prob::McRng rng_a(13, t);
+    expmk::prob::McRng rng_b(13, t);
     const double plain = expmk::mc::run_trial_csr(ctx, rng_a, finish);
     const auto obs = expmk::mc::run_trial_with_control_csr(ctx, rng_b, finish);
     ASSERT_EQ(plain, obs.makespan);
@@ -275,7 +275,7 @@ TEST(CsrEngineDeterminism, EngineSamplesMatchReferenceLoop) {
   const TrialContext ctx(g, model, cfg.retry);
   std::vector<double> durations;
   for (std::uint64_t t = 0; t < cfg.trials; ++t) {
-    expmk::prob::Xoshiro256pp rng(cfg.seed, t);
+    expmk::prob::McRng rng(cfg.seed, t);
     ASSERT_EQ(r.samples[t], reference_trial(ctx, rng, durations))
         << "trial " << t;
   }

@@ -32,7 +32,7 @@ std::map<double, double> empirical_law(double weight, double lambda,
   std::map<double, int> counts;
   std::vector<double> durations(g.task_count());
   for (int t = 0; t < n; ++t) {
-    expmk::prob::Xoshiro256pp rng(42, static_cast<std::uint64_t>(t));
+    expmk::prob::McRng rng(42, static_cast<std::uint64_t>(t));
     const double makespan = expmk::mc::run_trial(ctx, rng, durations);
     ++counts[makespan];
   }
@@ -95,7 +95,7 @@ TEST(SamplerVsDistribution, CapBoundsGeometricExecutions) {
   std::vector<double> durations(g.task_count());
   double max_seen = 0.0;
   for (int t = 0; t < 2'000; ++t) {
-    expmk::prob::Xoshiro256pp rng(7, static_cast<std::uint64_t>(t));
+    expmk::prob::McRng rng(7, static_cast<std::uint64_t>(t));
     max_seen = std::max(max_seen, expmk::mc::run_trial(ctx, rng, durations));
   }
   EXPECT_LE(max_seen, 8.0 + 1e-12);
@@ -110,7 +110,7 @@ TEST(SamplerVsDistribution, ControlStatisticMatchesDefinition) {
   const TrialContext ctx(g, FailureModel{1.0}, RetryModel::Geometric);
   std::vector<double> durations(g.task_count());
   for (int t = 0; t < 1'000; ++t) {
-    expmk::prob::Xoshiro256pp rng(3, static_cast<std::uint64_t>(t));
+    expmk::prob::McRng rng(3, static_cast<std::uint64_t>(t));
     const auto obs = expmk::mc::run_trial_with_control(ctx, rng, durations);
     EXPECT_NEAR(obs.control, obs.makespan - 0.5, 1e-12);
   }

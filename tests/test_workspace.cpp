@@ -440,8 +440,8 @@ TEST(TrialScatter, SpanFormDrawsTheSameStreamAsVectorForm) {
   std::vector<double> durations_span(g.task_count());
   std::vector<double> finish(g.task_count());
   for (std::uint64_t t = 0; t < 50; ++t) {
-    expmk::prob::Xoshiro256pp rng_a(123, t);
-    expmk::prob::Xoshiro256pp rng_b(123, t);
+    expmk::prob::McRng rng_a(123, t);
+    expmk::prob::McRng rng_b(123, t);
     const double m_vec = expmk::mc::run_trial(ctx, rng_a, durations_vec);
     const double m_span = expmk::mc::run_trial_scatter_csr(
         ctx, rng_b, finish, durations_span);
@@ -449,7 +449,7 @@ TEST(TrialScatter, SpanFormDrawsTheSameStreamAsVectorForm) {
     EXPECT_EQ(durations_vec, durations_span) << t;
   }
 
-  expmk::prob::Xoshiro256pp rng(1, 1);
+  expmk::prob::McRng rng(1, 1);
   EXPECT_THROW((void)expmk::mc::run_trial_scatter_csr(
                    ctx, rng, std::span<double>(finish.data(), 2),
                    durations_span),

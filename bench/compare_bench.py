@@ -14,7 +14,10 @@ present in BOTH files are compared. Throughput metrics (`*_per_sec`,
 `*trials_per_sec`, `speedup`) are reported for context but regressions
 in them are derived from the timing keys, so they don't double-fail.
 
-Exit codes: 0 ok, 1 regression found, 2 usage/parse error.
+Exit codes: 0 ok (or skipped via --allow-missing), 1 regression found,
+2 usage/parse error. With --allow-missing a nonexistent baseline or
+candidate file is a skip, not an error — for CI lanes where the baseline
+artifact is only sometimes present.
 """
 
 from __future__ import annotations
@@ -75,6 +78,12 @@ def main() -> int:
         default=0.10,
         help="allowed fractional slowdown before failing (default 0.10 = 10%%)",
     )
+    ap.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="exit 0 (skip) when either input file does not exist — for CI "
+        "lanes that only sometimes produce a baseline artifact",
+    )
     args = ap.parse_args()
 
     try:
@@ -82,6 +91,12 @@ def main() -> int:
             base = json.load(f)
         with open(args.candidate) as f:
             cand = json.load(f)
+    except FileNotFoundError as exc:
+        if args.allow_missing:
+            print(f"compare_bench: skipped (--allow-missing): {exc}")
+            return 0
+        print(f"compare_bench: cannot load inputs: {exc}", file=sys.stderr)
+        return 2
     except (OSError, json.JSONDecodeError) as exc:
         print(f"compare_bench: cannot load inputs: {exc}", file=sys.stderr)
         return 2

@@ -68,7 +68,7 @@ MakespanBounds makespan_bounds(const graph::Dag& g,
   return bounds_impl(g, topo, p, {});
 }
 
-MakespanBounds makespan_bounds(const scenario::Scenario& sc,
+EXPMK_NOALLOC MakespanBounds makespan_bounds(const scenario::Scenario& sc,
                                exp::Workspace& ws) {
   const exp::Workspace::Frame frame(ws);
   const graph::Dag& g = sc.dag();

@@ -23,6 +23,7 @@
 #include "exp/workspace.hpp"
 #include "graph/dag.hpp"
 #include "scenario/scenario.hpp"
+#include "util/contracts.hpp"
 
 namespace expmk::core {
 
@@ -45,7 +46,7 @@ struct MakespanBounds {
 /// distributions (flat atom arrays mirroring DiscreteDistribution::max_of
 /// operation-for-operation, so the values match the distribution-object
 /// fold bitwise). ZERO heap allocations on a warm workspace.
-[[nodiscard]] MakespanBounds makespan_bounds(const scenario::Scenario& sc,
+EXPMK_NOALLOC [[nodiscard]] MakespanBounds makespan_bounds(const scenario::Scenario& sc,
                                              exp::Workspace& ws);
 
 /// Scenario-based entry point. Both bounds are built from per-task

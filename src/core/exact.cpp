@@ -13,7 +13,7 @@ namespace expmk::core {
 
 namespace {
 
-void check_size(const graph::Dag& g, std::size_t limit) {
+EXPMK_NOALLOC void check_size(const graph::Dag& g, std::size_t limit) {
   if (g.task_count() > limit) {
     throw std::invalid_argument(
         "exact oracle: graph too large for enumeration (" +
@@ -31,7 +31,7 @@ void check_size(const graph::Dag& g, std::size_t limit) {
 // finish[v] is uniquely determined by the graph), so Dag-order and
 // CSR-order callers produce bit-identical expectations.
 
-double two_state_expectation(const graph::Dag& g,
+EXPMK_NOALLOC double two_state_expectation(const graph::Dag& g,
                              std::span<const graph::TaskId> topo,
                              std::span<const double> p,
                              std::span<double> weights,
@@ -80,7 +80,7 @@ prob::DiscreteDistribution two_state_distribution(
   return prob::DiscreteDistribution::from_atoms(std::move(atoms));
 }
 
-double geometric_expectation(const graph::Dag& g,
+EXPMK_NOALLOC double geometric_expectation(const graph::Dag& g,
                              std::span<const graph::TaskId> topo,
                              std::span<const double> p, int max_executions,
                              exp::Workspace& ws) {
@@ -151,7 +151,7 @@ double exact_two_state(const graph::Dag& g, const FailureModel& model) {
   return two_state_expectation(g, topo, p);
 }
 
-double exact_two_state(const scenario::Scenario& sc, exp::Workspace& ws) {
+EXPMK_NOALLOC double exact_two_state(const scenario::Scenario& sc, exp::Workspace& ws) {
   check_size(sc.dag(), kMaxExactTasks);
   const exp::Workspace::Frame frame(ws);
   const std::size_t n = sc.task_count();
@@ -186,7 +186,7 @@ double exact_geometric(const graph::Dag& g, const FailureModel& model,
   return geometric_expectation(g, topo, p, max_executions, ws);
 }
 
-double exact_geometric(const scenario::Scenario& sc, int max_executions,
+EXPMK_NOALLOC double exact_geometric(const scenario::Scenario& sc, int max_executions,
                        exp::Workspace& ws) {
   // The enumeration is per-task throughout (each task's truncated
   // geometric state table is built from its own cached p_i), so

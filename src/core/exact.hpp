@@ -15,6 +15,7 @@
 #include "graph/dag.hpp"
 #include "prob/discrete_distribution.hpp"
 #include "scenario/scenario.hpp"
+#include "util/contracts.hpp"
 
 namespace expmk::core {
 
@@ -31,7 +32,7 @@ inline constexpr std::size_t kMaxExactTasks = 24;
 /// enumeration (previously one vector per call, one more per mask through
 /// the allocating critical_path_length overload) is leased from `ws` —
 /// zero heap allocations on a warm workspace, even for the oracle.
-[[nodiscard]] double exact_two_state(const scenario::Scenario& sc,
+EXPMK_NOALLOC [[nodiscard]] double exact_two_state(const scenario::Scenario& sc,
                                      exp::Workspace& ws);
 
 /// Scenario-based entry point (no per-call preprocessing). The oracle is
@@ -61,7 +62,7 @@ inline constexpr std::size_t kMaxExactTasks = 24;
 /// per-task throughout, so heterogeneous per-task rates are exact too
 /// (validated against a hand-built DiscreteDistribution oracle in
 /// tests/test_flat_spgraph.cpp).
-[[nodiscard]] double exact_geometric(const scenario::Scenario& sc,
+EXPMK_NOALLOC [[nodiscard]] double exact_geometric(const scenario::Scenario& sc,
                                      int max_executions, exp::Workspace& ws);
 
 /// Scenario-based entry point (heterogeneous rates supported).

@@ -30,7 +30,7 @@ FirstOrderResult first_order(const graph::CsrDag& csr,
   return out;
 }
 
-FirstOrderResult first_order(const scenario::Scenario& sc,
+EXPMK_NOALLOC FirstOrderResult first_order(const scenario::Scenario& sc,
                              exp::Workspace& ws) {
   const exp::Workspace::Frame frame(ws);
   const graph::CsrDag& csr = sc.csr();

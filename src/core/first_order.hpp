@@ -26,6 +26,7 @@
 #include "graph/csr.hpp"
 #include "graph/dag.hpp"
 #include "scenario/scenario.hpp"
+#include "util/contracts.hpp"
 
 namespace expmk::core {
 
@@ -54,7 +55,7 @@ struct FirstOrderResult {
 /// heterogeneous per-task rates the correction generalizes term-by-term —
 /// P(task i fails) ~ lambda_i a_i, so
 ///   E(G) ~ d(G) + sum_i lambda_i a_i (d(G_i) - d(G)) + O(max lambda^2).
-[[nodiscard]] FirstOrderResult first_order(const scenario::Scenario& sc,
+EXPMK_NOALLOC [[nodiscard]] FirstOrderResult first_order(const scenario::Scenario& sc,
                                            exp::Workspace& ws);
 
 /// Scenario-based entry point: reuses the compiled CSR view (no per-call

@@ -29,7 +29,7 @@ constexpr std::uint32_t kSecondOrderBlock = 8;
 /// task_count() entries — except `dist`, the blocked sweep's lane matrix,
 /// which needs task_count() * kSecondOrderBlock — and are fully
 /// overwritten.
-SecondOrderResult second_order_impl(
+EXPMK_NOALLOC SecondOrderResult second_order_impl(
     const graph::CsrDag& csr, RetryModel model_kind, double lambda,
     std::span<const double> rates_csr, std::span<double> top,
     std::span<double> bottom, std::span<double> d_single,
@@ -207,7 +207,7 @@ SecondOrderResult second_order(const graph::CsrDag& csr,
                            d_single, dist, {});
 }
 
-SecondOrderResult second_order(const scenario::Scenario& sc,
+EXPMK_NOALLOC SecondOrderResult second_order(const scenario::Scenario& sc,
                                exp::Workspace& ws) {
   const exp::Workspace::Frame frame(ws);
   const graph::CsrDag& csr = sc.csr();

@@ -35,6 +35,7 @@
 #include "graph/csr.hpp"
 #include "graph/dag.hpp"
 #include "scenario/scenario.hpp"
+#include "util/contracts.hpp"
 
 namespace expmk::core {
 
@@ -61,7 +62,7 @@ struct SecondOrderResult {
 /// pair sweep. Under heterogeneous per-task rates the expansion
 /// generalizes with l_i = lambda_i a_i and L = sum l_i (see the Scenario
 /// overload below).
-[[nodiscard]] SecondOrderResult second_order(const scenario::Scenario& sc,
+EXPMK_NOALLOC [[nodiscard]] SecondOrderResult second_order(const scenario::Scenario& sc,
                                              exp::Workspace& ws);
 
 /// Scenario-based entry point: reuses the compiled CSR view and takes the

@@ -49,7 +49,7 @@ CsrDag::CsrDag(const Dag& g) {
 namespace {
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
-void check_scratch(const CsrDag& g, std::span<const double> weights,
+EXPMK_NOALLOC void check_scratch(const CsrDag& g, std::span<const double> weights,
                    std::span<const double> scratch) {
   if (weights.size() != g.task_count() || scratch.size() != g.task_count()) {
     throw std::invalid_argument(
@@ -58,7 +58,7 @@ void check_scratch(const CsrDag& g, std::span<const double> weights,
 }
 }  // namespace
 
-double critical_path_length(const CsrDag& g, std::span<const double> weights,
+EXPMK_NOALLOC double critical_path_length(const CsrDag& g, std::span<const double> weights,
                             std::span<double> finish) {
   check_scratch(g, weights, finish);
   const std::size_t n = g.task_count();
@@ -78,7 +78,7 @@ double critical_path_length(const CsrDag& g, std::span<const double> weights,
   return best;
 }
 
-void longest_from(const CsrDag& g, std::uint32_t source,
+EXPMK_NOALLOC void longest_from(const CsrDag& g, std::uint32_t source,
                   std::span<const double> weights, std::span<double> dist) {
   check_scratch(g, weights, dist);
   const std::size_t n = g.task_count();
@@ -103,7 +103,7 @@ void longest_from(const CsrDag& g, std::uint32_t source,
   }
 }
 
-void longest_from_block(const CsrDag& g, std::uint32_t base,
+EXPMK_NOALLOC void longest_from_block(const CsrDag& g, std::uint32_t base,
                         std::uint32_t nlanes, std::span<const double> weights,
                         std::span<double> dist) {
   const std::size_t n = g.task_count();
@@ -184,7 +184,7 @@ void longest_from_block(const CsrDag& g, std::uint32_t base,
   }
 }
 
-double compute_levels(const CsrDag& g, std::span<const double> weights,
+EXPMK_NOALLOC double compute_levels(const CsrDag& g, std::span<const double> weights,
                       std::span<double> top, std::span<double> bottom) {
   check_scratch(g, weights, top);
   check_scratch(g, weights, bottom);

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "graph/dag.hpp"
+#include "util/contracts.hpp"
 
 namespace expmk::graph {
 
@@ -111,7 +112,7 @@ class CsrDag {
 /// d(G) over the CSR view with caller scratch; zero allocation. `weights`
 /// and `finish` are in position order and must have size task_count();
 /// `finish` is overwritten (finish[v] = longest path ending at v).
-[[nodiscard]] double critical_path_length(const CsrDag& g,
+EXPMK_NOALLOC [[nodiscard]] double critical_path_length(const CsrDag& g,
                                           std::span<const double> weights,
                                           std::span<double> finish);
 
@@ -120,7 +121,7 @@ class CsrDag {
 /// path (inclusive of both endpoint weights) for v >= source, -infinity
 /// where unreachable; entries below `source` are untouched (positions
 /// before `source` are never reachable — the renumbering is topological).
-void longest_from(const CsrDag& g, std::uint32_t source,
+EXPMK_NOALLOC void longest_from(const CsrDag& g, std::uint32_t source,
                   std::span<const double> weights, std::span<double> dist);
 
 /// Blocked longest paths: `nlanes` consecutive sources base, base+1, ...,
@@ -136,7 +137,7 @@ void longest_from(const CsrDag& g, std::uint32_t source,
 /// read -infinity. Requires 1 <= nlanes and base + nlanes <= task_count().
 /// This is the cache-blocked engine under core::second_order's pair
 /// sweep: one edge pass serves nlanes sources instead of one.
-void longest_from_block(const CsrDag& g, std::uint32_t base,
+EXPMK_NOALLOC void longest_from_block(const CsrDag& g, std::uint32_t base,
                         std::uint32_t nlanes, std::span<const double> weights,
                         std::span<double> dist);
 
@@ -144,7 +145,7 @@ void longest_from_block(const CsrDag& g, std::uint32_t base,
 /// into caller scratch, one forward and one backward sweep; returns
 /// d(G) = max_v top[v] + bottom[v]. Zero allocation. Shared by the
 /// first- and second-order estimators.
-double compute_levels(const CsrDag& g, std::span<const double> weights,
+EXPMK_NOALLOC double compute_levels(const CsrDag& g, std::span<const double> weights,
                       std::span<double> top, std::span<double> bottom);
 
 }  // namespace expmk::graph

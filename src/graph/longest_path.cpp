@@ -11,7 +11,7 @@ namespace expmk::graph {
 namespace {
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
-void check_sizes(const Dag& g, std::span<const double> weights,
+EXPMK_NOALLOC void check_sizes(const Dag& g, std::span<const double> weights,
                  std::span<const TaskId> topo) {
   if (weights.size() != g.task_count() || topo.size() != g.task_count()) {
     throw std::invalid_argument(
@@ -20,7 +20,7 @@ void check_sizes(const Dag& g, std::span<const double> weights,
 }
 }  // namespace
 
-double critical_path_length(const Dag& g, std::span<const double> weights,
+EXPMK_NOALLOC double critical_path_length(const Dag& g, std::span<const double> weights,
                             std::span<const TaskId> topo,
                             std::span<double> finish) {
   check_sizes(g, weights, topo);

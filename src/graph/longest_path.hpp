@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "graph/dag.hpp"
+#include "util/contracts.hpp"
 
 namespace expmk::graph {
 
@@ -25,7 +26,7 @@ namespace expmk::graph {
 /// task_count(), overwritten with finish[v] = longest path ending at v.
 /// Hot-path form (see DESIGN.md); the overload above allocates the scratch
 /// per call and delegates here.
-[[nodiscard]] double critical_path_length(const Dag& g,
+EXPMK_NOALLOC [[nodiscard]] double critical_path_length(const Dag& g,
                                           std::span<const double> weights,
                                           std::span<const TaskId> topo,
                                           std::span<double> finish);

@@ -37,7 +37,7 @@ namespace {
 /// = floor(ln U * inv_log_q), capped. Clamp BEFORE the int cast: at extreme
 /// lambda the inversion yields doubles far beyond int range and the cast
 /// would be undefined behaviour.
-inline int geometric_executions_slow(double u, double inv_log_q,
+EXPMK_NOALLOC inline int geometric_executions_slow(double u, double inv_log_q,
                                      int max_executions) {
   const double f = std::floor(std::log(u) * inv_log_q);
   if (!(f < static_cast<double>(max_executions))) {
@@ -57,7 +57,7 @@ inline int geometric_executions_slow(double u, double inv_log_q,
 /// statement from the finish update so the plain and scattering variants
 /// perform bit-identical arithmetic.
 template <bool kWithControl, bool kDagOrderOut = true>
-inline TrialObservation trial_sweep(const TrialContext& ctx,
+EXPMK_NOALLOC inline TrialObservation trial_sweep(const TrialContext& ctx,
                                     prob::McRng& rng,
                                     std::span<double> finish,
                                     double* durations_out) {
@@ -128,7 +128,7 @@ void check_durations(const TrialContext& ctx,
 
 /// Same Release-mode enforcement for the public CSR kernels (one branch
 /// per trial, consistent with the graph:: CSR kernels' check_scratch).
-void check_finish(const TrialContext& ctx, std::span<const double> finish) {
+EXPMK_NOALLOC void check_finish(const TrialContext& ctx, std::span<const double> finish) {
   if (finish.size() != ctx.csr().task_count()) {
     throw std::invalid_argument(
         "run_trial_csr: finish scratch must have size task_count()");
@@ -137,20 +137,20 @@ void check_finish(const TrialContext& ctx, std::span<const double> finish) {
 
 }  // namespace
 
-double run_trial_csr(const TrialContext& ctx, prob::McRng& rng,
+EXPMK_NOALLOC double run_trial_csr(const TrialContext& ctx, prob::McRng& rng,
                      std::span<double> finish) {
   check_finish(ctx, finish);
   return trial_sweep<false>(ctx, rng, finish, nullptr).makespan;
 }
 
-TrialObservation run_trial_with_control_csr(const TrialContext& ctx,
+EXPMK_NOALLOC TrialObservation run_trial_with_control_csr(const TrialContext& ctx,
                                             prob::McRng& rng,
                                             std::span<double> finish) {
   check_finish(ctx, finish);
   return trial_sweep<true>(ctx, rng, finish, nullptr);
 }
 
-double run_trial_scatter_csr(const TrialContext& ctx, prob::McRng& rng,
+EXPMK_NOALLOC double run_trial_scatter_csr(const TrialContext& ctx, prob::McRng& rng,
                              std::span<double> finish,
                              std::span<double> durations) {
   check_finish(ctx, finish);
@@ -161,7 +161,7 @@ double run_trial_scatter_csr(const TrialContext& ctx, prob::McRng& rng,
   return trial_sweep<false>(ctx, rng, finish, durations.data()).makespan;
 }
 
-double run_trial_durations_csr(const TrialContext& ctx,
+EXPMK_NOALLOC double run_trial_durations_csr(const TrialContext& ctx,
                                prob::McRng& rng,
                                std::span<double> finish,
                                std::span<double> durations_pos) {

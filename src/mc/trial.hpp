@@ -35,6 +35,7 @@
 #include "graph/dag.hpp"
 #include "prob/rng.hpp"
 #include "scenario/scenario.hpp"
+#include "util/contracts.hpp"
 
 namespace expmk::mc {
 
@@ -96,7 +97,7 @@ struct TrialContext {
 /// overwritten. Deterministic given `rng` state; bit-identical to the
 /// reference scalar loop (sample durations, then Dag longest path) —
 /// tests/test_csr.cpp enforces this.
-[[nodiscard]] double run_trial_csr(const TrialContext& ctx,
+EXPMK_NOALLOC [[nodiscard]] double run_trial_csr(const TrialContext& ctx,
                                    prob::McRng& rng,
                                    std::span<double> finish);
 
@@ -110,7 +111,7 @@ struct TrialObservation {
 
 /// As run_trial_csr, additionally accumulating the control variate. Draws
 /// the identical RNG stream as run_trial_csr (same makespans).
-[[nodiscard]] TrialObservation run_trial_with_control_csr(
+EXPMK_NOALLOC [[nodiscard]] TrialObservation run_trial_with_control_csr(
     const TrialContext& ctx, prob::McRng& rng,
     std::span<double> finish);
 
@@ -119,7 +120,7 @@ struct TrialObservation {
 /// run_trial below, for workspace-based consumers (core::criticality,
 /// sched::fault_sim) that lease BOTH buffers instead of owning a vector.
 /// Both spans must have size task_count(); bit-identical to run_trial.
-double run_trial_scatter_csr(const TrialContext& ctx, prob::McRng& rng,
+EXPMK_NOALLOC double run_trial_scatter_csr(const TrialContext& ctx, prob::McRng& rng,
                              std::span<double> finish,
                              std::span<double> durations);
 
@@ -128,7 +129,7 @@ double run_trial_scatter_csr(const TrialContext& ctx, prob::McRng& rng,
 /// v) — the layout the CSR level/longest-path kernels consume directly,
 /// saving consumers like core::criticality a per-trial permutation.
 /// Identical RNG stream and makespans.
-double run_trial_durations_csr(const TrialContext& ctx,
+EXPMK_NOALLOC double run_trial_durations_csr(const TrialContext& ctx,
                                prob::McRng& rng,
                                std::span<double> finish,
                                std::span<double> durations_pos);

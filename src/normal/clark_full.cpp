@@ -11,7 +11,7 @@ namespace expmk::normal {
 
 namespace {
 
-double safe_rho(double cov, double var_x, double var_y) {
+EXPMK_NOALLOC double safe_rho(double cov, double var_x, double var_y) {
   const double denom = std::sqrt(var_x) * std::sqrt(var_y);
   if (denom <= 0.0) return 0.0;
   return cov / denom;
@@ -26,7 +26,7 @@ double safe_rho(double cov, double var_x, double var_y) {
 /// loop the compiler vectorizes. Rows are cache-resident up to the dense
 /// limit (kClarkFullMaxTasks doubles), so the row itself is the cache
 /// block.
-void linkage_row(std::span<double> row, const double* cov_row,
+EXPMK_NOALLOC void linkage_row(std::span<double> row, const double* cov_row,
                  const prob::ClarkMax& fold) {
   const double wx = fold.weight_x;
   const double wy = fold.weight_y;
@@ -40,7 +40,7 @@ void linkage_row(std::span<double> row, const double* cov_row,
 /// Shared traversal over per-task success probabilities (the fold is pure
 /// dataflow over ancestors, so the topological order does not perturb the
 /// values).
-NormalEstimate clark_full_impl(const graph::Dag& g,
+EXPMK_NOALLOC NormalEstimate clark_full_impl(const graph::Dag& g,
                                std::span<const graph::TaskId> topo,
                                std::span<const double> p,
                                core::RetryModel kind,
@@ -132,7 +132,7 @@ NormalEstimate clark_full(const graph::Dag& g, const core::FailureModel& model,
   return clark_full(g, model, kind, topo);
 }
 
-NormalEstimate clark_full(const scenario::Scenario& sc, exp::Workspace& ws) {
+EXPMK_NOALLOC NormalEstimate clark_full(const scenario::Scenario& sc, exp::Workspace& ws) {
   const std::size_t n = sc.task_count();
   if (n > kClarkFullMaxTasks) {
     // Same guard as the impl, but BEFORE the O(V^2) lease would grow the

@@ -20,6 +20,7 @@
 #include <span>
 
 #include "normal/sculli.hpp"
+#include "util/contracts.hpp"
 
 namespace expmk::normal {
 
@@ -42,7 +43,7 @@ inline constexpr std::size_t kClarkFullMaxTasks = 8192;
 /// and the completion moments are leased from `ws` (the matrix is the
 /// single largest per-call allocation in the library): ZERO heap
 /// allocations on a warm workspace.
-[[nodiscard]] NormalEstimate clark_full(const scenario::Scenario& sc,
+EXPMK_NOALLOC [[nodiscard]] NormalEstimate clark_full(const scenario::Scenario& sc,
                                         exp::Workspace& ws);
 
 /// Scenario-based entry point: cached order and success probabilities,

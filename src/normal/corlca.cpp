@@ -58,7 +58,7 @@ namespace {
 /// chasing with no elementwise loop to block or vectorize, and its O(V)
 /// tree state is already cache-resident. It deliberately stays scalar
 /// while clark_full and second_order got blocked/vectorized sweeps.
-NormalEstimate corlca_impl(const graph::Dag& g,
+EXPMK_NOALLOC NormalEstimate corlca_impl(const graph::Dag& g,
                            std::span<const graph::TaskId> topo,
                            std::span<const double> p, core::RetryModel kind,
                            std::span<prob::NormalMoments> completion,
@@ -140,7 +140,7 @@ NormalEstimate corlca(const graph::Dag& g, const core::FailureModel& model,
   return corlca(g, model, kind, topo);
 }
 
-NormalEstimate corlca(const scenario::Scenario& sc, exp::Workspace& ws) {
+EXPMK_NOALLOC NormalEstimate corlca(const scenario::Scenario& sc, exp::Workspace& ws) {
   const exp::Workspace::Frame frame(ws);
   const std::size_t n = sc.task_count();
   return corlca_impl(sc.dag(), sc.topo(), sc.p_success(), sc.retry(),

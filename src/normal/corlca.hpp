@@ -19,6 +19,7 @@
 #include <span>
 
 #include "normal/sculli.hpp"
+#include "util/contracts.hpp"
 
 namespace expmk::normal {
 
@@ -36,7 +37,7 @@ namespace expmk::normal {
 /// Workspace kernel — the correlation tree (parent/depth/variance) and
 /// the completion-moment array are leased from `ws`: ZERO heap
 /// allocations on a warm workspace.
-[[nodiscard]] NormalEstimate corlca(const scenario::Scenario& sc,
+EXPMK_NOALLOC [[nodiscard]] NormalEstimate corlca(const scenario::Scenario& sc,
                                     exp::Workspace& ws);
 
 /// Scenario-based entry point: cached order and success probabilities,

@@ -7,7 +7,7 @@
 
 namespace expmk::normal {
 
-prob::NormalMoments duration_moments_p(double a, double p,
+EXPMK_NOALLOC prob::NormalMoments duration_moments_p(double a, double p,
                                        core::RetryModel kind) {
   if (a < 0.0) throw std::invalid_argument("duration_moments: a >= 0");
   if (a == 0.0) return {0.0, 0.0};
@@ -36,7 +36,7 @@ namespace {
 /// yields identical values — and so does any source of the `completion`
 /// buffer (fresh vector or workspace lease; every entry is written before
 /// it is read).
-NormalEstimate sculli_impl(const graph::Dag& g,
+EXPMK_NOALLOC NormalEstimate sculli_impl(const graph::Dag& g,
                            std::span<const graph::TaskId> topo,
                            std::span<const double> p, core::RetryModel kind,
                            std::span<prob::NormalMoments> completion,
@@ -88,7 +88,7 @@ NormalEstimate sculli(const graph::Dag& g, const core::FailureModel& model,
   return sculli(g, model, kind, topo);
 }
 
-NormalEstimate sculli(const scenario::Scenario& sc, exp::Workspace& ws) {
+EXPMK_NOALLOC NormalEstimate sculli(const scenario::Scenario& sc, exp::Workspace& ws) {
   const exp::Workspace::Frame frame(ws);
   return sculli_impl(sc.dag(), sc.topo(), sc.p_success(), sc.retry(),
                      ws.moments(sc.task_count()), sc.exits());

@@ -21,6 +21,7 @@
 #include "graph/dag.hpp"
 #include "prob/normal.hpp"
 #include "scenario/scenario.hpp"
+#include "util/contracts.hpp"
 
 namespace expmk::normal {
 
@@ -34,7 +35,7 @@ namespace expmk::normal {
 /// Same moments from the task's own success probability p = e^{-lambda_i
 /// a} — the per-task form every Scenario-based Normal estimator uses
 /// (heterogeneous rates differ only in where p comes from).
-[[nodiscard]] prob::NormalMoments duration_moments_p(double a, double p,
+EXPMK_NOALLOC [[nodiscard]] prob::NormalMoments duration_moments_p(double a, double p,
                                                      core::RetryModel kind);
 
 /// Result of a normal-approximation traversal.
@@ -57,7 +58,7 @@ struct NormalEstimate {
 /// Workspace kernel — the completion-moment array (the method's only
 /// O(V) scratch) is leased from `ws`, and the exit fold reads the
 /// scenario's cached exits(): ZERO heap allocations on a warm workspace.
-[[nodiscard]] NormalEstimate sculli(const scenario::Scenario& sc,
+EXPMK_NOALLOC [[nodiscard]] NormalEstimate sculli(const scenario::Scenario& sc,
                                     exp::Workspace& ws);
 
 /// Scenario-based entry point: cached order and success probabilities,

@@ -58,17 +58,19 @@ namespace simd = ::expmk::util::simd;
 thread_local std::vector<Atom> tl_atom_arena;
 thread_local std::vector<double> tl_plane_arena;
 
-Atom* atom_arena(std::size_t atoms) {
+EXPMK_NOALLOC Atom* atom_arena(std::size_t atoms) {
+  // NOLINTNEXTLINE(expmk-no-alloc-kernel): thread-local high-water arena — grows to the peak once, steady state reuses it (pinned by test_workspace.cpp)
   if (tl_atom_arena.size() < atoms) tl_atom_arena.resize(atoms);
   return tl_atom_arena.data();
 }
 
-double* plane_arena(std::size_t doubles) {
+EXPMK_NOALLOC double* plane_arena(std::size_t doubles) {
+  // NOLINTNEXTLINE(expmk-no-alloc-kernel): thread-local high-water arena — grows to the peak once, steady state reuses it (pinned by test_workspace.cpp)
   if (tl_plane_arena.size() < doubles) tl_plane_arena.resize(doubles);
   return tl_plane_arena.data();
 }
 
-bool use_avx2() { return simd::active() == simd::Backend::Avx2; }
+EXPMK_NOALLOC bool use_avx2() { return simd::active() == simd::Backend::Avx2; }
 
 // ---------------------------------------------------------------------------
 // Outer product: one run per SMALL-side atom, each run streaming the
@@ -78,7 +80,7 @@ bool use_avx2() { return simd::active() == simd::Backend::Avx2; }
 // construction (the big side is canonical, adding a constant is
 // monotone).
 
-void outer_product_scalar(std::span<const Atom> small,
+EXPMK_NOALLOC void outer_product_scalar(std::span<const Atom> small,
                           std::span<const Atom> big, Atom* out) {
   std::size_t k = 0;
   for (const Atom& as : small) {
@@ -139,7 +141,7 @@ struct Lane {
   Atom* d;
 };
 
-inline void load_lane(Lane& ln, const MergeJob& j) {
+EXPMK_NOALLOC inline void load_lane(Lane& ln, const MergeJob& j) {
   ln = {j.a, j.a + j.na, j.b, j.b + j.nb, j.d};
 }
 
@@ -152,7 +154,7 @@ inline void load_lane(Lane& ln, const MergeJob& j) {
 // which also treats a NaN as take-B exactly like the portable `<=`);
 // elsewhere the portable expression computes the identical mask — the
 // fallback differs in speed only, never in bits.
-inline void step_one(const Atom*& a, const Atom*& b, Atom*& d) {
+EXPMK_NOALLOC inline void step_one(const Atom*& a, const Atom*& b, Atom*& d) {
   const std::uintptr_t ua = reinterpret_cast<std::uintptr_t>(a);
   const std::uintptr_t ub = reinterpret_cast<std::uintptr_t>(b);
   std::uintptr_t take_b;  // all-ones iff b->value < a->value (stable: A
@@ -172,7 +174,7 @@ inline void step_one(const Atom*& a, const Atom*& b, Atom*& d) {
   a = reinterpret_cast<const Atom*>(ua + (sizeof(Atom) ^ bump_b));
 }
 
-void copy_tail(Lane& ln) {
+EXPMK_NOALLOC void copy_tail(Lane& ln) {
   const std::size_t ra = static_cast<std::size_t>(ln.ae - ln.a);
   if (ra > 0) {
     std::memcpy(ln.d, ln.a, ra * sizeof(Atom));
@@ -187,7 +189,7 @@ void copy_tail(Lane& ln) {
   }
 }
 
-void finish_merge(Lane& ln) {
+EXPMK_NOALLOC void finish_merge(Lane& ln) {
   while (ln.a < ln.ae && ln.b < ln.be) step_one(ln.a, ln.b, ln.d);
   copy_tail(ln);
 }
@@ -197,7 +199,7 @@ void finish_merge(Lane& ln) {
 // both sides). Lane state is hoisted into local arrays whose indices are
 // all unrolled constants, so scalar replacement keeps the live pointers
 // in registers across the loop.
-void run_batch(Lane* lanes, std::size_t steps) {
+EXPMK_NOALLOC void run_batch(Lane* lanes, std::size_t steps) {
   constexpr int K = kMergeLanes;
   const Atom* a[K];
   const Atom* b[K];
@@ -224,7 +226,7 @@ void run_batch(Lane* lanes, std::size_t steps) {
 // B[ib-1].value < A[ia].value (A would otherwise have been taken first);
 // the predicate is monotone in ia, so binary search. Bounds keep every
 // probe in range: ia < hi <= na and 1 <= ib = q - ia <= nb.
-std::pair<std::size_t, std::size_t> merge_path_split(const Atom* a,
+EXPMK_NOALLOC std::pair<std::size_t, std::size_t> merge_path_split(const Atom* a,
                                                      std::size_t na,
                                                      const Atom* b,
                                                      std::size_t nb,
@@ -245,7 +247,7 @@ std::pair<std::size_t, std::size_t> merge_path_split(const Atom* a,
 
 // Splits one pair merge into nseg independent, contiguously-destined
 // segment merges. Segments with an empty side degenerate to copies.
-void split_job(const MergeJob& j, std::size_t nseg,
+EXPMK_NOALLOC void split_job(const MergeJob& j, std::size_t nseg,
                std::vector<MergeJob>& out) {
   const std::size_t total = j.na + j.nb;
   std::size_t q0 = 0, ia0 = 0, ib0 = 0;
@@ -262,6 +264,7 @@ void split_job(const MergeJob& j, std::size_t nseg,
       const Atom* src = na == 0 ? j.b + ib0 : j.a + ia0;
       if (na + nb > 0) std::memcpy(d, src, (na + nb) * sizeof(Atom));
     } else {
+      // NOLINTNEXTLINE(expmk-no-alloc-kernel): thread-local job list keeps its high-water capacity across clear(); steady state does not grow
       out.push_back({j.a + ia0, na, j.b + ib0, nb, d});
     }
     q0 = q1;
@@ -275,7 +278,7 @@ void split_job(const MergeJob& j, std::size_t nseg,
 // has no bounds checks at all; exhausted lanes copy their tail and refill
 // from the job list, and once jobs run out the stragglers drain one by
 // one. Tiny job lists skip the interleave (nothing to overlap with).
-void merge_jobs_interleaved(const MergeJob* jobs, std::size_t njobs) {
+EXPMK_NOALLOC void merge_jobs_interleaved(const MergeJob* jobs, std::size_t njobs) {
   constexpr int K = kMergeLanes;
   if (njobs < 2) {
     for (std::size_t j = 0; j < njobs; ++j) {
@@ -326,7 +329,7 @@ void merge_jobs_interleaved(const MergeJob* jobs, std::size_t njobs) {
 // One bottom-up pass: pair up runs of run_len, memcpy the lone tail run,
 // and feed the pairs — merge-path-segmented when there are fewer pairs
 // than lanes — to the interleaved engine.
-void merge_pass(const Atom* src, Atom* dst, std::size_t n,
+EXPMK_NOALLOC void merge_pass(const Atom* src, Atom* dst, std::size_t n,
                 std::size_t run_len) {
   auto& jobs = tl_merge_jobs;
   jobs.clear();
@@ -336,6 +339,7 @@ void merge_pass(const Atom* src, Atom* dst, std::size_t n,
     if (mid >= end) {
       std::memcpy(dst + pos, src + pos, (end - pos) * sizeof(Atom));
     } else {
+      // NOLINTNEXTLINE(expmk-no-alloc-kernel): thread-local job list keeps its high-water capacity across clear(); steady state does not grow
       jobs.push_back({src + pos, mid - pos, src + mid, end - mid, dst + pos});
     }
   }
@@ -355,7 +359,7 @@ void merge_pass(const Atom* src, Atom* dst, std::size_t n,
 
 // Bottom-up merge of sorted runs, ping-ponging between buf and alt.
 // Returns the buffer holding the fully sorted result (either input).
-Atom* merge_runs(Atom* buf, Atom* alt, std::size_t n, std::size_t run_len) {
+EXPMK_NOALLOC Atom* merge_runs(Atom* buf, Atom* alt, std::size_t n, std::size_t run_len) {
   while (run_len < n) {
     merge_pass(buf, alt, n, run_len);
     std::swap(buf, alt);
@@ -371,7 +375,7 @@ Atom* merge_runs(Atom* buf, Atom* alt, std::size_t n, std::size_t run_len) {
 // adjacent values into the first atom's value. Sequential spec order on
 // both backends (the accumulation into o[w-1] is a reduction). o may
 // equal a (w <= t always) or be a distinct non-overlapping buffer.
-std::size_t eps_merge_atoms(const Atom* a, std::size_t n, Atom* o) {
+EXPMK_NOALLOC std::size_t eps_merge_atoms(const Atom* a, std::size_t n, Atom* o) {
   std::size_t w = 0;
   for (std::size_t t = 0; t < n; ++t) {
     if (a[t].prob <= 0.0) continue;
@@ -395,7 +399,7 @@ std::size_t eps_merge_atoms(const Atom* a, std::size_t n, Atom* o) {
 // instead of the sequential spec sum's 1 add per 4-cycle latency.
 // (One-time ulp-level golden re-baseline, same event as the stable-merge
 // tie order — see the file comment.)
-double atom_prob_sum(const Atom* a, std::size_t n) {
+EXPMK_NOALLOC double atom_prob_sum(const Atom* a, std::size_t n) {
   double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
   std::size_t i = 0;
   for (; i + 4 <= n; i += 4) {
@@ -421,7 +425,7 @@ double atom_prob_sum(const Atom* a, std::size_t n) {
 // (p + 0.0) * sp are bit-identical to the scalar v + sv and p * sp
 // (multiplying by 1.0 is an exact identity, and adding 0.0 is exact for
 // the strictly positive probs of a canonical list).
-__attribute__((target("avx2"))) void outer_product_avx2(
+EXPMK_NOALLOC __attribute__((target("avx2"))) void outer_product_avx2(
     std::span<const Atom> small, std::span<const Atom> big, Atom* out) {
   static_assert(sizeof(Atom) == 2 * sizeof(double));
   const double* src = reinterpret_cast<const double*>(big.data());
@@ -447,7 +451,7 @@ __attribute__((target("avx2"))) void outer_product_avx2(
 // The renormalize multiply on interleaved pairs: value * 1.0 is an exact
 // identity, prob * r matches the scalar loop per lane (both backends
 // multiply by the same shared reciprocal — see finish_atoms).
-__attribute__((target("avx2"))) void scale_probs_avx2(Atom* atoms,
+EXPMK_NOALLOC __attribute__((target("avx2"))) void scale_probs_avx2(Atom* atoms,
                                                       std::size_t n, double r) {
   static_assert(sizeof(Atom) == 2 * sizeof(double));
   double* d = reinterpret_cast<double*>(atoms);
@@ -470,7 +474,7 @@ __attribute__((target("avx2"))) void scale_probs_avx2(Atom* atoms,
 // spec code for one element. Bit-identity across backends is therefore
 // structural, not numerical luck. In-place (o == a) stays safe: a block's
 // loads complete before its stores, and w <= t always.
-__attribute__((target("avx2"))) std::size_t eps_merge_atoms_avx2(
+EXPMK_NOALLOC __attribute__((target("avx2"))) std::size_t eps_merge_atoms_avx2(
     const Atom* a, std::size_t n, Atom* o) {
   static_assert(sizeof(Atom) == 2 * sizeof(double));
   const __m256d eps = _mm256_set1_pd(kValueMergeEps);
@@ -530,7 +534,7 @@ __attribute__((target("avx2"))) std::size_t eps_merge_atoms_avx2(
   return w;
 }
 
-__attribute__((target("avx2"))) void cdf_product_diff_avx2(
+EXPMK_NOALLOC __attribute__((target("avx2"))) void cdf_product_diff_avx2(
     const double* fx, const double* fy, std::size_t n, double* f, double* d) {
   std::size_t i = 0;
   for (; i + 4 <= n; i += 4) {
@@ -550,7 +554,7 @@ __attribute__((target("avx2"))) void cdf_product_diff_avx2(
 
 #endif  // EXPMK_X86_SIMD
 
-void cdf_product_diff_scalar(const double* fx, const double* fy, std::size_t n,
+EXPMK_NOALLOC void cdf_product_diff_scalar(const double* fx, const double* fy, std::size_t n,
                              double* f, double* d) {
   for (std::size_t i = 0; i < n; ++i) f[i] = fx[i] * fy[i];
   if (n == 0) return;
@@ -567,7 +571,7 @@ void cdf_product_diff_scalar(const double* fx, const double* fy, std::size_t n,
 // win: one divide total instead of n); the difference is at most 1 ulp
 // per probability and is part of the same one-time golden re-baseline as
 // the stable-merge tie order.
-std::size_t finish_atoms(Atom* a, std::size_t n, bool avx2) {
+EXPMK_NOALLOC std::size_t finish_atoms(Atom* a, std::size_t n, bool avx2) {
   const double total = atom_prob_sum(a, n);
   if (n == 0 || total <= 0.0) {
     throw std::invalid_argument("from_atoms: no positive probability mass");
@@ -587,7 +591,7 @@ std::size_t finish_atoms(Atom* a, std::size_t n, bool avx2) {
 
 // Dispatched consolidate tail: identical output either way (the AVX2
 // variant only fast-paths blocks the scalar spec would pass through).
-std::size_t eps_merge_dispatch(const Atom* a, std::size_t n, Atom* o,
+EXPMK_NOALLOC std::size_t eps_merge_dispatch(const Atom* a, std::size_t n, Atom* o,
                                bool avx2) {
 #if EXPMK_X86_SIMD
   if (avx2) return eps_merge_atoms_avx2(a, n, o);
@@ -599,7 +603,7 @@ std::size_t eps_merge_dispatch(const Atom* a, std::size_t n, Atom* o,
 
 }  // namespace
 
-std::size_t consolidate(std::span<Atom> atoms) {
+EXPMK_NOALLOC std::size_t consolidate(std::span<Atom> atoms) {
   // erase_if(prob <= 0), order-preserving.
   std::size_t n = 0;
   for (const Atom& at : atoms) {
@@ -624,7 +628,7 @@ std::size_t consolidate(std::span<Atom> atoms) {
   return w;
 }
 
-void normalize(std::span<Atom> atoms) {
+EXPMK_NOALLOC void normalize(std::span<Atom> atoms) {
   double total = 0.0;
   for (const Atom& at : atoms) total += at.prob;
   if (atoms.empty() || total <= 0.0) {
@@ -633,7 +637,7 @@ void normalize(std::span<Atom> atoms) {
   for (Atom& at : atoms) at.prob /= total;
 }
 
-std::size_t canonicalize(std::span<Atom> atoms) {
+EXPMK_NOALLOC std::size_t canonicalize(std::span<Atom> atoms) {
   const std::size_t n = consolidate(atoms);
   normalize(atoms.subspan(0, n));
   return n;
@@ -644,7 +648,7 @@ std::size_t canonicalize(std::span<Atom> atoms) {
 // chains instead of one 4-cycle-latency serial sum. Shared by the object
 // path (DiscreteDistribution::mean is a thin wrapper), so object and
 // flat means stay bit-identical by construction.
-double mean(std::span<const Atom> atoms) noexcept {
+EXPMK_NOALLOC double mean(std::span<const Atom> atoms) noexcept {
   const Atom* a = atoms.data();
   const std::size_t n = atoms.size();
   double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
@@ -660,7 +664,7 @@ double mean(std::span<const Atom> atoms) noexcept {
   return m;
 }
 
-double quantile(std::span<const Atom> atoms, double q) {
+EXPMK_NOALLOC double quantile(std::span<const Atom> atoms, double q) {
   if (q <= 0.0 || q > 1.0) {
     throw std::invalid_argument("quantile: q must be in (0,1]");
   }
@@ -672,12 +676,12 @@ double quantile(std::span<const Atom> atoms, double q) {
   return atoms.back().value;
 }
 
-std::size_t point(double value, std::span<Atom> out) {
+EXPMK_NOALLOC std::size_t point(double value, std::span<Atom> out) {
   out[0] = {value, 1.0};
   return 1;
 }
 
-std::size_t two_state(double a, double p_success, std::span<Atom> out) {
+EXPMK_NOALLOC std::size_t two_state(double a, double p_success, std::span<Atom> out) {
   if (p_success >= 1.0) return point(a, out);
   if (p_success <= 0.0) return point(2.0 * a, out);
   out[0] = {a, p_success};
@@ -685,11 +689,11 @@ std::size_t two_state(double a, double p_success, std::span<Atom> out) {
   return 2;
 }
 
-void shift(std::span<Atom> atoms, double c) noexcept {
+EXPMK_NOALLOC void shift(std::span<Atom> atoms, double c) noexcept {
   for (Atom& at : atoms) at.value += c;
 }
 
-std::size_t convolve(std::span<const Atom> x, std::span<const Atom> y,
+EXPMK_NOALLOC std::size_t convolve(std::span<const Atom> x, std::span<const Atom> y,
                      std::span<Atom> out) {
   const std::size_t n = x.size() * y.size();
   if (n == 0) return canonicalize(out.subspan(0, 0));  // from_atoms' throw
@@ -727,7 +731,7 @@ std::size_t convolve(std::span<const Atom> x, std::span<const Atom> y,
   return finish_atoms(out.data(), w, avx2);
 }
 
-std::size_t max_of(std::span<const Atom> x, std::span<const Atom> y,
+EXPMK_NOALLOC std::size_t max_of(std::span<const Atom> x, std::span<const Atom> y,
                    std::span<Atom> out, std::span<double> support_scratch) {
   // Support union. Both inputs are canonical (strictly ascending), so a
   // two-way merge with an exact-equality skip reproduces the object
@@ -793,7 +797,7 @@ std::size_t max_of(std::span<const Atom> x, std::span<const Atom> y,
   return finish_atoms(out.data(), w, avx2);
 }
 
-std::size_t mixture(std::span<const Atom> x, double w,
+EXPMK_NOALLOC std::size_t mixture(std::span<const Atom> x, double w,
                     std::span<const Atom> y, std::span<Atom> out) {
   if (w < 0.0 || w > 1.0) {
     throw std::invalid_argument("mixture: weight must be in [0,1]");
@@ -804,7 +808,7 @@ std::size_t mixture(std::span<const Atom> x, double w,
   return canonicalize(out.subspan(0, k));
 }
 
-std::size_t truncate(std::span<Atom> atoms, std::size_t max_atoms,
+EXPMK_NOALLOC std::size_t truncate(std::span<Atom> atoms, std::size_t max_atoms,
                      TruncationCert& cert, std::span<double> gap_scratch,
                      std::span<Atom> atom_scratch) {
   std::size_t n = atoms.size();

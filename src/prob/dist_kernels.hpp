@@ -64,6 +64,7 @@
 #include <span>
 
 #include "prob/atom.hpp"
+#include "util/contracts.hpp"
 
 namespace expmk::prob::dist_kernels {
 
@@ -87,37 +88,37 @@ struct TruncationCert {
 /// non-positive masses (order-preserving), sorts ascending by value, and
 /// merges atoms within the kValueMergeEps relative window into the first
 /// atom's value. In place; returns the new count.
-std::size_t consolidate(std::span<Atom> atoms);
+EXPMK_NOALLOC std::size_t consolidate(std::span<Atom> atoms);
 
 /// Mirrors from_atoms' renormalization: divides every probability by the
 /// total. Throws std::invalid_argument when the span is empty or the
 /// total mass is not positive (from_atoms' exact failure condition).
-void normalize(std::span<Atom> atoms);
+EXPMK_NOALLOC void normalize(std::span<Atom> atoms);
 
 /// The from_atoms pipeline on a span: consolidate then normalize the
 /// surviving prefix. In place; returns the canonical count.
-std::size_t canonicalize(std::span<Atom> atoms);
+EXPMK_NOALLOC std::size_t canonicalize(std::span<Atom> atoms);
 
 /// E[X] of a canonical atom list (ascending accumulation, the exact loop
 /// DiscreteDistribution::mean runs).
-[[nodiscard]] double mean(std::span<const Atom> atoms) noexcept;
+EXPMK_NOALLOC [[nodiscard]] double mean(std::span<const Atom> atoms) noexcept;
 
 /// Smallest support value v with P(X <= v) >= q, q in (0,1] — mirrors
 /// DiscreteDistribution::quantile (including its 1e-15 slack).
-[[nodiscard]] double quantile(std::span<const Atom> atoms, double q);
+EXPMK_NOALLOC [[nodiscard]] double quantile(std::span<const Atom> atoms, double q);
 
 /// Point mass at `value`; writes 1 atom.
-std::size_t point(double value, std::span<Atom> out);
+EXPMK_NOALLOC std::size_t point(double value, std::span<Atom> out);
 
 /// The paper's 2-state task law: a w.p. p_success, else 2a — with the
 /// same boundary degeneracies as DiscreteDistribution::two_state
 /// (p >= 1 or p <= 0 collapse to a point mass). Writes <= 2 atoms;
 /// returns the count. Requires a > 0 and p in [0, 1] (unchecked: callers
 /// feed Scenario-validated inputs).
-std::size_t two_state(double a, double p_success, std::span<Atom> out);
+EXPMK_NOALLOC std::size_t two_state(double a, double p_success, std::span<Atom> out);
 
 /// X + c in place.
-void shift(std::span<Atom> atoms, double c) noexcept;
+EXPMK_NOALLOC void shift(std::span<Atom> atoms, double c) noexcept;
 
 /// X + Y for independent canonical X, Y: cross product laid out as one
 /// pre-sorted run per atom of the smaller input, then the canonical
@@ -126,7 +127,7 @@ void shift(std::span<Atom> atoms, double c) noexcept;
 /// combine in the stable merge order (see the file comment); dispatched
 /// scalar/AVX2, bit-identical across backends. `out` must hold
 /// x.size() * y.size() atoms and not overlap the inputs.
-std::size_t convolve(std::span<const Atom> x, std::span<const Atom> y,
+EXPMK_NOALLOC std::size_t convolve(std::span<const Atom> x, std::span<const Atom> y,
                      std::span<Atom> out);
 
 /// max(X, Y) for independent canonical X, Y via support union and
@@ -135,13 +136,13 @@ std::size_t convolve(std::span<const Atom> x, std::span<const Atom> y,
 /// scalar/AVX2, bit-identical across backends. `out` must hold
 /// x.size() + y.size() atoms; `support_scratch` the same; neither may
 /// overlap the inputs.
-std::size_t max_of(std::span<const Atom> x, std::span<const Atom> y,
+EXPMK_NOALLOC std::size_t max_of(std::span<const Atom> x, std::span<const Atom> y,
                    std::span<Atom> out, std::span<double> support_scratch);
 
 /// Mixture: with probability w take X, else Y; mirrors
 /// DiscreteDistribution::mixture (throws on w outside [0,1]). `out` must
 /// hold x.size() + y.size() atoms.
-std::size_t mixture(std::span<const Atom> x, double w,
+EXPMK_NOALLOC std::size_t mixture(std::span<const Atom> x, double w,
                     std::span<const Atom> y, std::span<Atom> out);
 
 /// Reduces a canonical list of n = atoms.size() atoms to at most
@@ -151,7 +152,7 @@ std::size_t mixture(std::span<const Atom> x, double w,
 /// envelope into `cert`. In place; returns the new count. No-op (and no
 /// cert event) when max_atoms == 0 or n <= max_atoms. Scratch:
 /// `gap_scratch` >= 2*(n-1) doubles, `atom_scratch` >= n atoms.
-std::size_t truncate(std::span<Atom> atoms, std::size_t max_atoms,
+EXPMK_NOALLOC std::size_t truncate(std::span<Atom> atoms, std::size_t max_atoms,
                      TruncationCert& cert, std::span<double> gap_scratch,
                      std::span<Atom> atom_scratch);
 

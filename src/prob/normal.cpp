@@ -7,11 +7,11 @@
 
 namespace expmk::prob {
 
-NormalMoments sum_independent(NormalMoments x, NormalMoments y) noexcept {
+EXPMK_NOALLOC NormalMoments sum_independent(NormalMoments x, NormalMoments y) noexcept {
   return {x.mean + y.mean, x.var + y.var};
 }
 
-ClarkMax clark_max(NormalMoments x, NormalMoments y, double rho) noexcept {
+EXPMK_NOALLOC ClarkMax clark_max(NormalMoments x, NormalMoments y, double rho) noexcept {
   rho = std::clamp(rho, -1.0, 1.0);
   const double sx = std::sqrt(std::max(0.0, x.var));
   const double sy = std::sqrt(std::max(0.0, y.var));

@@ -8,6 +8,8 @@
 
 #pragma once
 
+#include "util/contracts.hpp"
+
 namespace expmk::prob {
 
 /// First two moments of a (approximately) normal random variable.
@@ -17,7 +19,7 @@ struct NormalMoments {
 };
 
 /// Moments of X + Y for independent X, Y (exact for any distributions).
-[[nodiscard]] NormalMoments sum_independent(NormalMoments x,
+EXPMK_NOALLOC [[nodiscard]] NormalMoments sum_independent(NormalMoments x,
                                             NormalMoments y) noexcept;
 
 /// Result of Clark's max: moments of M = max(X, Y) plus the two weights
@@ -32,7 +34,7 @@ struct ClarkMax {
 /// jointly normal with correlation rho. Exact under the normality
 /// assumption. Handles the degenerate case var(X)+var(Y)-2*rho*sx*sy ~ 0
 /// (then max is X or Y a.s. depending on means).
-[[nodiscard]] ClarkMax clark_max(NormalMoments x, NormalMoments y,
+EXPMK_NOALLOC [[nodiscard]] ClarkMax clark_max(NormalMoments x, NormalMoments y,
                                  double rho) noexcept;
 
 /// Clark's linkage: Cov(max(X,Y), Z) = Cov(X,Z)*Phi(beta) +

@@ -55,12 +55,12 @@ double RunningStats::ci_half_width(double confidence) const {
   return z * standard_error();
 }
 
-double normal_pdf(double x) noexcept {
+EXPMK_NOALLOC double normal_pdf(double x) noexcept {
   static constexpr double inv_sqrt_2pi = 0.39894228040143267794;
   return inv_sqrt_2pi * std::exp(-0.5 * x * x);
 }
 
-double normal_cdf(double x) noexcept {
+EXPMK_NOALLOC double normal_cdf(double x) noexcept {
   return 0.5 * std::erfc(-x / std::sqrt(2.0));
 }
 

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include "util/contracts.hpp"
 
 namespace expmk::prob {
 
@@ -52,9 +53,9 @@ class RunningStats {
 [[nodiscard]] double inverse_normal_cdf(double p);
 
 /// Standard normal PDF.
-[[nodiscard]] double normal_pdf(double x) noexcept;
+EXPMK_NOALLOC [[nodiscard]] double normal_pdf(double x) noexcept;
 
 /// Standard normal CDF via erfc (double precision accurate).
-[[nodiscard]] double normal_cdf(double x) noexcept;
+EXPMK_NOALLOC [[nodiscard]] double normal_cdf(double x) noexcept;
 
 }  // namespace expmk::prob

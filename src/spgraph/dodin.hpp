@@ -40,6 +40,7 @@
 #include "prob/dist_kernels.hpp"
 #include "scenario/scenario.hpp"
 #include "spgraph/arc_network.hpp"
+#include "util/contracts.hpp"
 
 namespace expmk::sp {
 
@@ -113,7 +114,7 @@ struct DodinFlatResult {
 /// tests/test_flat_spgraph.cpp. When `capture` is non-null the final
 /// makespan law is materialized into it (allocates). The scenario's retry
 /// model must be TwoState.
-[[nodiscard]] DodinFlatResult dodin_two_state_flat(
+EXPMK_NOALLOC [[nodiscard]] DodinFlatResult dodin_two_state_flat(
     const scenario::Scenario& sc, const DodinOptions& options,
     exp::Workspace& ws, prob::DiscreteDistribution* capture = nullptr);
 

@@ -379,6 +379,7 @@ class FlatNetwork {
           "FlatNetwork: atom arena exceeds the 2^32 offset range — set an "
           "atom budget (max_atoms)");
     }
+    // NOLINTNEXTLINE(expmk-lease-escape): the lease joins the entry-point frame that owns this engine — ensure_arena is never called under the transient sub-frames (apply_cap, max-merge, pick_duplication), so arena_/spare_ outlive every inner Frame by construction
     if (spare_.size() < live + need) spare_ = ws_.atoms(want);
     size_t w = 0;
     for (size_t id = 0; id < from_.size(); ++id) {
@@ -602,7 +603,7 @@ class FlatNetwork {
   dk::TruncationCert pass_cert_;  // current reduce_worklist pass
 };
 
-void check_two_state(const scenario::Scenario& sc, const char* who) {
+EXPMK_NOALLOC void check_two_state(const scenario::Scenario& sc, const char* who) {
   if (sc.retry() != core::RetryModel::TwoState) {
     throw std::invalid_argument(
         std::string(who) +
@@ -612,7 +613,7 @@ void check_two_state(const scenario::Scenario& sc, const char* who) {
 
 }  // namespace
 
-SpFlatEvaluation evaluate_sp_flat(const scenario::Scenario& sc,
+EXPMK_NOALLOC SpFlatEvaluation evaluate_sp_flat(const scenario::Scenario& sc,
                                   std::size_t max_atoms, exp::Workspace& ws,
                                   prob::DiscreteDistribution* capture) {
   check_two_state(sc, "evaluate_sp");
@@ -627,14 +628,15 @@ SpFlatEvaluation evaluate_sp_flat(const scenario::Scenario& sc,
     const std::span<const Atom> atoms = net.final_atoms();
     out.mean = dk::mean(atoms);
     if (capture != nullptr) {
-      *capture = prob::DiscreteDistribution::from_canonical(
-          std::vector<Atom>(atoms.begin(), atoms.end()));
+      // NOLINTNEXTLINE(expmk-no-alloc-kernel): capture path — the caller passed a distribution sink and opted into this allocation
+      *capture = prob::DiscreteDistribution::from_canonical(  // NOLINT(expmk-no-alloc-kernel): capture path — caller opted in
+          std::vector<Atom>(atoms.begin(), atoms.end()));  // NOLINT(expmk-no-alloc-kernel): capture path — caller opted in
     }
   }
   return out;
 }
 
-DodinFlatResult dodin_two_state_flat(const scenario::Scenario& sc,
+EXPMK_NOALLOC DodinFlatResult dodin_two_state_flat(const scenario::Scenario& sc,
                                      const DodinOptions& options,
                                      exp::Workspace& ws,
                                      prob::DiscreteDistribution* capture) {
@@ -652,8 +654,9 @@ DodinFlatResult dodin_two_state_flat(const scenario::Scenario& sc,
   const std::span<const Atom> atoms = net.final_atoms();
   out.mean = dk::mean(atoms);
   if (capture != nullptr) {
-    *capture = prob::DiscreteDistribution::from_canonical(
-        std::vector<Atom>(atoms.begin(), atoms.end()));
+    // NOLINTNEXTLINE(expmk-no-alloc-kernel): capture path — the caller passed a distribution sink and opted into this allocation
+    *capture = prob::DiscreteDistribution::from_canonical(  // NOLINT(expmk-no-alloc-kernel): capture path — caller opted in
+        std::vector<Atom>(atoms.begin(), atoms.end()));  // NOLINT(expmk-no-alloc-kernel): capture path — caller opted in
   }
   return out;
 }

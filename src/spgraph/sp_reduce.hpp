@@ -25,6 +25,7 @@
 #include "prob/dist_kernels.hpp"
 #include "scenario/scenario.hpp"
 #include "spgraph/arc_network.hpp"
+#include "util/contracts.hpp"
 
 namespace expmk::sp {
 
@@ -98,7 +99,7 @@ struct SpFlatEvaluation {
 /// When `capture` is non-null and the network is SP, the makespan law is
 /// materialized into it (allocates). The scenario's retry model must be
 /// TwoState.
-SpFlatEvaluation evaluate_sp_flat(const scenario::Scenario& sc,
+EXPMK_NOALLOC SpFlatEvaluation evaluate_sp_flat(const scenario::Scenario& sc,
                                   std::size_t max_atoms, exp::Workspace& ws,
                                   prob::DiscreteDistribution* capture = nullptr);
 

@@ -1,0 +1,50 @@
+// util/contracts.hpp
+//
+// Static-contract annotations for the evaluation engine, consumed by the
+// expmk-tidy checker (tools/expmk-tidy/) — the build-time enforcement of
+// the guarantees the dynamic tests pin after the fact (counting-operator-
+// new zero-alloc pins, threads-1/2/7 bit-identity re-runs).
+//
+// EXPMK_NOALLOC marks a function as a *steady-state allocation-free
+// kernel*: on a warm exp::Workspace, a call performs zero heap
+// allocations. The expmk-no-alloc-kernel check enforces this statically
+// over the function BODY (annotate the definition; re-stating it on the
+// declaration is good documentation but the checker keys on the
+// definition):
+//
+//   * no new-expressions / operator new;
+//   * no calls to allocating container-growth members (push_back, resize,
+//     reserve, insert, emplace, assign, append, ...);
+//   * no construction of allocating std types (vector, string, function,
+//     map, make_unique, to_string, ...);
+//   * every free-function callee must itself be EXPMK_NOALLOC, or appear
+//     on the checker's allowlist of known non-allocating functions
+//     (std math, memcpy, span utilities, Workspace leases — a lease may
+//     GROW an arena cold, which is exactly the "warm workspace" carve-out
+//     the dynamic tests use too);
+//   * allocation inside a throw-expression is exempt: a throw aborts the
+//     evaluation, so the steady-state contract does not cover it.
+//
+// Escapes: a deliberate cold-path allocation (e.g. materializing a
+// captured distribution) is suppressed per-site with
+//
+//   // NOLINT(expmk-no-alloc-kernel): <required justification>
+//
+// — the checker REJECTS a bare NOLINT without a justification text.
+//
+// The attribute form ([[clang::annotate("expmk::noalloc")]]) is what the
+// clang-tidy plugin matches on; compilers without the attribute (GCC
+// warns on unknown attribute namespaces under -Wattributes) get an empty
+// expansion, and the token-level fallback checker keys on the macro name
+// itself, so enforcement does not depend on the compiler.
+
+#pragma once
+
+#if defined(__clang__) && defined(__has_cpp_attribute)
+#if __has_cpp_attribute(clang::annotate)
+#define EXPMK_NOALLOC [[clang::annotate("expmk::noalloc")]]
+#endif
+#endif
+#ifndef EXPMK_NOALLOC
+#define EXPMK_NOALLOC
+#endif

@@ -1,0 +1,409 @@
+// C++ tokenizer + structural pass for the expmk-tidy fallback checker.
+//
+// The lexer is deliberately literal-safe: comments, string literals
+// (including raw strings) and char literals become opaque single tokens,
+// so no check can be fooled by code-shaped text inside them. The
+// structural pass is a declaration-oriented scanner — it does not parse
+// C++, it brace-matches: at namespace/class scope each declaration is
+// consumed until `;` (no body) or `{`, and the kind of the `{` is decided
+// from the declaration tokens seen so far (namespace / type / initializer
+// / function body). Good enough to find every function definition in this
+// codebase; fixture tests in tools/expmk-tidy/test/ pin the behavior.
+
+#include "expmk_tidy.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace expmk_tidy {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-char punctuators the checks care about structurally. Longest
+/// match first.
+constexpr std::array<const char*, 12> kPuncts = {
+    "->*", "::", "->", "<<=", ">>=", "+=", "-=", "*=", "/=", "&&", "||",
+    "==",
+};
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& s) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  int line = 1;
+  int col = 1;
+  const std::size_t n = s.size();
+
+  auto advance = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (s[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+  };
+
+  auto push = [&](TokKind kind, std::size_t begin, std::size_t end, int l,
+                  int c) {
+    out.push_back(Token{kind, s.substr(begin, end - begin), l, c});
+  };
+
+  while (i < n) {
+    const char c = s[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance(1);
+      continue;
+    }
+    const int tl = line;
+    const int tc = col;
+    const std::size_t begin = i;
+
+    // Preprocessor directive: only when '#' starts the line (modulo
+    // whitespace, which `col` tracks approximately via a lookback).
+    if (c == '#') {
+      bool line_start = true;
+      for (std::size_t k = begin; k-- > 0;) {
+        if (s[k] == '\n') break;
+        if (s[k] != ' ' && s[k] != '\t') {
+          line_start = false;
+          break;
+        }
+      }
+      if (line_start) {
+        std::size_t end = begin;
+        while (end < n) {
+          if (s[end] == '\n' && (end == 0 || s[end - 1] != '\\')) break;
+          ++end;
+        }
+        advance(end - begin);
+        push(TokKind::PP, begin, i, tl, tc);
+        continue;
+      }
+      advance(1);
+      push(TokKind::Punct, begin, i, tl, tc);
+      continue;
+    }
+
+    if (c == '/' && i + 1 < n && s[i + 1] == '/') {
+      std::size_t end = begin;
+      while (end < n && s[end] != '\n') ++end;
+      advance(end - begin);
+      push(TokKind::Comment, begin, i, tl, tc);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && s[i + 1] == '*') {
+      std::size_t end = begin + 2;
+      while (end + 1 < n && !(s[end] == '*' && s[end + 1] == '/')) ++end;
+      end = (end + 1 < n) ? end + 2 : n;
+      advance(end - begin);
+      push(TokKind::Comment, begin, i, tl, tc);
+      continue;
+    }
+
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && s[i + 1] == '"') {
+      std::size_t d = i + 2;
+      std::string delim;
+      while (d < n && s[d] != '(') delim += s[d++];
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t close = s.find(closer, d);
+      const std::size_t end = close == std::string::npos ? n : close + closer.size();
+      advance(end - begin);
+      push(TokKind::String, begin, i, tl, tc);
+      continue;
+    }
+
+    if (c == '"' || c == '\'') {
+      std::size_t end = begin + 1;
+      while (end < n && s[end] != c) {
+        if (s[end] == '\\') ++end;
+        ++end;
+      }
+      if (end < n) ++end;
+      advance(end - begin);
+      push(c == '"' ? TokKind::String : TokKind::CharLit, begin, i, tl, tc);
+      continue;
+    }
+
+    if (ident_start(c)) {
+      std::size_t end = begin;
+      while (end < n && ident_char(s[end])) ++end;
+      advance(end - begin);
+      push(TokKind::Ident, begin, i, tl, tc);
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(s[i + 1])))) {
+      std::size_t end = begin;
+      while (end < n && (ident_char(s[end]) || s[end] == '.' ||
+                         s[end] == '\'' ||
+                         ((s[end] == '+' || s[end] == '-') && end > begin &&
+                          (s[end - 1] == 'e' || s[end - 1] == 'E' ||
+                           s[end - 1] == 'p' || s[end - 1] == 'P')))) {
+        ++end;
+      }
+      advance(end - begin);
+      push(TokKind::Number, begin, i, tl, tc);
+      continue;
+    }
+
+    // Punctuation: longest multi-char match, else single char.
+    std::size_t len = 1;
+    for (const char* p : kPuncts) {
+      const std::size_t pl = std::char_traits<char>::length(p);
+      if (s.compare(i, pl, p) == 0) {
+        len = pl;
+        break;
+      }
+    }
+    advance(len);
+    push(TokKind::Punct, begin, i, tl, tc);
+  }
+  return out;
+}
+
+namespace {
+
+/// Keywords that may directly precede a '(' without making it a call or a
+/// function declarator.
+bool non_callee_keyword(const std::string& t) {
+  static const std::set<std::string> kw = {
+      "if",       "for",      "while",   "switch",     "catch",
+      "return",   "sizeof",   "alignof", "alignas",    "decltype",
+      "noexcept", "throw",    "new",     "delete",     "static_assert",
+      "void",     "int",      "double",  "float",      "bool",
+      "char",     "long",     "short",   "unsigned",   "signed",
+      "auto",     "const",    "constexpr", "typename", "template",
+      "operator", "co_await", "co_return", "co_yield", "requires",
+      "assert",   "case",     "__attribute__", "__declspec", "asm",
+  };
+  return kw.count(t) > 0;
+}
+
+struct Parser {
+  const std::vector<Token>& code;
+  std::vector<FunctionDef>& out;
+
+  /// Skips a balanced {...}; `i` points at the '{' on entry, just past the
+  /// matching '}' on exit.
+  void skip_braces(std::size_t& i) {
+    int depth = 0;
+    while (i < code.size()) {
+      if (code[i].text == "{") ++depth;
+      if (code[i].text == "}") {
+        --depth;
+        if (depth == 0) {
+          ++i;
+          return;
+        }
+      }
+      ++i;
+    }
+  }
+
+  /// Parses declarations until the matching '}' of an open scope (or
+  /// EOF). Call with `i` past the '{'; returns with `i` past the '}'.
+  void parse_scope(std::size_t& i) {
+    while (i < code.size()) {
+      if (code[i].text == "}") {
+        ++i;
+        return;
+      }
+      parse_declaration(i);
+    }
+  }
+
+  void parse_declaration(std::size_t& i) {
+    const std::size_t decl_begin = i;
+    int paren = 0;
+    int bracket = 0;
+    bool saw_eq = false;
+    bool annotated = false;
+    std::string kind_kw;           // first of namespace/class/struct/...
+    std::size_t name_idx = std::string::npos;
+
+    while (i < code.size()) {
+      const Token& t = code[i];
+      if (t.kind == TokKind::Ident) {
+        if (t.text == "EXPMK_NOALLOC" && name_idx == std::string::npos) {
+          annotated = true;
+        }
+        // Skip `template <...>` parameter lists wholesale: default
+        // arguments (`= true`) would otherwise read as an initializer and
+        // derail the declarator scan.
+        if (t.text == "template" && i + 1 < code.size() &&
+            code[i + 1].text == "<") {
+          int angle = 0;
+          ++i;  // at '<'
+          while (i < code.size()) {
+            const std::string& a = code[i].text;
+            if (a == "<") ++angle;
+            else if (a == "<<") angle += 2;
+            else if (a == ">") --angle;
+            else if (a == ">>") angle -= 2;
+            else if (a == "(" || a == "[") {
+              // Parenthesized chunk: comparisons inside can't be template
+              // brackets; skip to the matching closer.
+              int d = 0;
+              while (i < code.size()) {
+                const std::string& b = code[i].text;
+                if (b == "(" || b == "[") ++d;
+                if (b == ")" || b == "]") {
+                  if (--d == 0) break;
+                }
+                ++i;
+              }
+            }
+            ++i;
+            if (angle <= 0) break;
+          }
+          continue;
+        }
+        if (kind_kw.empty() && paren == 0 &&
+            (t.text == "namespace" || t.text == "class" ||
+             t.text == "struct" || t.text == "union" || t.text == "enum")) {
+          // A type keyword counts only before the declarator name; after
+          // a '(' it is a parameter ("struct tm*"-style, not used here).
+          kind_kw = t.text;
+        }
+        ++i;
+        continue;
+      }
+      if (t.text == "(") {
+        if (paren == 0 && bracket == 0 && !saw_eq &&
+            name_idx == std::string::npos && i > decl_begin) {
+          const Token& prev = code[i - 1];
+          if (prev.kind == TokKind::Ident && !non_callee_keyword(prev.text)) {
+            name_idx = i - 1;
+          }
+        }
+        ++paren;
+        ++i;
+        continue;
+      }
+      if (t.text == ")") {
+        --paren;
+        ++i;
+        continue;
+      }
+      if (t.text == "[") {
+        ++bracket;
+        ++i;
+        continue;
+      }
+      if (t.text == "]") {
+        --bracket;
+        ++i;
+        continue;
+      }
+      if (t.text == "=" && paren == 0 && bracket == 0) {
+        saw_eq = true;
+        ++i;
+        continue;
+      }
+      if (t.text == ";" && paren == 0 && bracket == 0) {
+        // Body-less declaration; EXPMK_NOALLOC prototypes still register
+        // the name for callee resolution (analyze() reads `annotated` +
+        // name with body_begin == body_end).
+        if (annotated && name_idx != std::string::npos) {
+          out.push_back(FunctionDef{code[name_idx].text, true, decl_begin,
+                                    i, i});
+        }
+        ++i;
+        return;
+      }
+      if (t.text == "{" && paren == 0 && bracket == 0) {
+        if (saw_eq) {  // brace initializer: consume, keep scanning to ';'
+          skip_braces(i);
+          continue;
+        }
+        if (kind_kw == "namespace") {
+          ++i;
+          parse_scope(i);
+          return;
+        }
+        if (kind_kw == "class" || kind_kw == "struct" || kind_kw == "union") {
+          ++i;
+          parse_scope(i);  // members may include method definitions
+          continue;        // up to the trailing ';' (or a declarator)
+        }
+        if (kind_kw == "enum") {
+          skip_braces(i);
+          continue;
+        }
+        if (name_idx != std::string::npos) {
+          FunctionDef fn;
+          fn.name = code[name_idx].text;
+          fn.annotated = annotated;
+          fn.decl_begin = decl_begin;
+          fn.body_begin = i + 1;
+          std::size_t j = i;
+          skip_braces(j);
+          fn.body_end = j - 1;  // index of the matching '}'
+          out.push_back(fn);
+          i = j;
+          return;
+        }
+        // Unknown block (extern "C", function-try, ...): recurse.
+        ++i;
+        parse_scope(i);
+        return;
+      }
+      if (t.text == "}" && paren == 0 && bracket == 0) {
+        return;  // scope end; parse_scope consumes it
+      }
+      ++i;
+    }
+  }
+};
+
+}  // namespace
+
+ParsedFile parse_file(std::string path, const std::string& source) {
+  ParsedFile f;
+  f.path = std::move(path);
+  for (Token& t : lex(source)) {
+    switch (t.kind) {
+      case TokKind::Comment: {
+        std::string& slot = f.comments[t.line];
+        if (!slot.empty()) slot += ' ';
+        slot += t.text;
+        break;
+      }
+      case TokKind::PP:
+        f.pp.push_back(std::move(t));
+        break;
+      default:
+        f.code.push_back(std::move(t));
+    }
+  }
+  Parser parser{f.code, f.functions};
+  std::size_t i = 0;
+  while (i < f.code.size()) {
+    if (f.code[i].text == "}") {
+      ++i;  // stray close (unbalanced fixture); keep scanning
+      continue;
+    }
+    parser.parse_declaration(i);
+  }
+  return f;
+}
+
+std::string format(const Diagnostic& d) {
+  return d.path + ":" + std::to_string(d.line) + ":" + std::to_string(d.col) +
+         ": warning: " + d.message + " [" + d.check + "]";
+}
+
+}  // namespace expmk_tidy

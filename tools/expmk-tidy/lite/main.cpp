@@ -1,0 +1,131 @@
+// expmk-tidy — driver for the fallback contract checker.
+//
+// Usage:
+//   expmk-tidy [--checks=a,b,c] [--allowlist FILE] [--src-filter STR]
+//              [--list-checks] PATH...
+//
+// PATH entries may be files or directories (recursed for
+// .hpp/.h/.cpp/.cc). Exit code is 1 when any diagnostic survives NOLINT
+// filtering, 0 otherwise — so the ctest/CI invocation doubles as the
+// build gate. `--src-filter ""` applies the determinism and lease checks
+// to every input file (the fixture suite uses this); the default ("/src/")
+// matches the repo convention that only the library core is under the
+// determinism contract.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "expmk_tidy.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool source_file(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc";
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  expmk_tidy::Config config;
+  std::vector<fs::path> inputs;
+  std::string allowlist_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-checks") {
+      for (const std::string& c : config.checks) std::cout << c << "\n";
+      return 0;
+    }
+    if (arg.rfind("--checks=", 0) == 0) {
+      config.checks.clear();
+      std::stringstream ss(arg.substr(9));
+      std::string item;
+      while (std::getline(ss, item, ',')) {
+        if (!item.empty()) config.checks.insert(item);
+      }
+      continue;
+    }
+    if (arg == "--allowlist" && i + 1 < argc) {
+      allowlist_path = argv[++i];
+      continue;
+    }
+    if (arg == "--src-filter" && i + 1 < argc) {
+      config.src_filter = argv[++i];
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::cerr << "expmk-tidy: unknown option '" << arg << "'\n";
+      return 2;
+    }
+    inputs.emplace_back(arg);
+  }
+  if (inputs.empty()) {
+    std::cerr << "usage: expmk-tidy [--checks=...] [--allowlist FILE] "
+                 "[--src-filter STR] PATH...\n";
+    return 2;
+  }
+
+  if (!allowlist_path.empty()) {
+    std::ifstream in(allowlist_path);
+    if (!in) {
+      std::cerr << "expmk-tidy: cannot read allowlist '" << allowlist_path
+                << "'\n";
+      return 2;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      const std::size_t hash = line.find('#');
+      if (hash != std::string::npos) line.erase(hash);
+      line.erase(0, line.find_first_not_of(" \t\r"));
+      line.erase(line.find_last_not_of(" \t\r") + 1);
+      if (!line.empty()) config.extra_allow.insert(line);
+    }
+  }
+
+  std::vector<fs::path> files;
+  for (const fs::path& p : inputs) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p)) {
+        if (entry.is_regular_file() && source_file(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p);
+    } else {
+      std::cerr << "expmk-tidy: no such file or directory: " << p << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<expmk_tidy::ParsedFile> parsed;
+  parsed.reserve(files.size());
+  for (const fs::path& p : files) {
+    parsed.push_back(
+        expmk_tidy::parse_file(p.generic_string(), read_file(p)));
+  }
+
+  const std::vector<expmk_tidy::Diagnostic> diags =
+      expmk_tidy::analyze(parsed, config);
+  for (const auto& d : diags) std::cout << expmk_tidy::format(d) << "\n";
+  std::cout << "expmk-tidy: " << diags.size() << " warning(s) across "
+            << files.size() << " file(s)\n";
+  return diags.empty() ? 0 : 1;
+}

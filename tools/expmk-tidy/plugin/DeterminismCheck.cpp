@@ -1,0 +1,114 @@
+//===--- DeterminismCheck.cpp - expmk-tidy --------------------------------===//
+
+#include "DeterminismCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/Basic/SourceManager.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::expmk {
+
+bool DeterminismCheck::inTimerFile(SourceLocation Loc,
+                                   const SourceManager &SM) const {
+  const StringRef File = SM.getFilename(SM.getSpellingLoc(Loc));
+  return File.contains("util/timer");
+}
+
+void DeterminismCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName("::rand", "::srand",
+                                              "::drand48", "::random",
+                                              "::lrand48"))))
+          .bind("entropyCall"),
+      this);
+  Finder->addMatcher(
+      varDecl(hasType(namedDecl(hasName("::std::random_device"))))
+          .bind("randomDevice"),
+      this);
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(
+                   hasName("now"),
+                   anyOf(hasParent(cxxRecordDecl(hasAnyName(
+                             "::std::chrono::system_clock",
+                             "::std::chrono::steady_clock",
+                             "::std::chrono::high_resolution_clock"))),
+                         anything()))))
+          .bind("clockNow"),
+      this);
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(
+                   hasAnyName("::time", "::clock", "::gettimeofday",
+                              "::clock_gettime"))))
+          .bind("cClock"),
+      this);
+  Finder->addMatcher(
+      cxxForRangeStmt(
+          hasRangeInit(expr(hasType(hasUnqualifiedDesugaredType(recordType(
+              hasDeclaration(namedDecl(matchesName(
+                  "^::std::unordered_(map|set|multimap|multiset)$")))))))))
+          .bind("unorderedIter"),
+      this);
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(
+                   hasAnyName("::std::reduce", "::std::transform_reduce"))))
+          .bind("reassocReduce"),
+      this);
+  Finder->addMatcher(
+      declRefExpr(to(namedDecl(hasAnyName(
+                      "::std::execution::par", "::std::execution::par_unseq",
+                      "::std::execution::unseq"))))
+          .bind("executionPolicy"),
+      this);
+}
+
+void DeterminismCheck::check(const MatchFinder::MatchResult &Result) {
+  const SourceManager &SM = *Result.SourceManager;
+
+  if (const auto *C = Result.Nodes.getNodeAs<CallExpr>("entropyCall")) {
+    diag(C->getBeginLoc(),
+         "nondeterministic entropy source; draw from the seeded engine RNG "
+         "(prob::McRng) instead");
+    return;
+  }
+  if (const auto *V = Result.Nodes.getNodeAs<VarDecl>("randomDevice")) {
+    diag(V->getLocation(),
+         "std::random_device breaks run-to-run reproducibility; seeds must "
+         "come from EvalOptions::seed");
+    return;
+  }
+  if (const auto *C = Result.Nodes.getNodeAs<CallExpr>("clockNow")) {
+    if (!inTimerFile(C->getBeginLoc(), SM))
+      diag(C->getBeginLoc(),
+           "clock read outside util/timer — wall-clock reads are reserved "
+           "for the `seconds` timing fields");
+    return;
+  }
+  if (const auto *C = Result.Nodes.getNodeAs<CallExpr>("cClock")) {
+    if (!inTimerFile(C->getBeginLoc(), SM))
+      diag(C->getBeginLoc(), "C wall-clock read; use util::Timer");
+    return;
+  }
+  if (const auto *F =
+          Result.Nodes.getNodeAs<CXXForRangeStmt>("unorderedIter")) {
+    diag(F->getBeginLoc(),
+         "iteration over an unordered container — the order is unspecified "
+         "and must not feed result values");
+    return;
+  }
+  if (const auto *C = Result.Nodes.getNodeAs<CallExpr>("reassocReduce")) {
+    diag(C->getBeginLoc(),
+         "reassociating reduction; results must keep the fixed accumulator "
+         "order (4-accumulator contract, prob/dist_kernels.hpp)");
+    return;
+  }
+  if (const auto *E =
+          Result.Nodes.getNodeAs<DeclRefExpr>("executionPolicy")) {
+    diag(E->getBeginLoc(),
+         "std::execution policies may reassociate reductions and break "
+         "bit-identity across runs");
+  }
+}
+
+} // namespace clang::tidy::expmk

@@ -1,0 +1,41 @@
+//===--- DeterminismCheck.h - expmk-tidy ------------------------*- C++-*-===//
+//
+// expmk-determinism: inside src/, ban the constructs that break the
+// engine's bit-identical-results contract —
+//   * rand()/srand()/drand48()/std::random_device (unseeded entropy);
+//   * wall-clock reads (system_clock, time(), clock_gettime, any
+//     ::now()) outside util/timer — timing belongs in the `seconds`
+//     fields only;
+//   * iteration over unordered containers (unspecified order must not
+//     feed result values);
+//   * reassociating floating-point reductions: std::reduce /
+//     std::transform_reduce / std::execution policies (the fixed
+//     4-accumulator contract of prob/dist_kernels.hpp).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef EXPMK_TIDY_DETERMINISMCHECK_H
+#define EXPMK_TIDY_DETERMINISMCHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::expmk {
+
+class DeterminismCheck : public ClangTidyCheck {
+public:
+  DeterminismCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+
+private:
+  /// Wall-clock reads are legal only in the timing stopwatch.
+  bool inTimerFile(SourceLocation Loc, const SourceManager &SM) const;
+};
+
+} // namespace clang::tidy::expmk
+
+#endif // EXPMK_TIDY_DETERMINISMCHECK_H

@@ -1,0 +1,45 @@
+//===--- ExpmkTidyModule.cpp - expmk-tidy ---------------------------------===//
+//
+// Registers the expmk-* contract checks as a clang-tidy plugin module.
+// Build (needs clang-tidy development headers; see ../CMakeLists.txt):
+//
+//   ninja expmk_tidy_plugin
+//   clang-tidy -load $BUILD/tools/expmk-tidy/libexpmk_tidy.so \
+//              -checks='expmk-*' -p $BUILD src/**/*.cpp
+//
+// The three checks mirror tools/expmk-tidy/lite/ (the dependency-free
+// fallback run by ctest); this module is the AST-accurate implementation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+#include "DeterminismCheck.h"
+#include "LeaseEscapeCheck.h"
+#include "NoAllocKernelCheck.h"
+
+namespace clang::tidy::expmk {
+
+class ExpmkTidyModule : public ClangTidyModule {
+public:
+  void addCheckFactories(ClangTidyCheckFactories &CheckFactories) override {
+    CheckFactories.registerCheck<NoAllocKernelCheck>(
+        "expmk-no-alloc-kernel");
+    CheckFactories.registerCheck<DeterminismCheck>("expmk-determinism");
+    CheckFactories.registerCheck<LeaseEscapeCheck>("expmk-lease-escape");
+  }
+};
+
+namespace {
+ClangTidyModuleRegistry::Add<ExpmkTidyModule>
+    X("expmk-module", "expmk static contract checks (determinism, "
+                      "zero-alloc kernels, lease lifetimes).");
+} // namespace
+
+// This anchor pulls the module into the plugin when linked with
+// -Wl,--whole-archive equivalents are unnecessary: the registry entry
+// above self-registers on dlopen.
+volatile int ExpmkTidyModuleAnchorSource = 0;
+
+} // namespace clang::tidy::expmk

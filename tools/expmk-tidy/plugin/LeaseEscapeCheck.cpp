@@ -1,0 +1,97 @@
+//===--- LeaseEscapeCheck.cpp - expmk-tidy --------------------------------===//
+
+#include "LeaseEscapeCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::expmk {
+
+namespace {
+
+/// A call to one of Workspace's lease methods.
+auto leaseCall() {
+  return cxxMemberCallExpr(
+      callee(cxxMethodDecl(
+          hasAnyName("doubles", "u32", "u64", "moments", "ints", "atoms"),
+          ofClass(cxxRecordDecl(hasName("::expmk::exp::Workspace"))))));
+}
+
+/// A lease, or a view that aliases one: lease.subspan(...) / .first() /
+/// .last() / .data(), possibly via a variable initialized from a lease.
+auto leaseOrAlias() {
+  const auto LeaseVar = varDecl(hasInitializer(
+      expr(anyOf(leaseCall(), hasDescendant(leaseCall())))));
+  const auto LeaseRef = declRefExpr(to(LeaseVar));
+  return expr(anyOf(
+      leaseCall(), LeaseRef,
+      cxxMemberCallExpr(
+          callee(cxxMethodDecl(hasAnyName("subspan", "first", "last", "data"))),
+          on(expr(anyOf(leaseCall(), LeaseRef))))));
+}
+
+} // namespace
+
+void LeaseEscapeCheck::registerMatchers(MatchFinder *Finder) {
+  // (1) return <lease or alias>;
+  Finder->addMatcher(
+      returnStmt(hasReturnValue(ignoringParenImpCasts(leaseOrAlias())))
+          .bind("returnLease"),
+      this);
+  // (2) member = <lease or alias>  (operator= on a std::span member, or a
+  // plain field of span type).
+  Finder->addMatcher(
+      cxxOperatorCallExpr(hasOverloadedOperatorName("="),
+                          hasArgument(0, memberExpr(member(fieldDecl()))),
+                          hasArgument(1, ignoringParenImpCasts(leaseOrAlias())))
+          .bind("memberStore"),
+      this);
+  Finder->addMatcher(
+      binaryOperator(hasOperatorName("="),
+                     hasLHS(memberExpr(member(fieldDecl()))),
+                     hasRHS(ignoringParenImpCasts(leaseOrAlias())))
+          .bind("memberStore"),
+      this);
+  // (3) a closure capturing a lease variable, where the closure itself is
+  // returned or stored into a member / std::function.
+  const auto CapturesLease = lambdaExpr(hasAnyCapture(
+      lambdaCapture(capturesVar(varDecl(hasInitializer(
+          expr(anyOf(leaseCall(), hasDescendant(leaseCall())))))))));
+  Finder->addMatcher(
+      returnStmt(hasReturnValue(ignoringParenImpCasts(
+                     expr(CapturesLease).bind("escapingLambda"))))
+          .bind("lambdaReturn"),
+      this);
+  Finder->addMatcher(
+      cxxOperatorCallExpr(hasOverloadedOperatorName("="),
+                          hasArgument(0, memberExpr(member(fieldDecl()))),
+                          hasArgument(1, expr(hasDescendant(
+                                             expr(CapturesLease).bind(
+                                                 "escapingLambda")))))
+          .bind("lambdaStore"),
+      this);
+}
+
+void LeaseEscapeCheck::check(const MatchFinder::MatchResult &Result) {
+  if (const auto *R = Result.Nodes.getNodeAs<ReturnStmt>("returnLease")) {
+    diag(R->getBeginLoc(),
+         "workspace lease returned from its frame scope — the span dangles "
+         "once the Workspace::Frame closes");
+    return;
+  }
+  if (const auto *E = Result.Nodes.getNodeAs<Expr>("escapingLambda")) {
+    diag(E->getBeginLoc(),
+         "workspace lease captured by a closure that escapes its frame "
+         "scope — the span dangles when the closure runs");
+    return;
+  }
+  if (const auto *S = Result.Nodes.getNodeAs<Expr>("memberStore")) {
+    diag(S->getBeginLoc(),
+         "workspace lease stored into a member — members outlive the "
+         "Workspace::Frame the lease belongs to");
+  }
+}
+
+} // namespace clang::tidy::expmk

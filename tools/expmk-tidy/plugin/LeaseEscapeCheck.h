@@ -1,0 +1,33 @@
+//===--- LeaseEscapeCheck.h - expmk-tidy ------------------------*- C++-*-===//
+//
+// expmk-lease-escape: a span leased from exp::Workspace (doubles / u32 /
+// u64 / moments / ints / atoms) is valid only inside the
+// Workspace::Frame scope that took it. Diagnose the three escape shapes
+// that turn a lease into a dangling span:
+//   * returning a lease (or a subspan/first/last/data view of one);
+//   * storing a lease into a class member;
+//   * capturing a lease in a closure that is itself returned or stored.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef EXPMK_TIDY_LEASEESCAPECHECK_H
+#define EXPMK_TIDY_LEASEESCAPECHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::expmk {
+
+class LeaseEscapeCheck : public ClangTidyCheck {
+public:
+  LeaseEscapeCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+} // namespace clang::tidy::expmk
+
+#endif // EXPMK_TIDY_LEASEESCAPECHECK_H

@@ -1,0 +1,161 @@
+//===--- NoAllocKernelCheck.cpp - expmk-tidy ------------------------------===//
+
+#include "NoAllocKernelCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "llvm/ADT/StringSet.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::expmk {
+
+namespace {
+
+constexpr llvm::StringLiteral kAnnotation = "expmk::noalloc";
+
+AST_MATCHER(FunctionDecl, isExpmkNoAlloc) {
+  for (const auto *A : Node.specific_attrs<AnnotateAttr>())
+    if (A->getAnnotation() == kAnnotation)
+      return true;
+  return false;
+}
+
+bool hasNoAllocAnnotation(const FunctionDecl *FD) {
+  if (!FD)
+    return false;
+  for (const FunctionDecl *Redecl : FD->redecls())
+    for (const auto *A : Redecl->specific_attrs<AnnotateAttr>())
+      if (A->getAnnotation() == kAnnotation)
+        return true;
+  return false;
+}
+
+/// Container members that (re)allocate — mirror of the fallback checker's
+/// denylist (tools/expmk-tidy/lite/checks.cpp).
+bool isAllocatingMember(StringRef Name) {
+  static const llvm::StringSet<> Deny = {
+      "push_back", "emplace_back", "emplace",   "push_front",
+      "emplace_front", "insert",   "insert_or_assign", "try_emplace",
+      "resize",    "reserve",      "assign",    "append",
+      "substr",    "shrink_to_fit", "merge",    "splice"};
+  return Deny.contains(Name);
+}
+
+/// Known non-allocating std functions (math, raw memory, in-place
+/// algorithms). Matched on the unqualified name of functions declared in
+/// namespace std or at global scope.
+bool isAllowlisted(const FunctionDecl *FD) {
+  static const llvm::StringSet<> Allow = {
+      "abs",  "fabs", "sqrt", "log",  "log1p", "exp",  "expm1", "pow",
+      "fma",  "floor", "ceil", "round", "trunc", "copysign", "isnan",
+      "isinf", "isfinite", "min", "max", "clamp", "sort", "nth_element",
+      "lower_bound", "upper_bound", "fill", "fill_n", "copy", "copy_n",
+      "accumulate", "iota", "swap", "move", "forward", "get", "memcpy",
+      "memmove", "memset", "memcmp", "distance", "min_element",
+      "max_element", "midpoint", "exchange", "quiet_NaN", "infinity",
+      "epsilon", "lowest"};
+  const DeclContext *DC = FD->getDeclContext();
+  const bool StdOrGlobal =
+      DC->isTranslationUnit() || (DC->isStdNamespace());
+  if (!StdOrGlobal && !isa<CXXRecordDecl>(DC))
+    return false;
+  return Allow.contains(FD->getName());
+}
+
+/// True when `S` is syntactically inside a throw-expression (cold path).
+bool underThrow(const Stmt *S, ASTContext &Ctx) {
+  auto Parents = Ctx.getParents(*S);
+  while (!Parents.empty()) {
+    if (const auto *P = Parents[0].get<Stmt>()) {
+      if (isa<CXXThrowExpr>(P))
+        return true;
+      Parents = Ctx.getParents(*P);
+      continue;
+    }
+    break;
+  }
+  return false;
+}
+
+} // namespace
+
+void NoAllocKernelCheck::registerMatchers(MatchFinder *Finder) {
+  const auto InKernel =
+      hasAncestor(functionDecl(isExpmkNoAlloc()).bind("kernel"));
+  Finder->addMatcher(cxxNewExpr(InKernel).bind("new"), this);
+  Finder->addMatcher(cxxDeleteExpr(InKernel).bind("delete"), this);
+  Finder->addMatcher(
+      callExpr(InKernel, callee(functionDecl().bind("callee"))).bind("call"),
+      this);
+  Finder->addMatcher(
+      cxxConstructExpr(InKernel,
+                       hasDeclaration(cxxConstructorDecl(ofClass(
+                           cxxRecordDecl().bind("ctorClass")))))
+          .bind("construct"),
+      this);
+}
+
+void NoAllocKernelCheck::check(const MatchFinder::MatchResult &Result) {
+  ASTContext &Ctx = *Result.Context;
+
+  if (const auto *New = Result.Nodes.getNodeAs<CXXNewExpr>("new")) {
+    if (!underThrow(New, Ctx))
+      diag(New->getBeginLoc(),
+           "new-expression in an EXPMK_NOALLOC kernel");
+    return;
+  }
+  if (const auto *Del = Result.Nodes.getNodeAs<CXXDeleteExpr>("delete")) {
+    diag(Del->getBeginLoc(), "delete-expression in an EXPMK_NOALLOC kernel");
+    return;
+  }
+  if (const auto *Construct =
+          Result.Nodes.getNodeAs<CXXConstructExpr>("construct")) {
+    const auto *Class = Result.Nodes.getNodeAs<CXXRecordDecl>("ctorClass");
+    if (!Class || underThrow(Construct, Ctx))
+      return;
+    static const llvm::StringSet<> AllocatingTypes = {
+        "vector", "basic_string", "map", "set", "multimap", "multiset",
+        "unordered_map", "unordered_set", "deque", "list", "function",
+        "shared_ptr", "unique_ptr", "basic_stringstream",
+        "basic_ostringstream", "DiscreteDistribution"};
+    if (AllocatingTypes.contains(Class->getName()))
+      diag(Construct->getBeginLoc(),
+           "construction of allocating type %0 in an EXPMK_NOALLOC kernel")
+          << Class;
+    return;
+  }
+
+  const auto *Call = Result.Nodes.getNodeAs<CallExpr>("call");
+  const auto *Callee = Result.Nodes.getNodeAs<FunctionDecl>("callee");
+  if (!Call || !Callee || underThrow(Call, Ctx))
+    return;
+
+  if (const auto *Method = dyn_cast<CXXMethodDecl>(Callee)) {
+    if (isAllocatingMember(Method->getName())) {
+      diag(Call->getBeginLoc(),
+           "allocating container call %0 in an EXPMK_NOALLOC kernel")
+          << Method;
+      return;
+    }
+    // Other member calls are presumed accessors; the callee rule below
+    // applies to free functions, where the call tree actually branches.
+    if (isa<CXXMemberCallExpr>(Call) || isa<CXXOperatorCallExpr>(Call))
+      return;
+  }
+
+  if (hasNoAllocAnnotation(Callee) || isAllowlisted(Callee))
+    return;
+  if (Callee->isInlined() && Callee->hasBody())
+    return; // visible inline body — analyzed transitively in its own TU
+  if (Callee->getBuiltinID() != 0)
+    return;
+
+  diag(Call->getBeginLoc(),
+       "call to %0 which is neither EXPMK_NOALLOC nor on the no-alloc "
+       "allowlist")
+      << Callee;
+}
+
+} // namespace clang::tidy::expmk

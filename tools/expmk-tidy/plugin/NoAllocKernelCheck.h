@@ -1,0 +1,34 @@
+//===--- NoAllocKernelCheck.h - expmk-tidy ----------------------*- C++-*-===//
+//
+// expmk-no-alloc-kernel: a function carrying
+// [[clang::annotate("expmk::noalloc")]] (the EXPMK_NOALLOC macro from
+// src/util/contracts.hpp) must not allocate: no new-expressions, no
+// allocating container-growth member calls, and every non-inline callee
+// must itself be annotated or appear on the allowlist of known
+// non-allocating functions. Allocation syntactically inside a
+// throw-expression is exempt (cold failure path; the steady-state
+// contract covers the success path only).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef EXPMK_TIDY_NOALLOCKERNELCHECK_H
+#define EXPMK_TIDY_NOALLOCKERNELCHECK_H
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::expmk {
+
+class NoAllocKernelCheck : public ClangTidyCheck {
+public:
+  NoAllocKernelCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+} // namespace clang::tidy::expmk
+
+#endif // EXPMK_TIDY_NOALLOCKERNELCHECK_H

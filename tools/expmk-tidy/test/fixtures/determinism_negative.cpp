@@ -1,0 +1,37 @@
+// Fixture: deterministic code the determinism check must accept — seeded
+// counter-based RNG, fixed-order accumulation, sorted containers, and a
+// justified NOLINT on a deliberate unordered cache.
+
+#include <map>
+#include <numeric>
+#include <vector>
+
+namespace fixture {
+
+struct McRng {
+  unsigned long long counter = 0;
+  double next() { return static_cast<double>(++counter) * 1e-19; }
+};
+
+double seeded_stream(McRng& rng, int n) {
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) total += rng.next();
+  return total;
+}
+
+double fixed_order_accumulation(const std::vector<double>& v) {
+  // Fixed left-to-right association — the accumulator order is part of
+  // the bit-identity contract.
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+double sorted_iteration(const std::map<int, double>& m) {
+  double total = 0.0;
+  for (const auto& [k, v] : m) total += v;  // ordered: deterministic
+  return total;
+}
+
+// NOLINTNEXTLINE(expmk-determinism): lookup-only cache, never iterated
+struct Cache;
+
+}  // namespace fixture

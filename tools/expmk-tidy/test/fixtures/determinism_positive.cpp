@@ -1,0 +1,40 @@
+// Fixture: determinism violations — unseeded entropy, wall-clock reads,
+// unordered iteration into results, reassociating reductions. Analyzed,
+// never compiled.
+
+#include <chrono>
+#include <cstdlib>
+#include <numeric>
+#include <random>
+#include <unordered_map>
+
+namespace fixture {
+
+double entropy_sources() {
+  double x = rand();                  // EXPECT: expmk-determinism
+  std::random_device rd;              // EXPECT: expmk-determinism
+  return x + rd();
+}
+
+double wall_clock() {
+  auto t = std::chrono::system_clock::now();  // EXPECT: expmk-determinism expmk-determinism
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+double unordered_feeds_result(const std::unordered_map<int, double>& m) {  // EXPECT: expmk-determinism
+  double total = 0.0;
+  for (const auto& [k, v] : m) {  // iteration order feeds the sum
+    total += v;
+  }
+  return total;
+}
+
+double reassociating_reduction(const double* p, const double* q) {
+  return std::reduce(p, q, 0.0);  // EXPECT: expmk-determinism
+}
+
+#pragma omp parallel for reduction(+ : total)  // EXPECT: expmk-determinism
+
+double fast_math_region(double a, double b) { return a + b; }
+
+}  // namespace fixture

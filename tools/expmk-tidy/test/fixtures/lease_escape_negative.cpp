@@ -1,0 +1,52 @@
+// Fixture: legitimate lease usage the lease-escape check must accept —
+// element reads escape as VALUES, leases passed down to callees, and
+// frame-local closures that never leave the function.
+
+#include <algorithm>
+#include <span>
+
+namespace fixture {
+
+struct Ws {
+  std::span<double> doubles(unsigned n);
+};
+
+double consume(std::span<const double> in);
+
+double return_element(Ws& ws, unsigned n) {
+  auto vals = ws.doubles(n);
+  vals[0] = 3.0;
+  return vals[0];  // a VALUE, not the lease
+}
+
+unsigned return_size(Ws& ws, unsigned n) {
+  auto vals = ws.doubles(n);
+  return vals.size();  // a scalar observable, not storage
+}
+
+double pass_down(Ws& ws, unsigned n) {
+  auto vals = ws.doubles(n);
+  return consume(vals);  // callee must not retain it; its own contract
+}
+
+double local_closure(Ws& ws, unsigned n) {
+  auto vals = ws.doubles(n);
+  auto fill = [&](double x) { std::fill(vals.begin(), vals.end(), x); };
+  fill(1.0);  // invoked inside the frame; never escapes
+  return vals[0];
+}
+
+double member_gets_value(Ws& ws, unsigned n);
+
+class Stats {
+ public:
+  void record(Ws& ws, unsigned n) {
+    auto vals = ws.doubles(n);
+    last_ = vals[0];  // element read: a value crosses, not the span
+  }
+
+ private:
+  double last_ = 0.0;
+};
+
+}  // namespace fixture

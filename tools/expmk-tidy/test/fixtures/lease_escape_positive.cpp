@@ -1,0 +1,53 @@
+// Fixture: workspace leases escaping their frame scope — via return,
+// member store, and escaping closures. Analyzed, never compiled.
+
+#include <functional>
+#include <span>
+
+namespace fixture {
+
+struct Ws {
+  std::span<double> doubles(unsigned n);
+  std::span<unsigned> u32(unsigned n);
+};
+
+std::span<double> return_direct(Ws& ws, unsigned n) {
+  return ws.doubles(n);  // EXPECT: expmk-lease-escape
+}
+
+std::span<double> return_variable(Ws& ws, unsigned n) {
+  std::span<double> vals = ws.doubles(n);
+  vals[0] = 1.0;
+  return vals;  // EXPECT: expmk-lease-escape
+}
+
+std::span<double> return_subspan(Ws& ws, unsigned n) {
+  auto vals = ws.doubles(n);
+  return vals.subspan(1);  // EXPECT: expmk-lease-escape
+}
+
+class Holder {
+ public:
+  void adopt(Ws& ws, unsigned n) {
+    view_ = ws.doubles(n);  // EXPECT: expmk-lease-escape
+  }
+  void adopt_variable(Ws& ws, unsigned n) {
+    auto vals = ws.u32(n);
+    slots_ = vals;  // EXPECT: expmk-lease-escape
+  }
+  std::function<double()> defer(Ws& ws, unsigned n) {
+    auto vals = ws.doubles(n);
+    return [vals] { return vals[0]; };  // EXPECT: expmk-lease-escape
+  }
+  void store_closure(Ws& ws, unsigned n) {
+    auto vals = ws.doubles(n);
+    cb_ = [&] { vals[0] = 2.0; };  // EXPECT: expmk-lease-escape
+  }
+
+ private:
+  std::span<double> view_;
+  std::span<unsigned> slots_;
+  std::function<void()> cb_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,49 @@
+// Fixture: allocation-free kernels the no-alloc check must accept —
+// annotated callees, allowlisted std math, span accessors, workspace
+// leases, throw-exempt cold paths, and a justified NOLINT. Zero expected
+// diagnostics.
+
+#include <cmath>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#define EXPMK_NOALLOC
+
+namespace fixture {
+
+struct Ws {
+  std::span<double> doubles(unsigned n);
+};
+
+EXPMK_NOALLOC double leaf(double x) { return std::sqrt(std::fabs(x)); }
+
+EXPMK_NOALLOC double kernel_clean(Ws& ws, std::span<const double> in) {
+  std::span<double> scratch = ws.doubles(in.size());
+  double total = 0.0;
+  for (unsigned i = 0; i < in.size(); ++i) {
+    scratch[i] = leaf(in[i]);
+    total += std::max(scratch[i], 0.0);
+  }
+  return total;
+}
+
+EXPMK_NOALLOC double kernel_throw_exempt(std::span<const double> in) {
+  if (in.empty()) {
+    throw std::invalid_argument("empty input");  // cold path: exempt
+  }
+  return in[0];
+}
+
+std::vector<double> materialize(std::span<const double> in);
+
+EXPMK_NOALLOC double kernel_justified_capture(std::span<const double> in,
+                                              bool capture) {
+  if (capture) {
+    // NOLINTNEXTLINE(expmk-no-alloc-kernel): capture path — caller opted in
+    return materialize(in).size();
+  }
+  return in.size();
+}
+
+}  // namespace fixture

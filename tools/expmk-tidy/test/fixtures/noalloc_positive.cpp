@@ -1,0 +1,47 @@
+// Fixture: EXPMK_NOALLOC kernels that allocate — every marked line must
+// fire expmk-no-alloc-kernel. An EXPECT marker comment names the check
+// a diagnostic is required on for that line (see test_expmk_tidy.cpp).
+//
+// Deliberately-broken code: this file is analyzed, never compiled.
+
+#include <vector>
+
+#define EXPMK_NOALLOC
+
+namespace fixture {
+
+struct Sink {
+  double* data;
+};
+
+EXPMK_NOALLOC double kernel_new(int n) {
+  double* p = new double[n];  // EXPECT: expmk-no-alloc-kernel
+  double s = p[0];
+  delete[] p;  // EXPECT: expmk-no-alloc-kernel
+  return s;
+}
+
+EXPMK_NOALLOC double kernel_growth(std::vector<double>& v) {
+  v.push_back(1.0);  // EXPECT: expmk-no-alloc-kernel
+  v.resize(100);     // EXPECT: expmk-no-alloc-kernel
+  v.reserve(200);    // EXPECT: expmk-no-alloc-kernel
+  return v[0];
+}
+
+EXPMK_NOALLOC double kernel_alloc_type(int n) {
+  std::vector<double> scratch(n);  // EXPECT: expmk-no-alloc-kernel
+  return scratch[0];
+}
+
+double helper_not_annotated(double x) { return x * 2.0; }
+
+EXPMK_NOALLOC double kernel_unannotated_callee(double x) {
+  return helper_not_annotated(x);  // EXPECT: expmk-no-alloc-kernel
+}
+
+EXPMK_NOALLOC double kernel_unjustified_nolint(double x) {
+  // An expmk NOLINT without a ": justification" must NOT suppress.
+  return helper_not_annotated(x);  // NOLINT(expmk-no-alloc-kernel) EXPECT: expmk-no-alloc-kernel
+}
+
+}  // namespace fixture

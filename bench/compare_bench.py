@@ -14,6 +14,14 @@ present in BOTH files are compared. Throughput metrics (`*_per_sec`,
 `*trials_per_sec`, `speedup`) are reported for context but regressions
 in them are derived from the timing keys, so they don't double-fail.
 
+Rows can widen the gate for individual metrics: a `"tol": 0.5` field on
+a row overrides --tolerance for every timing metric in that row, and a
+`"<metric>_tol"` sibling (e.g. `"p99_us_tol": 1.5`) overrides it for one
+metric — tail latencies of a multithreaded server deserve a wider gate
+than a deterministic kernel loop. The candidate file's tolerance wins
+over the baseline's (the candidate ships the current gate); both lose to
+nothing — absent fields fall back to --tolerance.
+
 Exit codes: 0 ok (or skipped via --allow-missing), 1 regression found,
 2 usage/parse error. With --allow-missing a nonexistent baseline or
 candidate file is a skip, not an error — for CI lanes where the baseline
@@ -27,7 +35,7 @@ import json
 import sys
 
 TIMING_SUFFIXES = ("_us", "_ns", "ns_per_trial", "seconds")
-IDENTITY_KEYS = ("op", "size", "method", "tasks", "dag", "k", "bench", "retry")
+IDENTITY_KEYS = ("op", "size", "method", "tasks", "dag", "k", "bench", "retry", "arm")
 
 
 def is_timing_key(key: str) -> bool:
@@ -39,23 +47,30 @@ def row_identity(row: dict) -> tuple:
 
 
 def walk(node, path, out):
-    """Collect {metric_path: value} for every timing metric in the tree."""
+    """Collect {metric_path: (value, tolerance-or-None)} for every timing
+    metric in the tree. The tolerance comes from the metric's row: a
+    `<metric>_tol` sibling first, then the row-wide `tol` field."""
     if isinstance(node, dict):
         ident = row_identity(node) if any(k in node for k in IDENTITY_KEYS) else ()
+        row_tol = node.get("tol")
         for key, value in node.items():
             sub = path
             if ident and isinstance(value, (int, float)):
                 sub = path + (ident,)
-            walk(value, sub + (key,), out)
+            if (
+                isinstance(value, (int, float))
+                and not isinstance(value, bool)
+                and is_timing_key(key)
+            ):
+                tol = node.get(f"{key}_tol", row_tol)
+                out[sub + (key,)] = (float(value), None if tol is None else float(tol))
+            else:
+                walk(value, sub + (key,), out)
     elif isinstance(node, list):
         for i, value in enumerate(node):
             # Rows carry their own identity; fall back to index for plain lists.
             key = row_identity(value) if isinstance(value, dict) else i
             walk(value, path + (key,), out)
-    elif isinstance(node, (int, float)) and not isinstance(node, bool):
-        key = path[-1]
-        if isinstance(key, str) and is_timing_key(key):
-            out[path] = float(node)
 
 
 def fmt_path(path: tuple) -> str:
@@ -114,15 +129,17 @@ def main() -> int:
     regressions = []
     improvements = 0
     for path in shared:
-        b, c = base_metrics[path], cand_metrics[path]
+        b, btol = base_metrics[path]
+        c, ctol = cand_metrics[path]
         if b <= 0.0:
             continue
+        tol = ctol if ctol is not None else (btol if btol is not None else args.tolerance)
         ratio = c / b
         tag = ""
-        if ratio > 1.0 + args.tolerance:
+        if ratio > 1.0 + tol:
             regressions.append((path, b, c, ratio))
             tag = "  << REGRESSION"
-        elif ratio < 1.0 - args.tolerance:
+        elif ratio < 1.0 - tol:
             improvements += 1
             tag = "  (faster)"
         print(f"  {fmt_path(path):<80s} base {b:12.3f}  cand {c:12.3f}  x{ratio:5.2f}{tag}")

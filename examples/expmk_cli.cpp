@@ -40,6 +40,7 @@
 #include "graph/serialize.hpp"
 #include "graph/validate.hpp"
 #include "prob/rng.hpp"
+#include "scenario/content_hash.hpp"
 #include "scenario/scenario.hpp"
 #include "sched/fault_sim.hpp"
 #include "util/cli.hpp"
@@ -202,6 +203,12 @@ int cmd_estimate(int argc, const char* const* argv) {
                   ? "heterogeneous per-task rates"
                   : ("lambda=" + std::to_string(sc.uniform_model().lambda))
                         .c_str());
+  // The serving layer's cache key for this exact cell — paste it into an
+  // expmk_serve by-hash request, or correlate it with STATS entries.
+  std::printf("scenario-hash: %s\n",
+              scenario::content_hash_hex(
+                  scenario::content_hash(sc.dag(), sc.failure(), retry))
+                  .c_str());
 
   exp::EvalOptions opt;
   opt.mc_trials = static_cast<std::uint64_t>(cli.get_int("trials"));

@@ -1,0 +1,89 @@
+// examples/expmk_serve.cpp
+//
+// The persistent serving daemon: a loopback TCP server speaking the
+// expmk-serve-v1 protocol (length-prefixed JSON frames; see DESIGN.md
+// "Serving layer") over the library's compile-once + batch-evaluate
+// machinery. One process holds the content-hash scenario cache, the
+// batching executor and the load-shedding policy; clients — see
+// expmk_client.cpp for a reference implementation — send task graphs
+// (inline or by content hash) and get back the full certified estimate
+// surface plus cache/shed/timing metadata.
+//
+//   expmk_serve --port 7421 --cache-mb 256 --workers 0
+//   expmk_serve --port 0           # ephemeral; the bound port is printed
+//
+// The daemon exits on a protocol shutdown frame (expmk_client --shutdown)
+// or SIGINT/SIGTERM.
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <thread>
+
+#include "serve/server.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_signaled = 0;
+
+void on_signal(int) { g_signaled = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace expmk;
+
+  util::Cli cli("expmk_serve", "expmk-serve-v1 TCP daemon");
+  cli.add_int("port", 0, "TCP port on 127.0.0.1 (0 = ephemeral)");
+  cli.add_int("cache-mb", 256, "scenario cache byte budget in MiB");
+  cli.add_int("shards", 8, "scenario cache shard count");
+  cli.add_int("batch", 64, "flush a batch at this many queued requests");
+  cli.add_double("batch-deadline-us", 250.0,
+                 "... or when the oldest request waited this long");
+  cli.add_int("workers", 0, "evaluation threads (0 = hardware)");
+  cli.add_int("queue-l1", 512, "queue depth for shed level 1");
+  cli.add_int("queue-l2", 2048, "queue depth for shed level 2");
+  cli.add_int("queue-hard", 8192, "queue depth to reject outright");
+  cli.parse(argc, argv);
+
+  serve::ServerConfig config;
+  config.port = static_cast<int>(cli.get_int("port"));
+  config.engine.cache_bytes =
+      static_cast<std::size_t>(cli.get_int("cache-mb")) << 20;
+  config.engine.cache_shards =
+      static_cast<std::size_t>(cli.get_int("shards"));
+  config.engine.batch.max_batch =
+      static_cast<std::size_t>(cli.get_int("batch"));
+  config.engine.batch.deadline_us = cli.get_double("batch-deadline-us");
+  config.engine.batch.eval_threads =
+      static_cast<std::size_t>(cli.get_int("workers"));
+  config.engine.shed.queue_l1 =
+      static_cast<std::size_t>(cli.get_int("queue-l1"));
+  config.engine.shed.queue_l2 =
+      static_cast<std::size_t>(cli.get_int("queue-l2"));
+  config.engine.shed.queue_hard =
+      static_cast<std::size_t>(cli.get_int("queue-hard"));
+
+  serve::TcpServer server(config);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "expmk_serve: %s\n", e.what());
+    return 1;
+  }
+  std::printf("expmk_serve: listening on port %d\n", server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  // Wake-up sources: the engine's shutdown latch (a protocol frame) or a
+  // signal; poll the latter since a handler can't notify the latch cv.
+  while (!server.engine().shutdown_requested() && g_signaled == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("expmk_serve: shutting down (%s)\n",
+              g_signaled != 0 ? "signal" : "shutdown frame");
+  server.stop();
+  return 0;
+}

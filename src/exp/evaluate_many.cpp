@@ -10,10 +10,16 @@
 
 namespace expmk::exp {
 
-std::vector<EvalResult> evaluate_many(const scenario::Scenario& sc,
-                                      std::span<const EvalRequest> requests,
-                                      std::size_t threads,
-                                      const EvaluatorRegistry& registry) {
+namespace {
+
+/// The shared fan-out: resolves methods upfront, then runs contiguous
+/// index ranges on `pool`. Factored out so the owning-pool overload and
+/// the caller-pool overload are the same code path (and therefore
+/// bitwise-identical).
+std::vector<EvalResult> run_batch(const scenario::Scenario& sc,
+                                  std::span<const EvalRequest> requests,
+                                  util::ThreadPool& pool,
+                                  const EvaluatorRegistry& registry) {
   // Resolve every method upfront: a batch fails loudly on a typo before
   // any cell burns compute (same policy as SweepRunner::run).
   std::vector<const Evaluator*> evaluators;
@@ -30,12 +36,6 @@ std::vector<EvalResult> evaluate_many(const scenario::Scenario& sc,
   std::vector<EvalResult> results(requests.size());
   if (requests.empty()) return results;
 
-  if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  }
-  // No point spinning up workers that would never see a request.
-  threads = std::min(threads, requests.size());
-
   // One queued task per CONTIGUOUS INDEX RANGE, not per request: a batch
   // of cheap analytic requests (~1 us each pooled) must not pay a
   // packaged_task + future + mutex round-trip per request. Several
@@ -44,8 +44,8 @@ std::vector<EvalResult> evaluate_many(const scenario::Scenario& sc,
   // around, instead of pinning one worker while the rest idle. Each
   // result is a pure function of (scenario, request, index) written to
   // its own slot, so the partition does not affect the output.
-  util::ThreadPool pool(threads);
-  const std::size_t chunk_count = std::min(requests.size(), threads * 4);
+  const std::size_t chunk_count =
+      std::min(requests.size(), pool.size() * 4);
   const std::size_t per_chunk =
       (requests.size() + chunk_count - 1) / chunk_count;
   pool.parallel_for_chunks(chunk_count, [&](std::size_t chunk) {
@@ -57,9 +57,13 @@ std::vector<EvalResult> evaluate_many(const scenario::Scenario& sc,
     for (std::size_t i = begin; i < end; ++i) {
       // Deterministic per-request seed: a pure function of (request seed
       // base, batch index) — duplicate requests decorrelate, and nothing
-      // depends on which worker the request landed on.
+      // depends on which worker the request landed on. A seed_final
+      // request (the serving batcher) already derived its seed upstream,
+      // so its result is additionally independent of the batch index.
       EvalOptions options = requests[i].options;
-      options.seed = derive_seed(requests[i].options.seed, i);
+      if (!requests[i].seed_final) {
+        options.seed = derive_seed(requests[i].options.seed, i);
+      }
       // Batch parallelism comes from the fan-out; nested engine threads
       // would oversubscribe the pool (and options.threads == 1 keeps
       // each MC evaluation's chunk merge on the one worker).
@@ -68,6 +72,28 @@ std::vector<EvalResult> evaluate_many(const scenario::Scenario& sc,
     }
   });
   return results;
+}
+
+}  // namespace
+
+std::vector<EvalResult> evaluate_many(const scenario::Scenario& sc,
+                                      std::span<const EvalRequest> requests,
+                                      std::size_t threads,
+                                      const EvaluatorRegistry& registry) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  // No point spinning up workers that would never see a request.
+  threads = std::min(threads, std::max<std::size_t>(1, requests.size()));
+  util::ThreadPool pool(threads);
+  return run_batch(sc, requests, pool, registry);
+}
+
+std::vector<EvalResult> evaluate_many(const scenario::Scenario& sc,
+                                      std::span<const EvalRequest> requests,
+                                      util::ThreadPool& pool,
+                                      const EvaluatorRegistry& registry) {
+  return run_batch(sc, requests, pool, registry);
 }
 
 }  // namespace expmk::exp

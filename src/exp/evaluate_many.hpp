@@ -30,6 +30,7 @@
 
 #include "exp/evaluator.hpp"
 #include "scenario/scenario.hpp"
+#include "util/thread_pool.hpp"
 
 namespace expmk::exp {
 
@@ -43,6 +44,13 @@ struct EvalRequest {
   /// MC streams. `options.threads` is forced to 1 — batch parallelism
   /// comes from the request fan-out, not from nested engine threads.
   EvalOptions options{};
+  /// When true, `options.seed` reaches the evaluator VERBATIM instead of
+  /// the default derive_seed(options.seed, index). This is the serving
+  /// layer's hookup (src/serve/batcher.hpp): the batching executor
+  /// derives per-connection seeds UPSTREAM of batch formation, so a
+  /// request's result must not depend on which flush — or which position
+  /// within a flush — it happened to land in.
+  bool seed_final = false;
 };
 
 /// Evaluates every request against `sc` on `threads` workers (0 =
@@ -53,6 +61,16 @@ struct EvalRequest {
 [[nodiscard]] std::vector<EvalResult> evaluate_many(
     const scenario::Scenario& sc, std::span<const EvalRequest> requests,
     std::size_t threads = 0,
+    const EvaluatorRegistry& registry = EvaluatorRegistry::builtin());
+
+/// Same contract, but fans the batch over a CALLER-OWNED pool instead of
+/// constructing one per call. A long-lived server flushing small batches
+/// at high rate (src/serve/batcher.hpp) cannot afford thread create +
+/// join per flush; results are still index-aligned and bitwise
+/// independent of the pool size.
+[[nodiscard]] std::vector<EvalResult> evaluate_many(
+    const scenario::Scenario& sc, std::span<const EvalRequest> requests,
+    util::ThreadPool& pool,
     const EvaluatorRegistry& registry = EvaluatorRegistry::builtin());
 
 }  // namespace expmk::exp

@@ -1,0 +1,157 @@
+#include "serve/cache.hpp"
+
+#include <algorithm>
+
+namespace expmk::serve {
+
+std::size_t scenario_footprint_bytes(
+    const scenario::Scenario& sc) noexcept {
+  const std::size_t tasks = sc.task_count();
+  const std::size_t edges = sc.dag().edge_count();
+  // Per task: 7 cached double planes + exits/topo/orders (~4 u32 planes)
+  // + the Dag copy's name, weight and adjacency bookkeeping (~96 bytes
+  // amortized). Per edge: forward + reverse adjacency slots in the Dag
+  // and the CSR index plane. Plus a fixed overhead for the object
+  // shells. An estimate, not an audit — see the file comment.
+  return tasks * (7 * sizeof(double) + 4 * sizeof(std::uint32_t) + 96) +
+         edges * 3 * sizeof(std::uint32_t) + 1024;
+}
+
+ScenarioCache::ScenarioCache(std::size_t byte_budget, std::size_t shards)
+    : per_shard_budget_(byte_budget / std::max<std::size_t>(1, shards)),
+      shards_(std::max<std::size_t>(1, shards)) {}
+
+void ScenarioCache::insert_locked(Shard& s, std::uint64_t key,
+                                  ScenarioPtr sc) {
+  const auto found = s.entries.find(key);
+  if (found != s.entries.end()) {
+    // A racing caller landed the same key first (possible when an entry
+    // was evicted between ticket creation and re-insert); keep theirs.
+    return;
+  }
+  s.lru.push_front(key);
+  Entry e;
+  e.bytes = scenario_footprint_bytes(*sc);
+  e.scenario = std::move(sc);
+  e.lru_pos = s.lru.begin();
+  s.bytes += e.bytes;
+  s.entries.emplace(key, std::move(e));
+  // Evict from the LRU tail past the shard budget — but never the entry
+  // just inserted: a scenario bigger than the whole budget must still
+  // serve the request that compiled it.
+  while (s.bytes > per_shard_budget_ && s.entries.size() > 1) {
+    const std::uint64_t victim = s.lru.back();
+    const auto it = s.entries.find(victim);
+    s.bytes -= it->second.bytes;
+    s.entries.erase(it);
+    s.lru.pop_back();
+    ++s.evictions;
+  }
+}
+
+ScenarioCache::ScenarioPtr ScenarioCache::get_or_compile(
+    std::uint64_t key, const CompileFn& compile, Outcome* outcome) {
+  Shard& s = shard_for(key);
+  std::shared_ptr<InFlight> ticket;
+  bool owner = false;
+  {
+    const std::lock_guard<std::mutex> lock(s.m);
+    const auto found = s.entries.find(key);
+    if (found != s.entries.end()) {
+      // Touch: move to the LRU front.
+      s.lru.splice(s.lru.begin(), s.lru, found->second.lru_pos);
+      ++s.hits;
+      if (outcome != nullptr) *outcome = Outcome::Hit;
+      return found->second.scenario;
+    }
+    const auto flying = s.inflight.find(key);
+    if (flying != s.inflight.end()) {
+      ticket = flying->second;
+      ++s.coalesced;
+    } else {
+      ticket = std::make_shared<InFlight>();
+      s.inflight.emplace(key, ticket);
+      owner = true;
+      ++s.misses;
+    }
+  }
+
+  if (!owner) {
+    // Singleflight wait: share the owner's result or exception.
+    std::unique_lock<std::mutex> lock(ticket->m);
+    ticket->cv.wait(lock, [&] { return ticket->done; });
+    if (outcome != nullptr) *outcome = Outcome::Coalesced;
+    if (ticket->error) std::rethrow_exception(ticket->error);
+    return ticket->result;
+  }
+
+  // Owner path: compile OUTSIDE the shard lock (a compile is the ~20x
+  // expensive operation the cache exists to amortize; holding the lock
+  // would serialize unrelated keys in this shard behind it).
+  ScenarioPtr sc;
+  std::exception_ptr error;
+  try {
+    sc = compile();
+    if (sc == nullptr) {
+      throw std::logic_error(
+          "ScenarioCache: compile callback returned null");
+    }
+  } catch (...) {
+    error = std::current_exception();
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(s.m);
+    if (error == nullptr) {
+      insert_locked(s, key, sc);
+      ++s.compiles;
+    }
+    // A failed compile is NOT cached: drop the ticket so the next
+    // request retries (the failure may have been transient input).
+    s.inflight.erase(key);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(ticket->m);
+    ticket->result = sc;
+    ticket->error = error;
+    ticket->done = true;
+  }
+  ticket->cv.notify_all();
+
+  if (outcome != nullptr) *outcome = Outcome::Miss;
+  if (error) std::rethrow_exception(error);
+  return sc;
+}
+
+ScenarioCache::ScenarioPtr ScenarioCache::lookup(std::uint64_t key,
+                                                 Outcome* outcome) {
+  Shard& s = shard_for(key);
+  const std::lock_guard<std::mutex> lock(s.m);
+  const auto found = s.entries.find(key);
+  if (found == s.entries.end()) {
+    ++s.misses;
+    if (outcome != nullptr) *outcome = Outcome::Absent;
+    return nullptr;
+  }
+  s.lru.splice(s.lru.begin(), s.lru, found->second.lru_pos);
+  ++s.hits;
+  if (outcome != nullptr) *outcome = Outcome::Hit;
+  return found->second.scenario;
+}
+
+CacheStats ScenarioCache::stats() const {
+  CacheStats out;
+  for (const Shard& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s.m);
+    out.hits += s.hits;
+    out.misses += s.misses;
+    out.coalesced += s.coalesced;
+    out.compiles += s.compiles;
+    out.evictions += s.evictions;
+    out.entries += s.entries.size();
+    out.bytes += s.bytes;
+  }
+  return out;
+}
+
+}  // namespace expmk::serve

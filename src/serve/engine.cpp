@@ -1,0 +1,306 @@
+#include "serve/engine.hpp"
+
+#include <exception>
+#include <memory>
+#include <utility>
+
+#include "exp/evaluate_many.hpp"
+#include "exp/seeds.hpp"
+#include "graph/serialize.hpp"
+#include "scenario/content_hash.hpp"
+#include "serve/protocol.hpp"
+#include "util/json_writer.hpp"
+#include "util/timer.hpp"
+
+namespace expmk::serve {
+
+namespace {
+
+std::string_view outcome_name(ScenarioCache::Outcome outcome) {
+  switch (outcome) {
+    case ScenarioCache::Outcome::Hit:
+      return "hit";
+    case ScenarioCache::Outcome::Miss:
+      return "miss";
+    case ScenarioCache::Outcome::Coalesced:
+      return "coalesced";
+    case ScenarioCache::Outcome::Absent:
+      return "absent";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+ServeEngine::ServeEngine(const EngineConfig& config,
+                         const exp::EvaluatorRegistry& registry)
+    : config_(config),
+      registry_(registry),
+      cache_(config.cache_bytes, config.cache_shards),
+      shed_(config.shed),
+      batcher_(config.batch, registry) {}
+
+void ServeEngine::wait_shutdown() {
+  std::unique_lock<std::mutex> lock(shutdown_m_);
+  shutdown_cv_.wait(lock, [&] {
+    return shutdown_.load(std::memory_order_acquire);
+  });
+}
+
+EngineStats ServeEngine::stats() const {
+  EngineStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.shed_degraded = shed_degraded_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::string ServeEngine::stats_payload() const {
+  const EngineStats es = stats();
+  const CacheStats cs = cache_.stats();
+  const BatchStats bs = batcher_.stats();
+
+  util::JsonWriter cache;
+  cache.field("hits", cs.hits);
+  cache.field("misses", cs.misses);
+  cache.field("coalesced", cs.coalesced);
+  cache.field("compiles", cs.compiles);
+  cache.field("evictions", cs.evictions);
+  cache.field("entries", cs.entries);
+  cache.field("bytes", cs.bytes);
+
+  util::JsonWriter batch;
+  batch.field("submitted", bs.submitted);
+  batch.field("completed", bs.completed);
+  batch.field("flushes", bs.flushes);
+  batch.field("max_batch_seen", bs.max_batch_seen);
+
+  util::JsonWriter w;
+  w.field("v", 1);
+  w.field("type", "stats");
+  w.field("requests", es.requests);
+  w.field("shed_degraded", es.shed_degraded);
+  w.field("rejected", es.rejected);
+  w.field("errors", es.errors);
+  w.field("queue_depth", batcher_.queue_depth());
+  w.field("p50_us", latency_.quantile(0.50));
+  w.field("p99_us", latency_.quantile(0.99));
+  w.object("cache", cache);
+  w.object("batch", batch);
+  return w.str();
+}
+
+void ServeEngine::handle(std::string_view payload, Connection& conn,
+                         ResponseFn respond) {
+  util::Timer total;
+  WireRequest req;
+  try {
+    req = parse_request(payload);
+  } catch (const ProtocolError& e) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    respond(error_response(e.code(), e.what()));
+    return;
+  }
+
+  if (req.type == WireRequest::Type::Stats) {
+    respond(stats_payload());
+    return;
+  }
+  if (req.type == WireRequest::Type::Shutdown) {
+    respond(ok_response(req.has_id, req.id));
+    {
+      const std::lock_guard<std::mutex> lock(shutdown_m_);
+      shutdown_.store(true, std::memory_order_release);
+    }
+    shutdown_cv_.notify_all();
+    return;
+  }
+
+  // ---- eval: resolve the scenario through the content-hash cache ------
+  std::shared_ptr<const scenario::Scenario> sc;
+  std::uint64_t hash = 0;
+  ScenarioCache::Outcome outcome = ScenarioCache::Outcome::Absent;
+  try {
+    if (req.has_hash) {
+      hash = req.hash;
+      sc = cache_.lookup(hash, &outcome);
+      if (sc == nullptr) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        respond(error_response(
+            "not_found",
+            "no cached scenario for hash " +
+                scenario::content_hash_hex(hash) +
+                " (send the graph inline once to populate it)",
+            req.has_id, req.id));
+        return;
+      }
+    } else {
+      graph::TaskGraphFile file;
+      try {
+        file = graph::taskgraph_file_from_string(req.graph_text);
+      } catch (const std::exception& e) {
+        throw ProtocolError("bad_graph", e.what());
+      }
+      scenario::FailureSpec spec;
+      if (req.use_rates) {
+        if (!file.has_rates()) {
+          throw ProtocolError(
+              "bad_graph",
+              "\"use_rates\" requires a version-2 graph with per-task "
+              "rates");
+        }
+        spec = scenario::FailureSpec::per_task(file.rates);
+      } else if (req.has_lambda) {
+        spec = scenario::FailureSpec::uniform(req.lambda);
+      } else {
+        try {
+          spec = scenario::FailureSpec(
+              core::calibrate(file.dag, req.pfail));
+        } catch (const std::exception& e) {
+          throw ProtocolError("bad_graph", e.what());
+        }
+      }
+      hash = scenario::content_hash(file.dag, spec, req.retry);
+      try {
+        sc = cache_.get_or_compile(
+            hash,
+            [&]() -> ScenarioCache::ScenarioPtr {
+              return std::make_shared<const scenario::Scenario>(
+                  scenario::Scenario::compile(file.dag, spec, req.retry));
+            },
+            &outcome);
+      } catch (const std::exception& e) {
+        throw ProtocolError("bad_graph", e.what());
+      }
+    }
+  } catch (const ProtocolError& e) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    respond(error_response(e.code(), e.what(), req.has_id, req.id));
+    return;
+  }
+
+  if (registry_.find(req.method) == nullptr) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    respond(error_response("unknown_method",
+                           "no evaluator named \"" + req.method + "\"",
+                           req.has_id, req.id));
+    return;
+  }
+
+  // ---- admission: hard-limit reject, else the degrade ladder ----------
+  const std::size_t depth = batcher_.queue_depth();
+  if (shed_.reject(depth)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    respond(error_response(
+        "overloaded",
+        "queue depth " + std::to_string(depth) + " is at the hard limit",
+        req.has_id, req.id));
+    return;
+  }
+  const int level = shed_.level(depth, latency_.quantile(0.99));
+  const ShedDecision decision = shed_.degrade(level, req.method, req.trials);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (decision.degraded) {
+    shed_degraded_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // ---- per-connection deterministic seed chain ------------------------
+  const std::uint64_t request_index = conn.next_index++;
+  const std::uint64_t derived_seed = exp::derive_seed(req.seed, request_index);
+
+  exp::EvalRequest eval;
+  eval.method = std::string(decision.method);
+  eval.options.mc_trials = decision.mc_trials;
+  eval.options.seed = derived_seed;
+  eval.options.dodin_atoms = static_cast<std::size_t>(req.dodin_atoms);
+  eval.options.sp_max_atoms = static_cast<std::size_t>(req.max_atoms);
+  eval.seed_final = true;  // the chain above IS the derivation
+
+  // Callback state (copied into the std::function): everything the
+  // response needs, with owned strings — `req` dies when handle returns.
+  struct Ctx {
+    bool has_id;
+    std::uint64_t id;
+    std::uint64_t hash;
+    std::string cache;
+    std::string method_requested;
+    std::string method_used;
+    int shed_level;
+    bool degraded;
+    std::uint64_t trials_requested;
+    std::uint64_t trials_used;
+    std::uint64_t seed;
+    std::uint64_t request_index;
+    std::uint64_t derived_seed;
+    util::Timer total;
+  };
+  auto ctx = std::make_shared<Ctx>();
+  ctx->has_id = req.has_id;
+  ctx->id = req.id;
+  ctx->hash = hash;
+  ctx->cache = std::string(outcome_name(outcome));
+  ctx->method_requested = req.method;
+  ctx->method_used = eval.method;
+  ctx->shed_level = decision.level;
+  ctx->degraded = decision.degraded;
+  ctx->trials_requested = req.trials;
+  ctx->trials_used = decision.mc_trials;
+  ctx->seed = req.seed;
+  ctx->request_index = request_index;
+  ctx->derived_seed = derived_seed;
+  ctx->total = total;
+
+  batcher_.submit(
+      std::move(sc), std::move(eval),
+      [this, ctx, respond = std::move(respond)](
+          exp::EvalResult&& result) mutable {
+        ResponseMeta meta;
+        meta.has_id = ctx->has_id;
+        meta.id = ctx->id;
+        meta.hash = ctx->hash;
+        meta.cache = ctx->cache;
+        meta.method_requested = ctx->method_requested;
+        meta.method_used = ctx->method_used;
+        meta.shed_level = ctx->shed_level;
+        meta.degraded = ctx->degraded;
+        meta.trials_requested = ctx->trials_requested;
+        meta.trials_used = ctx->trials_used;
+        meta.seed = ctx->seed;
+        meta.request_index = ctx->request_index;
+        meta.derived_seed = ctx->derived_seed;
+        meta.total_us = ctx->total.seconds() * 1e6;
+        latency_.record(meta.total_us);
+        respond(result_response(result, meta));
+      });
+}
+
+std::string ServeEngine::handle_sync(std::string_view payload,
+                                     Connection& conn) {
+  // The callback may run on the batch flusher thread, which can still be
+  // inside notify_one() when the waiter observes done and returns — so
+  // the synchronization state must outlive BOTH sides. Each side holds a
+  // shared_ptr; whoever finishes last destroys the condvar.
+  struct SyncState {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    std::string out;
+  };
+  const auto state = std::make_shared<SyncState>();
+  handle(payload, conn, [state](std::string&& response) {
+    {
+      const std::lock_guard<std::mutex> lock(state->m);
+      state->out = std::move(response);
+      state->done = true;
+    }
+    state->cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(state->m);
+  state->cv.wait(lock, [&] { return state->done; });
+  std::string out = std::move(state->out);
+  lock.unlock();
+  return out;
+}
+
+}  // namespace expmk::serve

@@ -1,0 +1,25 @@
+#include "serve/shed.hpp"
+
+#include <algorithm>
+
+namespace expmk::serve {
+
+double LatencyWindow::quantile(double q) const noexcept {
+  double sorted[kCapacity];
+  std::size_t n;
+  {
+    const std::lock_guard<std::mutex> lock(m_);
+    n = count_;
+    std::copy(ring_, ring_ + n, sorted);
+  }
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(sorted, sorted + n);
+  // Nearest-rank on the sorted window: the highest sample at p99 of a
+  // 512-deep ring, matching how the bench reports its percentiles.
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(n - 1) + 0.5);
+  return sorted[std::min(rank, n - 1)];
+}
+
+}  // namespace expmk::serve

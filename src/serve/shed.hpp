@@ -1,0 +1,151 @@
+// serve/shed.hpp
+//
+// Degrade-don't-queue admission for the serving daemon. When the batch
+// queue deepens or the measured response p99 crosses a threshold, the
+// engine does NOT let latency grow unboundedly — it substitutes a
+// cheaper method along the documented accuracy ladder and SAYS SO in the
+// response (method_requested / method_used / shed_level), so a client
+// always knows what estimate it actually got. Only past a hard queue
+// limit are requests rejected outright, with a typed "overloaded" error
+// frame.
+//
+// The ladder (DESIGN.md "Serving layer") follows the registry's accuracy
+// contracts — each step trades a documented amount of accuracy for
+// orders of magnitude of cost:
+//
+//   level 1 (soft pressure):  exact, exact.geo -> sp   (exact on SP
+//                             DAGs, certified-envelope approximation
+//                             otherwise); mc / cmc trial count capped at
+//                             mc_trials_l1.
+//   level 2 (heavy pressure): exact, exact.geo, sp -> fo (the paper's
+//                             O(V+E) first-order estimate); mc / cmc
+//                             capped at mc_trials_l2.
+//   reject (hard limit):      queue_depth >= queue_hard -> typed error,
+//                             never an unbounded queue.
+//
+// Methods outside the ladder (so, dodin, sculli, corlca, clark, bounds.*)
+// already sit at or below fo-level cost for their graph sizes and pass
+// through unchanged. The decision is a pure function of (queue depth,
+// p99, config) — unit-testable without a server (tests/test_serve.cpp).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+
+#include "util/contracts.hpp"
+
+namespace expmk::serve {
+
+/// Thresholds for the degrade ladder. Levels trigger on EITHER queue
+/// depth or measured p99 (the max of the two signals' levels); the hard
+/// limit triggers on queue depth alone.
+struct ShedConfig {
+  std::size_t queue_l1 = 512;    ///< queued requests >= this -> level 1
+  std::size_t queue_l2 = 2048;   ///< queued requests >= this -> level 2
+  std::size_t queue_hard = 8192; ///< queued requests >= this -> reject
+  double p99_l1_us = 50'000.0;   ///< measured p99 >= this -> level 1
+  double p99_l2_us = 250'000.0;  ///< measured p99 >= this -> level 2
+  std::uint64_t mc_trials_l1 = 20'000;  ///< mc/cmc trial cap at level 1
+  std::uint64_t mc_trials_l2 = 2'000;   ///< mc/cmc trial cap at level 2
+};
+
+/// The outcome of admission for one request.
+struct ShedDecision {
+  int level = 0;                 ///< 0 = as requested, 1 / 2 = degraded
+  std::string_view method;       ///< method to actually run
+  std::uint64_t mc_trials = 0;   ///< trial count to actually run
+  bool degraded = false;         ///< method or trial count was substituted
+};
+
+/// Pure decision functions over the config (no I/O, no clock).
+class ShedPolicy {
+ public:
+  ShedPolicy() = default;
+  explicit ShedPolicy(const ShedConfig& config) : config_(config) {}
+
+  [[nodiscard]] const ShedConfig& config() const noexcept { return config_; }
+
+  /// Hard-limit check: true means reject with a typed error frame.
+  EXPMK_NOALLOC [[nodiscard]] bool reject(
+      std::size_t queue_depth) const noexcept {
+    return queue_depth >= config_.queue_hard;
+  }
+
+  /// Ladder level for the current pressure signals (0, 1 or 2).
+  EXPMK_NOALLOC [[nodiscard]] int level(std::size_t queue_depth,
+                                        double p99_us) const noexcept {
+    int lvl = 0;
+    if (queue_depth >= config_.queue_l1) lvl = 1;
+    if (queue_depth >= config_.queue_l2) lvl = 2;
+    if (p99_us >= config_.p99_l1_us && lvl < 1) lvl = 1;
+    if (p99_us >= config_.p99_l2_us && lvl < 2) lvl = 2;
+    return lvl;
+  }
+
+  /// Applies the ladder to one request. `method` must outlive the
+  /// returned decision (the view aliases either the argument or a string
+  /// literal).
+  EXPMK_NOALLOC [[nodiscard]] ShedDecision degrade(
+      int lvl, std::string_view method,
+      std::uint64_t mc_trials) const noexcept {
+    ShedDecision d;
+    d.level = lvl;
+    d.method = method;
+    d.mc_trials = mc_trials;
+    if (lvl <= 0) return d;
+    if (method == "exact" || method == "exact.geo") {
+      d.method = lvl == 1 ? std::string_view("sp") : std::string_view("fo");
+      d.degraded = true;
+    } else if (method == "sp" && lvl >= 2) {
+      d.method = "fo";
+      d.degraded = true;
+    } else if (method == "mc" || method == "cmc") {
+      const std::uint64_t cap =
+          lvl == 1 ? config_.mc_trials_l1 : config_.mc_trials_l2;
+      if (mc_trials > cap) {
+        d.mc_trials = cap;
+        d.degraded = true;
+      }
+    }
+    return d;
+  }
+
+ private:
+  ShedConfig config_;
+};
+
+/// Fixed-size ring of recent response latencies feeding the p99 signal.
+/// Thread-safe; the ring never allocates after construction.
+class LatencyWindow {
+ public:
+  static constexpr std::size_t kCapacity = 512;
+
+  /// Records one response latency in microseconds.
+  void record(double us) noexcept {
+    const std::lock_guard<std::mutex> lock(m_);
+    ring_[head_] = us;
+    head_ = (head_ + 1) % kCapacity;
+    if (count_ < kCapacity) ++count_;
+  }
+
+  /// Number of samples currently held (saturates at kCapacity).
+  [[nodiscard]] std::size_t count() const noexcept {
+    const std::lock_guard<std::mutex> lock(m_);
+    return count_;
+  }
+
+  /// The q-quantile (q in [0, 1]) of the held samples; 0 when empty.
+  /// Sorts a stack copy of the ring — bounded work, no allocation.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+ private:
+  mutable std::mutex m_;
+  double ring_[kCapacity] = {};
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace expmk::serve

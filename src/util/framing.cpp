@@ -1,0 +1,63 @@
+#include "util/framing.hpp"
+
+#include <stdexcept>
+
+namespace expmk::util {
+
+std::string encode_frame(std::string_view payload,
+                         std::size_t max_frame_bytes) {
+  if (payload.empty()) {
+    throw std::invalid_argument("encode_frame: empty payload");
+  }
+  if (payload.size() > max_frame_bytes) {
+    throw std::invalid_argument("encode_frame: payload of " +
+                                std::to_string(payload.size()) +
+                                " bytes exceeds the frame limit of " +
+                                std::to_string(max_frame_bytes));
+  }
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  unsigned char header[kFrameHeaderBytes];
+  encode_frame_header(static_cast<std::uint32_t>(payload.size()), header);
+  out.append(reinterpret_cast<const char*>(header), kFrameHeaderBytes);
+  out.append(payload);
+  return out;
+}
+
+void FrameDecoder::feed(std::string_view bytes) {
+  if (poisoned_) return;
+  // Compact the already-consumed prefix before growing: a long-lived
+  // connection must not accumulate every frame it ever received.
+  if (consumed_ > 0) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(bytes);
+}
+
+FrameDecoder::Status FrameDecoder::next(std::string& payload) {
+  if (poisoned_) return Status::Error;
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderBytes) return Status::NeedMore;
+  const auto* head =
+      reinterpret_cast<const unsigned char*>(buffer_.data() + consumed_);
+  const std::uint32_t length = decode_frame_header(head);
+  if (length == 0) {
+    poisoned_ = true;
+    error_ = "zero-length frame";
+    return Status::Error;
+  }
+  if (length > max_frame_bytes_) {
+    poisoned_ = true;
+    error_ = "oversized frame: " + std::to_string(length) +
+             " bytes exceeds the limit of " +
+             std::to_string(max_frame_bytes_);
+    return Status::Error;
+  }
+  if (available < kFrameHeaderBytes + length) return Status::NeedMore;
+  payload.assign(buffer_, consumed_ + kFrameHeaderBytes, length);
+  consumed_ += kFrameHeaderBytes + length;
+  return Status::Frame;
+}
+
+}  // namespace expmk::util

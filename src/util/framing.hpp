@@ -1,0 +1,106 @@
+// util/framing.hpp
+//
+// The length-prefixed framing layer of the expmk-serve-v1 wire protocol
+// (src/serve/): every message on a connection is one frame
+//
+//     [ 4-byte big-endian payload length | payload bytes ]
+//
+// with a JSON payload. The framing layer is deliberately socket-free —
+// FrameDecoder consumes arbitrary byte slices (however the transport
+// chunked them) and yields complete payloads, so the whole protocol
+// parse path is unit-testable without a network (tests/
+// test_serve_framing.cpp feeds frames one byte at a time).
+//
+// Error policy: a frame that declares a zero length or a length above the
+// decoder's limit poisons the decoder (Status::Error with a reason) — a
+// length-prefixed stream has no way to resynchronize after a corrupt
+// header, so the connection must be closed. Truncation is NOT an error
+// mid-stream (Status::NeedMore); the transport decides at EOF whether
+// leftover bytes mean a truncated frame (FrameDecoder::pending()).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/contracts.hpp"
+
+namespace expmk::util {
+
+/// Bytes in the length prefix.
+inline constexpr std::size_t kFrameHeaderBytes = 4;
+
+/// Default per-frame payload limit (16 MiB — a ~1M-task taskgraph-v2
+/// file fits with room to spare; anything larger is almost certainly a
+/// corrupt or hostile header).
+inline constexpr std::size_t kDefaultMaxFrameBytes = 16u << 20;
+
+/// Writes the 4-byte big-endian length prefix for a `payload_bytes`-byte
+/// payload into `out`.
+EXPMK_NOALLOC inline void encode_frame_header(std::uint32_t payload_bytes,
+                                              unsigned char out[4]) noexcept {
+  out[0] = static_cast<unsigned char>(payload_bytes >> 24);
+  out[1] = static_cast<unsigned char>(payload_bytes >> 16);
+  out[2] = static_cast<unsigned char>(payload_bytes >> 8);
+  out[3] = static_cast<unsigned char>(payload_bytes);
+}
+
+/// Reads a 4-byte big-endian length prefix.
+EXPMK_NOALLOC inline std::uint32_t decode_frame_header(
+    const unsigned char in[4]) noexcept {
+  return (static_cast<std::uint32_t>(in[0]) << 24) |
+         (static_cast<std::uint32_t>(in[1]) << 16) |
+         (static_cast<std::uint32_t>(in[2]) << 8) |
+         static_cast<std::uint32_t>(in[3]);
+}
+
+/// Encodes one complete frame (header + payload). Throws
+/// std::invalid_argument when the payload is empty or larger than
+/// `max_frame_bytes` — the encoder enforces the same limits the decoder
+/// rejects, so a conforming peer can never emit a poisoning frame.
+[[nodiscard]] std::string encode_frame(
+    std::string_view payload,
+    std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+/// Incremental frame extractor over an arbitrary chunking of the byte
+/// stream. feed() appends transport bytes; next() yields complete
+/// payloads until the buffer runs dry (NeedMore) or the stream is
+/// poisoned (Error; see the file comment).
+class FrameDecoder {
+ public:
+  enum class Status {
+    NeedMore,  ///< no complete frame buffered; feed() more bytes
+    Frame,     ///< one payload extracted into the out-param
+    Error,     ///< stream poisoned; error() says why — close the transport
+  };
+
+  explicit FrameDecoder(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Appends transport bytes. No-op once poisoned.
+  void feed(std::string_view bytes);
+
+  /// Extracts the next complete payload. Status::Frame fills `payload`;
+  /// call again — one feed() may complete several frames.
+  [[nodiscard]] Status next(std::string& payload);
+
+  /// Why the decoder poisoned (empty until Status::Error).
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+  /// Bytes buffered but not yet returned as a frame. Nonzero at transport
+  /// EOF means the peer sent a truncated frame.
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return buffer_.size() - consumed_;
+  }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::string buffer_;
+  std::size_t consumed_ = 0;  // prefix of buffer_ already handed out
+  bool poisoned_ = false;
+  std::string error_;
+};
+
+}  // namespace expmk::util

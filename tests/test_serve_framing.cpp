@@ -1,0 +1,124 @@
+// Tests for the expmk-serve-v1 framing layer (util/framing.hpp):
+//
+//  * encode/decode round-trips, including multiple frames per feed and a
+//    one-byte-at-a-time transport chunking;
+//  * the encoder refuses what the decoder would poison on (empty,
+//    oversized), so a conforming peer can't emit a bad frame;
+//  * zero-length and oversized headers poison the decoder permanently;
+//  * truncation is NeedMore mid-stream, visible via pending() at EOF.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/framing.hpp"
+
+namespace {
+
+using expmk::util::decode_frame_header;
+using expmk::util::encode_frame;
+using expmk::util::encode_frame_header;
+using expmk::util::FrameDecoder;
+using expmk::util::kFrameHeaderBytes;
+
+TEST(ServeFraming, HeaderRoundTrip) {
+  unsigned char buf[4];
+  for (const std::uint32_t n :
+       {1u, 2u, 255u, 256u, 65536u, 0x01020304u, 0xFFFFFFFFu}) {
+    encode_frame_header(n, buf);
+    EXPECT_EQ(decode_frame_header(buf), n);
+  }
+  encode_frame_header(0x01020304u, buf);
+  EXPECT_EQ(buf[0], 0x01);  // big-endian on the wire
+  EXPECT_EQ(buf[3], 0x04);
+}
+
+TEST(ServeFraming, EncodeThenDecodeRoundTrips) {
+  const std::string payload = R"({"v":1,"type":"stats"})";
+  const std::string frame = encode_frame(payload);
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + payload.size());
+
+  FrameDecoder decoder;
+  decoder.feed(frame);
+  std::string out;
+  ASSERT_EQ(decoder.next(out), FrameDecoder::Status::Frame);
+  EXPECT_EQ(out, payload);
+  EXPECT_EQ(decoder.next(out), FrameDecoder::Status::NeedMore);
+  EXPECT_EQ(decoder.pending(), 0u);
+}
+
+TEST(ServeFraming, ByteAtATimeChunking) {
+  const std::string frame = encode_frame("hello") + encode_frame("world");
+  FrameDecoder decoder;
+  std::vector<std::string> payloads;
+  std::string out;
+  for (const char byte : frame) {
+    decoder.feed(std::string_view(&byte, 1));
+    while (decoder.next(out) == FrameDecoder::Status::Frame) {
+      payloads.push_back(out);
+    }
+  }
+  ASSERT_EQ(payloads.size(), 2u);
+  EXPECT_EQ(payloads[0], "hello");
+  EXPECT_EQ(payloads[1], "world");
+}
+
+TEST(ServeFraming, ManyFramesInOneFeed) {
+  std::string stream;
+  for (int i = 0; i < 16; ++i) {
+    stream += encode_frame("payload-" + std::to_string(i));
+  }
+  FrameDecoder decoder;
+  decoder.feed(stream);
+  std::string out;
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_EQ(decoder.next(out), FrameDecoder::Status::Frame) << i;
+    EXPECT_EQ(out, "payload-" + std::to_string(i));
+  }
+  EXPECT_EQ(decoder.next(out), FrameDecoder::Status::NeedMore);
+}
+
+TEST(ServeFraming, EncoderRejectsEmptyAndOversized) {
+  EXPECT_THROW((void)encode_frame(""), std::invalid_argument);
+  EXPECT_THROW((void)encode_frame(std::string(17, 'x'), 16),
+               std::invalid_argument);
+  EXPECT_NO_THROW((void)encode_frame(std::string(16, 'x'), 16));
+}
+
+TEST(ServeFraming, ZeroLengthHeaderPoisons) {
+  FrameDecoder decoder;
+  decoder.feed(std::string_view("\0\0\0\0", 4));
+  std::string out;
+  ASSERT_EQ(decoder.next(out), FrameDecoder::Status::Error);
+  EXPECT_FALSE(decoder.error().empty());
+  // Poisoned for good: further feeds don't resurrect the stream.
+  decoder.feed(encode_frame("ok"));
+  EXPECT_EQ(decoder.next(out), FrameDecoder::Status::Error);
+}
+
+TEST(ServeFraming, OversizedHeaderPoisons) {
+  FrameDecoder decoder(/*max_frame_bytes=*/64);
+  unsigned char header[4];
+  encode_frame_header(65, header);
+  decoder.feed(
+      std::string_view(reinterpret_cast<const char*>(header), 4));
+  std::string out;
+  ASSERT_EQ(decoder.next(out), FrameDecoder::Status::Error);
+  EXPECT_NE(decoder.error().find("65"), std::string::npos);
+}
+
+TEST(ServeFraming, TruncationIsNeedMoreWithPendingBytes) {
+  const std::string frame = encode_frame("truncated-payload");
+  FrameDecoder decoder;
+  decoder.feed(std::string_view(frame).substr(0, frame.size() - 3));
+  std::string out;
+  EXPECT_EQ(decoder.next(out), FrameDecoder::Status::NeedMore);
+  EXPECT_GT(decoder.pending(), 0u);  // EOF now would mean a truncated frame
+  decoder.feed(std::string_view(frame).substr(frame.size() - 3));
+  ASSERT_EQ(decoder.next(out), FrameDecoder::Status::Frame);
+  EXPECT_EQ(out, "truncated-payload");
+  EXPECT_EQ(decoder.pending(), 0u);
+}
+
+}  // namespace

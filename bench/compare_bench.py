@@ -35,11 +35,18 @@ import json
 import sys
 
 TIMING_SUFFIXES = ("_us", "_ns", "ns_per_trial", "seconds")
+# Resource metrics gated like timings: bigger is a regression. rss_bytes
+# rows (bench_scale) pin peak memory at the million-task scale.
+RESOURCE_SUFFIXES = ("rss_bytes",)
 IDENTITY_KEYS = ("op", "size", "method", "tasks", "dag", "k", "bench", "retry", "arm")
 
 
 def is_timing_key(key: str) -> bool:
-    return key.endswith(TIMING_SUFFIXES) or key in ("seconds", "ns_per_trial")
+    return (
+        key.endswith(TIMING_SUFFIXES)
+        or key.endswith(RESOURCE_SUFFIXES)
+        or key in ("seconds", "ns_per_trial")
+    )
 
 
 def row_identity(row: dict) -> tuple:

@@ -59,7 +59,8 @@ int usage() {
                "[--seed S] [--pfail P --rate-spread F] --out FILE\n"
                "  estimate  --graph FILE (--pfail P | --use-rates) "
                "[--method all|<registry name>] [--retry twostate|geometric] "
-               "[--trials N] [--repeat N] [--max-atoms N]\n"
+               "[--trials N] [--repeat N] [--max-atoms N] "
+               "[--patch TASK=RATE[,TASK=RATE...]]\n"
                "  dot       --graph FILE --out FILE\n"
                "  schedule  --graph FILE --p N (--pfail P | --use-rates) "
                "[--runs N]\n"
@@ -180,6 +181,11 @@ int cmd_estimate(int argc, const char* const* argv) {
   cli.add_int("repeat", 1,
               "evaluate each method N times on one warm workspace and "
               "report amortized throughput (first-call vs steady-state)");
+  cli.add_string("patch", "",
+                 "comma-separated TASK=RATE overrides applied via "
+                 "Scenario::patch (incremental re-derivation); the patched "
+                 "handle is verified bit-identical to a fresh compile of "
+                 "the same rates, then used for every estimate below");
   cli.parse(argc, argv);
 
   const std::string retry_name = cli.get_string("retry");
@@ -194,7 +200,7 @@ int cmd_estimate(int argc, const char* const* argv) {
   }
 
   const auto file = graph::load_taskgraph_file(cli.get_string("graph"));
-  const scenario::Scenario sc = scenario_from_file(
+  scenario::Scenario sc = scenario_from_file(
       file, cli.get_flag("use-rates"), cli.get_double("pfail"), retry);
 
   std::printf("graph: %zu tasks, %zu edges, d(G)=%.6f, %s\n",
@@ -209,6 +215,73 @@ int cmd_estimate(int argc, const char* const* argv) {
               scenario::content_hash_hex(
                   scenario::content_hash(sc.dag(), sc.failure(), retry))
                   .c_str());
+
+  const std::string patch_spec = cli.get_string("patch");
+  if (!patch_spec.empty()) {
+    // Parse "TASK=RATE[,TASK=RATE...]" into parallel id/rate vectors.
+    std::vector<graph::TaskId> patch_ids;
+    std::vector<double> patch_rates;
+    std::size_t pos = 0;
+    while (pos < patch_spec.size()) {
+      const std::size_t comma = patch_spec.find(',', pos);
+      const std::string item =
+          comma == std::string::npos
+              ? patch_spec.substr(pos)
+              : patch_spec.substr(pos, comma - pos);
+      const std::size_t eq = item.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == item.size()) {
+        std::fprintf(stderr, "--patch: expected TASK=RATE, got '%s'\n",
+                     item.c_str());
+        return 2;
+      }
+      const auto id = std::stoul(item.substr(0, eq));
+      if (id >= sc.task_count()) {
+        std::fprintf(stderr, "--patch: task %lu out of range (%zu tasks)\n",
+                     id, sc.task_count());
+        return 2;
+      }
+      patch_ids.push_back(static_cast<graph::TaskId>(id));
+      patch_rates.push_back(std::stod(item.substr(eq + 1)));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+
+    const util::Timer patch_timer;
+    scenario::Scenario patched = sc.patch(patch_ids, patch_rates);
+    const double patch_us = patch_timer.seconds() * 1e6;
+
+    // Referee: a fresh compile of the merged rate vector. The patched
+    // handle must be indistinguishable from it — same content hash,
+    // bitwise-equal first-order mean.
+    std::vector<double> merged(sc.rates().begin(), sc.rates().end());
+    for (std::size_t j = 0; j < patch_ids.size(); ++j) {
+      merged[patch_ids[j]] = patch_rates[j];
+    }
+    const util::Timer compile_timer;
+    const scenario::Scenario fresh = scenario::Scenario::compile(
+        sc.dag(), scenario::FailureSpec::per_task(merged), retry);
+    const double compile_us = compile_timer.seconds() * 1e6;
+
+    const auto& preg = exp::EvaluatorRegistry::builtin();
+    const double mean_patched =
+        preg.find("fo")->evaluate(patched, exp::EvalOptions{}).mean;
+    const double mean_fresh =
+        preg.find("fo")->evaluate(fresh, exp::EvalOptions{}).mean;
+    const bool identical =
+        std::memcmp(&mean_patched, &mean_fresh, sizeof(double)) == 0;
+    std::printf("patched %zu task(s) in %.1f us (fresh compile: %.1f us, "
+                "%.1fx); patch==compile: %s\n",
+                patch_ids.size(), patch_us, compile_us,
+                patch_us > 0.0 ? compile_us / patch_us : 0.0,
+                identical ? "bit-identical" : "MISMATCH");
+    std::printf("scenario-hash: %s (patched)\n",
+                scenario::content_hash_hex(scenario::content_hash(
+                                               patched.dag(),
+                                               patched.failure(), retry))
+                    .c_str());
+    if (!identical) return 1;
+    sc = std::move(patched);
+  }
 
   exp::EvalOptions opt;
   opt.mc_trials = static_cast<std::uint64_t>(cli.get_int("trials"));

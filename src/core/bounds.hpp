@@ -55,4 +55,15 @@ EXPMK_NOALLOC [[nodiscard]] MakespanBounds makespan_bounds(const scenario::Scena
 /// law. Lease-a-temporary adapter over the workspace kernel.
 [[nodiscard]] MakespanBounds makespan_bounds(const scenario::Scenario& sc);
 
+/// Level-parallel variant: the per-level expected-maximum folds — the
+/// dominant cost — fan out across `workers` threads (levels are mutually
+/// independent; each worker leases its arenas from the thread-local
+/// pooled workspace), and the per-level means fold serially in level
+/// order. Bit-identical to the serial kernel for any worker count;
+/// `workers <= 1` delegates to it (the parallel path is not
+/// EXPMK_NOALLOC — task futures allocate).
+[[nodiscard]] MakespanBounds makespan_bounds(const scenario::Scenario& sc,
+                                             exp::Workspace& ws,
+                                             std::size_t workers);
+
 }  // namespace expmk::core

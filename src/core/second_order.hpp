@@ -77,6 +77,18 @@ EXPMK_NOALLOC [[nodiscard]] SecondOrderResult second_order(const scenario::Scena
 /// the uniform formulas in the file comment verbatim.
 [[nodiscard]] SecondOrderResult second_order(const scenario::Scenario& sc);
 
+/// Level-parallel variant: the level sweeps run over the scenario's cached
+/// graph::LevelSets schedule and the O(V^2) pair sweep fans its
+/// 8-source blocks out across `workers` threads (each worker leases its
+/// own lane matrix from the thread-local pooled workspace); per-block
+/// lane partials fold into the pair sum in the serial driver's source
+/// order. Bit-identical to the serial kernel for any worker count;
+/// `workers <= 1` delegates to it (the parallel path is not
+/// EXPMK_NOALLOC — task futures allocate).
+[[nodiscard]] SecondOrderResult second_order(const scenario::Scenario& sc,
+                                             exp::Workspace& ws,
+                                             std::size_t workers);
+
 /// Second-order approximation. `model_kind` selects the 2-state or
 /// geometric coefficient set (see file comment). O(|V| (|V| + |E|)).
 [[nodiscard]] SecondOrderResult second_order(

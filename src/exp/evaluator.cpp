@@ -8,6 +8,8 @@
 #include "core/exact.hpp"
 #include "core/first_order.hpp"
 #include "core/second_order.hpp"
+#include "exp/hier.hpp"
+#include "exp/level_parallel.hpp"
 #include "mc/conditional.hpp"
 #include "mc/engine.hpp"
 #include "normal/clark_full.hpp"
@@ -141,6 +143,14 @@ void set_certified(EvalResult& r,
            std::to_string(cert.merges) + " merges";
 }
 
+/// Worker count for the analytic level-parallel paths: EvalOptions::
+/// threads resolved against the scenario size. 1 means "serial kernel".
+std::size_t analytic_workers(const scenario::Scenario& sc,
+                             const EvalOptions& opt) {
+  return lp::resolve_workers(opt.threads, sc.task_count(),
+                             opt.level_parallel_min_tasks);
+}
+
 EvaluatorRegistry make_builtin() {
   EvaluatorRegistry reg;
 
@@ -190,9 +200,10 @@ EvaluatorRegistry make_builtin() {
        .geometric = true,
        .heterogeneous = true,
        .rel_tolerance = 5e-3},
-      [](const scenario::Scenario& sc, const EvalOptions&, Workspace& ws,
+      [](const scenario::Scenario& sc, const EvalOptions& opt, Workspace& ws,
          EvalResult& r) {
-        r.mean = core::first_order(sc, ws).expected_makespan();
+        r.mean = core::first_order(sc, ws, analytic_workers(sc, opt))
+                     .expected_makespan();
       }));
 
   reg.add(Evaluator(
@@ -203,9 +214,10 @@ EvaluatorRegistry make_builtin() {
        .geometric = true,
        .heterogeneous = true,
        .rel_tolerance = 1e-3},
-      [](const scenario::Scenario& sc, const EvalOptions&, Workspace& ws,
+      [](const scenario::Scenario& sc, const EvalOptions& opt, Workspace& ws,
          EvalResult& r) {
-        r.mean = core::second_order(sc, ws).expected_makespan;
+        r.mean = core::second_order(sc, ws, analytic_workers(sc, opt))
+                     .expected_makespan;
       }));
 
   // ------------------------------------------- series-parallel / Dodin
@@ -267,9 +279,10 @@ EvaluatorRegistry make_builtin() {
        .geometric = true,
        .heterogeneous = true,
        .rel_tolerance = 0.05},
-      [](const scenario::Scenario& sc, const EvalOptions&, Workspace& ws,
+      [](const scenario::Scenario& sc, const EvalOptions& opt, Workspace& ws,
          EvalResult& r) {
-        r.mean = normal::sculli(sc, ws).expected_makespan();
+        r.mean = normal::sculli(sc, ws, analytic_workers(sc, opt))
+                     .expected_makespan();
       }));
 
   reg.add(Evaluator(
@@ -280,9 +293,10 @@ EvaluatorRegistry make_builtin() {
        .geometric = true,
        .heterogeneous = true,
        .rel_tolerance = 0.05},
-      [](const scenario::Scenario& sc, const EvalOptions&, Workspace& ws,
+      [](const scenario::Scenario& sc, const EvalOptions& opt, Workspace& ws,
          EvalResult& r) {
-        r.mean = normal::corlca(sc, ws).expected_makespan();
+        r.mean = normal::corlca(sc, ws, analytic_workers(sc, opt))
+                     .expected_makespan();
       }));
 
   reg.add(Evaluator(
@@ -294,9 +308,10 @@ EvaluatorRegistry make_builtin() {
        .heterogeneous = true,
        .max_tasks = normal::kClarkFullMaxTasks,
        .rel_tolerance = 0.05},
-      [](const scenario::Scenario& sc, const EvalOptions&, Workspace& ws,
+      [](const scenario::Scenario& sc, const EvalOptions& opt, Workspace& ws,
          EvalResult& r) {
-        r.mean = normal::clark_full(sc, ws).expected_makespan();
+        r.mean = normal::clark_full(sc, ws, analytic_workers(sc, opt))
+                     .expected_makespan();
       }));
 
   // -------------------------------------------------- analytic bounds
@@ -307,9 +322,10 @@ EvaluatorRegistry make_builtin() {
        .geometric = false,
        .heterogeneous = true,
        .kind = EstimateKind::LowerBound},
-      [](const scenario::Scenario& sc, const EvalOptions&, Workspace& ws,
+      [](const scenario::Scenario& sc, const EvalOptions& opt, Workspace& ws,
          EvalResult& r) {
-        r.mean = core::makespan_bounds(sc, ws).jensen_lower;
+        r.mean = core::makespan_bounds(sc, ws, analytic_workers(sc, opt))
+                     .jensen_lower;
       }));
 
   reg.add(Evaluator(
@@ -319,9 +335,10 @@ EvaluatorRegistry make_builtin() {
        .geometric = false,
        .heterogeneous = true,
        .kind = EstimateKind::UpperBound},
-      [](const scenario::Scenario& sc, const EvalOptions&, Workspace& ws,
+      [](const scenario::Scenario& sc, const EvalOptions& opt, Workspace& ws,
          EvalResult& r) {
-        r.mean = core::makespan_bounds(sc, ws).level_upper;
+        r.mean = core::makespan_bounds(sc, ws, analytic_workers(sc, opt))
+                     .level_upper;
       }));
 
   // -------------------------------------------------------- Monte-Carlo
@@ -368,6 +385,64 @@ EvaluatorRegistry make_builtin() {
         r.mean = mc.mean;
         r.std_error = mc.std_error;
         r.censored_trials = mc.censored_trials;
+      }));
+
+  // -------------------------------- hierarchical (SP-tree) evaluation
+  reg.add(Evaluator(
+      "sp.hier",
+      "Hierarchical SP-tree evaluation: module makespan laws built "
+      "bottom-up (memoized on content hash), quotient reduced by the "
+      "exact SP engine; supported when the QUOTIENT is series-parallel",
+      {.two_state = true,
+       .geometric = false,
+       .heterogeneous = true,
+       .rel_tolerance = 1e-9},
+      [](const scenario::Scenario& sc, const EvalOptions& opt, Workspace&,
+         EvalResult& r) {
+        auto ev = hier::evaluate_sp_hier(sc, opt.sp_max_atoms);
+        if (!ev.is_series_parallel) {
+          r.supported = false;
+          r.note = "quotient graph is not series-parallel";
+          return;
+        }
+        r.mean = ev.mean;
+        set_certified(r, ev.truncation);
+        if (opt.capture_distribution) r.distribution = std::move(ev.makespan);
+      }));
+
+  reg.add(Evaluator(
+      "dodin.hier",
+      "Dodin's bound on the SP-tree quotient: duplications scale with the "
+      "quotient, module laws come from the memoized hierarchical build",
+      {.two_state = true,
+       .geometric = false,
+       .heterogeneous = true,
+       .rel_tolerance = 0.05},
+      [](const scenario::Scenario& sc, const EvalOptions& opt, Workspace&,
+         EvalResult& r) {
+        auto ev = hier::evaluate_dodin_hier(sc, opt.dodin_atoms);
+        r.mean = ev.mean;
+        set_certified(r, ev.truncation);
+        if (opt.capture_distribution) r.distribution = std::move(ev.makespan);
+      }));
+
+  reg.add(Evaluator(
+      "mc.hier",
+      "Monte-Carlo over the SP-tree quotient: inverse-CDF module sampling "
+      "+ finish-time DP per trial, O(quotient) instead of O(V); "
+      "bit-identical across thread counts",
+      {.two_state = true,
+       .geometric = false,
+       .heterogeneous = true,
+       .stochastic = true,
+       .rel_tolerance = 0.02},
+      [](const scenario::Scenario& sc, const EvalOptions& opt, Workspace&,
+         EvalResult& r) {
+        const auto ev = hier::evaluate_mc_hier(
+            sc, opt.mc_trials, opt.seed, opt.threads, opt.dodin_atoms);
+        r.mean = ev.mean;
+        r.std_error = ev.std_error;
+        set_certified(r, ev.truncation);
       }));
 
   return reg;

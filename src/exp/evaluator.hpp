@@ -60,9 +60,16 @@ struct EvalOptions {
   std::uint64_t mc_trials = 100'000;  ///< mc / cmc trial count (>= 1)
   std::uint64_t seed = 0xE57;         ///< mc / cmc stream seed
   /// Worker threads *inside* one evaluation (0 = hardware concurrency).
-  /// The MC engines are bit-identical across thread counts, so this is a
-  /// pure wall-clock knob.
+  /// The MC engines AND the analytic level-parallel paths are
+  /// bit-identical across thread counts, so this is a pure wall-clock
+  /// knob.
   std::size_t threads = 0;
+  /// Analytic methods (fo/so/bounds/sculli/corlca/clark) switch to their
+  /// level-parallel paths only at or above this task count — below it the
+  /// fan-out overhead dominates and the serial (allocation-free) kernels
+  /// run even when threads != 1. Set to 0 to force the parallel paths
+  /// (the bit-identity tests do).
+  std::size_t level_parallel_min_tasks = 4096;
   bool mc_control_variate = false;    ///< mc: control-variate estimator
   std::size_t dodin_atoms = 256;      ///< dodin: atom budget per dist
   std::size_t sp_max_atoms = 0;       ///< sp: atom budget (0 = exact)

@@ -1,0 +1,207 @@
+#include "exp/level_parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace expmk::exp::lp {
+
+namespace {
+
+/// Runs `work` on the caller plus up to workers-1 pool helpers and joins.
+/// `work` must be safe to run concurrently from all of them and must
+/// terminate on its own once the shared cursor is drained (helpers that
+/// start late — or never, under pool saturation — just find no chunks).
+template <typename Work>
+void fan_out(std::size_t workers, const Work& work) {
+  const std::size_t helpers =
+      workers > 1 ? std::min(workers - 1, shared_pool().size()) : 0;
+  std::vector<std::future<void>> joins;
+  joins.reserve(helpers);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    joins.push_back(shared_pool().submit([&work] { work(); }));
+  }
+  std::exception_ptr first;
+  try {
+    work();
+  } catch (...) {
+    first = std::current_exception();
+  }
+  for (auto& j : joins) {
+    try {
+      j.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+}  // namespace
+
+EXPMK_NOALLOC util::ThreadPool& shared_pool() {
+  // Leaked on purpose: joining a static pool during exit can race other
+  // static destructors; the OS reclaims the threads.
+  static util::ThreadPool* pool =
+      // NOLINTNEXTLINE(expmk-no-alloc-kernel): process-wide singleton built exactly once on the cold first call; every steady-state call is a pointer read
+      new util::ThreadPool(std::thread::hardware_concurrency());
+  return *pool;
+}
+
+EXPMK_NOALLOC std::size_t resolve_workers(std::size_t threads, std::size_t n,
+                                          std::size_t min_tasks) {
+  if (threads == 1 || n < min_tasks) return 1;
+  std::size_t t = threads != 0 ? threads : std::thread::hardware_concurrency();
+  t = std::min(t, shared_pool().size() + 1);
+  return std::max<std::size_t>(t, 1);
+}
+
+void run_chunks(std::size_t workers, std::size_t nchunks,
+                const std::function<void(std::size_t)>& body) {
+  if (workers <= 1 || nchunks <= 1) {
+    for (std::size_t c = 0; c < nchunks; ++c) body(c);
+    return;
+  }
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> failed{false};
+  fan_out(workers, [&] {
+    for (;;) {
+      const std::size_t c = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (c >= nchunks || failed.load(std::memory_order_relaxed)) break;
+      try {
+        body(c);
+      } catch (...) {
+        failed.store(true, std::memory_order_relaxed);
+        throw;
+      }
+    }
+  });
+}
+
+void run_leveled(
+    std::size_t workers, const graph::LevelChunks& lc,
+    const std::function<void(std::uint32_t, std::uint32_t)>& body) {
+  const std::size_t nchunks = lc.chunk_count();
+  if (workers <= 1 || nchunks <= 1) {
+    for (std::size_t c = 0; c < nchunks; ++c) {
+      body(lc.chunk_begin[c], lc.chunk_begin[c + 1]);
+    }
+    return;
+  }
+  const std::size_t nlevels = lc.level_count();
+  std::atomic<std::uint32_t> cursor{0};
+  std::atomic<std::uint32_t> frontier{0};  // first incomplete level
+  std::atomic<bool> failed{false};
+  const auto done = std::make_unique<std::atomic<std::uint32_t>[]>(nlevels);
+  for (std::size_t l = 0; l < nlevels; ++l) {
+    done[l].store(0, std::memory_order_relaxed);
+  }
+
+  fan_out(workers, [&] {
+    for (;;) {
+      const std::uint32_t c = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (c >= nchunks) break;
+      const std::uint32_t lvl = lc.chunk_level[c];
+      // Hop levels are contiguous and chunks are claimed in level order,
+      // so every chunk of levels < lvl is already claimed by a thread
+      // that can finish it — this wait always terminates.
+      std::uint32_t spins = 0;
+      while (frontier.load(std::memory_order_acquire) < lvl) {
+        if (failed.load(std::memory_order_relaxed)) return;
+        if (++spins > 256) std::this_thread::yield();
+      }
+      try {
+        body(lc.chunk_begin[c], lc.chunk_begin[c + 1]);
+      } catch (...) {
+        // Unblock waiters: publish this level as complete anyway (results
+        // are garbage but the first exception aborts the whole run).
+        failed.store(true, std::memory_order_relaxed);
+        frontier.store(static_cast<std::uint32_t>(nlevels),
+                       std::memory_order_release);
+        throw;
+      }
+      // The RMW chain on done[lvl] keeps every chunk's writes in the
+      // release sequence the frontier store publishes.
+      const std::uint32_t finished =
+          done[lvl].fetch_add(1, std::memory_order_acq_rel) + 1;
+      if (finished == lc.level_chunks[lvl]) {
+        std::uint32_t f = frontier.load(std::memory_order_acquire);
+        while (f < nlevels &&
+               done[f].load(std::memory_order_acquire) ==
+                   lc.level_chunks[f]) {
+          if (frontier.compare_exchange_weak(f, f + 1,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+            f = f + 1;
+          }
+        }
+      }
+    }
+  });
+}
+
+double compute_levels_parallel(const graph::CsrDag& g,
+                               std::span<const double> weights,
+                               const graph::LevelSets& ls,
+                               std::span<double> top, std::span<double> bottom,
+                               std::span<double> chunk_scratch,
+                               std::size_t workers) {
+  const std::size_t n = g.task_count();
+  const std::span<const std::uint32_t> poff = g.pred_offsets();
+  const std::span<const std::uint32_t> pred = g.pred_index();
+  const std::span<const std::uint32_t> soff = g.succ_offsets();
+  const std::span<const std::uint32_t> succ = g.succ_index();
+
+  // Forward sweep: identical per-vertex expression to the serial
+  // graph::compute_levels, order within a level immaterial (reads touch
+  // strictly earlier levels only).
+  run_leveled(workers, ls.fwd, [&](std::uint32_t b, std::uint32_t e) {
+    for (std::uint32_t i = b; i < e; ++i) {
+      const std::uint32_t v = ls.fwd.order[i];
+      double t = 0.0;
+      for (std::uint32_t k = poff[v]; k < poff[v + 1]; ++k) {
+        const std::uint32_t u = pred[k];
+        const double cand = top[u] + weights[u];
+        if (cand > t) t = cand;
+      }
+      top[v] = t;
+    }
+  });
+
+  run_leveled(workers, ls.bwd, [&](std::uint32_t b, std::uint32_t e) {
+    for (std::uint32_t i = b; i < e; ++i) {
+      const std::uint32_t v = ls.bwd.order[i];
+      double below = 0.0;
+      for (std::uint32_t k = soff[v]; k < soff[v + 1]; ++k) {
+        if (bottom[succ[k]] > below) below = bottom[succ[k]];
+      }
+      bottom[v] = below + weights[v];
+    }
+  });
+
+  // d = max over top[v] + bottom[v]: a max over the same set the serial
+  // sweep folds, so any fold order gives the same bits. Per-chunk maxima
+  // land in fixed position chunks, folded in chunk order.
+  const std::size_t nchunks = fixed_chunk_count(n);
+  run_chunks(workers, nchunks, [&](std::size_t c) {
+    const std::size_t b = c * graph::kLevelChunk;
+    const std::size_t e = std::min(n, b + graph::kLevelChunk);
+    double m = 0.0;
+    for (std::size_t v = b; v < e; ++v) {
+      const double through = top[v] + bottom[v];
+      if (through > m) m = through;
+    }
+    chunk_scratch[c] = m;
+  });
+  double d = 0.0;
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    if (chunk_scratch[c] > d) d = chunk_scratch[c];
+  }
+  return d;
+}
+
+}  // namespace expmk::exp::lp

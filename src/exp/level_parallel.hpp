@@ -1,0 +1,91 @@
+// exp/level_parallel.hpp
+//
+// Deadlock-free level-parallel execution for the analytic sweeps, built on
+// the structure-cached graph::LevelSets schedule and a process-wide shared
+// util::ThreadPool.
+//
+// Determinism contract (the threads-1/2/7 bit-identity pin): the chunk
+// partition is a pure function of the graph (graph/level_sets.hpp), every
+// chunk writes only its own disjoint slots, and any floating-point
+// reduction folds per-chunk partials IN CHUNK-INDEX ORDER on the calling
+// thread. Worker count therefore changes only which thread computes a
+// chunk, never a single bit of the result — the same discipline as the MC
+// engine's fixed 128-chunk partition.
+//
+// Scheduling contract (no deadlock under pool saturation): helpers are
+// plain pool submissions, never a fixed-parties barrier. The CALLER also
+// executes chunks, so a run completes even when the shared pool is fully
+// busy with other work (helpers then contribute nothing). run_leveled
+// gates each chunk on a level frontier advanced by per-level completion
+// counters; chunks are claimed in schedule order (levels ascending), so
+// the lowest incomplete level is always claimed by threads that can run
+// it without waiting — every wait is on a strictly earlier level owned by
+// a running thread, which rules out cycles.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "graph/csr.hpp"
+#include "graph/level_sets.hpp"
+#include "util/contracts.hpp"
+#include "util/thread_pool.hpp"
+
+namespace expmk::exp::lp {
+
+/// The lazily-created process-wide helper pool (hardware_concurrency
+/// workers). Shared by every level-parallel evaluation and sized once;
+/// per-run worker counts below the pool size simply submit fewer helper
+/// tasks. Intentionally leaked so teardown never races static destructors.
+[[nodiscard]] util::ThreadPool& shared_pool();
+
+/// Default EvalOptions gate: graphs below this size run the serial sweeps
+/// even when threads != 1 (fan-out overhead would dominate).
+inline constexpr std::size_t kLevelParallelMinTasks = 4096;
+
+/// Resolves EvalOptions::threads (0 = hardware concurrency) against the
+/// task count: returns 1 — meaning "run serial" — when threads == 1 or
+/// n < min_tasks, else the worker count clamped to [1, pool size + 1]
+/// (the +1 is the participating caller).
+[[nodiscard]] std::size_t resolve_workers(std::size_t threads, std::size_t n,
+                                          std::size_t min_tasks);
+
+/// Runs body(c) for every c in [0, nchunks) with `workers` threads (the
+/// caller plus up to workers-1 pool helpers). Chunks are claimed from an
+/// atomic cursor; bodies must write only chunk-private slots. Blocks until
+/// all chunks finish; the first exception thrown by any body is rethrown.
+void run_chunks(std::size_t workers, std::size_t nchunks,
+                const std::function<void(std::size_t)>& body);
+
+/// Runs body(begin, end) for every chunk of the leveled schedule, where
+/// [begin, end) indexes lc.order. A chunk starts only after every chunk
+/// of all earlier levels has completed, so bodies may read values written
+/// by earlier levels without further synchronization. Same worker /
+/// exception semantics as run_chunks.
+void run_leveled(std::size_t workers, const graph::LevelChunks& lc,
+                 const std::function<void(std::uint32_t, std::uint32_t)>& body);
+
+/// Number of fixed kLevelChunk-sized position chunks for n vertices —
+/// the partition run_chunks-based reductions over plain position ranges
+/// use (bit-identity: depends on n only, never on worker count).
+EXPMK_NOALLOC [[nodiscard]] constexpr std::size_t fixed_chunk_count(
+    std::size_t n) noexcept {
+  return (n + graph::kLevelChunk - 1) / graph::kLevelChunk;
+}
+
+/// Level-parallel twin of graph::compute_levels: fills top / bottom and
+/// returns the critical-path length d, bit-identical to the serial sweep
+/// for any worker count. `chunk_scratch` must hold at least
+/// fixed_chunk_count(n) doubles (leased by the caller so hot paths stay
+/// allocation-free).
+double compute_levels_parallel(const graph::CsrDag& g,
+                               std::span<const double> weights,
+                               const graph::LevelSets& ls,
+                               std::span<double> top, std::span<double> bottom,
+                               std::span<double> chunk_scratch,
+                               std::size_t workers);
+
+}  // namespace expmk::exp::lp

@@ -31,6 +31,7 @@ Dag layered_random(int layers, int width, double edge_prob,
   }
   Xoshiro256pp rng(seed);
   Dag g;
+  g.reserve_tasks(static_cast<std::size_t>(layers) * width);
   std::vector<std::vector<TaskId>> layer(static_cast<std::size_t>(layers));
   for (int l = 0; l < layers; ++l) {
     for (int i = 0; i < width; ++i) {
@@ -62,6 +63,7 @@ Dag erdos_dag(int n, double p, std::uint64_t seed, WeightRange w) {
   if (n < 1) throw std::invalid_argument("erdos_dag: n >= 1");
   Xoshiro256pp rng(seed);
   Dag g;
+  g.reserve_tasks(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     g.add_task("T" + std::to_string(i), draw_weight(rng, w));
   }
@@ -138,6 +140,7 @@ Dag chain_dag(int n, std::uint64_t seed, WeightRange w) {
   if (n < 1) throw std::invalid_argument("chain_dag: n >= 1");
   Xoshiro256pp rng(seed);
   Dag g;
+  g.reserve_tasks(static_cast<std::size_t>(n));
   TaskId prev = graph::kNoTask;
   for (int i = 0; i < n; ++i) {
     const TaskId t = g.add_task("C" + std::to_string(i), draw_weight(rng, w));
@@ -150,6 +153,7 @@ Dag chain_dag(int n, std::uint64_t seed, WeightRange w) {
 Dag uniform_chain(int n, double weight) {
   if (n < 1) throw std::invalid_argument("uniform_chain: n >= 1");
   Dag g;
+  g.reserve_tasks(static_cast<std::size_t>(n));
   TaskId prev = graph::kNoTask;
   for (int i = 0; i < n; ++i) {
     const TaskId t = g.add_task("C" + std::to_string(i), weight);
@@ -163,6 +167,7 @@ Dag fork_join_dag(int width, std::uint64_t seed, WeightRange w) {
   if (width < 1) throw std::invalid_argument("fork_join_dag: width >= 1");
   Xoshiro256pp rng(seed);
   Dag g;
+  g.reserve_tasks(static_cast<std::size_t>(width) + 2);
   const TaskId src = g.add_task("FORK", draw_weight(rng, w));
   const TaskId dst = g.add_task("JOIN", draw_weight(rng, w));
   for (int i = 0; i < width; ++i) {
@@ -177,6 +182,7 @@ Dag uniform_fork_join(int width, double branch_weight,
                       double terminal_weight) {
   if (width < 1) throw std::invalid_argument("uniform_fork_join: width >= 1");
   Dag g;
+  g.reserve_tasks(static_cast<std::size_t>(width) + 2);
   const TaskId src = g.add_task("FORK", terminal_weight);
   const TaskId dst = g.add_task("JOIN", terminal_weight);
   for (int i = 0; i < width; ++i) {
@@ -191,8 +197,53 @@ Dag independent_tasks(int n, std::uint64_t seed, WeightRange w) {
   if (n < 1) throw std::invalid_argument("independent_tasks: n >= 1");
   Xoshiro256pp rng(seed);
   Dag g;
+  g.reserve_tasks(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     g.add_task("I" + std::to_string(i), draw_weight(rng, w));
+  }
+  return g;
+}
+
+Dag tiled_fork_join(int stages, int width, int chain_len,
+                    std::uint64_t seed, WeightRange w) {
+  if (stages < 1 || width < 1 || chain_len < 1) {
+    throw std::invalid_argument(
+        "tiled_fork_join: stages, width, chain_len >= 1");
+  }
+  if (w.lo <= 0.0 || w.hi < w.lo) {
+    throw std::invalid_argument("WeightRange: need 0 < lo <= hi");
+  }
+  Xoshiro256pp rng(seed);
+  const std::size_t per_stage =
+      static_cast<std::size_t>(width) * static_cast<std::size_t>(chain_len) +
+      2;
+  const std::size_t n = static_cast<std::size_t>(stages) * per_stage;
+  // Bulk path: one allocation per storage plane instead of n push_backs.
+  Dag g = Dag::with_tasks(n, w.lo);
+  if (w.hi > w.lo) {
+    for (TaskId t = 0; t < n; ++t) {
+      g.set_weight(t, w.lo + (w.hi - w.lo) * rng.uniform());
+    }
+  }
+  TaskId prev_sink = graph::kNoTask;
+  for (int s = 0; s < stages; ++s) {
+    const TaskId base = static_cast<TaskId>(s * per_stage);
+    const TaskId src = base;
+    const TaskId sink = static_cast<TaskId>(base + per_stage - 1);
+    g.set_weight(src, 0.0);
+    g.set_weight(sink, 0.0);
+    for (int c = 0; c < width; ++c) {
+      TaskId prev = src;
+      for (int k = 0; k < chain_len; ++k) {
+        const TaskId t =
+            static_cast<TaskId>(base + 1 + c * chain_len + k);
+        g.add_edge(prev, t);
+        prev = t;
+      }
+      g.add_edge(prev, sink);
+    }
+    if (prev_sink != graph::kNoTask) g.add_edge(prev_sink, src);
+    prev_sink = sink;
   }
   return g;
 }

@@ -46,6 +46,23 @@ CsrDag::CsrDag(const Dag& g) {
   }
 }
 
+CsrDag::CsrDag(const CsrDag& base, std::span<const double> weights_by_id)
+    : weights_(base.weights_.size()),
+      order_(base.order_),
+      position_(base.position_),
+      pred_offsets_(base.pred_offsets_),
+      pred_index_(base.pred_index_),
+      succ_offsets_(base.succ_offsets_),
+      succ_index_(base.succ_index_) {
+  if (weights_by_id.size() != base.task_count()) {
+    throw std::invalid_argument(
+        "CsrDag reweight: weights size mismatch with task count");
+  }
+  for (std::uint32_t pos = 0; pos < weights_.size(); ++pos) {
+    weights_[pos] = weights_by_id[order_[pos]];
+  }
+}
+
 namespace {
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 

@@ -45,6 +45,13 @@ class CsrDag {
   /// Builds the view; O(V + E). Throws std::invalid_argument on a cycle.
   explicit CsrDag(const Dag& g);
 
+  /// Reweight constructor for Scenario::patch: copies `base`'s adjacency,
+  /// ordering and offset arrays verbatim (no Kahn re-run — the structure
+  /// is unchanged, so the topological renumbering is too) and permutes
+  /// `weights_by_id` (Dag id order, size task_count()) into position
+  /// order. O(V + E) memcpy instead of the full sort.
+  CsrDag(const CsrDag& base, std::span<const double> weights_by_id);
+
   [[nodiscard]] std::size_t task_count() const noexcept {
     return weights_.size();
   }

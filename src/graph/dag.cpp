@@ -15,6 +15,13 @@ Dag Dag::with_tasks(std::size_t n, double w) {
   return g;
 }
 
+void Dag::reserve_tasks(std::size_t n) {
+  weights_.reserve(n);
+  names_.reserve(n);
+  succ_.reserve(n);
+  pred_.reserve(n);
+}
+
 TaskId Dag::add_task(std::string name, double weight) {
   if (weight < 0.0) throw std::invalid_argument("Dag: negative weight");
   const TaskId id = static_cast<TaskId>(weights_.size());

@@ -1,0 +1,86 @@
+#include "graph/level_sets.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace expmk::graph {
+
+namespace {
+
+/// Bucket-sorts positions by `level` (already computed per position) into
+/// a chunked schedule. Positions stay ascending within a level because the
+/// counting sort scans positions in ascending order.
+LevelChunks chunk_levels(const std::vector<std::uint32_t>& level,
+                         std::uint32_t chunk) {
+  const std::size_t n = level.size();
+  LevelChunks out;
+  std::uint32_t nlevels = 0;
+  for (const std::uint32_t l : level) nlevels = std::max(nlevels, l + 1);
+  if (n == 0) return out;
+
+  std::vector<std::uint32_t> offsets(nlevels + 1, 0);
+  for (const std::uint32_t l : level) ++offsets[l + 1];
+  for (std::uint32_t l = 0; l < nlevels; ++l) offsets[l + 1] += offsets[l];
+
+  out.order.resize(n);
+  {
+    std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      out.order[cursor[level[v]]++] = v;
+    }
+  }
+
+  out.level_chunks.resize(nlevels);
+  out.chunk_begin.push_back(0);
+  for (std::uint32_t l = 0; l < nlevels; ++l) {
+    const std::uint32_t begin = offsets[l];
+    const std::uint32_t end = offsets[l + 1];
+    const std::uint32_t count = (end - begin + chunk - 1) / chunk;
+    out.level_chunks[l] = count;
+    for (std::uint32_t c = 0; c < count; ++c) {
+      out.chunk_begin.push_back(std::min(end, begin + (c + 1) * chunk));
+      out.chunk_level.push_back(l);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+LevelSets build_level_sets(const CsrDag& g, std::uint32_t chunk) {
+  if (chunk == 0) {
+    throw std::invalid_argument("build_level_sets: chunk must be >= 1");
+  }
+  const std::size_t n = g.task_count();
+  LevelSets out;
+
+  std::vector<std::uint32_t> level(n, 0);
+  // Forward hop depth: positions are a topo order, so one ascending pass.
+  const auto poff = g.pred_offsets();
+  const auto pred = g.pred_index();
+  for (std::uint32_t v = 0; v < n; ++v) {
+    std::uint32_t l = 0;
+    for (std::uint32_t e = poff[v]; e < poff[v + 1]; ++e) {
+      l = std::max(l, level[pred[e]] + 1);
+    }
+    level[v] = l;
+  }
+  out.fwd = chunk_levels(level, chunk);
+
+  // Backward hop depth: one descending pass over successors.
+  const auto soff = g.succ_offsets();
+  const auto succ = g.succ_index();
+  std::fill(level.begin(), level.end(), 0);
+  for (std::uint32_t v = static_cast<std::uint32_t>(n); v-- > 0;) {
+    std::uint32_t l = 0;
+    for (std::uint32_t e = soff[v]; e < soff[v + 1]; ++e) {
+      l = std::max(l, level[succ[e]] + 1);
+    }
+    level[v] = l;
+  }
+  out.bwd = chunk_levels(level, chunk);
+
+  return out;
+}
+
+}  // namespace expmk::graph

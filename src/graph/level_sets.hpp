@@ -1,0 +1,69 @@
+// graph/level_sets.hpp
+//
+// Level-partition schedule for parallel sweeps over a CsrDag.
+//
+// A "level" here is the hop depth: forward level(v) = 1 + max level over
+// predecessors (0 for entries), backward level symmetric over successors.
+// Hop levels depend only on the adjacency structure — not on weights —
+// so one LevelSets is shared by a Scenario and every patch() clone of it.
+//
+// The schedule is pre-chunked: each level's vertex list (CSR positions,
+// ascending within a level) is cut into fixed-size chunks recorded in a
+// single flat chunk table. The chunk boundaries are a pure function of
+// the graph and kLevelChunk — NEVER of the worker count — which is what
+// makes the level-parallel sweeps bit-identical for 1, 2, or 7 threads
+// (the same discipline as the MC engine's 128-chunk partition): workers
+// claim chunks from an atomic cursor, but every chunk computes exactly
+// the same values into disjoint slots, and reductions fold chunk results
+// in chunk-index order on the calling thread.
+//
+// Vertices within a forward chunk depend only on vertices in strictly
+// earlier forward levels (and symmetrically backward), so a chunk may run
+// as soon as all chunks of earlier levels have completed — the gating
+// exp::lp::run_leveled enforces.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace expmk::graph {
+
+/// Fixed vertex count per chunk. Small enough to balance skewed levels
+/// across workers, large enough that the per-chunk claim (one atomic
+/// fetch_add) is noise.
+inline constexpr std::uint32_t kLevelChunk = 256;
+
+/// One direction's chunked level schedule.
+struct LevelChunks {
+  /// CSR positions grouped by level, ascending position within a level.
+  std::vector<std::uint32_t> order;
+  /// chunk c covers order[chunk_begin[c] .. chunk_begin[c+1]). Size C+1.
+  std::vector<std::uint32_t> chunk_begin;
+  /// Level of chunk c (chunks are emitted level by level). Size C.
+  std::vector<std::uint32_t> chunk_level;
+  /// Number of chunks in each level (completion bookkeeping). Size L.
+  std::vector<std::uint32_t> level_chunks;
+
+  [[nodiscard]] std::size_t chunk_count() const noexcept {
+    return chunk_level.size();
+  }
+  [[nodiscard]] std::size_t level_count() const noexcept {
+    return level_chunks.size();
+  }
+};
+
+/// Forward (by predecessor depth) and backward (by successor depth)
+/// schedules for one graph.
+struct LevelSets {
+  LevelChunks fwd;
+  LevelChunks bwd;
+};
+
+/// Builds both schedules; O(V + E), allocates the schedule arrays.
+[[nodiscard]] LevelSets build_level_sets(const CsrDag& g,
+                                         std::uint32_t chunk = kLevelChunk);
+
+}  // namespace expmk::graph

@@ -45,4 +45,13 @@ EXPMK_NOALLOC [[nodiscard]] NormalEstimate corlca(const scenario::Scenario& sc,
 /// Lease-a-temporary adapter over the workspace kernel.
 [[nodiscard]] NormalEstimate corlca(const scenario::Scenario& sc);
 
+/// Level-parallel variant: a vertex's fold — including its LCA walks —
+/// reads only correlation-tree state of its ancestors, all at strictly
+/// earlier levels, so vertices fan out over the scenario's cached
+/// graph::LevelSets schedule; the exit fold stays serial. Bit-identical
+/// to the serial kernel for any worker count; `workers <= 1` delegates to
+/// it (the parallel path is not EXPMK_NOALLOC — task futures allocate).
+[[nodiscard]] NormalEstimate corlca(const scenario::Scenario& sc,
+                                    exp::Workspace& ws, std::size_t workers);
+
 }  // namespace expmk::normal

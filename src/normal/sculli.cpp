@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "exp/level_parallel.hpp"
+#include "graph/level_sets.hpp"
 #include "graph/topological.hpp"
 
 namespace expmk::normal {
@@ -30,6 +32,49 @@ prob::NormalMoments duration_moments(double a,
 
 namespace {
 
+/// One vertex of the Sculli fold: reads only predecessors' completion
+/// moments (strictly earlier levels), writes completion[v]. The values
+/// depend on the predecessor iteration order of `g` alone — never on
+/// which thread or in which order-within-a-level the vertex runs — which
+/// is what makes the leveled-parallel sweep bit-identical to the serial
+/// topological one.
+EXPMK_NOALLOC void sculli_vertex(const graph::Dag& g,
+                                 std::span<const double> p,
+                                 core::RetryModel kind,
+                                 std::span<prob::NormalMoments> completion,
+                                 graph::TaskId v) {
+  prob::NormalMoments ready{0.0, 0.0};
+  bool first = true;
+  for (const graph::TaskId u : g.predecessors(v)) {
+    if (first) {
+      ready = completion[u];
+      first = false;
+    } else {
+      ready = prob::clark_max(ready, completion[u], 0.0).moments;
+    }
+  }
+  completion[v] = prob::sum_independent(
+      ready, duration_moments_p(g.weight(v), p[v], kind));
+}
+
+/// Folds the exit completions into the makespan estimate (serial — the
+/// fold order over `exits` is part of the pinned arithmetic).
+EXPMK_NOALLOC NormalEstimate sculli_exits(
+    std::span<const prob::NormalMoments> completion,
+    std::span<const graph::TaskId> exits) {
+  prob::NormalMoments makespan{0.0, 0.0};
+  bool first = true;
+  for (const graph::TaskId v : exits) {
+    if (first) {
+      makespan = completion[v];
+      first = false;
+    } else {
+      makespan = prob::clark_max(makespan, completion[v], 0.0).moments;
+    }
+  }
+  return NormalEstimate{makespan};
+}
+
 /// Shared traversal over per-task success probabilities, writing into
 /// caller scratch. The completion moments are pure dataflow over the
 /// graph (each fold reads only ancestors), so any valid topological order
@@ -45,31 +90,9 @@ EXPMK_NOALLOC NormalEstimate sculli_impl(const graph::Dag& g,
     throw std::invalid_argument("sculli: empty graph");
   }
   for (const graph::TaskId v : topo) {
-    prob::NormalMoments ready{0.0, 0.0};
-    bool first = true;
-    for (const graph::TaskId u : g.predecessors(v)) {
-      if (first) {
-        ready = completion[u];
-        first = false;
-      } else {
-        ready = prob::clark_max(ready, completion[u], 0.0).moments;
-      }
-    }
-    completion[v] = prob::sum_independent(
-        ready, duration_moments_p(g.weight(v), p[v], kind));
+    sculli_vertex(g, p, kind, completion, v);
   }
-
-  prob::NormalMoments makespan{0.0, 0.0};
-  bool first = true;
-  for (const graph::TaskId v : exits) {
-    if (first) {
-      makespan = completion[v];
-      first = false;
-    } else {
-      makespan = prob::clark_max(makespan, completion[v], 0.0).moments;
-    }
-  }
-  return NormalEstimate{makespan};
+  return sculli_exits(completion, exits);
 }
 
 }  // namespace
@@ -97,6 +120,30 @@ EXPMK_NOALLOC NormalEstimate sculli(const scenario::Scenario& sc, exp::Workspace
 NormalEstimate sculli(const scenario::Scenario& sc) {
   exp::Workspace ws;  // lease-a-temporary adapter; bit-identical
   return sculli(sc, ws);
+}
+
+NormalEstimate sculli(const scenario::Scenario& sc, exp::Workspace& ws,
+                      std::size_t workers) {
+  if (workers <= 1) return sculli(sc, ws);
+  const exp::Workspace::Frame frame(ws);
+  const graph::Dag& g = sc.dag();
+  if (g.task_count() == 0) {
+    throw std::invalid_argument("sculli: empty graph");
+  }
+  const std::span<const double> p = sc.p_success();
+  const core::RetryModel kind = sc.retry();
+  const std::span<prob::NormalMoments> completion =
+      ws.moments(sc.task_count());
+  const graph::CsrDag& csr = sc.csr();
+  const std::span<const graph::TaskId> order = csr.order();
+  const graph::LevelChunks& fwd = sc.level_sets().fwd;
+  exp::lp::run_leveled(workers, fwd,
+                       [&](std::uint32_t b, std::uint32_t e) {
+    for (std::uint32_t i = b; i < e; ++i) {
+      sculli_vertex(g, p, kind, completion, order[fwd.order[i]]);
+    }
+  });
+  return sculli_exits(completion, sc.exits());
 }
 
 }  // namespace expmk::normal

@@ -46,6 +46,7 @@ EXPMK_NOALLOC std::uint64_t mix64(std::uint64_t z) noexcept {
 }
 
 constexpr std::string_view kVersionTag = "expmk-content-hash-v1";
+constexpr std::string_view kStructureTag = "expmk-structure-hash-v1";
 
 }  // namespace
 
@@ -78,6 +79,18 @@ std::uint64_t content_hash(const graph::Dag& dag, const FailureSpec& failure,
           ? graph::to_taskgraph(dag, failure.per_task_rates())
           : graph::to_taskgraph(dag);
   return content_hash(bytes, failure, retry);
+}
+
+std::uint64_t structure_hash(const graph::Dag& dag, core::RetryModel retry) {
+  // Rates deliberately excluded: two cells that differ ONLY in their
+  // FailureSpec share a structure key, which is exactly the sibling
+  // relation Scenario::with_failure can bridge without a full compile.
+  const std::string bytes = graph::to_taskgraph(dag);
+  std::uint64_t h = kFnvOffset;
+  h = fnv_bytes(h, kStructureTag.data(), kStructureTag.size());
+  h = fnv_bytes(h, bytes.data(), bytes.size());
+  h = fnv_byte(h, retry == core::RetryModel::Geometric ? 'G' : 'T');
+  return mix64(h);
 }
 
 std::string content_hash_hex(std::uint64_t hash) {

@@ -54,6 +54,15 @@ namespace expmk::scenario {
                                          const FailureSpec& failure,
                                          core::RetryModel retry);
 
+/// Hash of the STRUCTURE only — canonical graph bytes (weights included,
+/// rates excluded) and the retry model, under its own version tag
+/// ("expmk-structure-hash-v1"). Two cells with equal structure hashes but
+/// different content hashes differ only in their FailureSpec, so either
+/// one's compiled Scenario can be turned into the other via
+/// Scenario::with_failure — the serving cache's patch-on-miss fast path.
+[[nodiscard]] std::uint64_t structure_hash(const graph::Dag& dag,
+                                           core::RetryModel retry);
+
 /// Canonical 16-lowercase-hex-digit rendering (zero padded) — the wire
 /// form of a cache key in the expmk-serve-v1 protocol.
 [[nodiscard]] std::string content_hash_hex(std::uint64_t hash);

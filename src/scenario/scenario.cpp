@@ -2,8 +2,12 @@
 
 #include <atomic>
 #include <cmath>
+#include <mutex>
 #include <stdexcept>
 #include <utility>
+
+#include "graph/level_sets.hpp"
+#include "graph/sp_tree.hpp"
 
 namespace expmk::scenario {
 
@@ -11,8 +15,20 @@ namespace {
 
 /// Process-wide compile counter (relaxed: a metrics hook, not a fence).
 std::atomic<std::uint64_t> g_compiled{0};
+/// Process-wide patch counter — same role for the incremental path.
+std::atomic<std::uint64_t> g_patched{0};
 
 }  // namespace
+
+/// Structure-derived caches built on first use and shared by patch
+/// clones. Heap-held because std::once_flag is neither movable nor
+/// copyable but Scenario must stay movable.
+struct Scenario::DerivedCaches {
+  std::once_flag levels_once;
+  std::unique_ptr<const graph::LevelSets> levels;
+  std::once_flag sp_once;
+  std::unique_ptr<const graph::SpDecomposition> sp;
+};
 
 FailureSpec FailureSpec::per_task(std::vector<double> rates) {
   FailureSpec spec;
@@ -48,13 +64,18 @@ std::uint64_t Scenario::compiled_count() noexcept {
   return g_compiled.load(std::memory_order_relaxed);
 }
 
+std::uint64_t Scenario::patched_count() noexcept {
+  return g_patched.load(std::memory_order_relaxed);
+}
+
 Scenario::Scenario(graph::Dag dag, FailureSpec failure,
                    core::RetryModel retry)
-    : dag_(std::move(dag)),
-      csr_(dag_),
+    : dag_(std::make_shared<const graph::Dag>(std::move(dag))),
+      csr_(std::make_shared<const graph::CsrDag>(*dag_)),
       failure_(std::move(failure)),
-      retry_(retry) {
-  const std::size_t n = dag_.task_count();
+      retry_(retry),
+      derived_(std::make_shared<DerivedCaches>()) {
+  const std::size_t n = dag_->task_count();
 
   // Validate the task weights before deriving anything from them: the Dag
   // API rejects negatives but `weight < 0.0` is false for NaN, so a NaN
@@ -62,7 +83,7 @@ Scenario::Scenario(graph::Dag dag, FailureSpec failure,
   // p_success/duration arithmetic. Compile is the one choke point every
   // evaluator passes.
   for (graph::TaskId i = 0; i < n; ++i) {
-    const double a = dag_.weight(i);
+    const double a = dag_->weight(i);
     if (!(a >= 0.0) || !std::isfinite(a)) {
       throw std::invalid_argument(
           "Scenario: task weights must be finite and >= 0 (task " +
@@ -101,7 +122,7 @@ Scenario::Scenario(graph::Dag dag, FailureSpec failure,
     const double lambda = failure_.heterogeneous()
                               ? failure_.per_task_rates()[i]
                               : failure_.uniform_lambda();
-    const double a = dag_.weight(i);
+    const double a = dag_->weight(i);
     // Same expressions as FailureModel::p_success / expected_duration so
     // the uniform path stays bit-identical to the pre-Scenario code.
     const double p = std::exp(-lambda * a);
@@ -120,7 +141,7 @@ Scenario::Scenario(graph::Dag dag, FailureSpec failure,
   q_fail_csr_.resize(n);
   inv_log_q_csr_.resize(n);
   for (std::uint32_t pos = 0; pos < n; ++pos) {
-    const graph::TaskId id = csr_.original_id(pos);
+    const graph::TaskId id = csr_->original_id(pos);
     const double p = p_success_[id];
     rates_csr_[pos] = rates_[id];
     p_success_csr_[pos] = p;
@@ -133,19 +154,236 @@ Scenario::Scenario(graph::Dag dag, FailureSpec failure,
   }
 
   for (graph::TaskId i = 0; i < n; ++i) {
-    if (dag_.successors(i).empty()) exits_.push_back(i);
+    if (dag_->successors(i).empty()) exits_.push_back(i);
   }
 
-  {
-    std::vector<double> finish(n);
-    critical_path_ =
-        n == 0 ? 0.0
-               : graph::critical_path_length(csr_, csr_.weights(), finish);
-  }
-  mean_weight_ = n == 0 ? 0.0 : dag_.mean_weight();
-  total_weight_ = dag_.total_weight();
+  finish_csr_.resize(n);
+  critical_path_ =
+      n == 0 ? 0.0
+             : graph::critical_path_length(*csr_, csr_->weights(),
+                                           finish_csr_);
+  mean_weight_ = n == 0 ? 0.0 : dag_->mean_weight();
+  total_weight_ = dag_->total_weight();
 
   g_compiled.fetch_add(1, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------- patching
+
+Scenario Scenario::clone_for_patch() const {
+  Scenario out;
+  out.dag_ = dag_;
+  out.csr_ = csr_;
+  out.failure_ = failure_;
+  out.retry_ = retry_;
+  out.failure_free_ = failure_free_;
+  out.exits_ = exits_;
+  out.rates_ = rates_;
+  out.p_success_ = p_success_;
+  out.expected_durations_ = expected_durations_;
+  out.rates_csr_ = rates_csr_;
+  out.p_success_csr_ = p_success_csr_;
+  out.q_fail_csr_ = q_fail_csr_;
+  out.inv_log_q_csr_ = inv_log_q_csr_;
+  out.finish_csr_ = finish_csr_;
+  out.critical_path_ = critical_path_;
+  out.mean_weight_ = mean_weight_;
+  out.total_weight_ = total_weight_;
+  out.derived_ = derived_;  // structure-only: valid for every patch clone
+  return out;
+}
+
+void Scenario::rederive_task(graph::TaskId i, double lambda,
+                             bool geometric) {
+  // compile()'s exact expressions — recomputing from identical inputs
+  // yields identical bits, which is the patch == compile contract.
+  const double a = dag_->weight(i);
+  const double p = std::exp(-lambda * a);
+  rates_[i] = lambda;
+  p_success_[i] = p;
+  expected_durations_[i] =
+      geometric ? a * std::exp(lambda * a) : a * (2.0 - p);
+  const std::uint32_t pos = csr_->position_of(i);
+  rates_csr_[pos] = lambda;
+  p_success_csr_[pos] = p;
+  q_fail_csr_[pos] = 1.0 - p;
+  inv_log_q_csr_[pos] = 1.0 / std::log1p(-p);
+}
+
+void Scenario::repair_finish_cone(std::span<const graph::TaskId> tasks) {
+  const std::size_t n = task_count();
+  std::vector<char> dirty(n, 0);
+  for (const graph::TaskId i : tasks) dirty[csr_->position_of(i)] = 1;
+
+  // Value-based wave in position (= topological) order: recompute a dirty
+  // vertex from its predecessors' finish times; only an actual change
+  // propagates to the successors. The per-vertex expression and the
+  // predecessor edge order are the ones graph::critical_path_length uses,
+  // so surviving values are bit-identical to a full recompute.
+  const auto off = csr_->pred_offsets();
+  const auto pred = csr_->pred_index();
+  const auto w = csr_->weights();
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (!dirty[v]) continue;
+    double start = 0.0;
+    for (std::uint32_t e = off[v]; e < off[v + 1]; ++e) {
+      const double f = finish_csr_[pred[e]];
+      if (f > start) start = f;
+    }
+    const double fv = start + w[v];
+    if (fv == finish_csr_[v]) continue;  // absorbed: the wave stops here
+    finish_csr_[v] = fv;
+    for (const std::uint32_t s : csr_->succs(v)) dirty[s] = 1;
+  }
+
+  double best = 0.0;
+  for (const double f : finish_csr_) {
+    if (f > best) best = f;
+  }
+  critical_path_ = best;
+}
+
+Scenario Scenario::with_failure(FailureSpec failure) const {
+  const std::size_t n = task_count();
+  if (failure.heterogeneous()) {
+    const auto& rates = failure.per_task_rates();
+    if (rates.size() != n) {
+      throw std::invalid_argument(
+          "Scenario::with_failure: per-task rate vector size " +
+          std::to_string(rates.size()) + " != task count " +
+          std::to_string(n));
+    }
+    for (const double r : rates) {
+      if (!(r >= 0.0) || !std::isfinite(r)) {
+        throw std::invalid_argument(
+            "Scenario::with_failure: rates must be finite and >= 0");
+      }
+    }
+  } else if (!(failure.uniform_lambda() >= 0.0) ||
+             !std::isfinite(failure.uniform_lambda())) {
+    throw std::invalid_argument(
+        "Scenario::with_failure: lambda must be finite and >= 0");
+  }
+
+  Scenario out = clone_for_patch();
+  out.failure_ = std::move(failure);
+  out.failure_free_ = true;
+  const bool geometric = retry_ == core::RetryModel::Geometric;
+  for (graph::TaskId i = 0; i < n; ++i) {
+    const double lambda = out.failure_.heterogeneous()
+                              ? out.failure_.per_task_rates()[i]
+                              : out.failure_.uniform_lambda();
+    // An unchanged rate keeps its cached constants — recomputing them
+    // from the same inputs would reproduce the same bits, so skipping
+    // the exp/log1p pair is free.
+    if (lambda != out.rates_[i]) out.rederive_task(i, lambda, geometric);
+    out.failure_free_ = out.failure_free_ && lambda <= 0.0;
+  }
+  g_patched.fetch_add(1, std::memory_order_relaxed);
+  return out;
+}
+
+Scenario Scenario::patch(std::span<const graph::TaskId> tasks,
+                         std::span<const double> new_rates,
+                         std::span<const double> new_weights) const {
+  const std::size_t n = task_count();
+  const std::size_t k = tasks.size();
+  if (new_rates.empty() && new_weights.empty()) {
+    throw std::invalid_argument(
+        "Scenario::patch: no new rates or weights given");
+  }
+  if ((!new_rates.empty() && new_rates.size() != k) ||
+      (!new_weights.empty() && new_weights.size() != k)) {
+    throw std::invalid_argument(
+        "Scenario::patch: tasks/new_rates/new_weights size mismatch");
+  }
+  for (const graph::TaskId i : tasks) {
+    if (i >= n) {
+      throw std::out_of_range("Scenario::patch: invalid task id " +
+                              std::to_string(i));
+    }
+  }
+  for (const double r : new_rates) {
+    if (!(r >= 0.0) || !std::isfinite(r)) {
+      throw std::invalid_argument(
+          "Scenario::patch: rates must be finite and >= 0");
+    }
+  }
+  for (const double w : new_weights) {
+    if (!(w >= 0.0) || !std::isfinite(w)) {
+      throw std::invalid_argument(
+          "Scenario::patch: task weights must be finite and >= 0");
+    }
+  }
+
+  Scenario out = clone_for_patch();
+
+  if (!new_weights.empty()) {
+    // Weight patch: copy the Dag (set_weight needs mutation), rebuild the
+    // CSR weight plane WITHOUT re-running Kahn (the adjacency — and hence
+    // the topological renumbering — is unchanged), repair the finish cone.
+    auto dag2 = std::make_shared<graph::Dag>(*dag_);
+    for (std::size_t j = 0; j < k; ++j) {
+      dag2->set_weight(tasks[j], new_weights[j]);
+    }
+    out.csr_ = std::make_shared<const graph::CsrDag>(*csr_, dag2->weights());
+    out.dag_ = std::move(dag2);
+    out.mean_weight_ = n == 0 ? 0.0 : out.dag_->mean_weight();
+    out.total_weight_ = out.dag_->total_weight();
+    out.repair_finish_cone(tasks);
+  }
+
+  const bool geometric = retry_ == core::RetryModel::Geometric;
+  if (!new_rates.empty()) {
+    // The clone's spec must match what a fresh compile of the patched
+    // inputs would carry: still uniform if every patched rate equals the
+    // uniform lambda, per-task otherwise.
+    bool still_uniform = !failure_.heterogeneous();
+    if (still_uniform) {
+      for (const double r : new_rates) {
+        still_uniform = still_uniform && r == failure_.uniform_lambda();
+      }
+    }
+    if (!still_uniform) {
+      std::vector<double> rates(out.rates_.begin(), out.rates_.end());
+      for (std::size_t j = 0; j < k; ++j) rates[tasks[j]] = new_rates[j];
+      out.failure_ = FailureSpec::per_task(std::move(rates));
+    }
+    for (std::size_t j = 0; j < k; ++j) {
+      out.rederive_task(tasks[j], new_rates[j], geometric);
+    }
+    out.failure_free_ = true;
+    for (const double r : out.rates_) {
+      out.failure_free_ = out.failure_free_ && r <= 0.0;
+    }
+  } else {
+    // Weight-only patch: rates unchanged, but p/durations depend on the
+    // weights, so the patched tasks' constants must be re-derived.
+    for (const graph::TaskId i : tasks) {
+      out.rederive_task(i, out.rates_[i], geometric);
+    }
+  }
+
+  g_patched.fetch_add(1, std::memory_order_relaxed);
+  return out;
+}
+
+// ------------------------------------------- lazy structural caches
+
+const graph::LevelSets& Scenario::level_sets() const {
+  std::call_once(derived_->levels_once, [&] {
+    derived_->levels =
+        std::make_unique<const graph::LevelSets>(graph::build_level_sets(*csr_));
+  });
+  return *derived_->levels;
+}
+
+const graph::SpDecomposition& Scenario::sp_decomposition() const {
+  std::call_once(derived_->sp_once, [&] {
+    derived_->sp = std::make_unique<const graph::SpDecomposition>(
+        graph::sp_collapse(*dag_));
+  });
+  return *derived_->sp;
 }
 
 }  // namespace expmk::scenario

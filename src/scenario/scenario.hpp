@@ -36,12 +36,18 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "core/failure_model.hpp"
 #include "graph/csr.hpp"
 #include "graph/dag.hpp"
+
+namespace expmk::graph {
+struct LevelSets;
+struct SpDecomposition;
+}  // namespace expmk::graph
 
 namespace expmk::scenario {
 
@@ -125,11 +131,39 @@ class Scenario {
   /// the per-call vs compiled delta).
   [[nodiscard]] static std::uint64_t compiled_count() noexcept;
 
+  /// Total patch()/with_failure() clones in this process — the serving
+  /// layer's "patched instead of recompiled" metrics hook.
+  [[nodiscard]] static std::uint64_t patched_count() noexcept;
+
+  // ------------------------------------------------- incremental patching
+  /// Clones this handle with `tasks[j]` given rate `new_rates[j]` and/or
+  /// weight `new_weights[j]` (either span may be empty to leave that
+  /// dimension untouched; a non-empty span must match tasks.size()).
+  /// The clone SHARES the immutable graph structure (Dag, CSR adjacency,
+  /// level/SP-decomposition caches) with this scenario and re-derives only
+  /// what the patch invalidates: the per-task exp/log constants of the
+  /// patched tasks, and — for weight patches — the failure-free finish
+  /// times of the patched tasks' descendant cone (value-based dirty
+  /// propagation; an absorbed change stops the wave). Every derived value
+  /// is bit-identical to a fresh compile() of the patched inputs: rates
+  /// whose bits are unchanged keep their cached constants, and recomputed
+  /// entries use compile's exact expressions.
+  /// Throws like compile on invalid ids, rates, or weights.
+  [[nodiscard]] Scenario patch(std::span<const graph::TaskId> tasks,
+                               std::span<const double> new_rates,
+                               std::span<const double> new_weights = {}) const;
+
+  /// Clones this handle under a wholly new FailureSpec (same graph, same
+  /// retry model) — the serving layer's patch-on-miss entry point, where
+  /// the request carries a full spec rather than a task diff. Per-task
+  /// constants are recomputed only where the rate bits actually changed.
+  [[nodiscard]] Scenario with_failure(FailureSpec failure) const;
+
   // ------------------------------------------------------------ identity
-  [[nodiscard]] const graph::Dag& dag() const noexcept { return dag_; }
-  [[nodiscard]] const graph::CsrDag& csr() const noexcept { return csr_; }
+  [[nodiscard]] const graph::Dag& dag() const noexcept { return *dag_; }
+  [[nodiscard]] const graph::CsrDag& csr() const noexcept { return *csr_; }
   [[nodiscard]] std::size_t task_count() const noexcept {
-    return dag_.task_count();
+    return dag_->task_count();
   }
   [[nodiscard]] core::RetryModel retry() const noexcept { return retry_; }
   [[nodiscard]] const FailureSpec& failure() const noexcept {
@@ -147,8 +181,19 @@ class Scenario {
 
   /// A topological order of the Dag (== csr().order()).
   [[nodiscard]] std::span<const graph::TaskId> topo() const noexcept {
-    return csr_.order();
+    return csr_->order();
   }
+
+  // -------------------------------------- lazily built structural caches
+  // Both depend only on the adjacency structure, are built on first use
+  // (thread-safe), and are SHARED by every patch()/with_failure() clone —
+  // a patched scenario never re-derives them.
+
+  /// Chunked level-partition schedule for the level-parallel sweeps.
+  [[nodiscard]] const graph::LevelSets& level_sets() const;
+
+  /// Series-parallel modular decomposition for hierarchical evaluation.
+  [[nodiscard]] const graph::SpDecomposition& sp_decomposition() const;
 
   /// Tasks with no successor, ascending Dag id — a cached copy of
   /// Dag::exit_tasks(), which allocates per call. The Normal-family
@@ -179,7 +224,13 @@ class Scenario {
 
   /// Task weights in position order (== csr().weights()).
   [[nodiscard]] std::span<const double> weights_csr() const noexcept {
-    return csr_.weights();
+    return csr_->weights();
+  }
+  /// Failure-free finish time per CSR position (longest path ending at
+  /// that vertex) — the critical-path DP's full output, cached so that
+  /// patch() can repair just the affected cone.
+  [[nodiscard]] std::span<const double> finish_csr() const noexcept {
+    return finish_csr_;
   }
   /// lambda_i in position order.
   [[nodiscard]] std::span<const double> rates_csr() const noexcept {
@@ -212,10 +263,26 @@ class Scenario {
   }
 
  private:
+  struct DerivedCaches;  // once-guarded lazy structural caches (.cpp)
+
+  Scenario() = default;  // patch()/with_failure() build up from empty
   Scenario(graph::Dag dag, FailureSpec failure, core::RetryModel retry);
 
-  graph::Dag dag_;
-  graph::CsrDag csr_;  // depends on dag_: declaration order matters
+  /// Copies every member (structure members by shared_ptr) — the starting
+  /// point of a patch clone.
+  [[nodiscard]] Scenario clone_for_patch() const;
+  /// Recomputes the per-task constants of task `i` from the current
+  /// failure_/dag_ using compile's exact expressions.
+  void rederive_task(graph::TaskId i, double lambda, bool geometric);
+  /// Value-based dirty propagation of finish_csr_ from the patched
+  /// positions; updates critical_path_.
+  void repair_finish_cone(std::span<const graph::TaskId> tasks);
+
+  // The graph structure is shared (never copied) between a scenario and
+  // its patch clones; shared_ptr<const ...> keeps the immutability
+  // contract — nobody can mutate through the handle.
+  std::shared_ptr<const graph::Dag> dag_;
+  std::shared_ptr<const graph::CsrDag> csr_;
   FailureSpec failure_;
   core::RetryModel retry_ = core::RetryModel::TwoState;
   bool failure_free_ = true;
@@ -228,10 +295,15 @@ class Scenario {
   std::vector<double> p_success_csr_;       // position order
   std::vector<double> q_fail_csr_;          // position order
   std::vector<double> inv_log_q_csr_;       // position order
+  std::vector<double> finish_csr_;          // position order
 
   double critical_path_ = 0.0;
   double mean_weight_ = 0.0;
   double total_weight_ = 0.0;
+
+  // Lazy structure-derived caches, shared across patch clones. The holder
+  // is heap-allocated so Scenario stays movable (std::once_flag is not).
+  std::shared_ptr<DerivedCaches> derived_;
 };
 
 }  // namespace expmk::scenario

@@ -49,8 +49,21 @@ void ScenarioCache::insert_locked(Shard& s, std::uint64_t key,
   }
 }
 
+ScenarioCache::ScenarioPtr ScenarioCache::peek(std::uint64_t key) {
+  Shard& s = shard_for(key);
+  const std::lock_guard<std::mutex> lock(s.m);
+  const auto found = s.entries.find(key);
+  return found == s.entries.end() ? nullptr : found->second.scenario;
+}
+
 ScenarioCache::ScenarioPtr ScenarioCache::get_or_compile(
     std::uint64_t key, const CompileFn& compile, Outcome* outcome) {
+  return get_or_compile(key, 0, nullptr, compile, outcome);
+}
+
+ScenarioCache::ScenarioPtr ScenarioCache::get_or_compile(
+    std::uint64_t key, std::uint64_t structure_key, const PatchFn& patch,
+    const CompileFn& compile, Outcome* outcome) {
   Shard& s = shard_for(key);
   std::shared_ptr<InFlight> ticket;
   bool owner = false;
@@ -87,28 +100,63 @@ ScenarioCache::ScenarioPtr ScenarioCache::get_or_compile(
 
   // Owner path: compile OUTSIDE the shard lock (a compile is the ~20x
   // expensive operation the cache exists to amortize; holding the lock
-  // would serialize unrelated keys in this shard behind it).
+  // would serialize unrelated keys in this shard behind it). When a
+  // same-structure sibling is cached, patch it instead — with_failure
+  // shares every structural cache and re-derives only the rate planes.
   ScenarioPtr sc;
   std::exception_ptr error;
-  try {
-    sc = compile();
-    if (sc == nullptr) {
-      throw std::logic_error(
-          "ScenarioCache: compile callback returned null");
+  bool was_patch = false;
+  if (patch != nullptr) {
+    ScenarioPtr sibling;
+    {
+      std::uint64_t sibling_key = 0;
+      {
+        const std::lock_guard<std::mutex> lock(structure_m_);
+        const auto it = structure_index_.find(structure_key);
+        if (it != structure_index_.end()) sibling_key = it->second;
+      }
+      if (sibling_key != 0 && sibling_key != key) {
+        sibling = peek(sibling_key);
+      }
     }
-  } catch (...) {
-    error = std::current_exception();
+    if (sibling != nullptr) {
+      try {
+        sc = patch(*sibling);
+        was_patch = sc != nullptr;
+      } catch (...) {
+        sc = nullptr;  // fall through to the full compile
+      }
+    }
+  }
+  if (sc == nullptr) {
+    try {
+      sc = compile();
+      if (sc == nullptr) {
+        throw std::logic_error(
+            "ScenarioCache: compile callback returned null");
+      }
+    } catch (...) {
+      error = std::current_exception();
+    }
   }
 
   {
     const std::lock_guard<std::mutex> lock(s.m);
     if (error == nullptr) {
       insert_locked(s, key, sc);
-      ++s.compiles;
+      if (was_patch) {
+        ++s.patched;
+      } else {
+        ++s.compiles;
+      }
     }
     // A failed compile is NOT cached: drop the ticket so the next
     // request retries (the failure may have been transient input).
     s.inflight.erase(key);
+  }
+  if (error == nullptr && patch != nullptr) {
+    const std::lock_guard<std::mutex> lock(structure_m_);
+    structure_index_[structure_key] = key;
   }
   {
     const std::lock_guard<std::mutex> lock(ticket->m);
@@ -118,7 +166,8 @@ ScenarioCache::ScenarioPtr ScenarioCache::get_or_compile(
   }
   ticket->cv.notify_all();
 
-  if (outcome != nullptr) *outcome = Outcome::Miss;
+  if (outcome != nullptr) *outcome = was_patch ? Outcome::Patched
+                                               : Outcome::Miss;
   if (error) std::rethrow_exception(error);
   return sc;
 }
@@ -147,6 +196,7 @@ CacheStats ScenarioCache::stats() const {
     out.misses += s.misses;
     out.coalesced += s.coalesced;
     out.compiles += s.compiles;
+    out.patched += s.patched;
     out.evictions += s.evictions;
     out.entries += s.entries.size();
     out.bytes += s.bytes;

@@ -50,7 +50,8 @@ struct CacheStats {
   std::uint64_t hits = 0;       ///< lookups served from the map
   std::uint64_t misses = 0;     ///< lookups that found nothing
   std::uint64_t coalesced = 0;  ///< misses that joined an in-flight compile
-  std::uint64_t compiles = 0;   ///< Scenario compiles performed
+  std::uint64_t compiles = 0;   ///< full Scenario compiles performed
+  std::uint64_t patched = 0;    ///< misses served by patching a sibling
   std::uint64_t evictions = 0;  ///< entries dropped by the byte budget
   std::uint64_t entries = 0;    ///< live entries right now
   std::uint64_t bytes = 0;      ///< estimated bytes cached right now
@@ -70,6 +71,11 @@ class ScenarioCache {
  public:
   using ScenarioPtr = std::shared_ptr<const scenario::Scenario>;
   using CompileFn = std::function<ScenarioPtr()>;
+  /// Derives the requested scenario from a cached sibling that shares its
+  /// structure key (same graph + retry, different FailureSpec) — the
+  /// Scenario::with_failure fast path. Must return a scenario
+  /// bit-identical to what CompileFn would have produced.
+  using PatchFn = std::function<ScenarioPtr(const scenario::Scenario&)>;
 
   /// `byte_budget` is split evenly across `shards` (each shard evicts
   /// independently). shards == 0 is promoted to 1.
@@ -79,6 +85,7 @@ class ScenarioCache {
   enum class Outcome {
     Hit,        ///< served from the map
     Miss,       ///< this call compiled the scenario
+    Patched,    ///< this call derived the scenario from a cached sibling
     Coalesced,  ///< this call waited on another caller's compile
     Absent,     ///< lookup-only call found nothing
   };
@@ -89,6 +96,20 @@ class ScenarioCache {
   /// every coalesced waiter — a poisoned key is NOT cached, so a later
   /// request retries.
   [[nodiscard]] ScenarioPtr get_or_compile(std::uint64_t key,
+                                           const CompileFn& compile,
+                                           Outcome* outcome = nullptr);
+
+  /// As get_or_compile, with the patch-on-miss fast path: on a miss,
+  /// when another cached entry shares `structure_key`, the scenario is
+  /// derived from it via `patch` (Outcome::Patched, `patched` counter)
+  /// instead of compiled from scratch — with_failure re-derives only the
+  /// rate-dependent planes and shares every structural cache, so this is
+  /// an order of magnitude cheaper than a compile at scale. A throwing
+  /// patch falls back to the full compile. Successful inserts register
+  /// `structure_key` so later same-structure misses find this entry.
+  [[nodiscard]] ScenarioPtr get_or_compile(std::uint64_t key,
+                                           std::uint64_t structure_key,
+                                           const PatchFn& patch,
                                            const CompileFn& compile,
                                            Outcome* outcome = nullptr);
 
@@ -126,7 +147,7 @@ class ScenarioCache {
     std::size_t bytes = 0;
     // Per-shard counters, folded by stats().
     std::uint64_t hits = 0, misses = 0, coalesced = 0, compiles = 0,
-                  evictions = 0;
+                  patched = 0, evictions = 0;
   };
 
   Shard& shard_for(std::uint64_t key) noexcept {
@@ -139,8 +160,18 @@ class ScenarioCache {
   /// budget. Returns the number of evictions performed.
   void insert_locked(Shard& s, std::uint64_t key, ScenarioPtr sc);
 
+  /// A live cached entry for `key` without counter or LRU side effects
+  /// (sibling resolution must not distort the hit/miss telemetry).
+  [[nodiscard]] ScenarioPtr peek(std::uint64_t key);
+
   std::size_t per_shard_budget_;
   std::vector<Shard> shards_;
+
+  // structure key -> most recent content key inserted under it. Own lock,
+  // never held together with a shard lock (all accesses copy and
+  // release). Entries may point at evicted keys; peek() just misses then.
+  std::mutex structure_m_;
+  std::map<std::uint64_t, std::uint64_t> structure_index_;
 };
 
 }  // namespace expmk::serve

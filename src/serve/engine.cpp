@@ -22,6 +22,8 @@ std::string_view outcome_name(ScenarioCache::Outcome outcome) {
       return "hit";
     case ScenarioCache::Outcome::Miss:
       return "miss";
+    case ScenarioCache::Outcome::Patched:
+      return "patched";
     case ScenarioCache::Outcome::Coalesced:
       return "coalesced";
     case ScenarioCache::Outcome::Absent:
@@ -66,6 +68,7 @@ std::string ServeEngine::stats_payload() const {
   cache.field("misses", cs.misses);
   cache.field("coalesced", cs.coalesced);
   cache.field("compiles", cs.compiles);
+  cache.field("patched", cs.patched);
   cache.field("evictions", cs.evictions);
   cache.field("entries", cs.entries);
   cache.field("bytes", cs.bytes);
@@ -162,9 +165,18 @@ void ServeEngine::handle(std::string_view payload, Connection& conn,
         }
       }
       hash = scenario::content_hash(file.dag, spec, req.retry);
+      const std::uint64_t skey = scenario::structure_hash(file.dag, req.retry);
       try {
         sc = cache_.get_or_compile(
-            hash,
+            hash, skey,
+            [&](const scenario::Scenario& sibling)
+                -> ScenarioCache::ScenarioPtr {
+              // Same structure, different FailureSpec: re-derive only the
+              // rate-dependent planes (bit-identical to a fresh compile —
+              // the Scenario::with_failure contract).
+              return std::make_shared<const scenario::Scenario>(
+                  sibling.with_failure(spec));
+            },
             [&]() -> ScenarioCache::ScenarioPtr {
               return std::make_shared<const scenario::Scenario>(
                   scenario::Scenario::compile(file.dag, spec, req.retry));

@@ -196,15 +196,42 @@ TEST(ServeEngineTest, WarmCacheNeverRecompiles) {
     cell_b = w.str();
   }
   const std::uint64_t before = expmk::scenario::Scenario::compiled_count();
+  const std::uint64_t patched_before =
+      expmk::scenario::Scenario::patched_count();
   ServeEngine::Connection conn;
+  double mean_a = 0.0;
+  double mean_b = 0.0;
   for (int round = 0; round < 6; ++round) {
-    (void)engine.handle_sync(cell_a, conn);
-    (void)engine.handle_sync(cell_b, conn);
+    const json::Value a = json::parse(engine.handle_sync(cell_a, conn));
+    const json::Value b = json::parse(engine.handle_sync(cell_b, conn));
+    if (round == 0) {
+      mean_a = field_double(a, "mean");
+      mean_b = field_double(b, "mean");
+      // Same structure, different pfail: the second cell is PATCHED from
+      // the first instead of full-compiled.
+      EXPECT_EQ(field_string(a, "cache"), "miss");
+      EXPECT_EQ(field_string(b, "cache"), "patched");
+    } else {
+      // Patched entries serve later hits like any other, bit-identically.
+      EXPECT_EQ(field_double(a, "mean"), mean_a);
+      EXPECT_EQ(field_double(b, "mean"), mean_b);
+    }
   }
-  // The acceptance pin: compiles == distinct keys, not request count.
-  EXPECT_EQ(expmk::scenario::Scenario::compiled_count() - before, 2u);
-  EXPECT_EQ(engine.cache_stats().compiles, 2u);
+  // The acceptance pin: one full compile + one patch cover both keys, no
+  // matter the request count.
+  EXPECT_EQ(expmk::scenario::Scenario::compiled_count() - before, 1u);
+  EXPECT_EQ(expmk::scenario::Scenario::patched_count() - patched_before, 1u);
+  EXPECT_EQ(engine.cache_stats().compiles, 1u);
+  EXPECT_EQ(engine.cache_stats().patched, 1u);
   EXPECT_EQ(engine.cache_stats().hits, 10u);
+  // The patched mean matches a from-scratch evaluation of the same cell
+  // bit-for-bit (patch == compile): re-handle cell_b through a FRESH
+  // engine, which must full-compile it.
+  ServeEngine fresh;
+  ServeEngine::Connection conn2;
+  const json::Value fresh_b = json::parse(fresh.handle_sync(cell_b, conn2));
+  EXPECT_EQ(field_string(fresh_b, "cache"), "miss");
+  EXPECT_EQ(field_double(fresh_b, "mean"), mean_b);
 }
 
 TEST(ServeEngineTest, ByHashRoundTripAndNotFound) {

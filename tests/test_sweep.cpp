@@ -42,10 +42,11 @@ TEST(Registry, CatalogueIsComplete) {
   const auto& reg = EvaluatorRegistry::builtin();
   for (const char* name :
        {"exact", "exact.geo", "fo", "so", "sp", "dodin", "sculli", "corlca",
-        "clark", "bounds.lower", "bounds.upper", "mc", "cmc"}) {
+        "clark", "bounds.lower", "bounds.upper", "mc", "cmc", "sp.hier",
+        "dodin.hier", "mc.hier"}) {
     EXPECT_NE(reg.find(name), nullptr) << name;
   }
-  EXPECT_EQ(reg.size(), 13u);
+  EXPECT_EQ(reg.size(), 16u);
   EXPECT_EQ(reg.find("no-such-method"), nullptr);
 }
 
@@ -124,8 +125,10 @@ TEST(Consistency, EveryEvaluatorWithinDocumentedToleranceOfExact) {
       const auto r = e.evaluate(g, model, RetryModel::TwoState, opt);
       const std::string where = label + " / " + std::string(e.name());
       if (!r.supported) {
-        // The only legal in-capability bailout is SP on a non-SP graph.
-        EXPECT_EQ(e.name(), "sp") << where << ": " << r.note;
+        // The only legal in-capability bailouts are the SP evaluators on
+        // graphs that are not (or do not collapse to) series-parallel.
+        EXPECT_TRUE(e.name() == "sp" || e.name() == "sp.hier")
+            << where << ": " << r.note;
         continue;
       }
       switch (caps.kind) {

@@ -333,7 +333,7 @@ TEST(WorkspaceAdapterProperty, ColdAndWarmWorkspaceBitIdenticalToDefault) {
   opt.threads = 1;
 
   const auto& reg = EvaluatorRegistry::builtin();
-  ASSERT_EQ(reg.size(), 13u);
+  ASSERT_EQ(reg.size(), 16u);
   Workspace warm;
   for (const auto& [label, g] : property_dags()) {
     const FailureModel model = calibrate(g, 0.01);

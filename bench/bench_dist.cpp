@@ -52,6 +52,12 @@ struct Row {
   double legacy_us = 0.0;
   double flat_us = 0.0;
   double speedup = 0.0;
+  // Structured features on the end-to-end sp/dodin rows (zero elsewhere):
+  // bench/fit_cost_model.py fits the planner's per-method cost
+  // coefficients from these.
+  std::size_t tasks = 0;
+  std::size_t edges = 0;
+  std::size_t atoms = 0;
 };
 
 prob::DiscreteDistribution random_dist(std::size_t atoms,
@@ -112,6 +118,9 @@ Row bench_sp(const char* label, const graph::Dag& g, std::uint64_t reps) {
   Row row;
   row.op = "sp";
   row.size = std::string(label) + " tasks=" + std::to_string(g.task_count());
+  row.tasks = g.task_count();
+  row.edges = g.edge_count();
+  row.atoms = max_atoms;
   {
     const util::Timer t;
     for (std::uint64_t r = 0; r < reps; ++r) {
@@ -149,6 +158,9 @@ Row bench_dodin(const char* label, const graph::Dag& g, std::uint64_t reps) {
   Row row;
   row.op = "dodin";
   row.size = std::string(label) + " tasks=" + std::to_string(g.task_count());
+  row.tasks = g.task_count();
+  row.edges = g.edge_count();
+  row.atoms = opts.max_atoms;
   {
     const util::Timer t;
     for (std::uint64_t r = 0; r < reps; ++r) {
@@ -209,6 +221,11 @@ int main(int argc, char** argv) {
         .field("legacy_us", row.legacy_us)
         .field("flat_us", row.flat_us)
         .field("speedup", row.speedup);
+    if (row.tasks > 0) {
+      w.field("tasks", row.tasks)
+          .field("edges", row.edges)
+          .field("atoms", row.atoms);
+    }
     json_rows.push_back(std::move(w));
   }
   bench::JsonWriter top;

@@ -27,11 +27,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -86,6 +88,60 @@ ArmResult run_engine_arm(const std::string& name, serve::ServeEngine& engine,
                     latency_us[i] = submitted.seconds() * 1e6;
                     // Count under the lock so the waiter cannot observe
                     // the final count (and destroy cv) mid-notify.
+                    const std::lock_guard<std::mutex> lock(m);
+                    if (completed.fetch_add(1, std::memory_order_acq_rel) +
+                            1 ==
+                        n) {
+                      cv.notify_one();
+                    }
+                  });
+  }
+  {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] {
+      return completed.load(std::memory_order_acquire) == n;
+    });
+  }
+  ArmResult r;
+  r.arm = name;
+  r.seconds = wall.seconds();
+  r.requests_per_sec = static_cast<double>(n) / r.seconds;
+  std::sort(latency_us.begin(), latency_us.end());
+  r.p50_us = quantile(latency_us, 0.50);
+  r.p99_us = quantile(latency_us, 0.99);
+  return r;
+}
+
+/// Open-loop (fixed-arrival-rate) load: request i is dispatched at its
+/// SCHEDULED time t0 + i/rate, and its latency is measured from that
+/// scheduled instant — so a stalled server accrues queueing delay
+/// instead of silently slowing the generator down (the closed-loop arms
+/// above suffer that coordinated omission by construction).
+template <typename PayloadFn>
+ArmResult run_open_loop_arm(const std::string& name,
+                            serve::ServeEngine& engine, std::size_t n,
+                            double rate_per_sec, PayloadFn payload_for) {
+  using Clock = std::chrono::steady_clock;
+  serve::ServeEngine::Connection conn;
+  std::vector<double> latency_us(n, 0.0);
+  std::atomic<std::size_t> completed{0};
+  std::mutex m;
+  std::condition_variable cv;
+
+  const auto t0 = Clock::now();
+  const double period_ns = 1e9 / rate_per_sec;
+  util::Timer wall;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto scheduled =
+        t0 + std::chrono::nanoseconds(static_cast<std::int64_t>(
+                 period_ns * static_cast<double>(i)));
+    std::this_thread::sleep_until(scheduled);
+    engine.handle(payload_for(i), conn,
+                  [&, i, scheduled](std::string&&) {
+                    latency_us[i] =
+                        std::chrono::duration<double, std::micro>(
+                            Clock::now() - scheduled)
+                            .count();
                     const std::lock_guard<std::mutex> lock(m);
                     if (completed.fetch_add(1, std::memory_order_acq_rel) +
                             1 ==
@@ -193,6 +249,25 @@ int main(int argc, char** argv) {
         }));
   }
 
+  // ---- open-loop arm: fixed arrival rate at half the measured warm
+  // throughput, latency from the SCHEDULED send time --------------------
+  double open_loop_rate = 0.0;
+  {
+    double warm_rps = 0.0;
+    for (const ArmResult& r : arms) {
+      if (r.arm == "serve_warm_hash") warm_rps = r.requests_per_sec;
+    }
+    // Half utilization keeps the queue stable on any machine; the rate
+    // is recorded on the row so runs are interpretable.
+    open_loop_rate = std::clamp(warm_rps * 0.5, 100.0, 20'000.0);
+    arms.push_back(run_open_loop_arm(
+        "serve_open_loop_hash", engine,
+        std::min<std::size_t>(requests, 2000), open_loop_rate,
+        [&](std::size_t i) {
+          return hash_payload(hash_hex, kMix[i % kMixSize]);
+        }));
+  }
+
   // ---- cold arm: every request a distinct cell (bounded count) ------
   const std::size_t cold_requests = std::min<std::size_t>(requests, 256);
   arms.push_back(run_engine_arm(
@@ -225,18 +300,22 @@ int main(int argc, char** argv) {
   std::vector<bench::JsonWriter> rows;
   for (const ArmResult& r : arms) {
     bench::JsonWriter w;
+    const bool open_loop = r.arm == "serve_open_loop_hash";
     w.field("bench", "serve")
         .field("arm", r.arm)
         .field("seconds", r.seconds)
         .field("requests_per_sec", r.requests_per_sec)
         // Serving latencies on shared CI runners are noisy; gate wall
         // time at 50% and the tail at 150% instead of the default 10%.
-        .field("tol", 0.5);
+        // Open-loop rows get the widest gates: their wall time IS the
+        // arrival schedule and their quantiles include scheduler jitter.
+        .field("tol", open_loop ? 2.0 : 0.5);
     if (r.arm != "raw_evaluate_many") {
       w.field("p50_us", r.p50_us)
           .field("p99_us", r.p99_us)
-          .field("p99_us_tol", 1.5);
+          .field("p99_us_tol", open_loop ? 3.0 : 1.5);
     }
+    if (open_loop) w.field("offered_rate_per_sec", open_loop_rate);
     rows.push_back(std::move(w));
   }
   bench::JsonWriter out;

@@ -30,6 +30,7 @@
 #include "core/criticality.hpp"
 #include "core/failure_model.hpp"
 #include "exp/evaluator.hpp"
+#include "exp/plan.hpp"
 #include "exp/workspace.hpp"
 #include "gen/cholesky.hpp"
 #include "gen/lu.hpp"
@@ -60,6 +61,7 @@ int usage() {
                "  estimate  --graph FILE (--pfail P | --use-rates) "
                "[--method all|<registry name>] [--retry twostate|geometric] "
                "[--trials N] [--repeat N] [--max-atoms N] "
+               "[--target-rel-err E | --deadline-us D  (planned mode)] "
                "[--patch TASK=RATE[,TASK=RATE...]]\n"
                "  dot       --graph FILE --out FILE\n"
                "  schedule  --graph FILE --p N (--pfail P | --use-rates) "
@@ -178,6 +180,14 @@ int cmd_estimate(int argc, const char* const* argv) {
               "sp; a positive value also overrides --dodin-atoms). When "
               "the cap fires, the certified [mean_lo, mean_hi] envelope "
               "is printed");
+  cli.add_double("target-rel-err", 0.0,
+                 "PLANNED MODE: let the query planner pick and size the "
+                 "cheapest method delivering this relative error "
+                 "(--method is ignored)");
+  cli.add_double("deadline-us", 0.0,
+                 "PLANNED MODE: predicted-cost budget in microseconds; "
+                 "the planner picks the most accurate method under it "
+                 "(combine with --target-rel-err for both constraints)");
   cli.add_int("repeat", 1,
               "evaluate each method N times on one warm workspace and "
               "report amortized throughput (first-call vs steady-state)");
@@ -291,6 +301,56 @@ int cmd_estimate(int argc, const char* const* argv) {
   opt.sp_max_atoms = max_atoms;
   if (max_atoms > 0) opt.dodin_atoms = max_atoms;
 
+  // ---- planned mode: the query planner picks, sizes, runs, verifies ---
+  const double target = cli.get_double("target-rel-err");
+  const double deadline = cli.get_double("deadline-us");
+  if (target > 0.0 || deadline > 0.0) {
+    exp::PlanBudget budget;
+    budget.target_rel_err = target;
+    budget.deadline_us = deadline;
+    const exp::Planner planner;
+    const exp::PlannedResult pr = planner.run(sc, budget, opt);
+    for (const exp::PlanStep& s : pr.report.steps) {
+      std::printf("plan: step %-10s atoms=%-5zu trials=%-8llu "
+                  "predicted %10.1f us  actual %10.1f us  %s\n",
+                  std::string(exp::plan_method_name(s.method)).c_str(),
+                  s.max_atoms,
+                  static_cast<unsigned long long>(s.mc_trials),
+                  s.predicted_us, s.actual_us,
+                  s.supported
+                      ? (s.envelope_rel_width > 0.0
+                             ? ("width " + std::to_string(s.envelope_rel_width))
+                                   .c_str()
+                             : "ok")
+                      : ("unsupported: " + s.note).c_str());
+    }
+    const exp::PlanReport& rep = pr.report;
+    std::printf("plan: chose %s  predicted %.1f us  actual %.1f us  "
+                "rel-err<=%.3g  escalations=%d%s%s%s\n",
+                std::string(rep.method_name).c_str(), rep.predicted_us,
+                rep.actual_us, rep.predicted_rel_err, rep.escalations,
+                rep.low_confidence ? "  [low-confidence]" : "",
+                rep.met_target ? "" : "  [TARGET MISSED]",
+                rep.met_deadline ? "" : "  [DEADLINE MISSED]");
+    if (!pr.result.supported) {
+      std::printf("planned: unsupported (%s)\n", pr.result.note.c_str());
+      return 1;
+    }
+    if (pr.result.std_error > 0.0) {
+      std::printf("planned %-8s: %.6f +/- %.6f\n",
+                  std::string(rep.method_name).c_str(), pr.result.mean,
+                  1.96 * pr.result.std_error);
+    } else {
+      std::printf("planned %-8s: %.6f\n",
+                  std::string(rep.method_name).c_str(), pr.result.mean);
+    }
+    if (pr.result.mean_lo < pr.result.mean_hi) {
+      std::printf("  certified [%.6f, %.6f]\n", pr.result.mean_lo,
+                  pr.result.mean_hi);
+    }
+    return 0;
+  }
+
   const std::string method = cli.get_string("method");
   const std::vector<std::string> all = {"fo",     "so",     "dodin",
                                         "sculli", "corlca", "mc"};
@@ -304,6 +364,19 @@ int cmd_estimate(int argc, const char* const* argv) {
     std::fprintf(stderr, "unknown method '%s' (see expmk_sweep --list)\n",
                  method.c_str());
     return 2;
+  }
+
+  // --max-atoms only reaches the distribution engines; warn (don't fail)
+  // when it is paired with a method that never reads an atom budget, so
+  // a "why didn't the envelope change" session debugs itself.
+  if (max_atoms > 0 && method != "all" && method != "sp" &&
+      method != "dodin" && method != "sp.hier" && method != "dodin.hier" &&
+      method != "mc.hier") {
+    std::fprintf(stderr,
+                 "warning: --max-atoms has no effect on method '%s' "
+                 "(atom budgets apply to sp, dodin, sp.hier, dodin.hier, "
+                 "mc.hier)\n",
+                 method.c_str());
   }
 
   const auto repeat = static_cast<std::uint64_t>(

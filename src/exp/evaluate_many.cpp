@@ -1,6 +1,7 @@
 #include "exp/evaluate_many.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 
@@ -21,10 +22,19 @@ std::vector<EvalResult> run_batch(const scenario::Scenario& sc,
                                   util::ThreadPool& pool,
                                   const EvaluatorRegistry& registry) {
   // Resolve every method upfront: a batch fails loudly on a typo before
-  // any cell burns compute (same policy as SweepRunner::run).
+  // any cell burns compute (same policy as SweepRunner::run). Planned
+  // requests (budget set) resolve to the planner instead of a method.
+  const bool any_planned =
+      std::any_of(requests.begin(), requests.end(), [](const EvalRequest& r) {
+        return r.budget.target_rel_err > 0.0 || r.budget.deadline_us > 0.0;
+      });
   std::vector<const Evaluator*> evaluators;
   evaluators.reserve(requests.size());
   for (const EvalRequest& req : requests) {
+    if (req.budget.target_rel_err > 0.0 || req.budget.deadline_us > 0.0) {
+      evaluators.push_back(nullptr);  // planner-routed
+      continue;
+    }
     const Evaluator* e = registry.find(req.method);
     if (e == nullptr) {
       throw std::invalid_argument("evaluate_many: unknown method '" +
@@ -32,6 +42,20 @@ std::vector<EvalResult> run_batch(const scenario::Scenario& sc,
     }
     evaluators.push_back(e);
   }
+
+  // One EWMA-disabled planner shared by every planned request in the
+  // batch: with the online correction off, each planned decision is a
+  // pure function of (features, budget, committed coefficients), so the
+  // bitwise determinism contract extends to planned cells.
+  std::optional<Planner> planner;
+  if (any_planned) {
+    Planner::Config cfg;
+    cfg.enable_ewma = false;
+    planner.emplace(cfg, registry);
+  }
+  // Planned requests read the scenario's SP-tree feature; materialize the
+  // lazy shared cache once, on this thread, before the fan-out.
+  if (any_planned) (void)plan_features(sc);
 
   std::vector<EvalResult> results(requests.size());
   if (requests.empty()) return results;
@@ -68,7 +92,21 @@ std::vector<EvalResult> run_batch(const scenario::Scenario& sc,
       // would oversubscribe the pool (and options.threads == 1 keeps
       // each MC evaluation's chunk merge on the one worker).
       options.threads = 1;
-      results[i] = evaluators[i]->evaluate(sc, options, ws);
+      if (evaluators[i] == nullptr) {
+        // Planned request: the planner selects, sizes, runs, verifies.
+        PlannedResult planned =
+            planner->run(sc, requests[i].budget, options, ws);
+        results[i] = std::move(planned.result);
+        std::string note = "planned: ";
+        note += planned.report.method_name;
+        if (!results[i].note.empty()) {
+          note += "; ";
+          note += results[i].note;
+        }
+        results[i].note = std::move(note);
+      } else {
+        results[i] = evaluators[i]->evaluate(sc, options, ws);
+      }
     }
   });
   return results;

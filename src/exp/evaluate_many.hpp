@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "exp/evaluator.hpp"
+#include "exp/plan.hpp"
 #include "scenario/scenario.hpp"
 #include "util/thread_pool.hpp"
 
@@ -37,7 +38,16 @@ namespace expmk::exp {
 /// One estimate request against the shared scenario.
 struct EvalRequest {
   /// Registry method name (EvaluatorRegistry::builtin() catalogue).
+  /// Ignored (may be empty) when `budget` is set — the planner picks.
   std::string method;
+  /// PLANNED MODE: when either budget field is positive the request does
+  /// not name a method — the query planner (exp/plan.hpp) selects and
+  /// sizes one per request. The batch shares one EWMA-DISABLED planner,
+  /// so every planned decision is a pure function of the request and the
+  /// committed cost model, preserving the bitwise thread-count-
+  /// independence contract. The chosen method is recorded on the
+  /// result's note ("planned: <method>").
+  PlanBudget budget{};
   /// Per-request knobs. `options.seed` is the request's seed STREAM BASE:
   /// the evaluator actually receives derive_seed(options.seed, index), so
   /// duplicate requests in one batch draw decorrelated (but reproducible)

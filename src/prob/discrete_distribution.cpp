@@ -171,10 +171,8 @@ DiscreteDistribution DiscreteDistribution::truncated(
   if (max_atoms == 0 || size() <= max_atoms) return *this;
   std::vector<Atom> atoms = atoms_;
   Scratch<double> gap_scratch(2 * (atoms.size() - 1));
-  Scratch<Atom> atom_scratch(atoms.size());
   dk::TruncationCert local;
-  atoms.resize(dk::truncate(atoms, max_atoms, local, gap_scratch.span(),
-                            atom_scratch.span()));
+  atoms.resize(dk::truncate(atoms, max_atoms, local, gap_scratch.span()));
   if (cert != nullptr) cert->accumulate(local);
   return DiscreteDistribution(std::move(atoms));
 }

@@ -808,9 +808,55 @@ EXPMK_NOALLOC std::size_t mixture(std::span<const Atom> x, double w,
   return canonicalize(out.subspan(0, k));
 }
 
+namespace {
+
+// Gap collection for one truncate pass: gaps[i] = value[i+1] - value[i],
+// written twice (the walk's decision array and the nth_element scratch
+// that the threshold pick is allowed to scramble). Elementwise
+// subtraction only, so the AVX2 lanes produce the scalar spec's bits
+// exactly and every downstream merge decision is backend-independent.
+EXPMK_NOALLOC void truncate_gaps_scalar(const Atom* atoms, std::size_t n,
+                                        double* gaps, double* sorted) {
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const double g = atoms[i + 1].value - atoms[i].value;
+    gaps[i] = g;
+    sorted[i] = g;
+  }
+}
+
+#if EXPMK_X86_SIMD
+__attribute__((target("avx2")))
+EXPMK_NOALLOC void truncate_gaps_avx2(const Atom* atoms, std::size_t n,
+                                      double* gaps, double* sorted) {
+  const std::size_t count = n - 1;  // callers guarantee n >= 2
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    // Atoms are {value, prob} pairs: two 4-wide loads cover 4 atoms, and
+    // unpacklo + permute4x64 gather the 4 values in order.
+    const __m256d a0 = _mm256_loadu_pd(&atoms[i].value);
+    const __m256d a1 = _mm256_loadu_pd(&atoms[i + 2].value);
+    const __m256d b0 = _mm256_loadu_pd(&atoms[i + 1].value);
+    const __m256d b1 = _mm256_loadu_pd(&atoms[i + 3].value);
+    const __m256d va =
+        _mm256_permute4x64_pd(_mm256_unpacklo_pd(a0, a1), 0xD8);
+    const __m256d vb =
+        _mm256_permute4x64_pd(_mm256_unpacklo_pd(b0, b1), 0xD8);
+    const __m256d g = _mm256_sub_pd(vb, va);
+    _mm256_storeu_pd(gaps + i, g);
+    _mm256_storeu_pd(sorted + i, g);
+  }
+  for (; i < count; ++i) {
+    const double g = atoms[i + 1].value - atoms[i].value;
+    gaps[i] = g;
+    sorted[i] = g;
+  }
+}
+#endif
+
+}  // namespace
+
 EXPMK_NOALLOC std::size_t truncate(std::span<Atom> atoms, std::size_t max_atoms,
-                     TruncationCert& cert, std::span<double> gap_scratch,
-                     std::span<Atom> atom_scratch) {
+                     TruncationCert& cert, std::span<double> gap_scratch) {
   std::size_t n = atoms.size();
   if (max_atoms == 0 || n <= max_atoms) return n;
 
@@ -822,24 +868,48 @@ EXPMK_NOALLOC std::size_t truncate(std::span<Atom> atoms, std::size_t max_atoms,
     const std::size_t excess = n - max_atoms;
     // Collect gaps, pick a threshold so we merge ~excess pairs this pass.
     const std::span<double> gaps = gap_scratch.subspan(0, n - 1);
-    for (std::size_t i = 0; i + 1 < n; ++i) {
-      gaps[i] = atoms[i + 1].value - atoms[i].value;
-    }
     const std::span<double> sorted = gap_scratch.subspan(n - 1, n - 1);
-    std::copy(gaps.begin(), gaps.end(), sorted.begin());
+#if EXPMK_X86_SIMD
+    if (use_avx2()) {
+      truncate_gaps_avx2(atoms.data(), n, gaps.data(), sorted.data());
+    } else {
+      truncate_gaps_scalar(atoms.data(), n, gaps.data(), sorted.data());
+    }
+#else
+    truncate_gaps_scalar(atoms.data(), n, gaps.data(), sorted.data());
+#endif
     const std::size_t kth = std::min(excess, sorted.size()) - 1;
     std::nth_element(sorted.begin(),
                      sorted.begin() + static_cast<std::ptrdiff_t>(kth),
                      sorted.end());
     const double threshold = sorted[kth];
 
+    // Merge walk, compacting IN PLACE: the write index m never passes the
+    // read index i (a merge consumes two atoms for one write, a keep is a
+    // self- or left-shift copy), so the pass needs no atom scratch and the
+    // former scratch->atoms copy-back is gone. The displacement
+    // accumulation below runs in the same left-to-right order as the
+    // scalar spec always did — cert.up/down are bit-identical by
+    // construction.
     std::size_t m = 0;
     std::size_t i = 0;
     std::size_t budget = excess;  // pairs we may merge this pass
     while (i < n) {
-      if (budget > 0 && i + 1 < n && gaps[i] <= threshold) {
-        const Atom& a = atoms[i];
-        const Atom& b = atoms[i + 1];
+      if (budget == 0) {
+        // No merges can fire past this point: the rest of the pass is a
+        // pure left shift, done in one bulk move. (Typical dodin combine
+        // steps overshoot the cap by a few atoms, so most of the walk is
+        // this tail.)
+        if (m != i) {
+          std::memmove(atoms.data() + m, atoms.data() + i,
+                       (n - i) * sizeof(Atom));
+        }
+        m += n - i;
+        break;
+      }
+      if (i + 1 < n && gaps[i] <= threshold) {
+        const Atom a = atoms[i];
+        const Atom b = atoms[i + 1];
         const double p = a.prob + b.prob;
         const double v = (a.value * a.prob + b.value * b.prob) / p;
         // Mass p_a moved up to the weighted mean, mass p_b moved down:
@@ -847,22 +917,16 @@ EXPMK_NOALLOC std::size_t truncate(std::span<Atom> atoms, std::size_t max_atoms,
         cert.up += a.prob * (v - a.value);
         cert.down += b.prob * (b.value - v);
         ++local_merges;
-        atom_scratch[m++] = {v, p};
+        atoms[m++] = {v, p};
         i += 2;
         --budget;
       } else {
-        atom_scratch[m++] = atoms[i++];
+        atoms[m] = atoms[i];
+        ++m;
+        ++i;
       }
     }
-    if (m == n) {  // no progress (defensive, as in the object path)
-      std::copy(atom_scratch.begin(),
-                atom_scratch.begin() + static_cast<std::ptrdiff_t>(m),
-                atoms.begin());
-      break;
-    }
-    std::copy(atom_scratch.begin(),
-              atom_scratch.begin() + static_cast<std::ptrdiff_t>(m),
-              atoms.begin());
+    if (m == n) break;  // no progress (defensive, as in the object path)
     n = m;
   }
   if (local_merges > 0) {

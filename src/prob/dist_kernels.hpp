@@ -151,9 +151,10 @@ EXPMK_NOALLOC std::size_t mixture(std::span<const Atom> x, double w,
 /// budget, final canonicalize), accumulating the expectation-shift
 /// envelope into `cert`. In place; returns the new count. No-op (and no
 /// cert event) when max_atoms == 0 or n <= max_atoms. Scratch:
-/// `gap_scratch` >= 2*(n-1) doubles, `atom_scratch` >= n atoms.
+/// `gap_scratch` >= 2*(n-1) doubles. The merge walk compacts in place
+/// (the write index never passes the read index), so no atom scratch is
+/// needed.
 EXPMK_NOALLOC std::size_t truncate(std::span<Atom> atoms, std::size_t max_atoms,
-                     TruncationCert& cert, std::span<double> gap_scratch,
-                     std::span<Atom> atom_scratch);
+                     TruncationCert& cert, std::span<double> gap_scratch);
 
 }  // namespace expmk::prob::dist_kernels

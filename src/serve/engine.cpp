@@ -40,6 +40,7 @@ ServeEngine::ServeEngine(const EngineConfig& config,
       registry_(registry),
       cache_(config.cache_bytes, config.cache_shards),
       shed_(config.shed),
+      planner_(exp::Planner::Config{}, registry),
       batcher_(config.batch, registry) {}
 
 void ServeEngine::wait_shutdown() {
@@ -211,7 +212,18 @@ void ServeEngine::handle(std::string_view payload, Connection& conn,
     return;
   }
   const int level = shed_.level(depth, latency_.quantile(0.99));
-  const ShedDecision decision = shed_.degrade(level, req.method, req.trials);
+  // The planner degrades by PREDICTED COST against the level's deadline
+  // (see serve/shed.hpp): features come from the cached scenario (its
+  // SP-tree feature is a lazily-computed shared member, so repeat
+  // requests pay nothing), the knob hint is whichever atom budget the
+  // requested method reads.
+  const exp::CostFeatures features = exp::plan_features(*sc);
+  const std::size_t atoms_hint =
+      req.method.find("dodin") != std::string::npos
+          ? static_cast<std::size_t>(req.dodin_atoms)
+          : static_cast<std::size_t>(req.max_atoms);
+  const ShedDecision decision = shed_.degrade(
+      level, req.method, req.trials, atoms_hint, features, planner_);
   requests_.fetch_add(1, std::memory_order_relaxed);
   if (decision.degraded) {
     shed_degraded_.fetch_add(1, std::memory_order_relaxed);
@@ -245,6 +257,10 @@ void ServeEngine::handle(std::string_view payload, Connection& conn,
     std::uint64_t seed;
     std::uint64_t request_index;
     std::uint64_t derived_seed;
+    /// EWMA feedback: the cost model's prediction for the method that
+    /// actually ran, folded back in when its measured time arrives.
+    exp::PlanMethod plan_method;
+    double predicted_us;
     util::Timer total;
   };
   auto ctx = std::make_shared<Ctx>();
@@ -261,6 +277,9 @@ void ServeEngine::handle(std::string_view payload, Connection& conn,
   ctx->seed = req.seed;
   ctx->request_index = request_index;
   ctx->derived_seed = derived_seed;
+  ctx->plan_method = exp::plan_method_from_name(decision.method);
+  ctx->predicted_us = planner_.model().predict_us(
+      ctx->plan_method, features, atoms_hint, decision.mc_trials);
   ctx->total = total;
 
   batcher_.submit(
@@ -283,6 +302,13 @@ void ServeEngine::handle(std::string_view payload, Connection& conn,
         meta.derived_seed = ctx->derived_seed;
         meta.total_us = ctx->total.seconds() * 1e6;
         latency_.record(meta.total_us);
+        // Close the loop: predicted vs measured evaluation cost tunes
+        // the planner's per-method EWMA correction for this host.
+        if (ctx->plan_method != exp::PlanMethod::kCount &&
+            result.supported) {
+          planner_.model().observe(ctx->plan_method, ctx->predicted_us,
+                                   result.seconds * 1e6);
+        }
         respond(result_response(result, meta));
       });
 }

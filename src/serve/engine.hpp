@@ -38,6 +38,7 @@
 #include <string_view>
 
 #include "exp/evaluator.hpp"
+#include "exp/plan.hpp"
 #include "serve/batcher.hpp"
 #include "serve/cache.hpp"
 #include "serve/shed.hpp"
@@ -115,6 +116,11 @@ class ServeEngine {
   const exp::EvaluatorRegistry& registry_;
   ScenarioCache cache_;
   ShedPolicy shed_;
+  /// The query planner behind the shed policy's cost-deadline decisions.
+  /// Its EWMA stays ON: every completed evaluation feeds
+  /// predicted-vs-actual back in (the response callback), so the shed's
+  /// cost predictions self-tune to this host under real traffic.
+  exp::Planner planner_;
   LatencyWindow latency_;
 
   std::atomic<std::uint64_t> requests_{0};

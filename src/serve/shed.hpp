@@ -3,38 +3,38 @@
 // Degrade-don't-queue admission for the serving daemon. When the batch
 // queue deepens or the measured response p99 crosses a threshold, the
 // engine does NOT let latency grow unboundedly — it substitutes a
-// cheaper method along the documented accuracy ladder and SAYS SO in the
-// response (method_requested / method_used / shed_level), so a client
-// always knows what estimate it actually got. Only past a hard queue
-// limit are requests rejected outright, with a typed "overloaded" error
-// frame.
+// cheaper method and SAYS SO in the response (method_requested /
+// method_used / shed_level), so a client always knows what estimate it
+// actually got. Only past a hard queue limit are requests rejected
+// outright, with a typed "overloaded" error frame.
 //
-// The ladder (DESIGN.md "Serving layer") follows the registry's accuracy
-// contracts — each step trades a documented amount of accuracy for
-// orders of magnitude of cost:
+// Degradation is PLANNER-DRIVEN (exp/plan.hpp), not a hard-coded method
+// ladder: each pressure level carries a per-request cost deadline
+// (deadline_l1_us / deadline_l2_us), and a request whose method the
+// calibrated cost model predicts OVER the level's deadline is replaced
+// by the planner's most-accurate-method-under-that-deadline for the
+// request's scenario (ties to the cheaper one; when nothing fits, the
+// predicted-cheapest closed form — fo/so territory — is the floor). A
+// request already predicted under the deadline passes through unchanged,
+// whatever its name — so a 12-task exact stays exact under pressure
+// while a 200k-task sp degrades, which the old name ladder got exactly
+// backwards. mc / cmc / mc.hier trial counts are additionally capped at
+// the level's mc_trials_lN. The decision is a pure function of (level,
+// request, scenario features, cost-model state) — unit-testable without
+// a server (tests/test_serve.cpp).
 //
-//   level 1 (soft pressure):  exact, exact.geo -> sp   (exact on SP
-//                             DAGs, certified-envelope approximation
-//                             otherwise); mc / cmc trial count capped at
-//                             mc_trials_l1.
-//   level 2 (heavy pressure): exact, exact.geo, sp -> fo (the paper's
-//                             O(V+E) first-order estimate); mc / cmc
-//                             capped at mc_trials_l2.
-//   reject (hard limit):      queue_depth >= queue_hard -> typed error,
-//                             never an unbounded queue.
-//
-// Methods outside the ladder (so, dodin, sculli, corlca, clark, bounds.*)
-// already sit at or below fo-level cost for their graph sizes and pass
-// through unchanged. The decision is a pure function of (queue depth,
-// p99, config) — unit-testable without a server (tests/test_serve.cpp).
+//   reject (hard limit): queue_depth >= queue_hard -> typed error,
+//                        never an unbounded queue.
 
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
 #include <string_view>
 
+#include "exp/plan.hpp"
 #include "util/contracts.hpp"
 
 namespace expmk::serve {
@@ -50,6 +50,9 @@ struct ShedConfig {
   double p99_l2_us = 250'000.0;  ///< measured p99 >= this -> level 2
   std::uint64_t mc_trials_l1 = 20'000;  ///< mc/cmc trial cap at level 1
   std::uint64_t mc_trials_l2 = 2'000;   ///< mc/cmc trial cap at level 2
+  /// Per-request predicted-cost deadlines the planner degrades against.
+  double deadline_l1_us = 50'000.0;  ///< level-1 planner deadline
+  double deadline_l2_us = 2'000.0;   ///< level-2 planner deadline
 };
 
 /// The outcome of admission for one request.
@@ -85,31 +88,56 @@ class ShedPolicy {
     return lvl;
   }
 
-  /// Applies the ladder to one request. `method` must outlive the
-  /// returned decision (the view aliases either the argument or a string
-  /// literal).
+  /// Applies the level's cost deadline to one request: keep the
+  /// requested method when `planner`'s cost model predicts it under the
+  /// deadline, otherwise substitute the planner's most accurate method
+  /// predicted to fit. `atoms` / `mc_trials` are the request's knob
+  /// values (0 = method default), used as cost hints; mc-family trial
+  /// counts are additionally capped at the level's mc_trials_lN.
+  /// `method` must outlive the returned decision (the view aliases
+  /// either the argument or the planner's static name table).
   EXPMK_NOALLOC [[nodiscard]] ShedDecision degrade(
-      int lvl, std::string_view method,
-      std::uint64_t mc_trials) const noexcept {
+      int lvl, std::string_view method, std::uint64_t mc_trials,
+      std::size_t atoms, const exp::CostFeatures& features,
+      const exp::Planner& planner) const noexcept {
     ShedDecision d;
     d.level = lvl;
     d.method = method;
     d.mc_trials = mc_trials;
     if (lvl <= 0) return d;
-    if (method == "exact" || method == "exact.geo") {
-      d.method = lvl == 1 ? std::string_view("sp") : std::string_view("fo");
+    const double deadline =
+        lvl == 1 ? config_.deadline_l1_us : config_.deadline_l2_us;
+    const std::uint64_t trial_cap =
+        lvl == 1 ? config_.mc_trials_l1 : config_.mc_trials_l2;
+
+    const exp::PlanMethod m = exp::plan_method_from_name(method);
+    if (m == exp::PlanMethod::kCount) return d;  // outside the catalogue
+
+    // The level's mc trial cap applies to the REQUESTED method first: a
+    // capped-but-kept mc request is still a degradation and says so.
+    const bool mc_like = m == exp::PlanMethod::kMc ||
+                         m == exp::PlanMethod::kCmc ||
+                         m == exp::PlanMethod::kMcHier;
+    if (mc_like && d.mc_trials > trial_cap) {
+      d.mc_trials = trial_cap;
       d.degraded = true;
-    } else if (method == "sp" && lvl >= 2) {
-      d.method = "fo";
-      d.degraded = true;
-    } else if (method == "mc" || method == "cmc") {
-      const std::uint64_t cap =
-          lvl == 1 ? config_.mc_trials_l1 : config_.mc_trials_l2;
-      if (mc_trials > cap) {
-        d.mc_trials = cap;
-        d.degraded = true;
-      }
     }
+
+    if (planner.model().predict_us(m, features, atoms, d.mc_trials) <=
+        deadline) {
+      return d;  // predicted to fit — keep it, whatever its name
+    }
+
+    // Over the deadline: the planner's most accurate method predicted
+    // under it; when nothing fits, select() falls back to its
+    // predicted-cheapest capability-feasible pick.
+    exp::PlanBudget budget;
+    budget.deadline_us = deadline;
+    const exp::PlanChoice choice = planner.select(features, budget);
+    d.method = exp::plan_method_name(choice.method);
+    d.mc_trials = std::min<std::uint64_t>(
+        choice.mc_trials > 0 ? choice.mc_trials : mc_trials, trial_cap);
+    d.degraded = true;
     return d;
   }
 

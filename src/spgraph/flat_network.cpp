@@ -411,14 +411,13 @@ class FlatNetwork {
     if (max_atoms == 0 || m <= max_atoms) return m;
     const exp::Workspace::Frame frame(ws_);
     const std::span<double> gaps = ws_.doubles(2 * (m - 1));
-    const std::span<Atom> scratch = ws_.atoms(m);
     // Per-op local certificate folded into the pass certificate — the
     // exact accumulation grouping of the object path (truncated() sums
     // its merges locally, reduce_from sums ops per pass), so the
     // envelope totals match it bit for bit.
     dk::TruncationCert local;
-    const size_t out = dk::truncate(arena_.subspan(off, m), max_atoms, local,
-                                    gaps, scratch);
+    const size_t out =
+        dk::truncate(arena_.subspan(off, m), max_atoms, local, gaps);
     pass_cert_.accumulate(local);
     return out;
   }

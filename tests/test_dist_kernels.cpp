@@ -127,9 +127,8 @@ TEST(DistKernels, TruncateMatchesObjectTruncatedBitwise) {
 
       std::vector<Atom> flat(x.atoms());
       std::vector<double> gaps(2 * (flat.size() - 1));
-      std::vector<Atom> scratch(flat.size());
       dk::TruncationCert flat_cert;
-      flat.resize(dk::truncate(flat, budget, flat_cert, gaps, scratch));
+      flat.resize(dk::truncate(flat, budget, flat_cert, gaps));
 
       const std::string where = "round " + std::to_string(round) +
                                 " budget " + std::to_string(budget);
